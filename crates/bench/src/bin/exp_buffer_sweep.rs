@@ -1,0 +1,67 @@
+//! Buffer-sweep experiment: Table 2's alternative formulas apply
+//! "depending on whether the set of tuples retrieved will fit entirely in
+//! the RSS buffer pool". Sweeping the pool size shows the predicted and
+//! measured costs of a non-clustered index scan crossing between the
+//! per-tuple and buffered regimes — and where the optimizer flips between
+//! the index and the segment scan.
+//!
+//! ```sh
+//! cargo run --release -p sysr-bench --bin exp_buffer_sweep
+//! ```
+
+use system_r::core::{Access, Cost, PlanNode};
+use system_r::{tuple, Config, Database};
+
+fn main() {
+    let sql = "SELECT PAD FROM T WHERE GRP = 7";
+    println!("BUFFER-FIT VARIANTS (Table 2): {sql}");
+    println!("(10k rows ≈ 180 pages; GRP has 40 distinct values → 250 matching rows)\n");
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>14}",
+        "buffer", "chosen path", "pred. pages", "measured", "hit ratio"
+    );
+    println!("{:-<68}", "");
+    for buffer in [4usize, 8, 16, 32, 64, 128, 256] {
+        let mut db =
+            Database::with_config(Config { buffer_pages: buffer, ..Config::default() });
+        db.execute("CREATE TABLE T (GRP INTEGER, PAD VARCHAR(60))").unwrap();
+        db.insert_rows(
+            "T",
+            (0..10_000).map(|i| tuple![(i * 7919) % 40, format!("p{i:056}")]),
+        )
+        .unwrap();
+        db.execute("CREATE INDEX T_GRP ON T (GRP)").unwrap();
+        db.execute("UPDATE STATISTICS").unwrap();
+
+        let plan = db.plan(sql).unwrap();
+        let path = match &plan.root.node {
+            PlanNode::Scan(s) => match &s.access {
+                Access::Segment => "segment scan",
+                Access::Index { .. } => "index probe",
+            },
+            _ => "?",
+        };
+        db.evict_buffers();
+        db.reset_io_stats();
+        db.query(sql).unwrap();
+        let io = db.io_stats();
+        let hits = io.buffer_hits as f64;
+        let total = hits + io.page_fetches() as f64;
+        println!(
+            "{:<10} {:<14} {:>12.1} {:>12} {:>13.0}%",
+            buffer,
+            path,
+            plan.root.cost.pages,
+            io.page_fetches(),
+            if total > 0.0 { 100.0 * hits / total } else { 0.0 }
+        );
+        let _ = Cost::ZERO;
+    }
+    println!("{:-<68}", "");
+    println!(
+        "\nSmall pools: the buffered variant cannot apply, the per-tuple formula makes\n\
+         the 250-row probe look more expensive than the 180-page segment scan. Once the\n\
+         ~135 distinct matching pages (Cardenas estimate) fit in the pool, the buffered\n\
+         variant applies and the index probe takes over."
+    );
+}

@@ -1,0 +1,144 @@
+//! Optimizer statistics, as listed in Section 4 of the paper.
+
+use sysr_rss::Value;
+
+/// Per-relation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelStats {
+    /// `NCARD(T)`: the cardinality of relation T.
+    pub ncard: u64,
+    /// `TCARD(T)`: the number of pages in the segment that hold tuples of T.
+    pub tcard: u64,
+    /// `P(T) = TCARD(T) / (no. of non-empty pages in the segment)`.
+    pub pfrac: f64,
+    /// Mean encoded tuple size in bytes; sizes `TEMPPAGES` when a sort
+    /// materializes (a filtered subset of) the relation into a temp list.
+    pub avg_width: f64,
+    /// Whether `UPDATE STATISTICS` (or initial load) has populated this.
+    pub valid: bool,
+}
+
+impl Default for RelStats {
+    fn default() -> Self {
+        // "We assume that a lack of statistics implies that the relation is
+        // small" (paper, Section 4): modest defaults keep the formulas
+        // finite before the first UPDATE STATISTICS.
+        RelStats { ncard: 100, tcard: 10, pfrac: 1.0, avg_width: 32.0, valid: false }
+    }
+}
+
+impl RelStats {
+    /// Pages a segment scan of this relation must touch:
+    /// `TCARD / P` = the non-empty pages of the whole segment.
+    pub fn segment_scan_pages(&self) -> f64 {
+        if self.pfrac > 0.0 {
+            self.tcard as f64 / self.pfrac
+        } else {
+            self.tcard as f64
+        }
+    }
+}
+
+/// Per-index statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexStats {
+    /// `ICARD(I)`: number of distinct keys in index I.
+    pub icard: u64,
+    /// `NINDX(I)`: number of pages in index I.
+    pub nindx: u64,
+    /// Number of leaf pages (subset of `nindx`; a full index scan touches
+    /// these plus one root-to-leaf descent).
+    pub leaf_pages: u64,
+    /// Lowest value of the index's **leading** key column, for the linear
+    /// interpolation selectivity of range predicates.
+    pub low_key: Option<Value>,
+    /// Highest value of the leading key column.
+    pub high_key: Option<Value>,
+    /// Whether statistics have been collected.
+    pub valid: bool,
+}
+
+impl Default for IndexStats {
+    fn default() -> Self {
+        IndexStats {
+            icard: 10,
+            nindx: 1,
+            leaf_pages: 1,
+            low_key: None,
+            high_key: None,
+            valid: false,
+        }
+    }
+}
+
+impl IndexStats {
+    /// Interpolation fraction `(v - low) / (high - low)` for the leading
+    /// key column, when the column is arithmetic and both bounds are known.
+    /// This is the building block of the paper's range selectivities.
+    pub fn interpolate(&self, v: &Value) -> Option<f64> {
+        let low = self.low_key.as_ref()?.as_f64()?;
+        let high = self.high_key.as_ref()?.as_f64()?;
+        let x = v.as_f64()?;
+        if high <= low {
+            // Degenerate (single-valued) range: everything is at one point.
+            return Some(if x < low { 0.0 } else { 1.0 });
+        }
+        Some(((x - low) / (high - low)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_small_but_finite() {
+        let r = RelStats::default();
+        assert!(!r.valid);
+        assert!(r.ncard > 0 && r.tcard > 0 && r.pfrac > 0.0);
+        let i = IndexStats::default();
+        assert!(!i.valid);
+        assert!(i.icard > 0 && i.nindx > 0);
+    }
+
+    #[test]
+    fn segment_scan_pages_divides_by_p() {
+        let r = RelStats { ncard: 1000, tcard: 50, pfrac: 0.5, avg_width: 32.0, valid: true };
+        assert_eq!(r.segment_scan_pages(), 100.0);
+    }
+
+    #[test]
+    fn interpolation_basic() {
+        let s = IndexStats {
+            low_key: Some(Value::Int(0)),
+            high_key: Some(Value::Int(100)),
+            ..Default::default()
+        };
+        assert_eq!(s.interpolate(&Value::Int(25)), Some(0.25));
+        assert_eq!(s.interpolate(&Value::Int(-5)), Some(0.0));
+        assert_eq!(s.interpolate(&Value::Int(200)), Some(1.0));
+    }
+
+    #[test]
+    fn interpolation_unavailable_for_strings() {
+        let s = IndexStats {
+            low_key: Some(Value::Str("a".into())),
+            high_key: Some(Value::Str("z".into())),
+            ..Default::default()
+        };
+        assert_eq!(s.interpolate(&Value::Str("m".into())), None);
+        let s2 = IndexStats::default();
+        assert_eq!(s2.interpolate(&Value::Int(5)), None);
+    }
+
+    #[test]
+    fn interpolation_degenerate_range() {
+        let s = IndexStats {
+            low_key: Some(Value::Int(7)),
+            high_key: Some(Value::Int(7)),
+            ..Default::default()
+        };
+        assert_eq!(s.interpolate(&Value::Int(7)), Some(1.0));
+        assert_eq!(s.interpolate(&Value::Int(3)), Some(0.0));
+    }
+}

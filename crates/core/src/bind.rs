@@ -1,0 +1,788 @@
+//! Binder: catalog lookup, semantic checking, and normalization into
+//! boolean factors.
+//!
+//! This is the front half of the paper's OPTIMIZER component (§2): names
+//! are resolved against the catalogs, expressions are type-checked, and the
+//! WHERE tree is put into conjunctive normal form, each conjunct becoming a
+//! boolean factor. Subqueries are bound recursively with a scope stack so
+//! a nested block can reference "a value obtained from a candidate tuple of
+//! a higher level query block" (§6) — a correlation subquery.
+
+use crate::query::{
+    AggCall, BExpr, BoundQuery, BoundTable, ColId, Factor, SExpr, SubqueryDef,
+};
+use std::fmt;
+use sysr_catalog::{Catalog, RelationMeta};
+use sysr_rss::{ColType, CompareOp, Value};
+use sysr_sql::{ColumnRef, Expr, SelectList, SelectStmt};
+
+/// Semantic errors detected during binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindError {
+    UnknownTable(String),
+    DuplicateBinding(String),
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    TypeMismatch(String),
+    AggregateMisuse(String),
+    SubqueryShape(String),
+    Unsupported(String),
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            BindError::DuplicateBinding(t) => write!(f, "duplicate table binding {t}"),
+            BindError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            BindError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            BindError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            BindError::AggregateMisuse(m) => write!(f, "aggregate misuse: {m}"),
+            BindError::SubqueryShape(m) => write!(f, "bad subquery: {m}"),
+            BindError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Bind a SELECT statement against the catalog, producing a normalized
+/// query block tree.
+pub fn bind_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery, BindError> {
+    let mut scopes = Vec::new();
+    bind_block(catalog, stmt, &mut scopes)
+}
+
+/// One lexical scope: the FROM-list tables of one enclosing block.
+struct Scope<'a> {
+    tables: Vec<(String, &'a RelationMeta)>,
+}
+
+fn bind_block<'a>(
+    catalog: &'a Catalog,
+    stmt: &SelectStmt,
+    scopes: &mut Vec<Scope<'a>>,
+) -> Result<BoundQuery, BindError> {
+    // ---- FROM list --------------------------------------------------------
+    let mut scope = Scope { tables: Vec::new() };
+    let mut tables = Vec::new();
+    for (table_no, tref) in stmt.from.iter().enumerate() {
+        let rel = catalog
+            .relation_by_name(&tref.table)
+            .map_err(|_| BindError::UnknownTable(tref.table.to_ascii_uppercase()))?;
+        let binding = tref.binding_name().to_ascii_uppercase();
+        if scope.tables.iter().any(|(n, _)| *n == binding) {
+            return Err(BindError::DuplicateBinding(binding));
+        }
+        tables.push(BoundTable {
+            table_no,
+            rel: rel.id,
+            segment: rel.segment,
+            name: binding.clone(),
+        });
+        scope.tables.push((binding, rel));
+    }
+    scopes.push(scope);
+    let result = bind_block_inner(catalog, stmt, scopes, tables);
+    scopes.pop();
+    result
+}
+
+fn bind_block_inner<'a>(
+    catalog: &'a Catalog,
+    stmt: &SelectStmt,
+    scopes: &mut Vec<Scope<'a>>,
+    tables: Vec<BoundTable>,
+) -> Result<BoundQuery, BindError> {
+    let mut ctx = BlockCtx { catalog, scopes, subqueries: Vec::new() };
+
+    // ---- WHERE tree → boolean factors -------------------------------------
+    let mut factors = Vec::new();
+    if let Some(where_expr) = &stmt.where_clause {
+        let bound = ctx.bind_bool(where_expr)?;
+        let nnf = push_not_down(bound, false);
+        collect_conjuncts(nnf, &mut factors);
+    }
+    let factors: Vec<Factor> = factors
+        .into_iter()
+        .map(|expr| {
+            let mut tables = expr.local_tables();
+            // A factor that references a correlated subquery implicitly
+            // depends on the tables of *this* block the subquery reaches
+            // back to — it can only be evaluated once those tables'
+            // candidate tuples are present.
+            expr.visit_subqueries(&mut |i| {
+                for t in tables_referenced_at_level(&ctx.subqueries[i].query, 1) {
+                    tables.insert(t);
+                }
+            });
+            let equijoin = detect_equijoin(&expr);
+            Factor { expr, tables, equijoin }
+        })
+        .collect();
+
+    // ---- SELECT list -------------------------------------------------------
+    let mut select = Vec::new();
+    match &stmt.select {
+        SelectList::Star => {
+            for (tno, t) in ctx.current_tables().iter().enumerate() {
+                for (cno, col) in t.1.columns.iter().enumerate() {
+                    select.push((col.name.clone(), SExpr::Col(ColId::new(tno, cno))));
+                }
+            }
+        }
+        SelectList::Items(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let bound = ctx.bind_scalar(&item.expr, true)?;
+                let name = item
+                    .alias
+                    .clone()
+                    .map(|a| a.to_ascii_uppercase())
+                    .unwrap_or_else(|| default_name(&item.expr, i));
+                select.push((name, bound));
+            }
+        }
+    }
+
+    // ---- GROUP BY / ORDER BY ----------------------------------------------
+    let group_by: Vec<ColId> = stmt
+        .group_by
+        .iter()
+        .map(|c| ctx.resolve_col_current(c))
+        .collect::<Result<_, _>>()?;
+    let order_by: Vec<(ColId, bool)> = stmt
+        .order_by
+        .iter()
+        .map(|o| ctx.resolve_col_current(&o.col).map(|c| (c, o.desc)))
+        .collect::<Result<_, _>>()?;
+
+    // ---- aggregate validation ----------------------------------------------
+    let has_agg = select.iter().any(|(_, e)| e.contains_aggregate());
+    let aggregated = has_agg || !group_by.is_empty();
+    if aggregated {
+        for (name, e) in &select {
+            validate_agg_item(e, &group_by, name)?;
+        }
+    }
+    for f in &factors {
+        let mut bad = false;
+        f.expr.visit_scalar(&mut |e| bad |= e.contains_aggregate());
+        if bad {
+            return Err(BindError::AggregateMisuse(
+                "aggregates are not allowed in WHERE".into(),
+            ));
+        }
+    }
+
+    let subqueries = ctx.subqueries;
+    Ok(BoundQuery {
+        tables,
+        factors,
+        select,
+        distinct: stmt.distinct,
+        group_by,
+        order_by,
+        subqueries,
+        aggregated,
+    })
+}
+
+/// Top-level output name for an unaliased select item.
+fn default_name(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        Expr::Agg { func, .. } => format!("{func}"),
+        _ => format!("COL{}", position + 1),
+    }
+}
+
+/// Verify a select item of an aggregated block: either a pure aggregate
+/// expression, or an expression over GROUP BY columns only.
+fn validate_agg_item(e: &SExpr, group_by: &[ColId], name: &str) -> Result<(), BindError> {
+    if expr_is_aggregate_only(e) {
+        // Aggregates may not nest.
+        return Ok(());
+    }
+    let mut ok = true;
+    e.visit_cols(&mut |c| {
+        if !group_by.contains(&c) {
+            ok = false;
+        }
+    });
+    if ok && !e.contains_aggregate() {
+        Ok(())
+    } else {
+        Err(BindError::AggregateMisuse(format!(
+            "select item {name} must be an aggregate or reference only GROUP BY columns"
+        )))
+    }
+}
+
+/// True if every column reference in the expression sits under an
+/// aggregate.
+fn expr_is_aggregate_only(e: &SExpr) -> bool {
+    match e {
+        SExpr::Agg(_) => true,
+        SExpr::Lit(_) | SExpr::Subquery(_) | SExpr::Outer { .. } => true,
+        SExpr::Col(_) => false,
+        SExpr::Arith { left, right, .. } => {
+            expr_is_aggregate_only(left) && expr_is_aggregate_only(right)
+        }
+        SExpr::Neg(inner) => expr_is_aggregate_only(inner),
+    }
+}
+
+struct BlockCtx<'a, 'b> {
+    catalog: &'a Catalog,
+    scopes: &'b mut Vec<Scope<'a>>,
+    subqueries: Vec<SubqueryDef>,
+}
+
+impl<'a, 'b> BlockCtx<'a, 'b> {
+    fn current_tables(&self) -> &[(String, &'a RelationMeta)] {
+        &self.scopes.last().expect("current scope").tables
+    }
+
+    /// Resolve a column reference. Searches the current block first, then
+    /// enclosing blocks (producing `Outer` references — correlation).
+    fn resolve(&self, cref: &ColumnRef) -> Result<(usize, ColId, ColType), BindError> {
+        let column = cref.column.to_ascii_uppercase();
+        let qualifier = cref.table.as_ref().map(|t| t.to_ascii_uppercase());
+        for (level, scope) in self.scopes.iter().rev().enumerate() {
+            let mut found: Option<(ColId, ColType)> = None;
+            for (tno, (binding, rel)) in scope.tables.iter().enumerate() {
+                if let Some(q) = &qualifier {
+                    if q != binding {
+                        continue;
+                    }
+                }
+                if let Some(cno) = rel.column_position(&column) {
+                    if found.is_some() {
+                        return Err(BindError::AmbiguousColumn(format!("{cref}")));
+                    }
+                    found = Some((ColId::new(tno, cno), rel.columns[cno].ty));
+                }
+            }
+            if let Some((col, ty)) = found {
+                return Ok((level, col, ty));
+            }
+            // A qualifier that names a table of this scope but a missing
+            // column should not silently fall through to outer scopes.
+            if let Some(q) = &qualifier {
+                if scope.tables.iter().any(|(b, _)| b == q) {
+                    return Err(BindError::UnknownColumn(format!("{cref}")));
+                }
+            }
+        }
+        Err(BindError::UnknownColumn(format!("{cref}")))
+    }
+
+    /// Resolve a column that must belong to the current block (GROUP BY /
+    /// ORDER BY).
+    fn resolve_col_current(&self, cref: &ColumnRef) -> Result<ColId, BindError> {
+        let (level, col, _) = self.resolve(cref)?;
+        if level != 0 {
+            return Err(BindError::UnknownColumn(format!(
+                "{cref} (resolves to an enclosing block)"
+            )));
+        }
+        Ok(col)
+    }
+
+    fn bind_scalar(&mut self, expr: &Expr, allow_agg: bool) -> Result<SExpr, BindError> {
+        Ok(match expr {
+            Expr::Column(cref) => {
+                let (level, col, _) = self.resolve(cref)?;
+                if level == 0 {
+                    SExpr::Col(col)
+                } else {
+                    SExpr::Outer { level, col }
+                }
+            }
+            Expr::Literal(v) => SExpr::Lit(v.clone()),
+            Expr::Arith { op, left, right } => {
+                let l = self.bind_scalar(left, allow_agg)?;
+                let r = self.bind_scalar(right, allow_agg)?;
+                self.require_numeric(&l, "arithmetic")?;
+                self.require_numeric(&r, "arithmetic")?;
+                SExpr::Arith { op: *op, left: Box::new(l), right: Box::new(r) }
+            }
+            Expr::Neg(inner) => {
+                let e = self.bind_scalar(inner, allow_agg)?;
+                self.require_numeric(&e, "negation")?;
+                SExpr::Neg(Box::new(e))
+            }
+            Expr::Agg { func, arg } => {
+                if !allow_agg {
+                    return Err(BindError::AggregateMisuse(
+                        "aggregate not allowed in this context".into(),
+                    ));
+                }
+                let bound_arg = match arg {
+                    Some(a) => {
+                        let inner = self.bind_scalar(a, false)?;
+                        if inner.contains_aggregate() {
+                            return Err(BindError::AggregateMisuse(
+                                "aggregates may not nest".into(),
+                            ));
+                        }
+                        Some(Box::new(inner))
+                    }
+                    None => None,
+                };
+                SExpr::Agg(AggCall { func: *func, arg: bound_arg })
+            }
+            Expr::Compare { .. }
+            | Expr::Between { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::CompareSubquery { .. }
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..) => {
+                return Err(BindError::Unsupported(
+                    "boolean expression used as a scalar value".into(),
+                ))
+            }
+        })
+    }
+
+    fn bind_bool(&mut self, expr: &Expr) -> Result<BExpr, BindError> {
+        Ok(match expr {
+            Expr::Compare { op, left, right } => BExpr::Cmp {
+                op: *op,
+                left: self.bind_scalar(left, false)?,
+                right: self.bind_scalar(right, false)?,
+            },
+            Expr::Between { expr, low, high, negated } => BExpr::Between {
+                expr: self.bind_scalar(expr, false)?,
+                low: self.bind_scalar(low, false)?,
+                high: self.bind_scalar(high, false)?,
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => BExpr::InList {
+                expr: self.bind_scalar(expr, false)?,
+                list: list
+                    .iter()
+                    .map(|e| self.bind_scalar(e, false))
+                    .collect::<Result<_, _>>()?,
+                negated: *negated,
+            },
+            Expr::InSubquery { expr, query, negated } => {
+                let e = self.bind_scalar(expr, false)?;
+                let sub = self.bind_subquery(query, false)?;
+                BExpr::InSubquery { expr: e, subquery: sub, negated: *negated }
+            }
+            Expr::CompareSubquery { op, left, query } => {
+                let l = self.bind_scalar(left, false)?;
+                let sub = self.bind_subquery(query, true)?;
+                // A scalar comparison against a subquery: modeled as a
+                // comparison with the subquery's single value.
+                BExpr::Cmp { op: *op, left: l, right: SExpr::Subquery(sub) }
+            }
+            Expr::And(a, b) => BExpr::And(vec![self.bind_bool(a)?, self.bind_bool(b)?]),
+            Expr::Or(a, b) => BExpr::Or(vec![self.bind_bool(a)?, self.bind_bool(b)?]),
+            Expr::Not(inner) => BExpr::Not(Box::new(self.bind_bool(inner)?)),
+            other => {
+                // A bare scalar in boolean position is not in the dialect.
+                return Err(BindError::Unsupported(format!(
+                    "expression {other:?} is not a predicate"
+                )));
+            }
+        })
+    }
+
+    fn bind_subquery(&mut self, query: &SelectStmt, scalar: bool) -> Result<usize, BindError> {
+        let bound = bind_block(self.catalog, query, self.scopes)?;
+        if bound.select.len() != 1 {
+            return Err(BindError::SubqueryShape(format!(
+                "subquery must return exactly one column, has {}",
+                bound.select.len()
+            )));
+        }
+        let correlated = query_escapes(&bound, 0);
+        let idx = self.subqueries.len();
+        self.subqueries.push(SubqueryDef { query: bound, correlated, scalar });
+        Ok(idx)
+    }
+
+    /// Numeric check for arithmetic. Columns carry exact types; anything
+    /// else (outer refs, subqueries) is checked at execution.
+    fn require_numeric(&self, e: &SExpr, what: &str) -> Result<(), BindError> {
+        let bad = match e {
+            SExpr::Lit(Value::Str(_)) => true,
+            SExpr::Col(c) => {
+                let ty = self.column_type(*c);
+                ty == Some(ColType::Str)
+            }
+            _ => false,
+        };
+        if bad {
+            Err(BindError::TypeMismatch(format!("{what} requires a numeric operand")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn column_type(&self, col: ColId) -> Option<ColType> {
+        let (_, rel) = self.current_tables().get(col.table)?;
+        Some(rel.columns.get(col.col)?.ty)
+    }
+}
+
+/// Tables of the block `levels_up` blocks above `q` that `q` (or its
+/// nested subqueries) references. Used to tie a correlated subquery's
+/// factor to the outer tables it probes.
+fn tables_referenced_at_level(q: &BoundQuery, levels_up: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn scan_sexpr(e: &SExpr, want: usize, out: &mut Vec<usize>) {
+        match e {
+            SExpr::Outer { level, col } if *level == want => out.push(col.table),
+            SExpr::Arith { left, right, .. } => {
+                scan_sexpr(left, want, out);
+                scan_sexpr(right, want, out);
+            }
+            SExpr::Neg(inner) => scan_sexpr(inner, want, out),
+            SExpr::Agg(AggCall { arg: Some(a), .. }) => scan_sexpr(a, want, out),
+            _ => {}
+        }
+    }
+    for f in &q.factors {
+        f.expr.visit_scalar(&mut |s| scan_sexpr(s, levels_up, &mut out));
+    }
+    for (_, e) in &q.select {
+        scan_sexpr(e, levels_up, &mut out);
+    }
+    for sub in &q.subqueries {
+        out.extend(tables_referenced_at_level(&sub.query, levels_up + 1));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Does any expression in `q` (or its nested subqueries) reference a block
+/// *above* `q` itself? `depth` is how many blocks down from the block of
+/// interest we currently are.
+fn query_escapes(q: &BoundQuery, depth: usize) -> bool {
+    fn sexpr_escapes(e: &SExpr, depth: usize) -> bool {
+        match e {
+            SExpr::Outer { level, .. } => *level > depth,
+            SExpr::Arith { left, right, .. } => {
+                sexpr_escapes(left, depth) || sexpr_escapes(right, depth)
+            }
+            SExpr::Neg(inner) => sexpr_escapes(inner, depth),
+            SExpr::Agg(AggCall { arg: Some(a), .. }) => sexpr_escapes(a, depth),
+            _ => false,
+        }
+    }
+    fn bexpr_escapes(e: &BExpr, depth: usize) -> bool {
+        let mut esc = false;
+        e.visit_scalar(&mut |s| esc |= sexpr_escapes(s, depth));
+        esc
+    }
+    q.factors.iter().any(|f| bexpr_escapes(&f.expr, depth))
+        || q.select.iter().any(|(_, e)| sexpr_escapes(e, depth))
+        || q.subqueries.iter().any(|s| query_escapes(&s.query, depth + 1))
+}
+
+/// Push NOT down to the leaves (negation normal form). `negate` is the
+/// parity of NOTs seen above.
+fn push_not_down(e: BExpr, negate: bool) -> BExpr {
+    match e {
+        BExpr::Not(inner) => push_not_down(*inner, !negate),
+        BExpr::And(children) => {
+            let mapped = children.into_iter().map(|c| push_not_down(c, negate)).collect();
+            if negate {
+                BExpr::Or(mapped)
+            } else {
+                BExpr::And(mapped)
+            }
+        }
+        BExpr::Or(children) => {
+            let mapped = children.into_iter().map(|c| push_not_down(c, negate)).collect();
+            if negate {
+                BExpr::And(mapped)
+            } else {
+                BExpr::Or(mapped)
+            }
+        }
+        BExpr::Cmp { op, left, right } => {
+            let op = if negate { negate_op(op) } else { op };
+            BExpr::Cmp { op, left, right }
+        }
+        BExpr::Between { expr, low, high, negated } => {
+            BExpr::Between { expr, low, high, negated: negated ^ negate }
+        }
+        BExpr::InList { expr, list, negated } => {
+            BExpr::InList { expr, list, negated: negated ^ negate }
+        }
+        BExpr::InSubquery { expr, subquery, negated } => {
+            BExpr::InSubquery { expr, subquery, negated: negated ^ negate }
+        }
+        BExpr::Const(b) => BExpr::Const(b ^ negate),
+    }
+}
+
+fn negate_op(op: CompareOp) -> CompareOp {
+    op.negated()
+}
+
+/// Flatten top-level ANDs: the conjuncts are the boolean factors. "The
+/// WHERE tree is considered to be in conjunctive normal form, and every
+/// conjunct is called a boolean factor" (§4). OR trees remain single
+/// factors — "a boolean factor may be an entire tree of predicates headed
+/// by an OR".
+fn collect_conjuncts(e: BExpr, out: &mut Vec<BExpr>) {
+    match e {
+        BExpr::And(children) => {
+            for c in children {
+                collect_conjuncts(c, out);
+            }
+        }
+        BExpr::Const(true) => {}
+        other => out.push(other),
+    }
+}
+
+/// Recognize `T1.c1 = T2.c2` equi-join factors.
+fn detect_equijoin(e: &BExpr) -> Option<(ColId, ColId)> {
+    if let BExpr::Cmp { op: CompareOp::Eq, left: SExpr::Col(a), right: SExpr::Col(b) } = e {
+        if a.table != b.table {
+            return Some((*a, *b));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysr_catalog::ColumnMeta;
+    use sysr_sql::parse_statement;
+    use sysr_sql::Statement;
+
+    fn demo_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_relation(
+            "EMP",
+            0,
+            vec![
+                ColumnMeta::new("NAME", ColType::Str),
+                ColumnMeta::new("DNO", ColType::Int),
+                ColumnMeta::new("JOB", ColType::Int),
+                ColumnMeta::new("SAL", ColType::Float),
+            ],
+        )
+        .unwrap();
+        cat.create_relation(
+            "DEPT",
+            1,
+            vec![
+                ColumnMeta::new("DNO", ColType::Int),
+                ColumnMeta::new("DNAME", ColType::Str),
+                ColumnMeta::new("LOC", ColType::Str),
+            ],
+        )
+        .unwrap();
+        cat.create_relation(
+            "JOB",
+            2,
+            vec![ColumnMeta::new("JOB", ColType::Int), ColumnMeta::new("TITLE", ColType::Str)],
+        )
+        .unwrap();
+        cat.create_relation(
+            "EMPLOYEE",
+            3,
+            vec![
+                ColumnMeta::new("NAME", ColType::Str),
+                ColumnMeta::new("SALARY", ColType::Float),
+                ColumnMeta::new("EMPLOYEE_NUMBER", ColType::Int),
+                ColumnMeta::new("MANAGER", ColType::Int),
+            ],
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(src: &str) -> Result<BoundQuery, BindError> {
+        let Statement::Select(stmt) = parse_statement(src).unwrap() else { panic!() };
+        bind_select(&demo_catalog(), &stmt)
+    }
+
+    #[test]
+    fn fig1_binds_with_four_factors() {
+        let q = bind(
+            "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB
+             WHERE TITLE='CLERK' AND LOC='DENVER'
+               AND EMP.DNO=DEPT.DNO AND EMP.JOB=JOB.JOB",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.factors.len(), 4);
+        let joins: Vec<_> = q.factors.iter().filter_map(|f| f.equijoin).collect();
+        assert_eq!(joins.len(), 2);
+        // EMP.DNO = DEPT.DNO: EMP is table 0 col 1, DEPT table 1 col 0.
+        assert!(joins.contains(&(ColId::new(0, 1), ColId::new(1, 0))));
+        assert!(joins.contains(&(ColId::new(0, 2), ColId::new(2, 0))));
+        // TITLE resolves to JOB (table 2), LOC to DEPT (table 1).
+        assert_eq!(q.factors[0].tables.iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(q.factors[1].tables.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn star_expands_all_columns() {
+        let q = bind("SELECT * FROM EMP, JOB").unwrap();
+        assert_eq!(q.select.len(), 6);
+        assert_eq!(q.select[0].0, "NAME");
+        assert_eq!(q.select[4].1, SExpr::Col(ColId::new(1, 0)));
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns() {
+        assert!(matches!(
+            bind("SELECT DNO FROM EMP, DEPT"),
+            Err(BindError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(bind("SELECT BOGUS FROM EMP"), Err(BindError::UnknownColumn(_))));
+        assert!(matches!(bind("SELECT X FROM NOPE"), Err(BindError::UnknownTable(_))));
+        assert!(matches!(
+            bind("SELECT EMP.BOGUS FROM EMP, DEPT"),
+            Err(BindError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let q = bind("SELECT A.NAME FROM EMP A, EMP B WHERE A.DNO = B.DNO").unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.factors[0].equijoin, Some((ColId::new(0, 1), ColId::new(1, 1))));
+        assert!(matches!(
+            bind("SELECT NAME FROM EMP, EMP"),
+            Err(BindError::DuplicateBinding(_))
+        ));
+    }
+
+    #[test]
+    fn not_pushdown_flips_operators() {
+        let q = bind("SELECT NAME FROM EMP WHERE NOT (SAL > 10 AND DNO = 1)").unwrap();
+        // NOT(AND) → OR(neg, neg): a single boolean factor headed by OR.
+        assert_eq!(q.factors.len(), 1);
+        let BExpr::Or(children) = &q.factors[0].expr else { panic!("{:?}", q.factors) };
+        assert!(matches!(children[0], BExpr::Cmp { op: CompareOp::Le, .. }));
+        assert!(matches!(children[1], BExpr::Cmp { op: CompareOp::Ne, .. }));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let q = bind("SELECT NAME FROM EMP WHERE NOT (NOT (SAL > 10))").unwrap();
+        assert!(matches!(q.factors[0].expr, BExpr::Cmp { op: CompareOp::Gt, .. }));
+    }
+
+    #[test]
+    fn not_between_and_not_in_normalize() {
+        let q = bind("SELECT NAME FROM EMP WHERE NOT (SAL BETWEEN 1 AND 2)").unwrap();
+        assert!(matches!(q.factors[0].expr, BExpr::Between { negated: true, .. }));
+        let q = bind("SELECT NAME FROM EMP WHERE NOT (DNO NOT IN (1,2))").unwrap();
+        assert!(matches!(q.factors[0].expr, BExpr::InList { negated: false, .. }));
+    }
+
+    #[test]
+    fn uncorrelated_subquery() {
+        let q = bind(
+            "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)",
+        )
+        .unwrap();
+        assert_eq!(q.subqueries.len(), 1);
+        assert!(!q.subqueries[0].correlated);
+        assert!(q.subqueries[0].scalar);
+        assert!(q.subqueries[0].query.aggregated);
+        assert!(matches!(
+            q.factors[0].expr,
+            BExpr::Cmp { right: SExpr::Subquery(0), .. }
+        ));
+    }
+
+    #[test]
+    fn correlated_subquery_from_paper() {
+        let q = bind(
+            "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
+               (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER)",
+        )
+        .unwrap();
+        assert_eq!(q.subqueries.len(), 1);
+        assert!(q.subqueries[0].correlated);
+        let sub = &q.subqueries[0].query;
+        // Inside the subquery, X.MANAGER is an outer reference one level up.
+        let BExpr::Cmp { right, .. } = &sub.factors[0].expr else { panic!() };
+        assert_eq!(*right, SExpr::Outer { level: 1, col: ColId::new(0, 3) });
+    }
+
+    #[test]
+    fn three_level_correlation_detected_transitively() {
+        let q = bind(
+            "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
+               (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER =
+                 (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))",
+        )
+        .unwrap();
+        // Level-2 subquery is itself correlated because its nested level-3
+        // block reaches past it to X.
+        assert!(q.subqueries[0].correlated);
+        let level2 = &q.subqueries[0].query;
+        assert_eq!(level2.subqueries.len(), 1);
+        assert!(level2.subqueries[0].correlated);
+        let level3 = &level2.subqueries[0].query;
+        let BExpr::Cmp { right, .. } = &level3.factors[0].expr else { panic!() };
+        assert_eq!(*right, SExpr::Outer { level: 2, col: ColId::new(0, 3) });
+    }
+
+    #[test]
+    fn in_subquery_binds_as_set() {
+        let q = bind(
+            "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC='DENVER')",
+        )
+        .unwrap();
+        assert!(!q.subqueries[0].scalar);
+        assert!(!q.subqueries[0].correlated);
+    }
+
+    #[test]
+    fn subquery_must_have_one_column() {
+        assert!(matches!(
+            bind("SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO, DNAME FROM DEPT)"),
+            Err(BindError::SubqueryShape(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        assert!(bind("SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO").is_ok());
+        assert!(matches!(
+            bind("SELECT NAME, AVG(SAL) FROM EMP GROUP BY DNO"),
+            Err(BindError::AggregateMisuse(_))
+        ));
+        assert!(matches!(
+            bind("SELECT NAME FROM EMP WHERE AVG(SAL) > 10"),
+            Err(BindError::AggregateMisuse(_))
+        ));
+        assert!(bind("SELECT COUNT(*) FROM EMP").is_ok());
+    }
+
+    #[test]
+    fn arithmetic_type_checks() {
+        assert!(matches!(
+            bind("SELECT SAL + NAME FROM EMP"),
+            Err(BindError::TypeMismatch(_))
+        ));
+        assert!(bind("SELECT SAL * 2 + DNO FROM EMP").is_ok());
+    }
+
+    #[test]
+    fn group_order_resolve_in_current_block_only() {
+        let q = bind("SELECT DNO FROM EMP ORDER BY DNO").unwrap();
+        assert_eq!(q.order_by, vec![(ColId::new(0, 1), false)]);
+        let q = bind("SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO").unwrap();
+        assert_eq!(q.group_by, vec![ColId::new(0, 1)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Small bitsets over the FROM-list tables of one query block.
+
+use std::fmt;
+
+/// A set of table positions (0-based indexes into the FROM list). The DP
+/// join search is keyed on these; 64 tables per block is far beyond the
+/// paper's 8-way joins.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TableSet(pub u64);
+
+impl TableSet {
+    pub const EMPTY: TableSet = TableSet(0);
+
+    pub fn single(table: usize) -> Self {
+        assert!(table < 64, "at most 64 tables per query block");
+        TableSet(1 << table)
+    }
+
+    /// All tables `0..n`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 64);
+        if n == 64 {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    pub fn contains(self, table: usize) -> bool {
+        table < 64 && self.0 & (1 << table) != 0
+    }
+
+    pub fn insert(&mut self, table: usize) {
+        self.0 |= TableSet::single(table).0;
+    }
+
+    pub fn union(self, other: TableSet) -> TableSet {
+        TableSet(self.0 | other.0)
+    }
+
+    pub fn intersect(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & other.0)
+    }
+
+    pub fn minus(self, other: TableSet) -> TableSet {
+        TableSet(self.0 & !other.0)
+    }
+
+    pub fn is_subset_of(self, other: TableSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    pub fn intersects(self, other: TableSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate member table positions in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let t = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(t)
+            }
+        })
+    }
+
+    /// Enumerate every subset of `TableSet::full(n)` with exactly `size`
+    /// members, in ascending bit-pattern order (the classic subset-DP
+    /// order: all subsets of size k are produced before size k+1 is
+    /// built). `size == 0` yields nothing.
+    pub fn subsets_of_size(n: usize, size: usize) -> impl Iterator<Item = TableSet> {
+        let full = TableSet::full(n).0;
+        let mut cur = if size == 0 || size > n { None } else { Some((1u64 << size) - 1) };
+        std::iter::from_fn(move || {
+            let c = cur?;
+            if c > full {
+                cur = None;
+                return None;
+            }
+            // Advance to the next same-popcount pattern (Gosper's hack).
+            let lowest = c & c.wrapping_neg();
+            let ripple = c.wrapping_add(lowest);
+            cur = if ripple == 0 {
+                None
+            } else {
+                Some(ripple | (((c ^ ripple) >> 2) / lowest))
+            };
+            Some(TableSet(c))
+        })
+    }
+}
+
+impl fmt::Debug for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for TableSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = TableSet::EMPTY;
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = TableSet::EMPTY;
+        s.insert(0);
+        s.insert(3);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert!(TableSet::single(3).is_subset_of(s));
+        assert!(!s.is_subset_of(TableSet::single(3)));
+        assert_eq!(s.minus(TableSet::single(3)), TableSet::single(0));
+    }
+
+    #[test]
+    fn full_sets() {
+        assert_eq!(TableSet::full(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(TableSet::full(0), TableSet::EMPTY);
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        // C(5, k)
+        for (k, expect) in [(1, 5), (2, 10), (3, 10), (4, 5), (5, 1)] {
+            assert_eq!(TableSet::subsets_of_size(5, k).count(), expect, "k={k}");
+        }
+        // Every emitted subset has the right size and stays in range.
+        for s in TableSet::subsets_of_size(6, 3) {
+            assert_eq!(s.len(), 3);
+            assert!(s.is_subset_of(TableSet::full(6)));
+        }
+    }
+
+    #[test]
+    fn subsets_cover_everything() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 1..=4 {
+            for s in TableSet::subsets_of_size(4, k) {
+                seen.insert(s.0);
+            }
+        }
+        assert_eq!(seen.len(), 15, "2^4 - 1 non-empty subsets");
+    }
+}

@@ -1,0 +1,815 @@
+//! Dynamic-programming join-order search (§5).
+//!
+//! "An efficient way to organize the search is to find the best join order
+//! for successively larger subsets of tables": the enumerator computes,
+//! for every subset of the FROM list, the cheapest plan **per interesting
+//! order equivalence class** plus the cheapest plan overall, then extends
+//! each subset by one relation using both join methods. The paper's join
+//! order heuristic is applied: a relation joins only if a join predicate
+//! connects it "to the other relations already participating in the join",
+//! so Cartesian products are deferred to the end of the sequence.
+//!
+//! The number of solutions stored is at most `2^n × (interesting orders +
+//! 1)`; [`EnumerationStats`] reports the actual counts and a byte
+//! estimate, reproducing the paper's "a few thousand bytes of storage"
+//! claim.
+
+use crate::access::{access_paths, AccessCandidate, PlanCtx};
+use crate::bitset::TableSet;
+use crate::join::{merge_join, nested_loop, sort_plan};
+use crate::order::OrderKey;
+use crate::plan::PlanExpr;
+use crate::query::{BoundQuery, ColId};
+use crate::OptimizerConfig;
+use std::collections::HashMap;
+use sysr_catalog::Catalog;
+
+/// Counters describing one enumeration run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumerationStats {
+    /// Subsets of the FROM list for which solutions were built.
+    pub subsets_examined: u64,
+    /// Candidate plans generated and costed.
+    pub plans_considered: u64,
+    /// Plans surviving in the solution table when the search finished.
+    pub plans_kept: u64,
+    /// (subset, relation) extension pairs skipped by the
+    /// Cartesian-product-deferral heuristic.
+    pub heuristic_skips: u64,
+    /// Rough bytes held by the solution table (plans kept × node sizes) —
+    /// comparable to the paper's "a few thousand bytes".
+    pub solution_bytes: u64,
+    /// Wall-clock time of the search, microseconds.
+    pub elapsed_micros: u64,
+}
+
+/// Per-subset solution store: cheapest plan per order key, plus the
+/// cheapest overall under the empty key.
+struct SubsetSolutions {
+    best: HashMap<OrderKey, PlanExpr>,
+}
+
+impl SubsetSolutions {
+    fn new() -> Self {
+        SubsetSolutions { best: HashMap::new() }
+    }
+}
+
+/// One subset's surviving solutions, for search-tree reporting (the
+/// paper's Figures 3-6): the cheapest plan per interesting-order key (the
+/// empty key is the cheapest overall).
+pub struct SubsetReport {
+    pub set: TableSet,
+    pub entries: Vec<(OrderKey, PlanExpr)>,
+}
+
+/// The join-order enumerator for one query block.
+pub struct Enumerator<'a> {
+    pub ctx: PlanCtx<'a>,
+}
+
+impl<'a> Enumerator<'a> {
+    pub fn new(catalog: &'a Catalog, query: &'a BoundQuery, config: OptimizerConfig) -> Self {
+        Enumerator { ctx: PlanCtx::new(catalog, query, config) }
+    }
+
+    /// Run the DP search and also return the full solution table — the
+    /// paper's "tree of possible solutions" — for the Figure 2-6 search
+    /// tree dumps. Entries are sorted by subset then order key.
+    pub fn best_plan_with_tree(&self) -> (PlanExpr, EnumerationStats, Vec<SubsetReport>) {
+        let (best, stats, table) = self.run_search();
+        let mut reports: Vec<SubsetReport> = table
+            .into_iter()
+            .map(|(set, sols)| {
+                let mut entries: Vec<(OrderKey, PlanExpr)> = sols.best.into_iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                SubsetReport { set, entries }
+            })
+            .collect();
+        reports.sort_by_key(|r| (r.set.len(), r.set.0));
+        (best, stats, reports)
+    }
+
+    /// Run the DP search and return the cheapest complete plan (with a
+    /// final sort appended if the required order could not be produced
+    /// more cheaply by an ordered plan — §4's "cheapest of these
+    /// alternatives").
+    pub fn best_plan(&self) -> (PlanExpr, EnumerationStats) {
+        let (best, stats, _) = self.run_search();
+        (best, stats)
+    }
+
+    fn run_search(&self) -> (PlanExpr, EnumerationStats, HashMap<TableSet, SubsetSolutions>) {
+        let started = std::time::Instant::now();
+        let mut stats = EnumerationStats::default();
+        let n = self.ctx.query.tables.len();
+        assert!(n > 0, "query block has no tables");
+        let mut table: HashMap<TableSet, SubsetSolutions> = HashMap::new();
+
+        // ---- single relations (Fig. 2 / Fig. 3) --------------------------
+        for t in 0..n {
+            let set = TableSet::single(t);
+            let mut sols = SubsetSolutions::new();
+            for cand in access_paths(&self.ctx, t, TableSet::EMPTY) {
+                self.consider(&mut sols, cand.into_plan(), &mut stats);
+            }
+            stats.subsets_examined += 1;
+            table.insert(set, sols);
+        }
+
+        // ---- successively larger subsets (Figs. 4-6) ----------------------
+        for k in 2..=n {
+            for set in TableSet::subsets_of_size(n, k) {
+                let mut sols = SubsetSolutions::new();
+                stats.subsets_examined += 1;
+                // Which relations may join last? The paper's heuristic:
+                // only orderings "which have join predicates relating the
+                // inner relation to the other relations already
+                // participating in the join" — a Cartesian extension is
+                // allowed only when nothing connected could extend the
+                // outer instead, so products are "performed as late in the
+                // join sequence as possible".
+                let members: Vec<usize> = set.iter().collect();
+                let chosen: Vec<usize> = if self.ctx.config.defer_cartesian {
+                    let ok: Vec<usize> = members
+                        .iter()
+                        .copied()
+                        .filter(|&t| {
+                            self.extension_allowed(t, set.minus(TableSet::single(t)))
+                        })
+                        .collect();
+                    stats.heuristic_skips += (members.len() - ok.len()) as u64;
+                    ok
+                } else {
+                    members
+                };
+                for &t in &chosen {
+                    let s_prime = set.minus(TableSet::single(t));
+                    let Some(outer_sols) = table.get(&s_prime) else { continue };
+                    let outer_plans: Vec<PlanExpr> =
+                        outer_sols.best.values().cloned().collect();
+                    let rows_out = self.ctx.subset_rows(set);
+                    let inner_probe = access_paths(&self.ctx, t, s_prime);
+                    let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
+                    for outer in &outer_plans {
+                        for cand in self.join_candidates(
+                            outer,
+                            t,
+                            s_prime,
+                            rows_out,
+                            &inner_probe,
+                            &inner_local,
+                        ) {
+                            self.consider(&mut sols, cand, &mut stats);
+                        }
+                    }
+                }
+                table.insert(set, sols);
+            }
+        }
+
+        // ---- final choice: required order vs. cheapest + sort -------------
+        let full = TableSet::full(n);
+        if table.get(&full).map(|s| s.best.is_empty()).unwrap_or(true) {
+            // Degenerate join graphs can strand the heuristic; fall back to
+            // the exhaustive pairing (correctness over pruning).
+            debug_assert!(self.ctx.config.defer_cartesian, "full set must be solvable");
+            let relaxed = Enumerator {
+                ctx: PlanCtx::new(
+                    self.ctx.catalog,
+                    self.ctx.query,
+                    OptimizerConfig { defer_cartesian: false, ..self.ctx.config },
+                ),
+            };
+            return relaxed.run_search();
+        }
+        let sols = table.get(&full).expect("full set always has solutions");
+        stats.plans_kept = table.values().map(|s| s.best.len() as u64).sum();
+        stats.solution_bytes = table
+            .values()
+            .flat_map(|s| s.best.values())
+            .map(|p| (p.node_count() * std::mem::size_of::<PlanExpr>()) as u64)
+            .sum();
+
+        let required = &self.ctx.orders.required;
+        let best = if required.is_empty() {
+            sols.best[&OrderKey::new()].clone()
+        } else {
+            let ordered = sols
+                .best
+                .iter()
+                .filter(|(key, _)| self.ctx.orders.satisfies_required(key))
+                .map(|(_, p)| p)
+                .min_by(|a, b| {
+                    self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
+                })
+                .cloned();
+            let unordered = &sols.best[&OrderKey::new()];
+            let sorted = sort_plan(
+                unordered.clone(),
+                self.ctx.query.required_order(),
+                self.ctx.composite_width(full),
+            );
+            match ordered {
+                Some(o) if self.ctx.model.better(o.cost, sorted.cost) => o,
+                _ => sorted,
+            }
+        };
+        stats.elapsed_micros = started.elapsed().as_micros() as u64;
+        (best, stats, table)
+    }
+
+    /// Exhaustively enumerate complete plans (no pruning, no heuristic),
+    /// capped at `cap` plans per subset. Used by the §7 optimality
+    /// experiment, which executes *every* plan and checks the optimizer
+    /// picked the measured-best one.
+    pub fn all_plans(&self, cap: usize) -> Vec<PlanExpr> {
+        let n = self.ctx.query.tables.len();
+        let mut memo: HashMap<TableSet, Vec<PlanExpr>> = HashMap::new();
+        for t in 0..n {
+            let plans = access_paths(&self.ctx, t, TableSet::EMPTY)
+                .into_iter()
+                .map(AccessCandidate::into_plan)
+                .collect();
+            memo.insert(TableSet::single(t), plans);
+        }
+        for k in 2..=n {
+            for set in TableSet::subsets_of_size(n, k) {
+                let mut plans = Vec::new();
+                let rows_out = self.ctx.subset_rows(set);
+                for t in set.iter() {
+                    let s_prime = set.minus(TableSet::single(t));
+                    let inner_probe = access_paths(&self.ctx, t, s_prime);
+                    let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
+                    let outers = memo[&s_prime].clone();
+                    for outer in &outers {
+                        plans.extend(self.join_candidates(
+                            outer,
+                            t,
+                            s_prime,
+                            rows_out,
+                            &inner_probe,
+                            &inner_local,
+                        ));
+                        if plans.len() > cap {
+                            break;
+                        }
+                    }
+                    if plans.len() > cap {
+                        break;
+                    }
+                }
+                plans.truncate(cap);
+                memo.insert(set, plans);
+            }
+        }
+        let mut complete = memo.remove(&TableSet::full(n)).unwrap_or_default();
+        // Apply the same required-order discipline as `best_plan`, so every
+        // returned plan answers the query (including its ORDER BY /
+        // GROUP BY) and measured costs are comparable.
+        if !self.ctx.orders.required.is_empty() {
+            let width = self.ctx.composite_width(TableSet::full(n));
+            complete = complete
+                .into_iter()
+                .map(|p| {
+                    if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
+                        p
+                    } else {
+                        sort_plan(p, self.ctx.query.required_order(), width)
+                    }
+                })
+                .collect();
+        }
+        complete
+    }
+
+    /// All ways to join relation `t` (the inner) to an existing plan for
+    /// `s_prime` (the outer): nested loops over every inner access path,
+    /// and merging scans over every equi-join predicate connecting them.
+    fn join_candidates(
+        &self,
+        outer: &PlanExpr,
+        t: usize,
+        s_prime: TableSet,
+        rows_out: f64,
+        inner_probe: &[AccessCandidate],
+        inner_local: &[AccessCandidate],
+    ) -> Vec<PlanExpr> {
+        let mut out = Vec::new();
+
+        // ---- nested loops --------------------------------------------------
+        for cand in inner_probe {
+            let cap = self.inner_footprint(t, cand);
+            out.push(nested_loop(outer.clone(), cand.clone().into_plan(), rows_out, cap));
+        }
+
+        // ---- merging scans -------------------------------------------------
+        for (fidx, outer_col, inner_col) in self.merge_keys(t, s_prime) {
+            // Outer side: use as-is when already ordered on the join
+            // column's class, otherwise sort the composite.
+            let outer_ready = self
+                .ctx
+                .orders
+                .leads_with(&self.ctx.orders.order_key(&outer.order), outer_col);
+            let outer_variants: Vec<PlanExpr> = if outer_ready {
+                vec![outer.clone()]
+            } else {
+                vec![sort_plan(
+                    outer.clone(),
+                    vec![outer_col],
+                    self.ctx.composite_width(s_prime),
+                )]
+            };
+            // Inner side: an ordered access path on the join column (local
+            // predicates only), or sort the cheapest local path.
+            let mut inner_variants: Vec<(PlanExpr, Vec<usize>)> = Vec::new();
+            for cand in inner_local {
+                if cand.order.first() == Some(&inner_col) {
+                    let mut applied = cand.applied.clone();
+                    applied.push(fidx);
+                    inner_variants.push((cand.clone().into_plan(), applied));
+                }
+            }
+            if let Some(cheapest) = inner_local.iter().min_by(|a, b| {
+                self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
+            }) {
+                let mut applied = cheapest.applied.clone();
+                applied.push(fidx);
+                inner_variants.push((
+                    sort_plan(
+                        cheapest.clone().into_plan(),
+                        vec![inner_col],
+                        self.ctx.width(t),
+                    ),
+                    applied,
+                ));
+            }
+            // Residual: every factor newly in scope that the inner scan and
+            // merge key do not already enforce.
+            let set = s_prime.union(TableSet::single(t));
+            for outer_variant in &outer_variants {
+                for (inner_variant, applied) in &inner_variants {
+                    let residual: Vec<usize> = self
+                        .ctx
+                        .query
+                        .factors
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, f)| {
+                            !f.tables.is_empty()
+                                && f.tables.contains(t)
+                                && f.tables.is_subset_of(set)
+                                && !applied.contains(i)
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    out.push(merge_join(
+                        outer_variant.clone(),
+                        inner_variant.clone(),
+                        outer_col,
+                        inner_col,
+                        residual,
+                        rows_out,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Buffer-resident footprint of an inner access path: the pages the
+    /// repeated probes can touch in total (data pages plus the probed
+    /// index's pages), if that fits in the buffer pool — the nested-loop
+    /// analog of Table 2's "fits in the System R buffer" variants.
+    fn inner_footprint(&self, t: usize, cand: &AccessCandidate) -> Option<f64> {
+        let rel = self.ctx.relation(t);
+        let pages = match &cand.scan.access {
+            crate::plan::Access::Segment => rel.stats.segment_scan_pages(),
+            crate::plan::Access::Index { index, .. } => {
+                let nindx = self
+                    .ctx
+                    .catalog
+                    .index(*index)
+                    .map(|i| i.stats.nindx as f64)
+                    .unwrap_or(0.0);
+                rel.stats.tcard as f64 + nindx
+            }
+        };
+        (pages <= self.ctx.model.buffer_pages).then_some(pages)
+    }
+
+    /// Equi-join factors usable as the merge key between `t` and `s_prime`:
+    /// returns `(factor, outer column, inner column)`.
+    fn merge_keys(&self, t: usize, s_prime: TableSet) -> Vec<(usize, ColId, ColId)> {
+        self.ctx
+            .query
+            .factors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let (a, b) = f.equijoin?;
+                if a.table == t && s_prime.contains(b.table) {
+                    Some((i, b, a))
+                } else if b.table == t && s_prime.contains(a.table) {
+                    Some((i, a, b))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The join-order heuristic's test for extending `s_prime` with `t`:
+    /// allowed when a join predicate relates `t` to `s_prime`, or — the
+    /// Cartesian case — when no relation at all is connected to `s_prime`,
+    /// so the product cannot be deferred any further.
+    fn extension_allowed(&self, t: usize, s_prime: TableSet) -> bool {
+        if self.connected(t, s_prime) {
+            return true;
+        }
+        let n = self.ctx.query.tables.len();
+        !(0..n).any(|u| !s_prime.contains(u) && self.connected(u, s_prime))
+    }
+
+    /// Is `t` connected to `s_prime` by any join predicate? ("join orders
+    /// which have join predicates relating the inner relation to the other
+    /// relations already participating in the join", §5.)
+    fn connected(&self, t: usize, s_prime: TableSet) -> bool {
+        self.ctx
+            .query
+            .factors
+            .iter()
+            .any(|f| f.tables.contains(t) && f.tables.intersects(s_prime))
+    }
+
+    /// Offer a candidate to a subset's solution store: it may become the
+    /// cheapest plan overall (empty key) and/or the cheapest for its
+    /// interesting-order class.
+    fn consider(&self, sols: &mut SubsetSolutions, plan: PlanExpr, stats: &mut EnumerationStats) {
+        stats.plans_considered += 1;
+        let key = if self.ctx.config.interesting_orders {
+            self.ctx.orders.order_key(&plan.order)
+        } else {
+            OrderKey::new()
+        };
+        let total = self.ctx.model.total(plan.cost);
+        if !key.is_empty() {
+            match sols.best.get(&key) {
+                Some(existing) if self.ctx.model.total(existing.cost) <= total => {}
+                _ => {
+                    sols.best.insert(key, plan.clone());
+                }
+            }
+        }
+        let unordered = OrderKey::new();
+        match sols.best.get(&unordered) {
+            Some(existing) if self.ctx.model.total(existing.cost) <= total => {}
+            _ => {
+                sols.best.insert(unordered, plan);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_select;
+    use crate::plan::{Access, PlanNode};
+    use sysr_catalog::{ColumnMeta, IndexStats, RelStats};
+    use sysr_rss::{ColType, Value};
+    use sysr_sql::{parse_statement, Statement};
+
+    /// The paper's Fig. 1 schema: EMP(NAME,DNO,JOB,SAL), DEPT(DNO,DNAME,
+    /// LOC), JOB(JOB,TITLE), with indexes EMP.DNO, EMP.JOB, DEPT.DNO,
+    /// JOB.JOB.
+    fn fig1_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let emp = cat
+            .create_relation(
+                "EMP",
+                0,
+                vec![
+                    ColumnMeta::new("NAME", ColType::Str),
+                    ColumnMeta::new("DNO", ColType::Int),
+                    ColumnMeta::new("JOB", ColType::Int),
+                    ColumnMeta::new("SAL", ColType::Float),
+                ],
+            )
+            .unwrap();
+        let dept = cat
+            .create_relation(
+                "DEPT",
+                1,
+                vec![
+                    ColumnMeta::new("DNO", ColType::Int),
+                    ColumnMeta::new("DNAME", ColType::Str),
+                    ColumnMeta::new("LOC", ColType::Str),
+                ],
+            )
+            .unwrap();
+        let job = cat
+            .create_relation(
+                "JOB",
+                2,
+                vec![ColumnMeta::new("JOB", ColType::Int), ColumnMeta::new("TITLE", ColType::Str)],
+            )
+            .unwrap();
+        cat.set_relation_stats(
+            emp,
+            RelStats { ncard: 10_000, tcard: 400, pfrac: 1.0, avg_width: 40.0, valid: true },
+        );
+        cat.set_relation_stats(
+            dept,
+            RelStats { ncard: 100, tcard: 5, pfrac: 1.0, avg_width: 40.0, valid: true },
+        );
+        cat.set_relation_stats(
+            job,
+            RelStats { ncard: 15, tcard: 1, pfrac: 1.0, avg_width: 24.0, valid: true },
+        );
+        cat.register_index(0, "EMP_DNO", emp, vec![1], false, false).unwrap();
+        cat.register_index(1, "EMP_JOB", emp, vec![2], false, false).unwrap();
+        cat.register_index(2, "DEPT_DNO", dept, vec![0], true, false).unwrap();
+        cat.register_index(3, "JOB_JOB", job, vec![0], true, false).unwrap();
+        for (id, icard, nindx) in [(0u32, 1000u64, 30u64), (1, 15, 28), (2, 100, 2), (3, 15, 1)] {
+            cat.set_index_stats(
+                id,
+                IndexStats {
+                    icard,
+                    nindx,
+                    leaf_pages: nindx.max(2) - 1,
+                    low_key: Some(Value::Int(0)),
+                    high_key: Some(Value::Int(icard as i64 - 1)),
+                    valid: true,
+                },
+            );
+        }
+        cat
+    }
+
+    const FIG1_SQL: &str = "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB
+        WHERE TITLE = 'CLERK' AND LOC = 'DENVER'
+          AND EMP.DNO = DEPT.DNO AND EMP.JOB = JOB.JOB";
+
+    fn best_for(cat: &Catalog, sql: &str, config: OptimizerConfig) -> (PlanExpr, EnumerationStats) {
+        let Statement::Select(stmt) = parse_statement(sql).unwrap() else { panic!() };
+        let q = bind_select(cat, &stmt).unwrap();
+        let e = Enumerator::new(cat, &q, config);
+        let (plan, stats) = e.best_plan();
+        (plan, stats)
+    }
+
+    #[test]
+    fn single_relation_picks_cheapest_path() {
+        let cat = fig1_catalog();
+        let (plan, stats) = best_for(
+            &cat,
+            "SELECT NAME FROM EMP WHERE DNO = 5",
+            OptimizerConfig::default(),
+        );
+        let PlanNode::Scan(scan) = &plan.node else { panic!("expected scan") };
+        assert!(
+            matches!(&scan.access, Access::Index { index: 0, .. }),
+            "DNO equal predicate should choose the DNO index: {plan:?}"
+        );
+        assert!(stats.plans_considered >= 3);
+    }
+
+    #[test]
+    fn fig1_join_covers_all_three_tables() {
+        let cat = fig1_catalog();
+        let (plan, stats) = best_for(&cat, FIG1_SQL, OptimizerConfig::default());
+        assert_eq!(plan.tables().len(), 3);
+        assert_eq!(plan.join_count(), 2);
+        assert!(stats.subsets_examined >= 6, "3 singles + 3 pairs + 1 triple minus skips");
+        assert!(stats.plans_kept > 0 && stats.solution_bytes > 0);
+    }
+
+    #[test]
+    fn heuristic_trades_search_for_possible_cost() {
+        // The Cartesian-deferral heuristic shrinks the search ("the search
+        // space can be reduced…"); it is a heuristic, so the unrestricted
+        // search may find a plan at most as cheap — here it genuinely does
+        // (two tiny filtered relations crossed, then probing EMP).
+        let cat = fig1_catalog();
+        let with = best_for(&cat, FIG1_SQL, OptimizerConfig::default());
+        let without = best_for(
+            &cat,
+            FIG1_SQL,
+            OptimizerConfig { defer_cartesian: false, ..OptimizerConfig::default() },
+        );
+        let w = OptimizerConfig::default().w;
+        assert!(without.0.cost.total(w) <= with.0.cost.total(w) + 1e-9);
+        assert!(with.1.plans_considered < without.1.plans_considered);
+        assert!(with.1.heuristic_skips > 0);
+    }
+
+    #[test]
+    fn cartesian_deferred_join_orders_excluded() {
+        // With predicates EMP-DEPT and EMP-JOB (different EMP columns), the
+        // heuristic must not join DEPT with JOB first (no predicate relates
+        // them): exactly the paper's "T1-T3-T2 / T3-T1-T2 not considered".
+        let cat = fig1_catalog();
+        let (plan, _) = best_for(&cat, FIG1_SQL, OptimizerConfig::default());
+        let order = plan.join_order();
+        let d = order.iter().position(|&t| t == 1).unwrap();
+        let j = order.iter().position(|&t| t == 2).unwrap();
+        let e = order.iter().position(|&t| t == 0).unwrap();
+        assert!(
+            e < d || e < j,
+            "EMP must participate before the second of DEPT/JOB joins: {order:?}"
+        );
+    }
+
+    #[test]
+    fn order_by_prefers_ordered_path_or_sorts() {
+        let cat = fig1_catalog();
+        let (plan, _) = best_for(
+            &cat,
+            "SELECT NAME FROM EMP ORDER BY DNO",
+            OptimizerConfig::default(),
+        );
+        // Either an index-ordered scan on DNO or a sort over the segment
+        // scan; both satisfy the order. With EMP at 400 pages vs index
+        // (30 + 10000) unclustered, the sort may win — just verify order.
+        let satisfied = match &plan.node {
+            PlanNode::Scan(s) => matches!(&s.access, Access::Index { index: 0, .. }),
+            PlanNode::Sort { keys, .. } => keys == &vec![ColId::new(0, 1)],
+            _ => false,
+        };
+        assert!(satisfied, "plan must deliver DNO order: {plan:?}");
+    }
+
+    #[test]
+    fn group_by_produces_required_order() {
+        let cat = fig1_catalog();
+        let (plan, _) = best_for(
+            &cat,
+            "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO",
+            OptimizerConfig::default(),
+        );
+        let ok = match &plan.node {
+            PlanNode::Scan(s) => matches!(&s.access, Access::Index { index: 0, .. }),
+            PlanNode::Sort { keys, .. } => keys == &vec![ColId::new(0, 1)],
+            _ => false,
+        };
+        assert!(ok, "{plan:?}");
+    }
+
+    #[test]
+    fn merge_join_chosen_for_unindexed_large_join() {
+        // Two relations without useful indexes on the join column: nested
+        // loops would rescan the inner per outer tuple; merging scans sort
+        // both once.
+        let mut cat = Catalog::new();
+        let a = cat
+            .create_relation(
+                "A",
+                0,
+                vec![ColumnMeta::new("K", ColType::Int), ColumnMeta::new("PAD", ColType::Str)],
+            )
+            .unwrap();
+        let b = cat
+            .create_relation(
+                "B",
+                1,
+                vec![ColumnMeta::new("K", ColType::Int), ColumnMeta::new("PAD", ColType::Str)],
+            )
+            .unwrap();
+        cat.set_relation_stats(
+            a,
+            RelStats { ncard: 5_000, tcard: 250, pfrac: 1.0, avg_width: 40.0, valid: true },
+        );
+        cat.set_relation_stats(
+            b,
+            RelStats { ncard: 5_000, tcard: 250, pfrac: 1.0, avg_width: 40.0, valid: true },
+        );
+        let (plan, _) = best_for(
+            &cat,
+            "SELECT A.PAD FROM A, B WHERE A.K = B.K",
+            OptimizerConfig::default(),
+        );
+        fn has_merge(p: &PlanExpr) -> bool {
+            match &p.node {
+                PlanNode::Merge { .. } => true,
+                PlanNode::NestedLoop { outer, inner } => has_merge(outer) || has_merge(inner),
+                PlanNode::Sort { input, .. } => has_merge(input),
+                PlanNode::Scan(_) => false,
+            }
+        }
+        assert!(has_merge(&plan), "expected a merge join: {plan:?}");
+    }
+
+    #[test]
+    fn nested_loop_chosen_for_selective_indexed_inner() {
+        // Small outer (DEPT restricted) probing EMP's DNO index: NL wins.
+        let cat = fig1_catalog();
+        let (plan, _) = best_for(
+            &cat,
+            "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND DEPT.DNAME = 'TOOLS'",
+            OptimizerConfig::default(),
+        );
+        let PlanNode::NestedLoop { outer, inner } = &plan.node else {
+            panic!("expected nested loop: {plan:?}")
+        };
+        // DEPT (selective) outer, EMP probed via DNO index.
+        assert_eq!(outer.tables().iter().collect::<Vec<_>>(), vec![1]);
+        let PlanNode::Scan(s) = &inner.node else { panic!() };
+        assert!(matches!(&s.access, Access::Index { index: 0, .. }));
+    }
+
+    #[test]
+    fn dp_without_heuristic_matches_exhaustive_minimum() {
+        // Pruning per interesting-order class is lossless: the DP (with the
+        // heuristic off) must find exactly the exhaustive minimum.
+        let cat = fig1_catalog();
+        let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { panic!() };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let config = OptimizerConfig { defer_cartesian: false, ..OptimizerConfig::default() };
+        let e = Enumerator::new(&cat, &q, config);
+        let (best, _) = e.best_plan();
+        let all = e.all_plans(200_000);
+        assert!(!all.is_empty());
+        let w = config.w;
+        let min = all
+            .iter()
+            .map(|p| p.cost.total(w))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (best.cost.total(w) - min).abs() < 1e-6,
+            "DP best {} must match exhaustive min {min}",
+            best.cost.total(w)
+        );
+    }
+
+    #[test]
+    fn interesting_orders_ablation_may_only_worsen() {
+        let cat = fig1_catalog();
+        let sql = "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO ORDER BY DNAME";
+        let with = best_for(&cat, sql, OptimizerConfig::default());
+        let without = best_for(
+            &cat,
+            sql,
+            OptimizerConfig { interesting_orders: false, ..OptimizerConfig::default() },
+        );
+        let w = OptimizerConfig::default().w;
+        assert!(with.0.cost.total(w) <= without.0.cost.total(w) + 1e-9);
+    }
+
+    #[test]
+    fn eight_table_chain_enumerates_quickly() {
+        // "Joins of 8 tables have been optimized in a few seconds" (on 1979
+        // hardware); the shape holds — and modern hardware does it in well
+        // under a second.
+        let mut cat = Catalog::new();
+        for i in 0..8 {
+            let r = cat
+                .create_relation(
+                    &format!("T{i}"),
+                    i,
+                    vec![
+                        ColumnMeta::new("K", ColType::Int),
+                        ColumnMeta::new("FK", ColType::Int),
+                    ],
+                )
+                .unwrap();
+            cat.set_relation_stats(
+                r,
+                RelStats {
+                    ncard: 1000 * (i as u64 + 1),
+                    tcard: 50,
+                    pfrac: 1.0,
+                    avg_width: 20.0,
+                    valid: true,
+                },
+            );
+            cat.register_index(i, &format!("T{i}_K"), r, vec![0], true, false).unwrap();
+            cat.set_index_stats(
+                i,
+                IndexStats {
+                    icard: 1000 * (i as u64 + 1),
+                    nindx: 5,
+                    leaf_pages: 4,
+                    low_key: Some(Value::Int(0)),
+                    high_key: Some(Value::Int(999)),
+                    valid: true,
+                },
+            );
+        }
+        let joins: Vec<String> =
+            (0..7).map(|i| format!("T{i}.FK = T{}.K", i + 1)).collect();
+        let sql = format!(
+            "SELECT T0.K FROM T0,T1,T2,T3,T4,T5,T6,T7 WHERE {}",
+            joins.join(" AND ")
+        );
+        let started = std::time::Instant::now();
+        let (plan, stats) = best_for(&cat, &sql, OptimizerConfig::default());
+        assert_eq!(plan.tables().len(), 8);
+        assert!(stats.heuristic_skips > 0, "chain query must skip many extensions");
+        assert!(
+            started.elapsed().as_secs() < 10,
+            "8-way enumeration took {:?}",
+            started.elapsed()
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Interesting orders and order equivalence classes.
+//!
+//! "We say that a tuple order is an *interesting order* if that order is
+//! one specified by the query block's GROUP BY or ORDER BY clauses" (§4);
+//! "also every join column defines an interesting order" (§5). "To
+//! minimize the number of different interesting orders and hence the
+//! number of solutions in the tree, equivalence classes for interesting
+//! orders are computed and only the best solution for each equivalence
+//! class is saved" — e.g. with join predicates `E.DNO = D.DNO` and
+//! `D.DNO = F.DNO`, all three columns belong to one class.
+//!
+//! An order is represented canonically as an [`OrderKey`]: the sequence of
+//! equivalence-class ids of its leading columns, truncated at the first
+//! column that participates in no interesting order. Plans whose keys are
+//! equal are interchangeable for every later use of ordering, so the DP
+//! keeps only the cheapest of them.
+
+use crate::query::{BoundQuery, ColId};
+use std::collections::HashMap;
+
+/// Canonical order descriptor: equivalence-class ids of the leading sort
+/// columns. Empty = "unordered" (or ordered in a way nothing can use).
+pub type OrderKey = Vec<usize>;
+
+/// Order equivalence classes for one query block.
+#[derive(Debug)]
+pub struct OrderInfo {
+    class_of: HashMap<ColId, usize>,
+    /// Class ids the block's required order (GROUP BY / all-ascending
+    /// ORDER BY) maps to.
+    pub required: OrderKey,
+    n_classes: usize,
+}
+
+impl OrderInfo {
+    pub fn build(query: &BoundQuery) -> OrderInfo {
+        // Union-find over the columns that appear in equi-join predicates.
+        let mut uf = UnionFind::default();
+        for f in &query.factors {
+            if let Some((a, b)) = f.equijoin {
+                uf.union(a, b);
+            }
+        }
+        // Required-order columns are interesting even if never joined.
+        for &c in &query.required_order() {
+            uf.find(c);
+        }
+        let (class_of, n_classes) = uf.into_classes();
+        let required =
+            query.required_order().iter().map(|c| class_of[c]).collect::<Vec<_>>();
+        OrderInfo { class_of, required, n_classes }
+    }
+
+    /// Number of distinct interesting-order equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The equivalence class of a column, if the column participates in any
+    /// interesting order.
+    pub fn class_of(&self, col: ColId) -> Option<usize> {
+        self.class_of.get(&col).copied()
+    }
+
+    /// Canonicalize a produced column order: take the longest prefix of
+    /// interesting columns and map to class ids.
+    pub fn order_key(&self, cols: &[ColId]) -> OrderKey {
+        let mut key = Vec::new();
+        for c in cols {
+            match self.class_of(*c) {
+                Some(cls) => key.push(cls),
+                None => break,
+            }
+        }
+        key
+    }
+
+    /// Whether rows ordered by `key` satisfy the block's required order
+    /// (the required classes must be a prefix of the produced classes).
+    pub fn satisfies_required(&self, key: &OrderKey) -> bool {
+        key.len() >= self.required.len() && key[..self.required.len()] == self.required[..]
+    }
+
+    /// Whether an order with this key begins with the class of `col` —
+    /// the condition for using it as the sorted side of a merge join on
+    /// `col`.
+    pub fn leads_with(&self, key: &OrderKey, col: ColId) -> bool {
+        match (key.first(), self.class_of(col)) {
+            (Some(&k), Some(c)) => k == c,
+            _ => false,
+        }
+    }
+}
+
+/// Minimal union-find over `ColId`s, assigning dense ids on first contact.
+#[derive(Default)]
+struct UnionFind {
+    ids: HashMap<ColId, usize>,
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn find(&mut self, col: ColId) -> usize {
+        let id = match self.ids.get(&col) {
+            Some(&id) => id,
+            None => {
+                let id = self.parent.len();
+                self.ids.insert(col, id);
+                self.parent.push(id);
+                id
+            }
+        };
+        self.root(id)
+    }
+
+    fn root(&mut self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            self.parent[id] = self.parent[self.parent[id]];
+            id = self.parent[id];
+        }
+        id
+    }
+
+    fn union(&mut self, a: ColId, b: ColId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Collapse to a map `ColId → dense class id`.
+    fn into_classes(mut self) -> (HashMap<ColId, usize>, usize) {
+        let cols: Vec<ColId> = self.ids.keys().copied().collect();
+        let mut dense = HashMap::new();
+        let mut out = HashMap::new();
+        for col in cols {
+            let root = self.find(col);
+            let next = dense.len();
+            let id = *dense.entry(root).or_insert(next);
+            out.insert(col, id);
+        }
+        let n = dense.len();
+        (out, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{BExpr, BoundQuery, Factor, SExpr};
+    use sysr_rss::CompareOp;
+
+    fn col(t: usize, c: usize) -> ColId {
+        ColId::new(t, c)
+    }
+
+    fn equijoin_factor(a: ColId, b: ColId) -> Factor {
+        let expr = BExpr::Cmp { op: CompareOp::Eq, left: SExpr::Col(a), right: SExpr::Col(b) };
+        let tables = expr.local_tables();
+        Factor { expr, tables, equijoin: Some((a, b)) }
+    }
+
+    fn query_with(factors: Vec<Factor>, order_by: Vec<ColId>) -> BoundQuery {
+        BoundQuery {
+            tables: vec![],
+            factors,
+            select: vec![],
+            distinct: false,
+            group_by: vec![],
+            order_by: order_by.into_iter().map(|c| (c, false)).collect(),
+            subqueries: vec![],
+            aggregated: false,
+        }
+    }
+
+    #[test]
+    fn transitive_equivalence_from_paper() {
+        // E.DNO = D.DNO and D.DNO = F.DNO → one class of three columns.
+        let q = query_with(
+            vec![
+                equijoin_factor(col(0, 1), col(1, 0)),
+                equijoin_factor(col(1, 0), col(2, 0)),
+            ],
+            vec![],
+        );
+        let info = OrderInfo::build(&q);
+        assert_eq!(info.class_count(), 1);
+        let a = info.class_of(col(0, 1)).unwrap();
+        assert_eq!(info.class_of(col(1, 0)), Some(a));
+        assert_eq!(info.class_of(col(2, 0)), Some(a));
+    }
+
+    #[test]
+    fn separate_join_columns_get_separate_classes() {
+        let q = query_with(
+            vec![
+                equijoin_factor(col(0, 1), col(1, 0)),
+                equijoin_factor(col(0, 2), col(2, 0)),
+            ],
+            vec![],
+        );
+        let info = OrderInfo::build(&q);
+        assert_eq!(info.class_count(), 2);
+        assert_ne!(info.class_of(col(1, 0)), info.class_of(col(2, 0)));
+    }
+
+    #[test]
+    fn order_key_truncates_at_uninteresting() {
+        let q = query_with(vec![equijoin_factor(col(0, 1), col(1, 0))], vec![]);
+        let info = OrderInfo::build(&q);
+        // col(0,5) is not interesting → key stops before it.
+        let key = info.order_key(&[col(0, 1), col(0, 5), col(1, 0)]);
+        assert_eq!(key.len(), 1);
+        assert!(info.order_key(&[col(0, 9)]).is_empty());
+    }
+
+    #[test]
+    fn required_order_satisfaction() {
+        let q = query_with(
+            vec![equijoin_factor(col(0, 1), col(1, 0))],
+            vec![col(0, 1), col(0, 3)],
+        );
+        let info = OrderInfo::build(&q);
+        assert_eq!(info.required.len(), 2);
+        // A plan ordered on D.DNO (same class as E.DNO) then E.c3 works.
+        let key = info.order_key(&[col(1, 0), col(0, 3)]);
+        assert!(info.satisfies_required(&key));
+        // Order on only the first column is not enough.
+        let key = info.order_key(&[col(1, 0)]);
+        assert!(!info.satisfies_required(&key));
+        // Wrong leading column fails.
+        let key = info.order_key(&[col(0, 3)]);
+        assert!(!info.satisfies_required(&key));
+    }
+
+    #[test]
+    fn empty_required_is_always_satisfied() {
+        let q = query_with(vec![], vec![]);
+        let info = OrderInfo::build(&q);
+        assert!(info.satisfies_required(&vec![]));
+        assert_eq!(info.class_count(), 0);
+    }
+
+    #[test]
+    fn leads_with_checks_head_class() {
+        let q = query_with(vec![equijoin_factor(col(0, 1), col(1, 0))], vec![]);
+        let info = OrderInfo::build(&q);
+        let key = info.order_key(&[col(0, 1)]);
+        assert!(info.leads_with(&key, col(1, 0)), "equivalent column leads");
+        assert!(!info.leads_with(&key, col(0, 9)));
+        assert!(!info.leads_with(&Vec::new(), col(0, 1)));
+    }
+}

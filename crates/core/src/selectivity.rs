@@ -1,0 +1,434 @@
+//! Selectivity factors — the paper's **Table 1**.
+//!
+//! "Using these statistics, the OPTIMIZER assigns a selectivity factor F
+//! for each boolean factor in the predicate list. This selectivity factor
+//! very roughly corresponds to the expected fraction of tuples which will
+//! satisfy the predicate." (§4)
+//!
+//! Every rule below is a line of Table 1; the defaults (1/10, 1/3, 1/4,
+//! 1/2) are the paper's own, chosen so that equal predicates are guessed
+//! more selective than ranges, and ranges more selective than half the
+//! relation. `column <> value` is not in Table 1; we use `1 − F(=)`, the
+//! complement of the equal rule, and document the extrapolation.
+
+use crate::query::{BExpr, BoundQuery, BoundTable, ColId, Factor, SExpr};
+use sysr_catalog::Catalog;
+use sysr_rss::{CompareOp, Value};
+
+/// Default F for an equal predicate with no index statistics.
+pub const DEFAULT_EQ: f64 = 1.0 / 10.0;
+/// Default F for an open-ended comparison.
+pub const DEFAULT_RANGE: f64 = 1.0 / 3.0;
+/// Default F for BETWEEN.
+pub const DEFAULT_BETWEEN: f64 = 1.0 / 4.0;
+/// Cap for IN-list selectivity ("allowed to be no more than 1/2").
+pub const IN_LIST_CAP: f64 = 0.5;
+
+/// Selectivity estimator for one query block.
+pub struct Selectivity<'a> {
+    catalog: &'a Catalog,
+    tables: &'a [BoundTable],
+    query: &'a BoundQuery,
+}
+
+impl<'a> Selectivity<'a> {
+    pub fn new(catalog: &'a Catalog, query: &'a BoundQuery) -> Self {
+        Selectivity { catalog, tables: &query.tables, query }
+    }
+
+    /// F for a boolean factor.
+    pub fn factor(&self, f: &Factor) -> f64 {
+        self.bexpr(&f.expr)
+    }
+
+    /// F for any bound boolean expression.
+    pub fn bexpr(&self, e: &BExpr) -> f64 {
+        let f = match e {
+            BExpr::Cmp { op, left, right } => self.cmp(*op, left, right),
+            BExpr::Between { expr, low, high, negated } => {
+                let f = self.between(expr, low, high);
+                if *negated {
+                    1.0 - f
+                } else {
+                    f
+                }
+            }
+            BExpr::InList { expr, list, negated } => {
+                let f = self.in_list(expr, list);
+                if *negated {
+                    1.0 - f
+                } else {
+                    f
+                }
+            }
+            BExpr::InSubquery { subquery, negated, .. } => {
+                let f = self.in_subquery(*subquery);
+                if *negated {
+                    1.0 - f
+                } else {
+                    f
+                }
+            }
+            // (pred1) OR (pred2): F = F1 + F2 - F1*F2, folded over children.
+            BExpr::Or(children) => children
+                .iter()
+                .map(|c| self.bexpr(c))
+                .fold(0.0, |acc, f| acc + f - acc * f),
+            // (pred1) AND (pred2): F = F1 * F2 — "this assumes that column
+            // values are independent".
+            BExpr::And(children) => children.iter().map(|c| self.bexpr(c)).product(),
+            // NOT pred: F = 1 - F(pred).
+            BExpr::Not(inner) => 1.0 - self.bexpr(inner),
+            BExpr::Const(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        clamp(f)
+    }
+
+    /// ICARD of the index whose leading key column is `col`, if any —
+    /// "if there is an index on column".
+    fn icard(&self, col: ColId) -> Option<f64> {
+        let rel = self.tables.get(col.table)?.rel;
+        let idx = self.catalog.leading_index_on(rel, col.col)?;
+        if idx.stats.icard == 0 {
+            return None;
+        }
+        Some(idx.stats.icard as f64)
+    }
+
+    /// Interpolation `(v - low)/(high - low)` over the key range of the
+    /// index on `col`, when the column is arithmetic and the value is known
+    /// at access path selection time.
+    fn interpolate(&self, col: ColId, v: &Value) -> Option<f64> {
+        let rel = self.tables.get(col.table)?.rel;
+        let idx = self.catalog.leading_index_on(rel, col.col)?;
+        idx.stats.interpolate(v)
+    }
+
+    fn cmp(&self, op: CompareOp, left: &SExpr, right: &SExpr) -> f64 {
+        // Normalize so a bare column (of this block) is on the left.
+        let (col, other, op) = match (left.as_col(), right.as_col()) {
+            (Some(a), Some(b)) => return self.col_vs_col(op, a, b),
+            (Some(a), None) => (Some(a), right, op),
+            (None, Some(b)) => (Some(b), left, op.flipped()),
+            (None, None) => (None, right, op),
+        };
+        match op {
+            CompareOp::Eq => self.eq_sel(col),
+            CompareOp::Ne => clamp(1.0 - self.eq_sel(col)),
+            CompareOp::Gt | CompareOp::Ge => self.open_range(col, other, true),
+            CompareOp::Lt | CompareOp::Le => self.open_range(col, other, false),
+        }
+    }
+
+    /// `column = value`: 1/ICARD if an index exists on the column
+    /// ("this assumes an even distribution of tuples among the index key
+    /// values"), else 1/10. The value need not be known: the same formula
+    /// applies to parameters and scalar-subquery operands.
+    fn eq_sel(&self, col: Option<ColId>) -> f64 {
+        match col.and_then(|c| self.icard(c)) {
+            Some(icard) => 1.0 / icard,
+            None => DEFAULT_EQ,
+        }
+    }
+
+    /// `column1 = column2` (and other column-column comparisons).
+    fn col_vs_col(&self, op: CompareOp, a: ColId, b: ColId) -> f64 {
+        match op {
+            CompareOp::Eq => match (self.icard(a), self.icard(b)) {
+                // "assumes that each key value in the index with the smaller
+                // cardinality has a matching value in the other index"
+                (Some(ia), Some(ib)) => 1.0 / ia.max(ib),
+                (Some(i), None) | (None, Some(i)) => 1.0 / i,
+                (None, None) => DEFAULT_EQ,
+            },
+            CompareOp::Ne => clamp(1.0 - self.col_vs_col(CompareOp::Eq, a, b)),
+            // Open comparison between two columns: no interpolation is
+            // possible, use the range default.
+            _ => DEFAULT_RANGE,
+        }
+    }
+
+    /// `column > value` (open-ended comparison): linear interpolation when
+    /// the column is arithmetic and the value is known at access path
+    /// selection time; otherwise 1/3.
+    fn open_range(&self, col: Option<ColId>, other: &SExpr, greater: bool) -> f64 {
+        if let (Some(c), SExpr::Lit(v)) = (col, other) {
+            if let Some(frac) = self.interpolate(c, v) {
+                // frac = (value - low) / (high - low); `col > value` keeps
+                // the upper part of the range.
+                return clamp(if greater { 1.0 - frac } else { frac });
+            }
+        }
+        DEFAULT_RANGE
+    }
+
+    /// `column BETWEEN v1 AND v2`: ratio of the BETWEEN range to the whole
+    /// key range when interpolable; otherwise 1/4.
+    fn between(&self, expr: &SExpr, low: &SExpr, high: &SExpr) -> f64 {
+        if let (Some(c), SExpr::Lit(lo), SExpr::Lit(hi)) = (expr.as_col(), low, high) {
+            if let (Some(flo), Some(fhi)) = (self.interpolate(c, lo), self.interpolate(c, hi)) {
+                return clamp(fhi - flo);
+            }
+        }
+        DEFAULT_BETWEEN
+    }
+
+    /// `column IN (list)`: (number of items) × F(column = value), capped
+    /// at 1/2.
+    fn in_list(&self, expr: &SExpr, list: &[SExpr]) -> f64 {
+        let per_item = self.eq_sel(expr.as_col());
+        clamp((list.len() as f64 * per_item).min(IN_LIST_CAP))
+    }
+
+    /// `columnA IN (subquery)`: (expected cardinality of the subquery
+    /// result) / (product of the cardinalities of all the relations in the
+    /// subquery's FROM-list) — i.e. the product of the subquery's own
+    /// selectivity factors.
+    fn in_subquery(&self, subquery: usize) -> f64 {
+        let Some(def) = self.query.subqueries.get(subquery) else {
+            return DEFAULT_EQ;
+        };
+        let sub = &def.query;
+        let qcard = estimate_qcard(self.catalog, sub);
+        let from_product: f64 = sub
+            .tables
+            .iter()
+            .map(|t| rel_ncard(self.catalog, t).max(1.0))
+            .product();
+        if from_product <= 0.0 {
+            return DEFAULT_EQ;
+        }
+        clamp(qcard / from_product)
+    }
+}
+
+fn rel_ncard(catalog: &Catalog, t: &BoundTable) -> f64 {
+    catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0)
+}
+
+/// Query cardinality QCARD: "the product of the cardinalities of every
+/// relation in the query block's FROM list times the product of all the
+/// selectivity factors of that query block's boolean factors."
+pub fn estimate_qcard(catalog: &Catalog, query: &BoundQuery) -> f64 {
+    let sel = Selectivity::new(catalog, query);
+    let cards: f64 = query.tables.iter().map(|t| rel_ncard(catalog, t)).product();
+    let fs: f64 = query.factors.iter().map(|f| sel.factor(f)).product();
+    (cards * fs).max(0.0)
+}
+
+fn clamp(f: f64) -> f64 {
+    if f.is_nan() {
+        return DEFAULT_EQ;
+    }
+    f.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_select;
+    use sysr_catalog::{ColumnMeta, IndexStats, RelStats};
+    use sysr_rss::ColType;
+    use sysr_sql::{parse_statement, Statement};
+
+    /// Catalog with EMP(NAME,DNO,JOB,SAL) — index on DNO (icard 50, range
+    /// 0..=49) and on SAL (icard 1000, range 0..=99_999) — and
+    /// DEPT(DNO,LOC) with an index on DNO (icard 40).
+    fn demo() -> Catalog {
+        let mut cat = Catalog::new();
+        let emp = cat
+            .create_relation(
+                "EMP",
+                0,
+                vec![
+                    ColumnMeta::new("NAME", ColType::Str),
+                    ColumnMeta::new("DNO", ColType::Int),
+                    ColumnMeta::new("JOB", ColType::Int),
+                    ColumnMeta::new("SAL", ColType::Float),
+                ],
+            )
+            .unwrap();
+        let dept = cat
+            .create_relation(
+                "DEPT",
+                1,
+                vec![ColumnMeta::new("DNO", ColType::Int), ColumnMeta::new("LOC", ColType::Str)],
+            )
+            .unwrap();
+        cat.relation_mut(emp).unwrap().stats =
+            RelStats { ncard: 10_000, tcard: 500, pfrac: 1.0, avg_width: 40.0, valid: true };
+        cat.relation_mut(dept).unwrap().stats =
+            RelStats { ncard: 40, tcard: 2, pfrac: 1.0, avg_width: 30.0, valid: true };
+        cat.register_index(0, "EMP_DNO", emp, vec![1], false, false).unwrap();
+        cat.register_index(1, "EMP_SAL", emp, vec![3], false, false).unwrap();
+        cat.register_index(2, "DEPT_DNO", dept, vec![0], true, false).unwrap();
+        let set = |cat: &mut Catalog, name: &str, icard, lo: f64, hi: f64| {
+            let id = cat.index_by_name(name).unwrap().id;
+            cat.set_index_stats(
+                id,
+                IndexStats {
+                    icard,
+                    nindx: 20,
+                    leaf_pages: 18,
+                    low_key: Some(Value::Float(lo)),
+                    high_key: Some(Value::Float(hi)),
+                    valid: true,
+                },
+            );
+        };
+        set(&mut cat, "EMP_DNO", 50, 0.0, 49.0);
+        set(&mut cat, "EMP_SAL", 1000, 0.0, 99_999.0);
+        set(&mut cat, "DEPT_DNO", 40, 0.0, 39.0);
+        cat
+    }
+
+    fn sel_of(cat: &Catalog, sql: &str) -> f64 {
+        let Statement::Select(stmt) = parse_statement(sql).unwrap() else { panic!() };
+        let q = bind_select(cat, &stmt).unwrap();
+        let sel = Selectivity::new(cat, &q);
+        q.factors.iter().map(|f| sel.factor(f)).product()
+    }
+
+    #[test]
+    fn eq_with_index_uses_icard() {
+        let cat = demo();
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO = 7");
+        assert!((f - 1.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_without_index_defaults() {
+        let cat = demo();
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB = 3");
+        assert_eq!(f, DEFAULT_EQ);
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE NAME = 'SMITH'");
+        assert_eq!(f, DEFAULT_EQ);
+    }
+
+    #[test]
+    fn join_pred_uses_max_icard() {
+        let cat = demo();
+        let f = sel_of(&cat, "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO");
+        assert!((f - 1.0 / 50.0).abs() < 1e-12, "1/max(50,40), got {f}");
+    }
+
+    #[test]
+    fn range_interpolates_when_value_known() {
+        let cat = demo();
+        // SAL > 75000 on range [0, 99999]: keep ~25%.
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE SAL > 74999.25");
+        assert!((f - 0.25).abs() < 1e-3, "got {f}");
+        // SAL < 25% point.
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE SAL < 24999.75");
+        assert!((f - 0.25).abs() < 1e-3, "got {f}");
+    }
+
+    #[test]
+    fn range_defaults_without_stats_or_on_strings() {
+        let cat = demo();
+        assert_eq!(sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB > 3"), DEFAULT_RANGE);
+        assert_eq!(
+            sel_of(&cat, "SELECT NAME FROM EMP WHERE NAME > 'SMITH'"),
+            DEFAULT_RANGE
+        );
+    }
+
+    #[test]
+    fn between_ratio_and_default() {
+        let cat = demo();
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE SAL BETWEEN 0 AND 9999.9");
+        assert!((f - 0.1).abs() < 1e-3, "got {f}");
+        assert_eq!(
+            sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB BETWEEN 1 AND 2"),
+            DEFAULT_BETWEEN
+        );
+    }
+
+    #[test]
+    fn in_list_multiplies_and_caps() {
+        let cat = demo();
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO IN (1, 2, 3)");
+        assert!((f - 3.0 / 50.0).abs() < 1e-12);
+        // 40 items × 1/10 = 4.0 → capped at 1/2.
+        let vals: Vec<String> = (0..40).map(|i| i.to_string()).collect();
+        let f = sel_of(
+            &cat,
+            &format!("SELECT NAME FROM EMP WHERE JOB IN ({})", vals.join(", ")),
+        );
+        assert_eq!(f, IN_LIST_CAP);
+    }
+
+    #[test]
+    fn or_and_not_combinators() {
+        let cat = demo();
+        // OR: f1 + f2 - f1*f2 with f1 = 1/50, f2 = 1/10.
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO = 1 OR JOB = 2");
+        let expect = 0.02 + 0.1 - 0.02 * 0.1;
+        assert!((f - expect).abs() < 1e-12);
+        // AND multiplies.
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO = 1 AND JOB = 2");
+        assert!((f - 0.002).abs() < 1e-12);
+        // NOT(=) → Ne → 1 - F(eq).
+        let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE NOT DNO = 1");
+        assert!((f - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_subquery_ratio() {
+        let cat = demo();
+        // Subquery: SELECT DNO FROM DEPT WHERE LOC='DENVER'
+        // F(LOC='DENVER') = 1/10 (no index) → qcard = 40 * 0.1 = 4.
+        // FROM product = 40 → F(IN) = 4/40 = 0.1.
+        let f = sel_of(
+            &cat,
+            "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC = 'DENVER')",
+        );
+        assert!((f - 0.1).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn qcard_estimate_multiplies_cards_and_sels() {
+        let cat = demo();
+        let Statement::Select(stmt) =
+            parse_statement("SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND JOB = 1")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let qcard = estimate_qcard(&cat, &q);
+        // 10000 * 40 * (1/50) * (1/10) = 800
+        assert!((qcard - 800.0).abs() < 1e-6, "got {qcard}");
+    }
+
+    #[test]
+    fn scalar_subquery_operand_gets_eq_default() {
+        let cat = demo();
+        // JOB has no index: 1/10; with index on DNO: 1/50.
+        let f = sel_of(
+            &cat,
+            "SELECT NAME FROM EMP WHERE DNO = (SELECT DNO FROM DEPT WHERE LOC='X')",
+        );
+        assert!((f - 1.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivities_stay_in_unit_interval() {
+        let cat = demo();
+        for sql in [
+            "SELECT NAME FROM EMP WHERE SAL > 999999",
+            "SELECT NAME FROM EMP WHERE SAL < -5",
+            "SELECT NAME FROM EMP WHERE SAL BETWEEN 90000 AND 80000",
+            "SELECT NAME FROM EMP WHERE NOT (DNO = 1 OR DNO = 2)",
+        ] {
+            let f = sel_of(&cat, sql);
+            assert!((0.0..=1.0).contains(&f), "{sql} → {f}");
+        }
+    }
+}

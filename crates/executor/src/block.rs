@@ -1,0 +1,260 @@
+//! Block-level execution: run a [`QueryPlan`], then apply projection,
+//! aggregation, DISTINCT, and ORDER BY; manage subquery evaluation with
+//! §6's once/memoized discipline.
+
+use crate::error::{ExecError, ExecResult};
+use crate::eval::{eval_bexpr, eval_grouped_sexpr};
+use crate::exec::exec_node;
+use crate::result::ResultSet;
+use crate::row::{cmp_rows, empty_row, row_value, rows_sorted, Row};
+use std::collections::{HashMap, HashSet};
+use sysr_catalog::Catalog;
+use sysr_core::{ColId, QueryPlan};
+use sysr_rss::{Storage, Tuple, Value};
+
+/// Execution environment: the storage engine and catalogs.
+pub struct ExecEnv<'a> {
+    pub storage: &'a Storage,
+    pub catalog: &'a Catalog,
+}
+
+/// A memoized subquery result.
+#[derive(Debug, Clone)]
+pub enum SubValue {
+    /// Single value (NULL when the subquery produced no rows).
+    Scalar(Value),
+    /// Set of values, "returned in a temporary list … which can only be
+    /// accessed sequentially" — here the materialized list's contents.
+    Set(std::rc::Rc<Vec<Value>>),
+}
+
+/// Per-subquery execution state within one block instance.
+#[derive(Debug, Default)]
+struct SubState {
+    /// Result of an uncorrelated subquery, computed at most once.
+    once: Option<SubValue>,
+    /// Correlated results memoized by the referenced outer values.
+    memo: HashMap<Vec<Value>, SubValue>,
+}
+
+/// Runtime state for executing one query block instance.
+pub struct BlockRt<'a> {
+    pub env: &'a ExecEnv<'a>,
+    pub plan: &'a QueryPlan,
+    /// Current rows of enclosing blocks, outermost first (the correlation
+    /// context: `Outer { level: 1, .. }` reads the last entry).
+    pub outer_stack: Vec<Row>,
+    substates: Vec<SubState>,
+    /// Free outer references per subquery, precomputed for memo keys.
+    free_refs: Vec<Vec<(usize, ColId)>>,
+}
+
+impl<'a> BlockRt<'a> {
+    fn new(env: &'a ExecEnv<'a>, plan: &'a QueryPlan, outer_stack: Vec<Row>) -> Self {
+        let n = plan.query.subqueries.len();
+        let free_refs = plan
+            .query
+            .subqueries
+            .iter()
+            .map(|s| s.query.free_outer_refs())
+            .collect();
+        BlockRt {
+            env,
+            plan,
+            outer_stack,
+            substates: (0..n).map(|_| SubState::default()).collect(),
+            free_refs,
+        }
+    }
+
+    /// Resolve an outer reference from the correlation context. `level` is
+    /// relative to *this* block (1 = immediate parent).
+    pub fn outer_value(&self, level: usize, col: ColId) -> ExecResult<Value> {
+        let idx = self
+            .outer_stack
+            .len()
+            .checked_sub(level)
+            .ok_or_else(|| ExecError::Internal(format!("outer level {level} underflows stack")))?;
+        Ok(row_value(&self.outer_stack[idx], col).cloned().unwrap_or(Value::Null))
+    }
+
+    /// Evaluate subquery `i` in the context of `current_row`, observing the
+    /// §6 discipline: uncorrelated blocks run once; correlated blocks are
+    /// memoized per referenced-outer-value combination.
+    pub fn eval_subquery(&mut self, i: usize, current_row: &Row) -> ExecResult<SubValue> {
+        let def = &self.plan.query.subqueries[i];
+        let subplan = &self.plan.subplans[i];
+        if !def.correlated {
+            if let Some(v) = &self.substates[i].once {
+                return Ok(v.clone());
+            }
+            // The stack extension is irrelevant to an uncorrelated block
+            // but keeps deeper nesting uniform.
+            let mut stack = self.outer_stack.clone();
+            stack.push(current_row.clone());
+            let rows = execute_block(self.env, subplan, stack)?;
+            let v = convert_sub_result(rows, def.scalar)?;
+            self.substates[i].once = Some(v.clone());
+            return Ok(v);
+        }
+        // Correlated: key on the free outer values as seen from the
+        // subquery (level 1 = this block's current row).
+        let mut stack = self.outer_stack.clone();
+        stack.push(current_row.clone());
+        let key: Vec<Value> = self.free_refs[i]
+            .iter()
+            .map(|&(level, col)| {
+                let idx = stack.len().checked_sub(level).ok_or_else(|| {
+                    ExecError::Internal(format!("correlation level {level} underflows"))
+                })?;
+                Ok(row_value(&stack[idx], col).cloned().unwrap_or(Value::Null))
+            })
+            .collect::<ExecResult<_>>()?;
+        if let Some(v) = self.substates[i].memo.get(&key) {
+            return Ok(v.clone());
+        }
+        let rows = execute_block(self.env, subplan, stack)?;
+        let v = convert_sub_result(rows, def.scalar)?;
+        self.substates[i].memo.insert(key, v.clone());
+        Ok(v)
+    }
+}
+
+fn convert_sub_result(rows: Vec<Tuple>, scalar: bool) -> ExecResult<SubValue> {
+    if scalar {
+        match rows.len() {
+            0 => Ok(SubValue::Scalar(Value::Null)),
+            1 => Ok(SubValue::Scalar(rows[0][0].clone())),
+            n => Err(ExecError::ScalarSubqueryCardinality(n)),
+        }
+    } else {
+        Ok(SubValue::Set(std::rc::Rc::new(
+            rows.into_iter().map(|t| t[0].clone()).collect(),
+        )))
+    }
+}
+
+/// Execute a complete statement plan against the environment.
+pub fn execute(env: &ExecEnv<'_>, plan: &QueryPlan) -> ExecResult<ResultSet> {
+    let rows = execute_block(env, plan, Vec::new())?;
+    let columns = plan.query.select.iter().map(|(n, _)| n.clone()).collect();
+    Ok(ResultSet::new(columns, rows))
+}
+
+/// Execute one query block instance under a correlation context.
+pub fn execute_block(
+    env: &ExecEnv<'_>,
+    plan: &QueryPlan,
+    outer_stack: Vec<Row>,
+) -> ExecResult<Vec<Tuple>> {
+    let mut rt = BlockRt::new(env, plan, outer_stack);
+    let q = &plan.query;
+
+    // Factors referencing no local table: decided once per block instance.
+    let probe = empty_row(q.tables.len());
+    for &f in &plan.block_filters {
+        if !eval_bexpr(&mut rt, &probe, &q.factors[f].expr)? {
+            return Ok(Vec::new());
+        }
+    }
+
+    let mut rows = exec_node(&mut rt, &plan.root)?;
+
+    if q.aggregated {
+        return aggregate_output(&mut rt, rows);
+    }
+
+    // ---- ORDER BY (on base rows, before projection) ------------------------
+    if !q.order_by.is_empty() && !rows_sorted(&rows, &q.order_by) {
+        // Normally the plan already delivers the required order; this is
+        // the DESC / defensive path (in-memory, no I/O charged — the
+        // optimizer charged no sort either when it believed the order was
+        // free).
+        rows.sort_by(|a, b| cmp_rows(a, b, &q.order_by));
+    }
+
+    // ---- projection ---------------------------------------------------------
+    let mut out = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut values = Vec::with_capacity(q.select.len());
+        for (_, e) in &q.select {
+            values.push(crate::eval::eval_sexpr(&mut rt, row, e)?);
+        }
+        out.push(Tuple::new(values));
+    }
+
+    if q.distinct {
+        out = dedup_preserving_order(out);
+    }
+    Ok(out)
+}
+
+/// Grouped / aggregated output path.
+fn aggregate_output(rt: &mut BlockRt<'_>, mut rows: Vec<Row>) -> ExecResult<Vec<Tuple>> {
+    let q = &rt.plan.query;
+    let group_keys: Vec<(ColId, bool)> = q.group_by.iter().map(|&c| (c, false)).collect();
+    if !group_keys.is_empty() && !rows_sorted(&rows, &group_keys) {
+        // The plan normally delivers GROUP BY order (interesting order or
+        // explicit sort); defensive fallback.
+        rows.sort_by(|a, b| cmp_rows(a, b, &group_keys));
+    }
+
+    // Partition into groups of equal GROUP BY values. With no GROUP BY the
+    // whole input is one group — including the empty input, which still
+    // yields one row (COUNT(*) = 0).
+    let mut groups: Vec<&[Row]> = Vec::new();
+    if group_keys.is_empty() {
+        groups.push(&rows[..]);
+    } else {
+        let mut start = 0;
+        for i in 1..=rows.len() {
+            if i == rows.len()
+                || cmp_rows(&rows[i - 1], &rows[i], &group_keys) != std::cmp::Ordering::Equal
+            {
+                groups.push(&rows[start..i]);
+                start = i;
+            }
+        }
+    }
+
+    // ORDER BY over groups: the validated grammar restricts ORDER BY
+    // columns of an aggregated query to GROUP BY columns, so each group's
+    // first row carries the key.
+    let mut group_list: Vec<&[Row]> = groups;
+    if !q.order_by.is_empty() && !group_keys.is_empty() {
+        group_list.sort_by(|a, b| cmp_rows(&a[0], &b[0], &q.order_by));
+    }
+
+    let mut out = Vec::with_capacity(group_list.len());
+    let selects = q.select.clone();
+    for group in group_list {
+        let mut values = Vec::with_capacity(selects.len());
+        for (_, e) in &selects {
+            values.push(eval_grouped_sexpr(rt, group, e)?);
+        }
+        out.push(Tuple::new(values));
+    }
+    if q.distinct {
+        out = dedup_preserving_order(out);
+    }
+    Ok(out)
+}
+
+fn dedup_preserving_order(rows: Vec<Tuple>) -> Vec<Tuple> {
+    let mut seen = HashSet::new();
+    rows.into_iter().filter(|t| seen.insert(t.clone())).collect()
+}
+
+/// Convenience for facade-level DELETE: execute a `SELECT *` plan over one
+/// table and return the matching tuples as a multiset count map.
+pub fn matching_multiset(
+    env: &ExecEnv<'_>,
+    plan: &QueryPlan,
+) -> ExecResult<HashMap<Tuple, usize>> {
+    let rows = execute_block(env, plan, Vec::new())?;
+    let mut counts = HashMap::new();
+    for t in rows {
+        *counts.entry(t).or_insert(0) += 1;
+    }
+    Ok(counts)
+}

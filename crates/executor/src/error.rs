@@ -1,0 +1,40 @@
+//! Executor errors.
+
+use std::fmt;
+use sysr_rss::RssError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Storage-layer failure.
+    Rss(RssError),
+    /// A scalar subquery returned more than one row ("the subquery must
+    /// return a single value", §6).
+    ScalarSubqueryCardinality(usize),
+    /// Arithmetic on non-numeric values or division by zero.
+    Arithmetic(String),
+    /// A plan-shape invariant was violated (optimizer/executor mismatch).
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Rss(e) => write!(f, "storage error: {e}"),
+            ExecError::ScalarSubqueryCardinality(n) => {
+                write!(f, "scalar subquery returned {n} rows (must return a single value)")
+            }
+            ExecError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            ExecError::Internal(m) => write!(f, "internal executor error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RssError> for ExecError {
+    fn from(e: RssError) -> Self {
+        ExecError::Rss(e)
+    }
+}
+
+pub type ExecResult<T> = Result<T, ExecError>;

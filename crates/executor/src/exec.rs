@@ -1,0 +1,245 @@
+//! Plan-tree interpretation: scans, joins, sorts.
+
+use crate::block::BlockRt;
+use crate::error::{ExecError, ExecResult};
+use crate::eval::{eval_bexpr, resolve_operand};
+use crate::row::{cmp_rows, combine, empty_row, flatten, row_value, Row};
+use sysr_core::{Access, PlanExpr, PlanNode, ScanPlan};
+use sysr_rss::{
+    IndexScan, RsiScan, SargExpr, SargPred, SegmentScan, TempList, Tuple, Value,
+};
+
+/// Execute a plan subtree, producing composite rows.
+pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr) -> ExecResult<Vec<Row>> {
+    match &plan.node {
+        PlanNode::Scan(scan) => exec_scan(rt, scan, None),
+        PlanNode::NestedLoop { outer, inner } => {
+            let outer_rows = exec_node(rt, outer)?;
+            let PlanNode::Scan(inner_scan) = &inner.node else {
+                return Err(ExecError::Internal(
+                    "nested-loop inner must be a scan".into(),
+                ));
+            };
+            let mut out = Vec::new();
+            for orow in &outer_rows {
+                // OPEN the inner scan per outer tuple, with probe operands
+                // bound from the outer row.
+                out.extend(exec_scan(rt, inner_scan, Some(orow))?);
+            }
+            Ok(out)
+        }
+        PlanNode::Merge { outer, inner, outer_key, inner_key, residual } => {
+            let outer_rows = exec_node(rt, outer)?;
+            let inner_rows = exec_node(rt, inner)?;
+            debug_assert!(
+                crate::row::rows_sorted(&outer_rows, &[(*outer_key, false)]),
+                "merge outer must arrive sorted"
+            );
+            debug_assert!(
+                crate::row::rows_sorted(&inner_rows, &[(*inner_key, false)]),
+                "merge inner must arrive sorted"
+            );
+            let residual_exprs: Vec<sysr_core::BExpr> = residual
+                .iter()
+                .map(|&f| rt.plan.query.factors[f].expr.clone())
+                .collect();
+            let mut out = Vec::new();
+            // Synchronized group scan: the inner cursor only moves forward;
+            // the current group [gstart, gend) is re-used for equal outer
+            // values ("remembering where matching join groups are
+            // located").
+            let mut gstart = 0usize;
+            let mut gend = 0usize;
+            let mut gval: Option<Value> = None;
+            for orow in &outer_rows {
+                let Some(ov) = row_value(orow, *outer_key).cloned() else { continue };
+                if ov.is_null() {
+                    continue;
+                }
+                if gval.as_ref() != Some(&ov) {
+                    // Advance to the start of the matching group.
+                    let mut i = gend.max(gstart);
+                    while i < inner_rows.len() {
+                        match row_value(&inner_rows[i], *inner_key) {
+                            Some(iv) if !iv.is_null() && *iv >= ov => break,
+                            _ => i += 1,
+                        }
+                    }
+                    gstart = i;
+                    gend = i;
+                    while gend < inner_rows.len()
+                        && row_value(&inner_rows[gend], *inner_key) == Some(&ov)
+                    {
+                        gend += 1;
+                    }
+                    gval = Some(ov.clone());
+                }
+                for irow in &inner_rows[gstart..gend] {
+                    let row = combine(orow, irow);
+                    let mut keep = true;
+                    for e in &residual_exprs {
+                        if !eval_bexpr(rt, &row, e)? {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    if keep {
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Sort { input, keys } => {
+            let mut rows = exec_node(rt, input)?;
+            let sort_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();
+            rows.sort_by(|a, b| cmp_rows(a, b, &sort_keys));
+            // Materialize into a temporary list and read it back once, so
+            // the I/O matches C-sort + the merge's consumption of the list.
+            let flat: Vec<Tuple> = rows.iter().map(flatten).collect();
+            let temp = TempList::materialize(rt.env.storage, flat);
+            let mut scan = temp.scan(rt.env.storage);
+            while scan.next()?.is_some() {}
+            temp.destroy(rt.env.storage);
+            Ok(rows)
+        }
+    }
+}
+
+/// Execute one relation scan. `probe` supplies the outer row for join
+/// probe operands (nested-loop inners); standalone scans pass `None`.
+pub fn exec_scan(
+    rt: &mut BlockRt<'_>,
+    scan: &ScanPlan,
+    probe: Option<&Row>,
+) -> ExecResult<Vec<Row>> {
+    let table = &rt.plan.query.tables[scan.table];
+    let ntables = rt.plan.query.tables.len();
+
+    // Resolve SARG factors to concrete DNF expressions.
+    let mut sargs: Vec<SargExpr> = Vec::with_capacity(scan.sargs.len());
+    for sf in &scan.sargs {
+        let mut disjuncts = Vec::with_capacity(sf.dnf.len());
+        for conj in &sf.dnf {
+            let mut preds = Vec::with_capacity(conj.len());
+            for atom in conj {
+                let value = resolve_operand(rt, probe, &atom.operand)?;
+                preds.push(SargPred { col: atom.col, op: atom.op, value });
+            }
+            disjuncts.push(preds);
+        }
+        sargs.push(SargExpr { disjuncts });
+    }
+
+    // Collect raw tuples through the RSI.
+    let tuples: Vec<Tuple> = match &scan.access {
+        Access::Segment => {
+            let mut s = SegmentScan::open(rt.env.storage, table.segment, table.rel, sargs);
+            s.collect_all()?
+        }
+        Access::Index { index, eq_prefix, range, index_only, .. } => {
+            let mut start: Vec<Value> = Vec::with_capacity(eq_prefix.len() + 1);
+            for op in eq_prefix {
+                start.push(resolve_operand(rt, probe, op)?);
+            }
+            let mut stop = start.clone();
+            let mut stop_incl = true;
+            let mut have_range = false;
+            if let Some(r) = range {
+                if let Some((op, _incl)) = &r.lower {
+                    // Exclusive lower bounds position at the bound and rely
+                    // on the SARG to reject equal keys.
+                    start.push(resolve_operand(rt, probe, op)?);
+                }
+                if let Some((op, incl)) = &r.upper {
+                    stop.push(resolve_operand(rt, probe, op)?);
+                    stop_incl = *incl;
+                }
+                have_range = true;
+            }
+            let start_bound = if start.is_empty() { None } else { Some(start) };
+            let stop_bound = if stop.is_empty() {
+                None
+            } else if have_range && range.as_ref().is_some_and(|r| r.upper.is_none())
+                && eq_prefix.is_empty()
+            {
+                // Pure lower-bounded range: no stop key.
+                None
+            } else {
+                Some((stop, stop_incl))
+            };
+            if *index_only {
+                // The scan returns bare key tuples: remap SARG column
+                // positions onto key positions, then rebuild full-arity
+                // tuples with the key columns placed and NULLs elsewhere
+                // (the optimizer proved nothing else is referenced).
+                let key_cols = rt.env.storage.index(*index)?.key_cols.clone();
+                let keypos = |col: usize| -> ExecResult<usize> {
+                    key_cols.iter().position(|&k| k == col).ok_or_else(|| {
+                        ExecError::Internal(format!(
+                            "index-only scan references non-key column {col}"
+                        ))
+                    })
+                };
+                let mut remapped = Vec::with_capacity(sargs.len());
+                for expr in sargs {
+                    let mut disjuncts = Vec::with_capacity(expr.disjuncts.len());
+                    for conj in expr.disjuncts {
+                        let mut preds = Vec::with_capacity(conj.len());
+                        for p in conj {
+                            preds.push(sysr_rss::SargPred {
+                                col: keypos(p.col)?,
+                                op: p.op,
+                                value: p.value,
+                            });
+                        }
+                        disjuncts.push(preds);
+                    }
+                    remapped.push(SargExpr { disjuncts });
+                }
+                let arity = rt
+                    .env
+                    .catalog
+                    .relation(table.rel)
+                    .map(|r| r.arity())
+                    .unwrap_or(key_cols.len());
+                let mut s =
+                    IndexScan::open(rt.env.storage, *index, start_bound, stop_bound, remapped)
+                        .index_only();
+                let mut out = Vec::new();
+                while let Some((_, key_tuple)) = s.next()? {
+                    let mut values = vec![Value::Null; arity];
+                    for (i, &kc) in key_cols.iter().enumerate() {
+                        values[kc] = key_tuple[i].clone();
+                    }
+                    out.push(Tuple::new(values));
+                }
+                out
+            } else {
+                let mut s =
+                    IndexScan::open(rt.env.storage, *index, start_bound, stop_bound, sargs);
+                s.collect_all()?
+            }
+        }
+    };
+
+    // Attach to the composite row and apply residual factors above the RSI.
+    let residual_exprs: Vec<sysr_core::BExpr> = scan
+        .residual
+        .iter()
+        .map(|&f| rt.plan.query.factors[f].expr.clone())
+        .collect();
+    let base: Row = probe.cloned().unwrap_or_else(|| empty_row(ntables));
+    let mut out = Vec::with_capacity(tuples.len());
+    'tuples: for tuple in tuples {
+        let mut row = base.clone();
+        row[scan.table] = Some(tuple);
+        for e in &residual_exprs {
+            if !eval_bexpr(rt, &row, e)? {
+                continue 'tuples;
+            }
+        }
+        out.push(row);
+    }
+    Ok(out)
+}

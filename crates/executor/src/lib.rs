@@ -1,0 +1,38 @@
+//! # sysr-executor — executing the optimizer's plans against the RSS
+//!
+//! System R compiled chosen plans into System/370 machine code; here the
+//! plan tree is interpreted (DESIGN.md documents the substitution — the
+//! optimizer's output contract is an executable plan, and interpretation
+//! preserves plan semantics and I/O behaviour).
+//!
+//! What matters for the reproduction is that execution **measures the
+//! quantities the optimizer predicts**: every page the interpreter touches
+//! flows through the storage engine's counting buffer pool, every tuple
+//! crossing the RSI increments the RSI-call counter, and sorts materialize
+//! real temporary lists whose pages are charged. The §7 experiments
+//! compare these measurements against the predictions plan-by-plan.
+//!
+//! Execution model:
+//!
+//! * scans run through [`sysr_rss::SegmentScan`] / [`sysr_rss::IndexScan`]
+//!   with resolved SARGs; residual factors are evaluated above the RSI;
+//! * nested-loop joins reopen the inner scan per outer row, binding join
+//!   probe operands from the outer tuple;
+//! * merging-scans joins consume two sorted inputs with group buffering;
+//! * sorts materialize a temporary list (write + read back accounted);
+//! * subqueries evaluate on demand — once for uncorrelated blocks, and
+//!   memoized per referenced-outer-value for correlation subqueries (§6's
+//!   re-evaluation-avoidance, generalized from "same as the previous
+//!   candidate tuple" to a cache).
+
+pub mod block;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod result;
+pub mod row;
+
+pub use block::{execute, execute_block, BlockRt, ExecEnv};
+pub use error::{ExecError, ExecResult};
+pub use result::ResultSet;
+pub use row::Row;

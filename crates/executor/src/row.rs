@@ -1,0 +1,112 @@
+//! Composite rows: one slot per FROM-list table of the current block.
+
+use sysr_core::ColId;
+use sysr_rss::{Tuple, Value};
+
+/// A (possibly partial) composite row of one query block: slot `t` holds
+/// the tuple of FROM-list table `t` once that table has been joined in.
+pub type Row = Vec<Option<Tuple>>;
+
+/// An empty row for a block with `n` tables.
+pub fn empty_row(n: usize) -> Row {
+    vec![None; n]
+}
+
+/// Read a column of the composite row; `None` if the table is absent.
+pub fn row_value(row: &Row, col: ColId) -> Option<&Value> {
+    row.get(col.table)?.as_ref()?.get(col.col)
+}
+
+/// Combine two partial rows of the same block (disjoint table sets; the
+/// left side wins on overlap, which cannot happen in well-formed plans).
+pub fn combine(a: &Row, b: &Row) -> Row {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.clone().or_else(|| y.clone()))
+        .collect()
+}
+
+/// Flatten a row into a single tuple (for temp-list materialization and
+/// width accounting): concatenate the present tuples' values in table
+/// order.
+pub fn flatten(row: &Row) -> Tuple {
+    row.iter()
+        .flatten()
+        .flat_map(|t| t.values().iter().cloned())
+        .collect()
+}
+
+/// Compare two rows by a sequence of `(column, descending)` sort keys;
+/// missing tables and NULLs sort first (ascending).
+pub fn cmp_rows(a: &Row, b: &Row, keys: &[(ColId, bool)]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    for &(col, desc) in keys {
+        let va = row_value(a, col);
+        let vb = row_value(b, col);
+        let ord = match (va, vb) {
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
+            (Some(x), Some(y)) => x.cmp(y),
+        };
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Whether `rows` is sorted according to `keys`.
+pub fn rows_sorted(rows: &[Row], keys: &[(ColId, bool)]) -> bool {
+    rows.windows(2).all(|w| cmp_rows(&w[0], &w[1], keys) != std::cmp::Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysr_rss::tuple;
+
+    fn row2(a: Option<Tuple>, b: Option<Tuple>) -> Row {
+        vec![a, b]
+    }
+
+    #[test]
+    fn value_lookup_and_combine() {
+        let r1 = row2(Some(tuple![1, "x"]), None);
+        let r2 = row2(None, Some(tuple![9]));
+        assert_eq!(row_value(&r1, ColId::new(0, 1)), Some(&Value::Str("x".into())));
+        assert_eq!(row_value(&r1, ColId::new(1, 0)), None);
+        let c = combine(&r1, &r2);
+        assert_eq!(row_value(&c, ColId::new(1, 0)), Some(&Value::Int(9)));
+        assert_eq!(row_value(&c, ColId::new(0, 0)), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn flatten_concats_in_table_order() {
+        let r = row2(Some(tuple![1]), Some(tuple![2, 3]));
+        assert_eq!(flatten(&r), tuple![1, 2, 3]);
+        let partial = row2(None, Some(tuple![5]));
+        assert_eq!(flatten(&partial), tuple![5]);
+    }
+
+    #[test]
+    fn sorting_with_desc_keys() {
+        let rows: Vec<Row> = [3, 1, 2]
+            .iter()
+            .map(|&i| row2(Some(tuple![i]), None))
+            .collect();
+        let key = ColId::new(0, 0);
+        let mut asc = rows.clone();
+        asc.sort_by(|a, b| cmp_rows(a, b, &[(key, false)]));
+        assert!(rows_sorted(&asc, &[(key, false)]));
+        let mut desc = rows.clone();
+        desc.sort_by(|a, b| cmp_rows(a, b, &[(key, true)]));
+        let vals: Vec<i64> = desc
+            .iter()
+            .map(|r| row_value(r, key).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![3, 2, 1]);
+        assert!(!rows_sorted(&rows, &[(key, false)]));
+    }
+}

@@ -1,0 +1,327 @@
+//! Executor-level behavior tests: plan interpretation edge cases driven
+//! through hand-built storage/catalog and the optimizer, without the
+//! facade crate.
+
+use sysr_catalog::{Catalog, ColumnMeta};
+use sysr_core::{bind_select, Optimizer, OptimizerConfig, PlanNode};
+use sysr_executor::{execute, ExecEnv};
+use sysr_rss::{tuple, ColType, Storage, Tuple, Value};
+use sysr_sql::{parse_statement, Statement};
+
+struct Db {
+    storage: Storage,
+    catalog: Catalog,
+}
+
+impl Db {
+    fn new() -> Self {
+        Db { storage: Storage::new(64), catalog: Catalog::new() }
+    }
+
+    fn table(&mut self, name: &str, cols: Vec<(&str, ColType)>, rows: Vec<Tuple>) -> u16 {
+        let seg = self.storage.create_segment();
+        let rel = self
+            .catalog
+            .create_relation(
+                name,
+                seg,
+                cols.into_iter().map(|(n, t)| ColumnMeta::new(n, t)).collect(),
+            )
+            .unwrap();
+        for row in rows {
+            self.storage.insert(seg, rel, &row).unwrap();
+        }
+        rel
+    }
+
+    fn index(&mut self, name: &str, rel: u16, cols: Vec<usize>, unique: bool) {
+        let seg = self.catalog.relation(rel).unwrap().segment;
+        let idx = self.storage.create_index(seg, rel, cols.clone(), unique).unwrap();
+        self.catalog.register_index(idx, name, rel, cols, unique, false).unwrap();
+    }
+
+    fn analyze(&mut self) {
+        self.catalog.update_statistics(&self.storage);
+    }
+
+    fn run(&self, sql: &str) -> Vec<Tuple> {
+        self.run_with(sql, OptimizerConfig::default()).0
+    }
+
+    fn run_with(&self, sql: &str, config: OptimizerConfig) -> (Vec<Tuple>, String) {
+        let Statement::Select(stmt) = parse_statement(sql).unwrap() else { panic!() };
+        let bound = bind_select(&self.catalog, &stmt).unwrap();
+        let optimizer = Optimizer::with_config(&self.catalog, config);
+        let plan = optimizer.optimize_bound(&bound);
+        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let result = execute(&env, &plan).unwrap();
+        (result.rows, plan.explain(&self.catalog))
+    }
+}
+
+fn ints(rows: &[Tuple], col: usize) -> Vec<i64> {
+    rows.iter().map(|t| t[col].as_int().unwrap()).collect()
+}
+
+#[test]
+fn empty_tables_yield_empty_joins() {
+    let mut db = Db::new();
+    db.table("A", vec![("K", ColType::Int)], vec![]);
+    db.table("B", vec![("K", ColType::Int)], vec![]);
+    db.analyze();
+    assert!(db.run("SELECT A.K FROM A, B WHERE A.K = B.K").is_empty());
+    assert!(db.run("SELECT K FROM A WHERE K = 1").is_empty());
+}
+
+#[test]
+fn one_side_empty_join() {
+    let mut db = Db::new();
+    db.table("A", vec![("K", ColType::Int)], (0..10).map(|i| tuple![i]).collect());
+    db.table("B", vec![("K", ColType::Int)], vec![]);
+    db.analyze();
+    assert!(db.run("SELECT A.K FROM A, B WHERE A.K = B.K").is_empty());
+    assert!(db.run("SELECT A.K FROM B, A WHERE A.K = B.K").is_empty());
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let mut db = Db::new();
+    db.table(
+        "A",
+        vec![("K", ColType::Int), ("TAG", ColType::Int)],
+        vec![
+            tuple![1, 10],
+            Tuple::new(vec![Value::Null, Value::Int(20)]),
+            tuple![3, 30],
+        ],
+    );
+    db.table(
+        "B",
+        vec![("K", ColType::Int)],
+        vec![Tuple::new(vec![Value::Null]), tuple![1], tuple![3]],
+    );
+    db.analyze();
+    let rows = db.run("SELECT A.TAG FROM A, B WHERE A.K = B.K ORDER BY TAG");
+    assert_eq!(ints(&rows, 0), vec![10, 30], "NULL = NULL must not join");
+}
+
+#[test]
+fn duplicate_join_keys_produce_cross_products_per_group() {
+    let mut db = Db::new();
+    db.table("A", vec![("K", ColType::Int)], vec![tuple![5], tuple![5], tuple![7]]);
+    db.table("B", vec![("K", ColType::Int)], vec![tuple![5], tuple![5], tuple![5]]);
+    db.analyze();
+    let rows = db.run("SELECT A.K FROM A, B WHERE A.K = B.K");
+    assert_eq!(rows.len(), 6, "2 × 3 matches for key 5");
+}
+
+#[test]
+fn merge_join_path_handles_duplicates_and_gaps() {
+    // Force the merge path with large unindexed inputs.
+    let mut db = Db::new();
+    let a_rows: Vec<Tuple> = (0..900).map(|i| tuple![(i * 13) % 30, i]).collect();
+    let b_rows: Vec<Tuple> = (0..900).map(|i| tuple![(i * 7) % 45, i]).collect();
+    db.table("A", vec![("K", ColType::Int), ("ID", ColType::Int)], a_rows.clone());
+    db.table("B", vec![("K", ColType::Int), ("ID", ColType::Int)], b_rows.clone());
+    db.analyze();
+    let (rows, explain) = db.run_with(
+        "SELECT A.ID FROM A, B WHERE A.K = B.K",
+        OptimizerConfig::default(),
+    );
+    assert!(explain.contains("MERGE JOIN"), "{explain}");
+    // Reference count.
+    let expect: usize = a_rows
+        .iter()
+        .map(|a| {
+            b_rows
+                .iter()
+                .filter(|b| b[0] == a[0])
+                .count()
+        })
+        .sum();
+    assert_eq!(rows.len(), expect);
+}
+
+#[test]
+fn sort_node_charges_temp_io() {
+    let mut db = Db::new();
+    db.table(
+        "A",
+        vec![("K", ColType::Int), ("PAD", ColType::Str)],
+        (0..2000).map(|i| tuple![(i * 7919) % 2000, format!("p{i:040}")]).collect(),
+    );
+    db.analyze();
+    db.storage.reset_io_stats();
+    let rows = db.run("SELECT K FROM A ORDER BY K");
+    assert_eq!(ints(&rows, 0), (0..2000).collect::<Vec<_>>());
+    let io = db.storage.io_stats();
+    assert!(io.temp_pages_written > 0, "sort must materialize a temp list: {io}");
+    assert_eq!(io.temp_page_fetches, io.temp_pages_written, "list read back once");
+}
+
+#[test]
+fn residual_factors_apply_above_rsi() {
+    let mut db = Db::new();
+    db.table(
+        "A",
+        vec![("K", ColType::Int), ("M", ColType::Int)],
+        (0..100).map(|i| tuple![i, i % 7]).collect(),
+    );
+    db.analyze();
+    // K + M = 10 is not sargable → residual; results still exact.
+    let rows = db.run("SELECT K, M FROM A WHERE K + M = 10 ORDER BY K");
+    for t in &rows {
+        assert_eq!(t[0].as_int().unwrap() + t[1].as_int().unwrap(), 10);
+    }
+    let expect = (0..100).filter(|i| i + i % 7 == 10).count();
+    assert_eq!(rows.len(), expect);
+}
+
+#[test]
+fn arithmetic_error_surfaces_not_panics() {
+    let mut db = Db::new();
+    db.table("A", vec![("K", ColType::Int)], vec![tuple![0], tuple![1]]);
+    db.analyze();
+    let Statement::Select(stmt) = parse_statement("SELECT 10 / K FROM A").unwrap() else {
+        panic!()
+    };
+    let bound = bind_select(&db.catalog, &stmt).unwrap();
+    let optimizer = Optimizer::with_config(&db.catalog, OptimizerConfig::default());
+    let plan = optimizer.optimize_bound(&bound);
+    let env = ExecEnv { storage: &db.storage, catalog: &db.catalog };
+    let err = execute(&env, &plan).unwrap_err();
+    assert!(format!("{err}").contains("division by zero"), "{err}");
+}
+
+#[test]
+fn nested_loop_rebinds_probe_each_outer_row() {
+    let mut db = Db::new();
+    db.table("S", vec![("K", ColType::Int)], vec![tuple![2], tuple![4], tuple![2]]);
+    let big = db.table(
+        "B",
+        vec![("K", ColType::Int), ("V", ColType::Int)],
+        (0..2000).map(|i| tuple![i % 10, i]).collect(),
+    );
+    db.index("B_K", big, vec![0], false);
+    db.analyze();
+    let (rows, explain) = db.run_with(
+        "SELECT S.K FROM S, B WHERE S.K = B.K",
+        OptimizerConfig::default(),
+    );
+    assert!(explain.contains("NESTED LOOP"), "{explain}");
+    // Each key appears 200 times in B; S has two 2s and one 4.
+    assert_eq!(rows.len(), 3 * 200);
+}
+
+#[test]
+fn distinct_on_projected_expressions() {
+    let mut db = Db::new();
+    db.table("A", vec![("K", ColType::Int)], (0..50).map(|i| tuple![i]).collect());
+    db.analyze();
+    let rows = db.run("SELECT DISTINCT K / 10 FROM A ORDER BY K");
+    // ORDER BY K pre-sorts base rows; DISTINCT dedups projections in order.
+    assert_eq!(ints(&rows, 0), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn group_by_multi_column() {
+    let mut db = Db::new();
+    db.table(
+        "A",
+        vec![("X", ColType::Int), ("Y", ColType::Int), ("V", ColType::Int)],
+        (0..60).map(|i| tuple![i % 3, i % 2, i]).collect(),
+    );
+    db.analyze();
+    let rows = db.run("SELECT X, Y, COUNT(*) FROM A GROUP BY X, Y ORDER BY X, Y");
+    assert_eq!(rows.len(), 6);
+    assert!(rows.iter().all(|t| t[2].as_int().unwrap() == 10));
+}
+
+#[test]
+fn correlated_subquery_cache_counts_probes_once_per_value() {
+    let mut db = Db::new();
+    let emp = db.table(
+        "E",
+        vec![("ID", ColType::Int), ("MGR", ColType::Int), ("SAL", ColType::Int)],
+        (0..300).map(|i| tuple![i, i / 30, (i * 17) % 100]).collect(),
+    );
+    db.index("E_ID", emp, vec![0], true);
+    db.analyze();
+    db.storage.reset_io_stats();
+    let rows = db.run(
+        "SELECT ID FROM E X WHERE SAL > (SELECT SAL FROM E WHERE ID = X.MGR)",
+    );
+    assert!(!rows.is_empty());
+    let io = db.storage.io_stats();
+    // 300 candidates + ~10 distinct managers probed; far below 2×300.
+    assert!(
+        io.rsi_calls < 300 + 50,
+        "memoization must bound subquery probes: {}",
+        io.rsi_calls
+    );
+}
+
+#[test]
+fn index_only_plan_shape_observed() {
+    let mut db = Db::new();
+    let a = db.table(
+        "A",
+        vec![("K", ColType::Int), ("PAD", ColType::Str)],
+        (0..3000).map(|i| tuple![i, format!("p{i:050}")]).collect(),
+    );
+    db.index("A_K", a, vec![0], true);
+    db.analyze();
+    let config = OptimizerConfig { index_only_scans: true, ..OptimizerConfig::default() };
+    db.storage.reset_io_stats();
+    db.storage.evict_all();
+    let (rows, explain) = db.run_with("SELECT K FROM A WHERE K < 100 ORDER BY K", config);
+    assert!(explain.contains("INDEX-ONLY"), "{explain}");
+    assert_eq!(ints(&rows, 0), (0..100).collect::<Vec<_>>());
+    assert_eq!(db.storage.io_stats().data_page_fetches, 0);
+}
+
+#[test]
+fn plan_shapes_match_explain() {
+    // Sanity that explain output names every node type we generate.
+    let mut db = Db::new();
+    db.table(
+        "A",
+        vec![("K", ColType::Int), ("PAD", ColType::Str)],
+        (0..800).map(|i| tuple![(i * 31) % 200, format!("p{i:040}")]).collect(),
+    );
+    db.table(
+        "B",
+        vec![("K", ColType::Int)],
+        (0..800).map(|i| tuple![(i * 17) % 200]).collect(),
+    );
+    db.analyze();
+    let Statement::Select(stmt) =
+        parse_statement("SELECT A.PAD FROM A, B WHERE A.K = B.K").unwrap()
+    else {
+        panic!()
+    };
+    let bound = bind_select(&db.catalog, &stmt).unwrap();
+    let optimizer = Optimizer::with_config(&db.catalog, OptimizerConfig::default());
+    let plan = optimizer.optimize_bound(&bound);
+    fn check(p: &sysr_core::PlanExpr, text: &str) {
+        match &p.node {
+            PlanNode::Scan(_) => assert!(text.contains("SCAN")),
+            PlanNode::NestedLoop { outer, inner } => {
+                assert!(text.contains("NESTED LOOP"));
+                check(outer, text);
+                check(inner, text);
+            }
+            PlanNode::Merge { outer, inner, .. } => {
+                assert!(text.contains("MERGE JOIN"));
+                check(outer, text);
+                check(inner, text);
+            }
+            PlanNode::Sort { input, .. } => {
+                assert!(text.contains("SORT"));
+                check(input, text);
+            }
+        }
+    }
+    let text = plan.explain(&db.catalog);
+    check(&plan.root, &text);
+}

@@ -1,0 +1,661 @@
+//! B-tree indexes.
+//!
+//! System R indexes "are implemented as B-trees, whose leaves are pages
+//! containing sets of (key, identifiers of tuples which contain that key)",
+//! with leaf pages chained "so that NEXTs need not reference any upper
+//! level pages of the index" (paper, Section 3).
+//!
+//! This implementation keeps every node in an arena where the arena slot
+//! number doubles as the node's **page number** — so the scan layer can
+//! charge index page fetches to the buffer pool exactly as a disk-resident
+//! B-tree would incur them: the root-to-leaf path once per probe, then one
+//! touch per leaf while walking the chain.
+//!
+//! Keys are multi-column (`Vec<Value>` in index column order); a scan may
+//! seek with a *prefix* of the key — this is what makes an index "match" a
+//! predicate set whose columns are an initial substring of the index key
+//! (paper, Section 4).
+//!
+//! Deletion is lazy (no rebalancing): entries are removed from leaves and
+//! underfull nodes are tolerated. This matches the maintenance behaviour
+//! the paper's statistics regime assumes — statistics, including NINDX, are
+//! refreshed by `UPDATE STATISTICS`, not kept exact on every modification.
+
+use crate::error::{RssError, RssResult};
+use crate::rid::Rid;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Identifier of an index within a [`crate::Storage`].
+pub type IndexId = u32;
+
+/// Node fanout configuration. The defaults approximate 4 KB pages holding
+/// ~16-byte keys plus RIDs; tests shrink these to force deep trees.
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeConfig {
+    /// Max (key, rid) entries per leaf page.
+    pub leaf_capacity: usize,
+    /// Max children per internal page.
+    pub internal_capacity: usize,
+}
+
+impl Default for BTreeConfig {
+    fn default() -> Self {
+        // ~4096 bytes / ~20 bytes per (key,rid) entry ≈ 200; round to 192.
+        BTreeConfig { leaf_capacity: 192, internal_capacity: 192 }
+    }
+}
+
+impl BTreeConfig {
+    /// A tiny-fanout configuration for tests that need multi-level trees
+    /// with few entries.
+    pub fn tiny() -> Self {
+        BTreeConfig { leaf_capacity: 4, internal_capacity: 4 }
+    }
+}
+
+type Key = Vec<Value>;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<Key>,
+        rids: Vec<Rid>,
+        next: Option<u32>,
+    },
+    Internal {
+        /// `keys[i]` separates `children[i]` from `children[i+1]`: every key
+        /// in `children[i+1]` is `>= keys[i]`.
+        keys: Vec<Key>,
+        children: Vec<u32>,
+    },
+}
+
+/// Cursor position: a leaf page number and an entry offset within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafPos {
+    pub leaf: u32,
+    pub pos: usize,
+}
+
+/// A multi-column B-tree index mapping keys to tuple RIDs.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    id: IndexId,
+    unique: bool,
+    key_arity: usize,
+    config: BTreeConfig,
+    nodes: Vec<Option<Node>>,
+    free: Vec<u32>,
+    root: u32,
+    entry_count: usize,
+}
+
+/// Compare a full key against a (possibly shorter) prefix: only the
+/// prefix's columns participate. An equal result means "key begins with
+/// prefix".
+pub fn cmp_key_prefix(key: &[Value], prefix: &[Value]) -> Ordering {
+    for (k, p) in key.iter().zip(prefix.iter()) {
+        match k.cmp(p) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+impl BTreeIndex {
+    pub fn new(id: IndexId, key_arity: usize, unique: bool, config: BTreeConfig) -> Self {
+        assert!(key_arity > 0, "index needs at least one key column");
+        assert!(config.leaf_capacity >= 2 && config.internal_capacity >= 3);
+        let root_leaf = Node::Leaf { keys: Vec::new(), rids: Vec::new(), next: None };
+        BTreeIndex {
+            id,
+            unique,
+            key_arity,
+            config,
+            nodes: vec![Some(root_leaf)],
+            free: Vec::new(),
+            root: 0,
+            entry_count: 0,
+        }
+    }
+
+    pub fn id(&self) -> IndexId {
+        self.id
+    }
+
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// Total live node pages — the paper's `NINDX(I)`.
+    pub fn page_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of leaf pages (the part a full index scan touches).
+    pub fn leaf_page_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Some(Node::Leaf { .. })))
+            .count()
+    }
+
+    /// Total (key, rid) entries.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Levels from root to leaf (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match self.node(node) {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    fn node(&self, id: u32) -> &Node {
+        self.nodes[id as usize].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: u32) -> &mut Node {
+        self.nodes[id as usize].as_mut().expect("live node")
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn check_arity(&self, key: &[Value]) -> RssResult<()> {
+        if key.len() != self.key_arity {
+            return Err(RssError::KeyArity { expected: self.key_arity, got: key.len() });
+        }
+        Ok(())
+    }
+
+    /// Insert `(key, rid)`. Duplicate full keys are allowed unless the
+    /// index is UNIQUE.
+    pub fn insert(&mut self, key: Key, rid: Rid) -> RssResult<()> {
+        self.check_arity(&key)?;
+        if self.unique && self.contains_key(&key) {
+            return Err(RssError::DuplicateKey(format!("{key:?}")));
+        }
+        if let Some((sep, right)) = self.insert_rec(self.root, key, rid) {
+            let old_root = self.root;
+            let new_root =
+                self.alloc(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = new_root;
+        }
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    /// Recursive insert; returns `(separator, new right sibling)` when the
+    /// child split.
+    fn insert_rec(&mut self, node_id: u32, key: Key, rid: Rid) -> Option<(Key, u32)> {
+        match self.node(node_id) {
+            Node::Leaf { keys, .. } => {
+                // Upper bound: duplicates append after equal keys, so RIDs
+                // for equal keys stay in insertion order.
+                let pos = keys.partition_point(|k| k.as_slice() <= key.as_slice());
+                let leaf_cap = self.config.leaf_capacity;
+                let Node::Leaf { keys, rids, next } = self.node_mut(node_id) else {
+                    unreachable!()
+                };
+                keys.insert(pos, key);
+                rids.insert(pos, rid);
+                if keys.len() <= leaf_cap {
+                    return None;
+                }
+                // Split: move the upper half to a new right sibling.
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_rids = rids.split_off(mid);
+                let old_next = *next;
+                let sep = right_keys[0].clone();
+                let right = self.alloc(Node::Leaf {
+                    keys: right_keys,
+                    rids: right_rids,
+                    next: old_next,
+                });
+                let Node::Leaf { next, .. } = self.node_mut(node_id) else { unreachable!() };
+                *next = Some(right);
+                Some((sep, right))
+            }
+            Node::Internal { keys, children } => {
+                // Descend into the child whose range covers the key.
+                let idx = keys.partition_point(|k| k.as_slice() <= key.as_slice());
+                let child = children[idx];
+                let split = self.insert_rec(child, key, rid)?;
+                let (sep, right) = split;
+                let internal_cap = self.config.internal_capacity;
+                let Node::Internal { keys, children } = self.node_mut(node_id) else {
+                    unreachable!()
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+                if children.len() <= internal_cap {
+                    return None;
+                }
+                // Split internal node: middle key is promoted.
+                let mid = keys.len() / 2;
+                let promoted = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // the promoted key leaves this node
+                let right_children = children.split_off(mid + 1);
+                let right_id =
+                    self.alloc(Node::Internal { keys: right_keys, children: right_children });
+                Some((promoted, right_id))
+            }
+        }
+    }
+
+    /// Remove the entry `(key, rid)`. Returns `true` if found. Equal keys
+    /// may span leaf boundaries; the run is walked via the leaf chain.
+    pub fn delete(&mut self, key: &[Value], rid: Rid) -> RssResult<bool> {
+        self.check_arity(key)?;
+        let (_, mut cursor) = self.seek(key);
+        while let Some(pos) = cursor {
+            let (k, r) = self.entry(pos);
+            if cmp_key_prefix(k, key) != Ordering::Equal {
+                break;
+            }
+            if r == rid {
+                let Node::Leaf { keys, rids, .. } = self.node_mut(pos.leaf) else {
+                    unreachable!()
+                };
+                keys.remove(pos.pos);
+                rids.remove(pos.pos);
+                self.entry_count -= 1;
+                return Ok(true);
+            }
+            cursor = self.next_pos(pos);
+        }
+        Ok(false)
+    }
+
+    /// Whether any entry has exactly this full key.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        let (_, cursor) = self.seek(key);
+        match cursor {
+            Some(pos) => {
+                let (k, _) = self.entry(pos);
+                k == key
+            }
+            None => false,
+        }
+    }
+
+    /// Position at the first entry whose key is `>=` the given prefix
+    /// (lower bound). Returns the internal-node pages visited during the
+    /// descent (for page accounting) and the leaf position, or `None` if no
+    /// such entry exists.
+    pub fn seek(&self, prefix: &[Value]) -> (Vec<u32>, Option<LeafPos>) {
+        let mut path = Vec::new();
+        let mut node_id = self.root;
+        loop {
+            match self.node(node_id) {
+                Node::Internal { keys, children } => {
+                    path.push(node_id);
+                    // First child that can contain a key >= prefix: descend
+                    // left of the first separator strictly greater than the
+                    // prefix... but duplicates of the prefix may live left
+                    // of an equal separator, so treat equal separators as
+                    // "go left".
+                    let idx = keys.partition_point(|k| cmp_key_prefix(k, prefix) == Ordering::Less);
+                    node_id = children[idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos =
+                        keys.partition_point(|k| cmp_key_prefix(k, prefix) == Ordering::Less);
+                    if pos < keys.len() {
+                        return (path, Some(LeafPos { leaf: node_id, pos }));
+                    }
+                    // The lower bound may be in the next leaf (separator
+                    // boundaries are not exact under lazy deletion).
+                    let Node::Leaf { next, .. } = self.node(node_id) else { unreachable!() };
+                    let here = *next;
+                    return (
+                        path,
+                        here.and_then(|leaf| self.first_entry_of_leaf_chain(leaf)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Position at the first entry of the whole index.
+    pub fn seek_first(&self) -> (Vec<u32>, Option<LeafPos>) {
+        let mut path = Vec::new();
+        let mut node_id = self.root;
+        loop {
+            match self.node(node_id) {
+                Node::Internal { children, .. } => {
+                    path.push(node_id);
+                    node_id = children[0];
+                }
+                Node::Leaf { .. } => {
+                    return (path, self.first_entry_of_leaf_chain(node_id));
+                }
+            }
+        }
+    }
+
+    /// Skip empty leaves (possible after lazy deletes).
+    fn first_entry_of_leaf_chain(&self, mut leaf: u32) -> Option<LeafPos> {
+        loop {
+            let Node::Leaf { keys, next, .. } = self.node(leaf) else { unreachable!() };
+            if !keys.is_empty() {
+                return Some(LeafPos { leaf, pos: 0 });
+            }
+            leaf = (*next)?;
+        }
+    }
+
+    /// The `(key, rid)` entry at `pos`. Panics on a stale position; cursors
+    /// are only valid while the tree is unmodified.
+    pub fn entry(&self, pos: LeafPos) -> (&[Value], Rid) {
+        let Node::Leaf { keys, rids, .. } = self.node(pos.leaf) else {
+            panic!("LeafPos does not point at a leaf")
+        };
+        (&keys[pos.pos], rids[pos.pos])
+    }
+
+    /// Advance a cursor by one entry, following the leaf chain. Returns
+    /// `None` at the end of the index.
+    pub fn next_pos(&self, pos: LeafPos) -> Option<LeafPos> {
+        let Node::Leaf { keys, next, .. } = self.node(pos.leaf) else {
+            panic!("LeafPos does not point at a leaf")
+        };
+        if pos.pos + 1 < keys.len() {
+            return Some(LeafPos { leaf: pos.leaf, pos: pos.pos + 1 });
+        }
+        let n = (*next)?;
+        self.first_entry_of_leaf_chain(n)
+    }
+
+    /// Iterate all entries in key order (no page accounting; used by
+    /// statistics collection and tests).
+    pub fn iter(&self) -> BTreeIter<'_> {
+        let (_, start) = self.seek_first();
+        BTreeIter { tree: self, cursor: start }
+    }
+
+    /// Number of distinct full keys — the paper's `ICARD(I)`. Computed by a
+    /// leaf walk, as `UPDATE STATISTICS` would.
+    pub fn distinct_keys(&self) -> usize {
+        let mut count = 0;
+        let mut prev: Option<&[Value]> = None;
+        for (key, _) in self.iter() {
+            if prev != Some(key) {
+                count += 1;
+                prev = Some(key);
+            }
+        }
+        count
+    }
+
+    /// Smallest full key, if any.
+    pub fn min_key(&self) -> Option<&[Value]> {
+        let (_, pos) = self.seek_first();
+        pos.map(|p| self.entry(p).0)
+    }
+
+    /// Largest full key, if any (walks the rightmost spine then the chain
+    /// tail; cheap because the tree is shallow).
+    pub fn max_key(&self) -> Option<&[Value]> {
+        self.iter().last().map(|(k, _)| k)
+    }
+
+    /// Internal consistency check used by property tests: key ordering
+    /// within and across leaves, separator sanity, entry count.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut n = 0;
+        let mut prev: Option<Vec<Value>> = None;
+        for (key, _) in self.iter() {
+            if key.len() != self.key_arity {
+                return Err(format!("entry arity {} != {}", key.len(), self.key_arity));
+            }
+            if let Some(p) = &prev {
+                if p.as_slice() > key {
+                    return Err(format!("keys out of order: {p:?} then {key:?}"));
+                }
+            }
+            prev = Some(key.to_vec());
+            n += 1;
+        }
+        if n != self.entry_count {
+            return Err(format!("entry_count {} but iterated {n}", self.entry_count));
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over all `(key, rid)` entries in key order.
+pub struct BTreeIter<'a> {
+    tree: &'a BTreeIndex,
+    cursor: Option<LeafPos>,
+}
+
+impl<'a> Iterator for BTreeIter<'a> {
+    type Item = (&'a [Value], Rid);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let pos = self.cursor?;
+        let entry = self.tree.entry(pos);
+        self.cursor = self.tree.next_pos(pos);
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(i: i64) -> Key {
+        vec![Value::Int(i)]
+    }
+
+    fn rid(i: u32) -> Rid {
+        Rid::new(i, 0)
+    }
+
+    fn build(entries: &[i64]) -> BTreeIndex {
+        let mut t = BTreeIndex::new(0, 1, false, BTreeConfig::tiny());
+        for (i, &k) in entries.iter().enumerate() {
+            t.insert(key(k), rid(i as u32)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sorted_iteration() {
+        let t = build(&[5, 3, 8, 1, 9, 2, 7, 4, 6, 0]);
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn splits_produce_multiple_levels() {
+        let t = build(&(0..100).collect::<Vec<_>>());
+        assert!(t.height() >= 3, "tiny fanout must force height >= 3, got {}", t.height());
+        assert!(t.page_count() > 10);
+        assert_eq!(t.entry_count(), 100);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn seek_lower_bound() {
+        let t = build(&[10, 20, 30, 40, 50]);
+        let (_, pos) = t.seek(&key(25));
+        let (k, _) = t.entry(pos.unwrap());
+        assert_eq!(k[0], Value::Int(30));
+        let (_, pos) = t.seek(&key(30));
+        assert_eq!(t.entry(pos.unwrap()).0[0], Value::Int(30));
+        let (_, pos) = t.seek(&key(55));
+        assert!(pos.is_none());
+    }
+
+    #[test]
+    fn seek_path_reports_internal_pages() {
+        let t = build(&(0..200).collect::<Vec<_>>());
+        let (path, pos) = t.seek(&key(137));
+        assert!(pos.is_some());
+        assert_eq!(path.len(), t.height() - 1, "path covers every internal level");
+    }
+
+    #[test]
+    fn duplicates_allowed_when_not_unique() {
+        let mut t = BTreeIndex::new(0, 1, false, BTreeConfig::tiny());
+        for i in 0..20 {
+            t.insert(key(7), rid(i)).unwrap();
+        }
+        assert_eq!(t.entry_count(), 20);
+        assert_eq!(t.distinct_keys(), 1);
+        let rids: Vec<u32> = t.iter().map(|(_, r)| r.page).collect();
+        assert_eq!(rids, (0..20).collect::<Vec<_>>(), "equal keys keep insertion order");
+    }
+
+    #[test]
+    fn unique_rejects_duplicates() {
+        let mut t = BTreeIndex::new(0, 1, true, BTreeConfig::tiny());
+        t.insert(key(1), rid(0)).unwrap();
+        assert!(matches!(t.insert(key(1), rid(1)), Err(RssError::DuplicateKey(_))));
+        assert_eq!(t.entry_count(), 1);
+    }
+
+    #[test]
+    fn delete_specific_rid_among_duplicates() {
+        let mut t = BTreeIndex::new(0, 1, false, BTreeConfig::tiny());
+        for i in 0..10 {
+            t.insert(key(7), rid(i)).unwrap();
+        }
+        assert!(t.delete(&key(7), rid(5)).unwrap());
+        assert!(!t.delete(&key(7), rid(5)).unwrap(), "already gone");
+        let rids: Vec<u32> = t.iter().map(|(_, r)| r.page).collect();
+        assert_eq!(rids, vec![0, 1, 2, 3, 4, 6, 7, 8, 9]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_tree() {
+        let mut t = build(&(0..50).collect::<Vec<_>>());
+        for i in 0..50 {
+            assert!(t.delete(&key(i), rid(i as u32)).unwrap());
+        }
+        assert_eq!(t.entry_count(), 0);
+        assert!(t.iter().next().is_none());
+        assert!(t.min_key().is_none());
+        // Inserts still work after total deletion.
+        t.insert(key(99), rid(0)).unwrap();
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn multi_column_keys_and_prefix_seek() {
+        let mut t = BTreeIndex::new(0, 2, false, BTreeConfig::tiny());
+        for i in 0..10i64 {
+            for j in 0..3i64 {
+                t.insert(vec![Value::Int(i), Value::Int(j)], rid((i * 3 + j) as u32)).unwrap();
+            }
+        }
+        // Seek with a 1-column prefix of the 2-column key.
+        let (_, pos) = t.seek(&[Value::Int(4)]);
+        let (k, _) = t.entry(pos.unwrap());
+        assert_eq!(k, &[Value::Int(4), Value::Int(0)][..]);
+        // All rows with prefix 4.
+        let mut cursor = pos;
+        let mut got = Vec::new();
+        while let Some(p) = cursor {
+            let (k, _) = t.entry(p);
+            if cmp_key_prefix(k, &[Value::Int(4)]) != Ordering::Equal {
+                break;
+            }
+            got.push(k[1].as_int().unwrap());
+            cursor = t.next_pos(p);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn key_arity_enforced() {
+        let mut t = BTreeIndex::new(0, 2, false, BTreeConfig::default());
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)], rid(0)),
+            Err(RssError::KeyArity { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn min_max_keys() {
+        let t = build(&[42, 7, 99, 13]);
+        assert_eq!(t.min_key().unwrap()[0], Value::Int(7));
+        assert_eq!(t.max_key().unwrap()[0], Value::Int(99));
+    }
+
+    #[test]
+    fn distinct_keys_counts_full_keys() {
+        let t = build(&[1, 1, 2, 2, 2, 3]);
+        assert_eq!(t.distinct_keys(), 3);
+        assert_eq!(t.entry_count(), 6);
+    }
+
+    proptest! {
+        /// Random interleavings of inserts and deletes must preserve the
+        /// sorted-multiset semantics of the index.
+        #[test]
+        fn prop_matches_reference_multiset(ops in prop::collection::vec((any::<bool>(), 0i64..40), 1..300)) {
+            let mut t = BTreeIndex::new(0, 1, false, BTreeConfig::tiny());
+            let mut reference: Vec<(i64, u32)> = Vec::new();
+            let mut stamp = 0u32;
+            for (is_insert, k) in ops {
+                if is_insert {
+                    t.insert(key(k), rid(stamp)).unwrap();
+                    reference.push((k, stamp));
+                    stamp += 1;
+                } else if let Some(idx) = reference.iter().position(|&(rk, _)| rk == k) {
+                    let (_, r) = reference.remove(idx);
+                    prop_assert!(t.delete(&key(k), rid(r)).unwrap());
+                } else {
+                    prop_assert!(!t.delete(&key(k), rid(0)).unwrap());
+                }
+            }
+            t.check_invariants().map_err(TestCaseError::fail)?;
+            let mut expect: Vec<i64> = reference.iter().map(|&(k, _)| k).collect();
+            expect.sort_unstable();
+            let got: Vec<i64> = t.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Lower-bound seek agrees with a sorted reference vector.
+        #[test]
+        fn prop_seek_is_lower_bound(mut keys in prop::collection::vec(0i64..1000, 1..200), probe in 0i64..1000) {
+            let t = build(&keys);
+            keys.sort_unstable();
+            let expect = keys.iter().copied().find(|&k| k >= probe);
+            let (_, pos) = t.seek(&key(probe));
+            let got = pos.map(|p| t.entry(p).0[0].as_int().unwrap());
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

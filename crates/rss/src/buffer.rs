@@ -1,0 +1,326 @@
+//! The counting buffer pool.
+//!
+//! System R's cost formulas are expressed in *page fetches*; several
+//! formulas in Table 2 have a cheaper variant "if this number fits in the
+//! System R buffer". To reproduce those effects the RSS routes every page
+//! access — data pages, index pages, and temporary-list pages — through one
+//! LRU buffer pool. A **page fetch** is a buffer miss; a hit is free, which
+//! is exactly the clustered-index assumption the paper makes ("a page
+//! remains in the buffer long enough for every tuple to be retrieved from
+//! it").
+//!
+//! The pool also tallies **RSI calls**: tuples returned across the
+//! storage-system interface, the paper's proxy for CPU cost.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifies a "file": one segment, one index, or one temporary list.
+/// Pages are addressed as (file, page number) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileId {
+    Segment(u32),
+    Index(u32),
+    Temp(u32),
+}
+
+/// Address of one 4 KB page in the buffer pool's namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    pub file: FileId,
+    pub page: u32,
+}
+
+impl PageKey {
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageKey { file, page }
+    }
+}
+
+/// Execution-time I/O counters — the measured analog of the optimizer's
+/// predicted `COST = PAGE FETCHES + W * RSI CALLS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Buffer-pool misses on data (segment) pages.
+    pub data_page_fetches: u64,
+    /// Buffer-pool misses on index pages.
+    pub index_page_fetches: u64,
+    /// Buffer-pool misses on temporary-list pages (sorted inner relations,
+    /// subquery result lists).
+    pub temp_page_fetches: u64,
+    /// Pages written when materializing temporary lists (sort output,
+    /// stored composites).
+    pub temp_pages_written: u64,
+    /// Buffer-pool hits (all kinds), for hit-ratio reporting.
+    pub buffer_hits: u64,
+    /// Tuples returned across the RSI.
+    pub rsi_calls: u64,
+}
+
+impl IoStats {
+    /// All page fetches (the paper's `PAGE FETCHES` term). Temporary page
+    /// writes count as page I/O too, as in the paper's sort cost C-sort
+    /// which includes "putting the results into a temporary list".
+    pub fn page_fetches(&self) -> u64 {
+        self.data_page_fetches
+            + self.index_page_fetches
+            + self.temp_page_fetches
+            + self.temp_pages_written
+    }
+
+    /// Total weighted cost with CPU weighting factor `w`.
+    pub fn cost(&self, w: f64) -> f64 {
+        self.page_fetches() as f64 + w * self.rsi_calls as f64
+    }
+
+    /// Component-wise difference (`self - start`), for measuring a window.
+    pub fn since(&self, start: &IoStats) -> IoStats {
+        IoStats {
+            data_page_fetches: self.data_page_fetches - start.data_page_fetches,
+            index_page_fetches: self.index_page_fetches - start.index_page_fetches,
+            temp_page_fetches: self.temp_page_fetches - start.temp_page_fetches,
+            temp_pages_written: self.temp_pages_written - start.temp_pages_written,
+            buffer_hits: self.buffer_hits - start.buffer_hits,
+            rsi_calls: self.rsi_calls - start.rsi_calls,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetches={} (data={} index={} temp={} temp-writes={}) hits={} rsi={}",
+            self.page_fetches(),
+            self.data_page_fetches,
+            self.index_page_fetches,
+            self.temp_page_fetches,
+            self.temp_pages_written,
+            self.buffer_hits,
+            self.rsi_calls
+        )
+    }
+}
+
+/// An LRU buffer pool over page *keys*. Data stays in the segments and
+/// index structures (this is an in-memory engine); the pool tracks
+/// residency to decide which accesses count as fetches.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page → recency stamp
+    resident: HashMap<PageKey, u64>,
+    /// recency stamp → page (the LRU order; BTreeMap gives O(log n) min)
+    lru: BTreeMap<u64, PageKey>,
+    clock: u64,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// A pool holding `capacity` pages. System R's per-user buffer was
+    /// small; experiments sweep this.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one page");
+        BufferPool {
+            capacity,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            stats: IoStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Change capacity, evicting everything (used between experiments).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0);
+        self.capacity = capacity;
+        self.clear();
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Evict everything (stats are kept).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+    }
+
+    /// Record an access to `key`. Returns `true` on a miss (a page fetch).
+    pub fn access(&mut self, key: PageKey) -> bool {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(old) = self.resident.insert(key, stamp) {
+            self.lru.remove(&old);
+            self.lru.insert(stamp, key);
+            self.stats.buffer_hits += 1;
+            return false;
+        }
+        self.lru.insert(stamp, key);
+        if self.resident.len() > self.capacity {
+            // Evict the least-recently-used page.
+            let (&old_stamp, &victim) = self.lru.iter().next().expect("pool not empty");
+            self.lru.remove(&old_stamp);
+            self.resident.remove(&victim);
+        }
+        match key.file {
+            FileId::Segment(_) => self.stats.data_page_fetches += 1,
+            FileId::Index(_) => self.stats.index_page_fetches += 1,
+            FileId::Temp(_) => self.stats.temp_page_fetches += 1,
+        }
+        true
+    }
+
+    /// Record a temporary page write (sort spill / materialization).
+    pub fn record_temp_write(&mut self, pages: u64) {
+        self.stats.temp_pages_written += pages;
+    }
+
+    /// Record one tuple returned across the RSI.
+    pub fn record_rsi_call(&mut self) {
+        self.stats.rsi_calls += 1;
+    }
+
+    /// Drop all resident pages of `file` (e.g. a temporary list being
+    /// destroyed).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        let victims: Vec<(u64, PageKey)> = self
+            .resident
+            .iter()
+            .filter(|(k, _)| k.file == file)
+            .map(|(k, s)| (*s, *k))
+            .collect();
+        for (stamp, key) in victims {
+            self.lru.remove(&stamp);
+            self.resident.remove(&key);
+        }
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(page: u32) -> PageKey {
+        PageKey::new(FileId::Segment(0), page)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut pool = BufferPool::new(4);
+        assert!(pool.access(seg(1)));
+        assert!(!pool.access(seg(1)));
+        assert_eq!(pool.stats().data_page_fetches, 1);
+        assert_eq!(pool.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut pool = BufferPool::new(2);
+        pool.access(seg(1));
+        pool.access(seg(2));
+        pool.access(seg(1)); // 2 is now LRU
+        pool.access(seg(3)); // evicts 2
+        assert!(!pool.access(seg(1)), "1 should still be resident");
+        assert!(pool.access(seg(2)), "2 was evicted");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut pool = BufferPool::new(3);
+        for p in 0..100 {
+            pool.access(seg(p));
+        }
+        assert_eq!(pool.resident_pages(), 3);
+        assert_eq!(pool.stats().data_page_fetches, 100);
+    }
+
+    #[test]
+    fn sequential_rescan_larger_than_pool_always_misses() {
+        // The paper's non-clustered-index assumption: a relation larger
+        // than the buffer yields one fetch per access.
+        let mut pool = BufferPool::new(4);
+        for _pass in 0..3 {
+            for p in 0..8 {
+                pool.access(seg(p));
+            }
+        }
+        assert_eq!(pool.stats().data_page_fetches, 24);
+        assert_eq!(pool.stats().buffer_hits, 0);
+    }
+
+    #[test]
+    fn rescan_fitting_in_pool_hits() {
+        // Table 2's "if this number fits in the System R buffer" variant.
+        let mut pool = BufferPool::new(16);
+        for _pass in 0..3 {
+            for p in 0..8 {
+                pool.access(seg(p));
+            }
+        }
+        assert_eq!(pool.stats().data_page_fetches, 8);
+        assert_eq!(pool.stats().buffer_hits, 16);
+    }
+
+    #[test]
+    fn file_kinds_counted_separately() {
+        let mut pool = BufferPool::new(8);
+        pool.access(PageKey::new(FileId::Segment(0), 0));
+        pool.access(PageKey::new(FileId::Index(0), 0));
+        pool.access(PageKey::new(FileId::Index(0), 1));
+        pool.access(PageKey::new(FileId::Temp(0), 0));
+        let s = pool.stats();
+        assert_eq!(s.data_page_fetches, 1);
+        assert_eq!(s.index_page_fetches, 2);
+        assert_eq!(s.temp_page_fetches, 1);
+        assert_eq!(s.page_fetches(), 4);
+    }
+
+    #[test]
+    fn invalidate_file_evicts_only_that_file() {
+        let mut pool = BufferPool::new(8);
+        pool.access(PageKey::new(FileId::Temp(1), 0));
+        pool.access(PageKey::new(FileId::Temp(2), 0));
+        pool.access(seg(0));
+        pool.invalidate_file(FileId::Temp(1));
+        assert_eq!(pool.resident_pages(), 2);
+        assert!(pool.access(PageKey::new(FileId::Temp(1), 0)), "evicted");
+        assert!(!pool.access(seg(0)), "unrelated page untouched");
+    }
+
+    #[test]
+    fn cost_combines_fetches_and_rsi() {
+        let mut pool = BufferPool::new(2);
+        pool.access(seg(0));
+        pool.record_rsi_call();
+        pool.record_rsi_call();
+        let s = pool.stats();
+        assert_eq!(s.cost(0.5), 1.0 + 0.5 * 2.0);
+    }
+
+    #[test]
+    fn stats_window_via_since() {
+        let mut pool = BufferPool::new(2);
+        pool.access(seg(0));
+        let start = pool.stats();
+        pool.access(seg(1));
+        pool.record_rsi_call();
+        let delta = pool.stats().since(&start);
+        assert_eq!(delta.data_page_fetches, 1);
+        assert_eq!(delta.rsi_calls, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Tuple identifiers.
+
+use std::fmt;
+
+/// A *tuple identifier*: the physical address of a tuple within a segment —
+/// a page number plus a slot number on that page. These are exactly the
+/// "identifiers of tuples" stored in index leaves (paper, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page number within the owning segment.
+    pub page: u32,
+    /// Slot number within the page's slot directory.
+    pub slot: u16,
+}
+
+impl Rid {
+    pub fn new(page: u32, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rid_orders_by_page_then_slot() {
+        assert!(Rid::new(0, 5) < Rid::new(1, 0));
+        assert!(Rid::new(2, 1) < Rid::new(2, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rid::new(3, 7).to_string(), "3.7");
+    }
+}

@@ -1,0 +1,330 @@
+//! Search arguments (SARGs).
+//!
+//! "Both index and segment scans may optionally take a set of predicates,
+//! called search arguments (or SARGS), which are applied to a tuple before
+//! it is returned to the RSI caller" (paper, Section 3). A *sargable*
+//! predicate has the form `column comparison-operator value`; SARGs are a
+//! boolean expression of such predicates in **disjunctive normal form**.
+//!
+//! Applying SARGs below the RSI boundary is the mechanism that reduces the
+//! `RSI CALLS` term of the cost formula: rejected tuples never cross the
+//! interface.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operators usable in sargable predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluate `left op right` under SQL-ish semantics: any comparison
+    /// involving NULL is not satisfied.
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.cmp(right);
+        match self {
+            CompareOp::Eq => ord.is_eq(),
+            CompareOp::Ne => ord.is_ne(),
+            CompareOp::Lt => ord.is_lt(),
+            CompareOp::Le => ord.is_le(),
+            CompareOp::Gt => ord.is_gt(),
+            CompareOp::Ge => ord.is_ge(),
+        }
+    }
+
+    /// The operator with operand sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// The logical negation (`NOT (a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One sargable predicate: `column op constant`, with the column given as a
+/// position in the stored tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SargPred {
+    pub col: usize,
+    pub op: CompareOp,
+    pub value: Value,
+}
+
+impl SargPred {
+    pub fn new(col: usize, op: CompareOp, value: impl Into<Value>) -> Self {
+        SargPred { col, op, value: value.into() }
+    }
+
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match tuple.get(self.col) {
+            Some(v) => self.op.eval(v, &self.value),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for SargPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{} {} {}", self.col, self.op, self.value)
+    }
+}
+
+/// A SARG expression in disjunctive normal form: an OR over AND-groups of
+/// sargable predicates. An empty expression is trivially true (no
+/// filtering).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SargExpr {
+    /// `disjuncts[i]` is a conjunction; the expression is their OR.
+    pub disjuncts: Vec<Vec<SargPred>>,
+}
+
+impl SargExpr {
+    /// The always-true SARG (scan returns every tuple).
+    pub fn always_true() -> Self {
+        SargExpr { disjuncts: Vec::new() }
+    }
+
+    /// A single conjunction of predicates.
+    pub fn conjunction(preds: Vec<SargPred>) -> Self {
+        if preds.is_empty() {
+            Self::always_true()
+        } else {
+            SargExpr { disjuncts: vec![preds] }
+        }
+    }
+
+    /// A single predicate.
+    pub fn single(pred: SargPred) -> Self {
+        Self::conjunction(vec![pred])
+    }
+
+    pub fn is_trivial(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// AND another conjunct onto the whole expression (distributes over
+    /// the disjuncts to stay in DNF).
+    pub fn and_pred(&mut self, pred: SargPred) {
+        if self.disjuncts.is_empty() {
+            self.disjuncts.push(vec![pred]);
+        } else {
+            for d in &mut self.disjuncts {
+                d.push(pred.clone());
+            }
+        }
+    }
+
+    /// Number of predicate leaves (used in reporting).
+    pub fn pred_count(&self) -> usize {
+        self.disjuncts.iter().map(Vec::len).sum()
+    }
+
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        if self.disjuncts.is_empty() {
+            return true;
+        }
+        self.disjuncts.iter().any(|conj| conj.iter().all(|p| p.eval(tuple)))
+    }
+}
+
+/// A conjunction of SARG expressions: one DNF per boolean factor, all of
+/// which must hold. This is what a scan actually carries — "every tuple
+/// returned to the user must satisfy every boolean factor" (paper §4), and
+/// each sargable factor arrives as its own DNF.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SargList {
+    pub factors: Vec<SargExpr>,
+}
+
+impl SargList {
+    pub fn none() -> Self {
+        SargList { factors: Vec::new() }
+    }
+
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        self.factors.iter().all(|f| f.eval(tuple))
+    }
+
+    pub fn is_trivial(&self) -> bool {
+        self.factors.iter().all(SargExpr::is_trivial)
+    }
+}
+
+impl From<SargExpr> for SargList {
+    fn from(e: SargExpr) -> Self {
+        if e.is_trivial() {
+            SargList::none()
+        } else {
+            SargList { factors: vec![e] }
+        }
+    }
+}
+
+impl From<Vec<SargExpr>> for SargList {
+    fn from(factors: Vec<SargExpr>) -> Self {
+        SargList { factors: factors.into_iter().filter(|e| !e.is_trivial()).collect() }
+    }
+}
+
+impl fmt::Display for SargExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, conj) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            write!(f, "(")?;
+            for (j, p) in conj.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn compare_ops() {
+        let a = Value::Int(5);
+        let b = Value::Int(7);
+        assert!(CompareOp::Lt.eval(&a, &b));
+        assert!(CompareOp::Le.eval(&a, &a));
+        assert!(CompareOp::Ne.eval(&a, &b));
+        assert!(!CompareOp::Eq.eval(&a, &b));
+        assert!(CompareOp::Ge.eval(&b, &a));
+        assert!(CompareOp::Gt.eval(&b, &a));
+    }
+
+    #[test]
+    fn null_never_satisfies() {
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Ge] {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)));
+            assert!(!op.eval(&Value::Int(1), &Value::Null));
+            assert!(!op.eval(&Value::Null, &Value::Null));
+        }
+    }
+
+    #[test]
+    fn flip_and_negate() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Le.negated(), CompareOp::Gt);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+        // flip∘flip = id, neg∘neg = id
+        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge] {
+            assert_eq!(op.flipped().flipped(), op);
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn dnf_evaluation() {
+        // (c0 = 1 AND c1 > 10) OR (c0 = 2)
+        let expr = SargExpr {
+            disjuncts: vec![
+                vec![
+                    SargPred::new(0, CompareOp::Eq, 1i64),
+                    SargPred::new(1, CompareOp::Gt, 10i64),
+                ],
+                vec![SargPred::new(0, CompareOp::Eq, 2i64)],
+            ],
+        };
+        assert!(expr.eval(&tuple![1, 11]));
+        assert!(!expr.eval(&tuple![1, 10]));
+        assert!(expr.eval(&tuple![2, 0]));
+        assert!(!expr.eval(&tuple![3, 100]));
+    }
+
+    #[test]
+    fn empty_expr_is_true() {
+        assert!(SargExpr::always_true().eval(&tuple![1]));
+        assert!(SargExpr::always_true().is_trivial());
+    }
+
+    #[test]
+    fn and_pred_distributes() {
+        let mut expr = SargExpr {
+            disjuncts: vec![
+                vec![SargPred::new(0, CompareOp::Eq, 1i64)],
+                vec![SargPred::new(0, CompareOp::Eq, 2i64)],
+            ],
+        };
+        expr.and_pred(SargPred::new(1, CompareOp::Lt, 5i64));
+        // (c0=1 AND c1<5) OR (c0=2 AND c1<5)
+        assert!(expr.eval(&tuple![1, 4]));
+        assert!(!expr.eval(&tuple![1, 5]));
+        assert!(expr.eval(&tuple![2, 0]));
+        assert!(!expr.eval(&tuple![2, 9]));
+        assert_eq!(expr.pred_count(), 4);
+    }
+
+    #[test]
+    fn string_comparison() {
+        let p = SargPred::new(0, CompareOp::Eq, "CLERK");
+        assert!(p.eval(&tuple!["CLERK"]));
+        assert!(!p.eval(&tuple!["TYPIST"]));
+    }
+
+    #[test]
+    fn out_of_range_column_is_false() {
+        let p = SargPred::new(5, CompareOp::Eq, 1i64);
+        assert!(!p.eval(&tuple![1]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let expr = SargExpr::single(SargPred::new(0, CompareOp::Ge, 10i64));
+        assert_eq!(expr.to_string(), "(c0 >= 10)");
+        assert_eq!(SargExpr::always_true().to_string(), "TRUE");
+    }
+}

@@ -1,0 +1,424 @@
+//! RSS scans: the tuple-at-a-time RSI.
+//!
+//! "The primary way of accessing tuples in a relation is via an RSS scan.
+//! A scan returns a tuple at a time along a given access path. OPEN, NEXT,
+//! and CLOSE are the principal commands on a scan." (paper, Section 3).
+//!
+//! * [`SegmentScan`] examines **all non-empty pages of the segment**, each
+//!   touched once, returning tuples of the requested relation.
+//! * [`IndexScan`] reads B-tree leaf pages sequentially between optional
+//!   start and stop keys, fetching the referenced data tuples in key order.
+//!   Leaf pages are chained, so NEXT never revisits upper index levels —
+//!   only the initial OPEN descends from the root.
+//!
+//! Both accept SARGs, applied *before* a tuple is returned; a returned
+//! tuple costs one RSI call.
+
+use crate::btree::{cmp_key_prefix, IndexId, LeafPos};
+use crate::buffer::{FileId, PageKey};
+use crate::error::RssResult;
+use crate::rid::Rid;
+use crate::sarg::SargList;
+#[cfg(test)]
+use crate::sarg::SargExpr;
+use crate::segment::SegmentId;
+use crate::storage::Storage;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// A tuple-at-a-time scan: the RSI `NEXT` operation. Returns `(rid,
+/// tuple)` pairs until exhausted.
+pub trait RsiScan {
+    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>>;
+
+    /// Drain the scan into a vector (convenience for tests and loaders).
+    fn collect_all(&mut self) -> RssResult<Vec<Tuple>>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        while let Some((_, t)) = self.next()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// Full scan of a segment, returning tuples of one relation.
+pub struct SegmentScan<'a> {
+    storage: &'a Storage,
+    seg: SegmentId,
+    rel_id: u16,
+    sargs: SargList,
+    page_no: u32,
+    slot: u16,
+    entered_page: bool,
+}
+
+impl<'a> SegmentScan<'a> {
+    /// OPEN a segment scan.
+    pub fn open(
+        storage: &'a Storage,
+        seg: SegmentId,
+        rel_id: u16,
+        sargs: impl Into<SargList>,
+    ) -> Self {
+        SegmentScan {
+            storage,
+            seg,
+            rel_id,
+            sargs: sargs.into(),
+            page_no: 0,
+            slot: 0,
+            entered_page: false,
+        }
+    }
+}
+
+impl RsiScan for SegmentScan<'_> {
+    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+        let segment = self.storage.segment(self.seg)?;
+        loop {
+            let Some(page) = segment.page(self.page_no) else {
+                return Ok(None);
+            };
+            if page.is_empty() {
+                // Empty pages are skipped via the segment's space map; only
+                // non-empty pages are touched.
+                self.page_no += 1;
+                self.slot = 0;
+                self.entered_page = false;
+                continue;
+            }
+            if !self.entered_page {
+                self.storage.touch(PageKey::new(FileId::Segment(self.seg), self.page_no));
+                self.entered_page = true;
+            }
+            while self.slot < page.slot_count() {
+                let slot = self.slot;
+                self.slot += 1;
+                if let Some((rel, bytes)) = page.get(slot) {
+                    if rel != self.rel_id {
+                        continue;
+                    }
+                    let tuple = crate::codec::decode_tuple(bytes)?;
+                    if self.sargs.eval(&tuple) {
+                        self.storage.record_rsi_call();
+                        return Ok(Some((Rid::new(self.page_no, slot), tuple)));
+                    }
+                }
+            }
+            self.page_no += 1;
+            self.slot = 0;
+            self.entered_page = false;
+        }
+    }
+}
+
+/// Index scan between optional start and stop key prefixes.
+///
+/// The start prefix positions the scan at the first key `>=` the prefix;
+/// the stop prefix ends it at the first key beyond the bound. An equality
+/// probe on key columns `k` uses the same prefix for both with an inclusive
+/// stop.
+pub struct IndexScan<'a> {
+    storage: &'a Storage,
+    index: IndexId,
+    start: Option<Vec<Value>>,
+    stop: Option<(Vec<Value>, bool)>,
+    sargs: SargList,
+    cursor: Option<LeafPos>,
+    current_leaf: Option<u32>,
+    opened: bool,
+    /// When false, the scan returns index entries without fetching the data
+    /// tuple (used when every needed column is in the key — "index-only").
+    fetch_data: bool,
+}
+
+impl<'a> IndexScan<'a> {
+    /// OPEN an index scan over the full key range.
+    pub fn open_full(storage: &'a Storage, index: IndexId, sargs: impl Into<SargList>) -> Self {
+        Self::open(storage, index, None, None, sargs)
+    }
+
+    /// OPEN an index scan. `start` is a lower-bound key prefix; `stop` is
+    /// an upper-bound prefix with an inclusivity flag.
+    pub fn open(
+        storage: &'a Storage,
+        index: IndexId,
+        start: Option<Vec<Value>>,
+        stop: Option<(Vec<Value>, bool)>,
+        sargs: impl Into<SargList>,
+    ) -> Self {
+        IndexScan {
+            storage,
+            index,
+            start,
+            stop,
+            sargs: sargs.into(),
+            cursor: None,
+            current_leaf: None,
+            opened: false,
+            fetch_data: true,
+        }
+    }
+
+    /// Equality probe: scan exactly the keys beginning with `prefix`.
+    pub fn open_eq(
+        storage: &'a Storage,
+        index: IndexId,
+        prefix: Vec<Value>,
+        sargs: impl Into<SargList>,
+    ) -> Self {
+        Self::open(storage, index, Some(prefix.clone()), Some((prefix, true)), sargs)
+    }
+
+    /// Disable data-page fetches; `next` then returns the key columns as
+    /// the tuple.
+    pub fn index_only(mut self) -> Self {
+        self.fetch_data = false;
+        self
+    }
+
+    fn do_open(&mut self) -> RssResult<()> {
+        let entry = self.storage.index(self.index)?;
+        let (path, pos) = match &self.start {
+            Some(prefix) => entry.tree.seek(prefix),
+            None => entry.tree.seek_first(),
+        };
+        // The OPEN descends root→leaf: every internal page on the path is
+        // one index page fetch.
+        for page in path {
+            self.storage.touch(PageKey::new(FileId::Index(self.index), page));
+        }
+        self.cursor = pos;
+        self.opened = true;
+        Ok(())
+    }
+
+    /// Whether `key` lies beyond the stop bound.
+    fn past_stop(&self, key: &[Value]) -> bool {
+        match &self.stop {
+            None => false,
+            Some((prefix, inclusive)) => match cmp_key_prefix(key, prefix) {
+                Ordering::Less => false,
+                Ordering::Equal => !*inclusive,
+                Ordering::Greater => true,
+            },
+        }
+    }
+}
+
+impl RsiScan for IndexScan<'_> {
+    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+        if !self.opened {
+            self.do_open()?;
+        }
+        let entry = self.storage.index(self.index)?;
+        while let Some(pos) = self.cursor {
+            // Touch the leaf page when the scan moves onto it. A NEXT along
+            // the chain touches each leaf exactly once.
+            if self.current_leaf != Some(pos.leaf) {
+                self.storage.touch(PageKey::new(FileId::Index(self.index), pos.leaf));
+                self.current_leaf = Some(pos.leaf);
+            }
+            let (key, rid) = entry.tree.entry(pos);
+            if self.past_stop(key) {
+                self.cursor = None;
+                return Ok(None);
+            }
+            let key_owned: Vec<Value> = key.to_vec();
+            self.cursor = entry.tree.next_pos(pos);
+            let tuple = if self.fetch_data {
+                self.storage.fetch(entry.segment, entry.rel_id, rid)?
+            } else {
+                Tuple::new(key_owned)
+            };
+            if self.sargs.eval(&tuple) {
+                self.storage.record_rsi_call();
+                return Ok(Some((rid, tuple)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sarg::{CompareOp, SargPred};
+    use crate::tuple;
+
+    /// Load `n` rows (id, name, id % 10) of relation 1, ids in insertion
+    /// order `order`.
+    fn setup(n: i64, shuffled: bool) -> (Storage, SegmentId) {
+        let mut st = Storage::new(1024);
+        let seg = st.create_segment();
+        let mut ids: Vec<i64> = (0..n).collect();
+        if shuffled {
+            // Deterministic shuffle: stride by a coprime.
+            ids = (0..n).map(|i| (i * 7919) % n).collect();
+        }
+        for i in ids {
+            st.insert(seg, 1, &tuple![i, format!("n{i}"), i % 10]).unwrap();
+        }
+        (st, seg)
+    }
+
+    #[test]
+    fn segment_scan_returns_all_rows_once() {
+        let (st, seg) = setup(500, true);
+        let mut scan = SegmentScan::open(&st, seg, 1, SargExpr::always_true());
+        let rows = scan.collect_all().unwrap();
+        assert_eq!(rows.len(), 500);
+        let stats = st.io_stats();
+        assert_eq!(stats.rsi_calls, 500);
+        // Each non-empty page touched exactly once.
+        assert_eq!(stats.data_page_fetches as usize, st.segment(seg).unwrap().nonempty_page_count());
+        assert_eq!(stats.buffer_hits, 0);
+    }
+
+    #[test]
+    fn segment_scan_sargs_cut_rsi_calls() {
+        let (st, seg) = setup(500, false);
+        let sarg = SargExpr::single(SargPred::new(2, CompareOp::Eq, 3i64));
+        let mut scan = SegmentScan::open(&st, seg, 1, sarg);
+        let rows = scan.collect_all().unwrap();
+        assert_eq!(rows.len(), 50);
+        let stats = st.io_stats();
+        // Pages all touched, but only matching tuples crossed the RSI.
+        assert_eq!(stats.rsi_calls, 50);
+        assert_eq!(stats.data_page_fetches as usize, st.segment(seg).unwrap().nonempty_page_count());
+    }
+
+    #[test]
+    fn segment_scan_ignores_other_relations() {
+        let mut st = Storage::new(64);
+        let seg = st.create_segment();
+        for i in 0..20 {
+            st.insert(seg, 1, &tuple![i]).unwrap();
+            st.insert(seg, 2, &tuple![i + 100]).unwrap();
+        }
+        let mut scan = SegmentScan::open(&st, seg, 2, SargExpr::always_true());
+        let rows = scan.collect_all().unwrap();
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|t| t[0].as_int().unwrap() >= 100));
+    }
+
+    #[test]
+    fn index_scan_full_returns_key_order() {
+        let (mut st, seg) = setup(300, true);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
+        let ids: Vec<i64> =
+            scan.collect_all().unwrap().iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(ids, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_scan_range_bounds() {
+        let (mut st, seg) = setup(100, true);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        // 10 <= id < 20
+        let mut scan = IndexScan::open(
+            &st,
+            idx,
+            Some(vec![Value::Int(10)]),
+            Some((vec![Value::Int(20)], false)),
+            SargExpr::always_true(),
+        );
+        let ids: Vec<i64> =
+            scan.collect_all().unwrap().iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(ids, (10..20).collect::<Vec<_>>());
+        // inclusive stop
+        let mut scan = IndexScan::open(
+            &st,
+            idx,
+            Some(vec![Value::Int(95)]),
+            Some((vec![Value::Int(99)], true)),
+            SargExpr::always_true(),
+        );
+        assert_eq!(scan.collect_all().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn index_equality_probe() {
+        let (mut st, seg) = setup(200, true);
+        let idx = st.create_index(seg, 1, vec![2], false).unwrap();
+        let mut scan = IndexScan::open_eq(&st, idx, vec![Value::Int(7)], SargExpr::always_true());
+        let rows = scan.collect_all().unwrap();
+        assert_eq!(rows.len(), 20);
+        assert!(rows.iter().all(|t| t[2].as_int().unwrap() == 7));
+    }
+
+    #[test]
+    fn clustered_scan_touches_fewer_data_pages_than_unclustered() {
+        // Build two identical relations: one physically clustered on the
+        // key, one scattered. A full index scan of the clustered one
+        // touches each data page ~once; the unclustered one touches a data
+        // page per tuple (buffer smaller than relation).
+        let n = 2000i64;
+        let mut st = Storage::new(8); // small buffer to defeat caching
+        let seg = st.create_segment();
+        for i in 0..n {
+            let key = (i * 7919) % n; // scattered order
+            st.insert(seg, 1, &tuple![key, format!("val-{key}")]).unwrap();
+        }
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+
+        st.reset_io_stats();
+        let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
+        assert_eq!(scan.collect_all().unwrap().len(), n as usize);
+        let unclustered = st.io_stats().data_page_fetches;
+
+        st.cluster_relation(seg, 1, &[0]).unwrap();
+        st.evict_all();
+        st.reset_io_stats();
+        let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
+        assert_eq!(scan.collect_all().unwrap().len(), n as usize);
+        let clustered = st.io_stats().data_page_fetches;
+
+        assert!(
+            clustered * 4 < unclustered,
+            "clustered scan ({clustered} fetches) must be far cheaper than unclustered ({unclustered})"
+        );
+        let data_pages = st.segment(seg).unwrap().pages_holding(1) as u64;
+        assert_eq!(clustered, data_pages, "clustered index scan touches each data page once");
+    }
+
+    #[test]
+    fn index_scan_counts_index_pages() {
+        let (mut st, seg) = setup(1000, false);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        st.reset_io_stats();
+        let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
+        scan.collect_all().unwrap();
+        let stats = st.io_stats();
+        let tree = &st.index(idx).unwrap().tree;
+        // Full scan: every leaf once, plus the root-to-leftmost-leaf path.
+        let expected = tree.leaf_page_count() as u64 + (tree.height() as u64 - 1);
+        assert_eq!(stats.index_page_fetches, expected);
+    }
+
+    #[test]
+    fn index_only_scan_skips_data_pages() {
+        let (mut st, seg) = setup(500, false);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        st.reset_io_stats();
+        let mut scan =
+            IndexScan::open_full(&st, idx, SargExpr::always_true()).index_only();
+        let rows = scan.collect_all().unwrap();
+        assert_eq!(rows.len(), 500);
+        assert_eq!(st.io_stats().data_page_fetches, 0);
+        assert!(st.io_stats().index_page_fetches > 0);
+    }
+
+    #[test]
+    fn empty_range_returns_nothing() {
+        let (mut st, seg) = setup(10, false);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        let mut scan = IndexScan::open_eq(&st, idx, vec![Value::Int(999)], SargExpr::always_true());
+        assert!(scan.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! The storage engine root: segments + indexes + one buffer pool.
+//!
+//! [`Storage`] is the RSS proper. It owns the segments (data pages) and the
+//! B-tree indexes, routes every page access through the counting
+//! [`BufferPool`], and keeps indexes consistent with tuple inserts and
+//! deletes. Everything above it (catalog, optimizer, executor) talks to
+//! storage in terms of segment ids, relation ids, index ids, and RIDs.
+
+use crate::btree::{BTreeConfig, BTreeIndex, IndexId};
+use crate::buffer::{BufferPool, FileId, IoStats, PageKey};
+use crate::error::{RssError, RssResult};
+use crate::rid::Rid;
+use crate::segment::{Segment, SegmentId};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cell::RefCell;
+
+/// Physical description of one index: which segment/relation it covers and
+/// which tuple columns (in order) form its key.
+#[derive(Debug)]
+pub struct IndexEntry {
+    pub tree: BTreeIndex,
+    pub segment: SegmentId,
+    pub rel_id: u16,
+    pub key_cols: Vec<usize>,
+}
+
+impl IndexEntry {
+    /// Extract this index's key from a stored tuple.
+    pub fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        self.key_cols.iter().map(|&c| tuple[c].clone()).collect()
+    }
+}
+
+/// The storage engine: all segments, all indexes, one buffer pool.
+#[derive(Debug)]
+pub struct Storage {
+    segments: Vec<Segment>,
+    indexes: Vec<IndexEntry>,
+    buffer: RefCell<BufferPool>,
+    next_temp: std::cell::Cell<u32>,
+    btree_config: BTreeConfig,
+}
+
+impl Storage {
+    /// A storage engine whose buffer pool holds `buffer_pages` pages.
+    pub fn new(buffer_pages: usize) -> Self {
+        Storage {
+            segments: Vec::new(),
+            indexes: Vec::new(),
+            buffer: RefCell::new(BufferPool::new(buffer_pages)),
+            next_temp: std::cell::Cell::new(0),
+            btree_config: BTreeConfig::default(),
+        }
+    }
+
+    /// Override the B-tree fanout used for indexes created after this call
+    /// (tests use tiny fanouts to exercise deep trees).
+    pub fn set_btree_config(&mut self, config: BTreeConfig) {
+        self.btree_config = config;
+    }
+
+    // ---- segments -------------------------------------------------------
+
+    pub fn create_segment(&mut self) -> SegmentId {
+        let id = self.segments.len() as SegmentId;
+        self.segments.push(Segment::new(id));
+        id
+    }
+
+    pub fn segment(&self, id: SegmentId) -> RssResult<&Segment> {
+        self.segments.get(id as usize).ok_or(RssError::UnknownSegment(id))
+    }
+
+    fn segment_mut(&mut self, id: SegmentId) -> RssResult<&mut Segment> {
+        self.segments.get_mut(id as usize).ok_or(RssError::UnknownSegment(id))
+    }
+
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    // ---- buffer pool / accounting ---------------------------------------
+
+    /// Record an access to a page; misses count as page fetches.
+    pub fn touch(&self, key: PageKey) -> bool {
+        self.buffer.borrow_mut().access(key)
+    }
+
+    /// Record one tuple crossing the RSI.
+    pub fn record_rsi_call(&self) {
+        self.buffer.borrow_mut().record_rsi_call();
+    }
+
+    /// Record `pages` temporary pages written.
+    pub fn record_temp_write(&self, pages: u64) {
+        self.buffer.borrow_mut().record_temp_write(pages);
+    }
+
+    pub fn io_stats(&self) -> IoStats {
+        self.buffer.borrow().stats()
+    }
+
+    pub fn reset_io_stats(&self) {
+        self.buffer.borrow_mut().reset_stats();
+    }
+
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer.borrow().capacity()
+    }
+
+    /// Resize the buffer pool (evicts everything).
+    pub fn set_buffer_capacity(&self, pages: usize) {
+        self.buffer.borrow_mut().set_capacity(pages);
+    }
+
+    /// Evict all resident pages without touching counters (used between
+    /// measured runs so each starts cold).
+    pub fn evict_all(&self) {
+        self.buffer.borrow_mut().clear();
+    }
+
+    /// Allocate a fresh file id for a temporary list.
+    pub fn alloc_temp_file(&self) -> u32 {
+        let id = self.next_temp.get();
+        self.next_temp.set(id + 1);
+        id
+    }
+
+    /// Drop a temporary list's pages from the buffer pool.
+    pub fn invalidate_temp(&self, temp_file: u32) {
+        self.buffer.borrow_mut().invalidate_file(FileId::Temp(temp_file));
+    }
+
+    // ---- tuples ----------------------------------------------------------
+
+    /// Insert a tuple and maintain all indexes on the relation.
+    pub fn insert(&mut self, seg: SegmentId, rel_id: u16, tuple: &Tuple) -> RssResult<Rid> {
+        // Check unique indexes before touching the segment so a duplicate
+        // key leaves storage unmodified.
+        for entry in &self.indexes {
+            if entry.segment == seg && entry.rel_id == rel_id && entry.tree.is_unique() {
+                let key = entry.key_of(tuple);
+                if entry.tree.contains_key(&key) {
+                    return Err(RssError::DuplicateKey(format!("{key:?}")));
+                }
+            }
+        }
+        let rid = self.segment_mut(seg)?.insert(rel_id, tuple)?;
+        for entry in &mut self.indexes {
+            if entry.segment == seg && entry.rel_id == rel_id {
+                let key = entry.key_of(tuple);
+                entry.tree.insert(key, rid)?;
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Delete the tuple at `rid` and remove its index entries.
+    pub fn delete(&mut self, seg: SegmentId, rel_id: u16, rid: Rid) -> RssResult<()> {
+        let tuple = self.segment(seg)?.get(rel_id, rid)?;
+        self.segment_mut(seg)?.delete(rel_id, rid)?;
+        for entry in &mut self.indexes {
+            if entry.segment == seg && entry.rel_id == rel_id {
+                let key = entry.key_of(&tuple);
+                entry.tree.delete(&key, rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch a tuple by RID **with** page accounting: the data page is
+    /// touched in the buffer pool (this is how non-clustered index scans
+    /// incur a fetch per tuple).
+    pub fn fetch(&self, seg: SegmentId, rel_id: u16, rid: Rid) -> RssResult<Tuple> {
+        self.touch(PageKey::new(FileId::Segment(seg), rid.page));
+        self.segment(seg)?.get(rel_id, rid)
+    }
+
+    /// Fetch a tuple by RID without page accounting (statistics collection,
+    /// index builds, tests).
+    pub fn fetch_unaccounted(&self, seg: SegmentId, rel_id: u16, rid: Rid) -> RssResult<Tuple> {
+        self.segment(seg)?.get(rel_id, rid)
+    }
+
+    // ---- indexes ---------------------------------------------------------
+
+    /// Create a B-tree index over `key_cols` of relation `rel_id` in
+    /// segment `seg`, loading it from the relation's current contents.
+    pub fn create_index(
+        &mut self,
+        seg: SegmentId,
+        rel_id: u16,
+        key_cols: Vec<usize>,
+        unique: bool,
+    ) -> RssResult<IndexId> {
+        let id = self.indexes.len() as IndexId;
+        let mut tree = BTreeIndex::new(id, key_cols.len(), unique, self.btree_config);
+        let rows: Vec<(Rid, Tuple)> = self
+            .segment(seg)?
+            .iter_relation(rel_id)
+            .map(|(rid, t)| t.map(|t| (rid, t)))
+            .collect::<RssResult<_>>()?;
+        for (rid, tuple) in rows {
+            let key: Vec<Value> = key_cols.iter().map(|&c| tuple[c].clone()).collect();
+            tree.insert(key, rid)?;
+        }
+        self.indexes.push(IndexEntry { tree, segment: seg, rel_id, key_cols });
+        Ok(id)
+    }
+
+    pub fn index(&self, id: IndexId) -> RssResult<&IndexEntry> {
+        self.indexes.get(id as usize).ok_or(RssError::UnknownIndex(id))
+    }
+
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Physically rewrite relation `rel_id` of segment `seg` in the key
+    /// order of `key_cols`, so that an index on those columns is
+    /// *clustered*: tuples adjacent in key order sit on the same data
+    /// pages. All indexes on the relation are rebuilt (RIDs change).
+    ///
+    /// This is the reorganization utility a System R administrator would
+    /// run before (re)creating a clustered index.
+    pub fn cluster_relation(
+        &mut self,
+        seg: SegmentId,
+        rel_id: u16,
+        key_cols: &[usize],
+    ) -> RssResult<()> {
+        let mut rows: Vec<(Rid, Tuple)> = self
+            .segment(seg)?
+            .iter_relation(rel_id)
+            .map(|(rid, t)| t.map(|t| (rid, t)))
+            .collect::<RssResult<_>>()?;
+        rows.sort_by(|(_, a), (_, b)| {
+            let ka: Vec<&Value> = key_cols.iter().map(|&c| &a[c]).collect();
+            let kb: Vec<&Value> = key_cols.iter().map(|&c| &b[c]).collect();
+            ka.cmp(&kb)
+        });
+        // Remove old copies, reinsert in key order.
+        for (rid, _) in &rows {
+            self.segment_mut(seg)?.delete(rel_id, *rid)?;
+        }
+        let mut new_rids = Vec::with_capacity(rows.len());
+        for (_, tuple) in &rows {
+            // Compact as we go so the rewritten relation is dense.
+            new_rids.push(self.segment_mut(seg)?.insert(rel_id, tuple)?);
+        }
+        // Rebuild every index on this relation.
+        for entry in &mut self.indexes {
+            if entry.segment == seg && entry.rel_id == rel_id {
+                let mut tree = BTreeIndex::new(
+                    entry.tree.id(),
+                    entry.key_cols.len(),
+                    entry.tree.is_unique(),
+                    self.btree_config,
+                );
+                for (rid, tuple) in new_rids.iter().zip(rows.iter().map(|(_, t)| t)) {
+                    let key: Vec<Value> = entry.key_cols.iter().map(|&c| tuple[c].clone()).collect();
+                    tree.insert(key, *rid)?;
+                }
+                entry.tree = tree;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn row(i: i64) -> Tuple {
+        tuple![i, format!("n{i}"), i % 10]
+    }
+
+    fn loaded_storage(n: i64) -> (Storage, SegmentId) {
+        let mut st = Storage::new(64);
+        let seg = st.create_segment();
+        for i in 0..n {
+            st.insert(seg, 1, &row(i)).unwrap();
+        }
+        (st, seg)
+    }
+
+    #[test]
+    fn insert_fetch_roundtrip_with_accounting() {
+        let (st, seg) = loaded_storage(10);
+        st.reset_io_stats();
+        let rid = st.segment(seg).unwrap().iter_relation(1).next().unwrap().0;
+        let t = st.fetch(seg, 1, rid).unwrap();
+        assert_eq!(t, row(0));
+        assert_eq!(st.io_stats().data_page_fetches, 1);
+        // Second fetch of the same page hits.
+        st.fetch(seg, 1, rid).unwrap();
+        assert_eq!(st.io_stats().data_page_fetches, 1);
+        assert_eq!(st.io_stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn index_maintained_on_insert_and_delete() {
+        let (mut st, seg) = loaded_storage(100);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        assert_eq!(st.index(idx).unwrap().tree.entry_count(), 100);
+        let rid = st.insert(seg, 1, &row(200)).unwrap();
+        assert_eq!(st.index(idx).unwrap().tree.entry_count(), 101);
+        st.delete(seg, 1, rid).unwrap();
+        assert_eq!(st.index(idx).unwrap().tree.entry_count(), 100);
+        assert!(!st.index(idx).unwrap().tree.contains_key(&[Value::Int(200)]));
+    }
+
+    #[test]
+    fn unique_violation_leaves_storage_unchanged() {
+        let (mut st, seg) = loaded_storage(10);
+        st.create_index(seg, 1, vec![0], true).unwrap();
+        let before = st.segment(seg).unwrap().count_tuples(1);
+        assert!(st.insert(seg, 1, &row(5)).is_err());
+        assert_eq!(st.segment(seg).unwrap().count_tuples(1), before);
+    }
+
+    #[test]
+    fn cluster_relation_orders_physically() {
+        let mut st = Storage::new(64);
+        let seg = st.create_segment();
+        // Insert in reverse order, then cluster ascending.
+        for i in (0..500).rev() {
+            st.insert(seg, 1, &row(i)).unwrap();
+        }
+        let idx = st.create_index(seg, 1, vec![0], false).unwrap();
+        st.cluster_relation(seg, 1, &[0]).unwrap();
+        // Physical scan order now equals key order.
+        let physical: Vec<i64> = st
+            .segment(seg)
+            .unwrap()
+            .iter_relation(1)
+            .map(|(_, t)| t.unwrap()[0].as_int().unwrap())
+            .collect();
+        let mut sorted = physical.clone();
+        sorted.sort_unstable();
+        assert_eq!(physical, sorted);
+        // Index was rebuilt and still maps every key.
+        let tree = &st.index(idx).unwrap().tree;
+        assert_eq!(tree.entry_count(), 500);
+        tree.check_invariants().unwrap();
+        // Index RIDs point at valid tuples.
+        for (key, rid) in tree.iter() {
+            let t = st.fetch_unaccounted(seg, 1, rid).unwrap();
+            assert_eq!(&t[0], &key[0]);
+        }
+    }
+
+    #[test]
+    fn multiple_indexes_on_one_relation() {
+        let (mut st, seg) = loaded_storage(50);
+        let a = st.create_index(seg, 1, vec![0], true).unwrap();
+        let b = st.create_index(seg, 1, vec![2], false).unwrap();
+        assert_eq!(st.index(a).unwrap().tree.distinct_keys(), 50);
+        assert_eq!(st.index(b).unwrap().tree.distinct_keys(), 10);
+        let rid = st.insert(seg, 1, &row(60)).unwrap();
+        st.delete(seg, 1, rid).unwrap();
+        assert_eq!(st.index(a).unwrap().tree.entry_count(), 50);
+        assert_eq!(st.index(b).unwrap().tree.entry_count(), 50);
+    }
+
+    #[test]
+    fn temp_file_ids_are_fresh() {
+        let st = Storage::new(8);
+        assert_ne!(st.alloc_temp_file(), st.alloc_temp_file());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let st = Storage::new(8);
+        assert!(st.segment(3).is_err());
+        assert!(st.index(0).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Temporary lists.
+//!
+//! "If the subquery can return a set of values, they are returned in a
+//! temporary list, an internal form which is more efficient than a relation
+//! but which can only be accessed sequentially" (paper, Section 6). Temp
+//! lists are also where sorts put their output: the sorted inner relation
+//! of a merging-scans join is a temp list, and the paper's
+//! `C-inner(sorted list) = TEMPPAGES/N + W*RSICARD` formula charges its
+//! page footprint.
+//!
+//! A [`TempList`] materializes tuples into virtual 4 KB pages (page
+//! boundaries computed from real encoded sizes) registered with the buffer
+//! pool under a fresh [`FileId::Temp`], so reading it back costs temp-page
+//! fetches and RSI calls exactly like any other access path.
+
+use crate::buffer::{FileId, PageKey};
+use crate::error::RssResult;
+use crate::page::{PAGE_HEADER_SIZE, PAGE_SIZE};
+use crate::storage::Storage;
+use crate::tuple::Tuple;
+
+/// A materialized, sequentially-readable list of tuples.
+#[derive(Debug)]
+pub struct TempList {
+    file: u32,
+    tuples: Vec<Tuple>,
+    /// `page_of[i]` is the virtual page holding tuple `i`.
+    page_of: Vec<u32>,
+    page_count: u32,
+}
+
+impl TempList {
+    /// Materialize `tuples` into a new temp list, charging one temp-page
+    /// write per page produced.
+    pub fn materialize(storage: &Storage, tuples: Vec<Tuple>) -> TempList {
+        let file = storage.alloc_temp_file();
+        let usable = PAGE_SIZE - PAGE_HEADER_SIZE;
+        let mut page_of = Vec::with_capacity(tuples.len());
+        let mut page = 0u32;
+        let mut used = 0usize;
+        for t in &tuples {
+            let sz = t.encoded_size().min(usable);
+            if used + sz > usable && used > 0 {
+                page += 1;
+                used = 0;
+            }
+            used += sz;
+            page_of.push(page);
+        }
+        let page_count = if tuples.is_empty() { 0 } else { page + 1 };
+        storage.record_temp_write(page_count as u64);
+        TempList { file, tuples, page_of, page_count }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Pages occupied — the paper's `TEMPPAGES`.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    pub fn file_id(&self) -> u32 {
+        self.file
+    }
+
+    /// Read tuple `i`, touching its page and counting one RSI call.
+    pub fn read(&self, storage: &Storage, i: usize) -> Option<&Tuple> {
+        let t = self.tuples.get(i)?;
+        storage.touch(PageKey::new(FileId::Temp(self.file), self.page_of[i]));
+        storage.record_rsi_call();
+        Some(t)
+    }
+
+    /// Peek tuple `i` without any accounting (planning / tests).
+    pub fn peek(&self, i: usize) -> Option<&Tuple> {
+        self.tuples.get(i)
+    }
+
+    /// Sequential scan from the beginning.
+    pub fn scan<'a>(&'a self, storage: &'a Storage) -> TempScan<'a> {
+        TempScan { list: self, storage, pos: 0 }
+    }
+
+    /// Drop the list's pages from the buffer pool.
+    pub fn destroy(&self, storage: &Storage) {
+        storage.invalidate_temp(self.file);
+    }
+}
+
+/// Sequential cursor over a temp list with positioned rescan support —
+/// the merging-scans join rewinds the inner list to the start of the
+/// current join group ("remembering where matching join groups are
+/// located").
+pub struct TempScan<'a> {
+    list: &'a TempList,
+    storage: &'a Storage,
+    pos: usize,
+}
+
+#[allow(clippy::should_implement_trait)] // NEXT is the RSI verb; errors preclude Iterator
+impl<'a> TempScan<'a> {
+    /// Current position (tuple ordinal).
+    pub fn tell(&self) -> usize {
+        self.pos
+    }
+
+    /// Reposition the cursor.
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    /// NEXT: read and advance. Counts a temp-page touch and an RSI call.
+    pub fn next(&mut self) -> RssResult<Option<Tuple>> {
+        match self.list.read(self.storage, self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| tuple![i, format!("padding-padding-{i}")]).collect()
+    }
+
+    #[test]
+    fn materialize_counts_page_writes() {
+        let st = Storage::new(16);
+        let list = TempList::materialize(&st, rows(1000));
+        assert!(list.page_count() > 1);
+        assert_eq!(st.io_stats().temp_pages_written, list.page_count() as u64);
+    }
+
+    #[test]
+    fn empty_list() {
+        let st = Storage::new(16);
+        let list = TempList::materialize(&st, vec![]);
+        assert_eq!(list.page_count(), 0);
+        assert!(list.is_empty());
+        let mut scan = list.scan(&st);
+        assert!(scan.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn sequential_scan_touches_each_page_once() {
+        let st = Storage::new(64);
+        let list = TempList::materialize(&st, rows(500));
+        st.reset_io_stats();
+        let mut scan = list.scan(&st);
+        let mut n = 0;
+        while scan.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 500);
+        let stats = st.io_stats();
+        assert_eq!(stats.temp_page_fetches, list.page_count() as u64);
+        assert_eq!(stats.rsi_calls, 500);
+    }
+
+    #[test]
+    fn seek_and_tell_support_group_rewind() {
+        let st = Storage::new(64);
+        let list = TempList::materialize(&st, rows(10));
+        let mut scan = list.scan(&st);
+        scan.next().unwrap();
+        scan.next().unwrap();
+        let mark = scan.tell();
+        let third = scan.next().unwrap().unwrap();
+        scan.seek(mark);
+        assert_eq!(scan.next().unwrap().unwrap(), third);
+    }
+
+    #[test]
+    fn destroy_invalidates_buffer_pages() {
+        let st = Storage::new(64);
+        let list = TempList::materialize(&st, rows(100));
+        let mut scan = list.scan(&st);
+        while scan.next().unwrap().is_some() {}
+        let before = st.io_stats().temp_page_fetches;
+        list.destroy(&st);
+        // Re-scan misses again: pages were evicted.
+        let mut scan = list.scan(&st);
+        scan.next().unwrap();
+        assert!(st.io_stats().temp_page_fetches > before);
+    }
+
+    #[test]
+    fn big_tuples_one_per_page() {
+        let st = Storage::new(16);
+        let big: Vec<Tuple> = (0..5).map(|i| tuple![i, "x".repeat(3000)]).collect();
+        let list = TempList::materialize(&st, big);
+        assert_eq!(list.page_count(), 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tuples: ordered sequences of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple (row) of a relation. Columns are positional; names live in the
+/// catalog, not in the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, col: usize) -> Option<&Value> {
+        self.values.get(col)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Project the tuple onto a list of column positions. Panics if a
+    /// position is out of range — callers resolve positions via the catalog
+    /// before execution.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.values[c].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used to form composite join tuples).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Total encoded size in bytes as stored on a page (2-byte column count
+    /// plus each value's encoding).
+    pub fn encoded_size(&self) -> usize {
+        2 + self.values.iter().map(Value::encoded_size).sum::<usize>()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a tuple from heterogeneous literals: `tuple![1, "SMITH", 2.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_and_concat() {
+        let t = tuple![1, "a", 3.5];
+        assert_eq!(t.project(&[2, 0]), tuple![3.5, 1]);
+        let u = tuple![9];
+        assert_eq!(t.concat(&u).arity(), 4);
+        assert_eq!(t.concat(&u)[3], Value::Int(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "x"].to_string(), "(1, 'x')");
+    }
+
+    #[test]
+    fn encoded_size_matches_parts() {
+        let t = tuple![1, "abc"];
+        assert_eq!(t.encoded_size(), 2 + 9 + 6);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_columns() {
+        assert!(tuple![1, "b"] < tuple![2, "a"]);
+        assert!(tuple![1, "a"] < tuple![1, "b"]);
+    }
+}

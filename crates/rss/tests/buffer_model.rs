@@ -1,0 +1,109 @@
+//! Model-based property test for the buffer pool: the LRU implementation
+//! (HashMap + BTreeMap recency index) must agree, access for access, with
+//! a trivially correct reference model (a Vec ordered by recency).
+
+use proptest::prelude::*;
+use sysr_rss::{BufferPool, FileId, PageKey};
+
+/// The obviously-correct reference: a recency-ordered vector.
+struct ModelLru {
+    capacity: usize,
+    pages: Vec<PageKey>, // most recent last
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, pages: Vec::new() }
+    }
+
+    /// Returns true on a miss.
+    fn access(&mut self, key: PageKey) -> bool {
+        if let Some(pos) = self.pages.iter().position(|&k| k == key) {
+            self.pages.remove(pos);
+            self.pages.push(key);
+            false
+        } else {
+            self.pages.push(key);
+            if self.pages.len() > self.capacity {
+                self.pages.remove(0);
+            }
+            true
+        }
+    }
+
+    fn invalidate(&mut self, file: FileId) {
+        self.pages.retain(|k| k.file != file);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(PageKey),
+    InvalidateFile(FileId),
+    Clear,
+}
+
+fn arb_key() -> impl Strategy<Value = PageKey> {
+    (
+        prop_oneof![
+            (0u32..3).prop_map(FileId::Segment),
+            (0u32..3).prop_map(FileId::Index),
+            (0u32..3).prop_map(FileId::Temp),
+        ],
+        0u32..12,
+    )
+        .prop_map(|(file, page)| PageKey::new(file, page))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => arb_key().prop_map(Op::Access),
+        1 => prop_oneof![
+            (0u32..3).prop_map(FileId::Segment),
+            (0u32..3).prop_map(FileId::Temp),
+        ]
+        .prop_map(Op::InvalidateFile),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pool_matches_reference_model(
+        capacity in 1usize..10,
+        ops in prop::collection::vec(arb_op(), 1..400),
+    ) {
+        let mut pool = BufferPool::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        let mut misses = 0u64;
+        let mut hits = 0u64;
+        for op in ops {
+            match op {
+                Op::Access(key) => {
+                    let miss = pool.access(key);
+                    let model_miss = model.access(key);
+                    prop_assert_eq!(
+                        miss, model_miss,
+                        "divergence on {:?} (capacity {})", key, capacity
+                    );
+                    if miss { misses += 1 } else { hits += 1 }
+                }
+                Op::InvalidateFile(file) => {
+                    pool.invalidate_file(file);
+                    model.invalidate(file);
+                }
+                Op::Clear => {
+                    pool.clear();
+                    model.pages.clear();
+                }
+            }
+            prop_assert_eq!(pool.resident_pages(), model.pages.len());
+            prop_assert!(pool.resident_pages() <= capacity);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.page_fetches(), misses);
+        prop_assert_eq!(stats.buffer_hits, hits);
+    }
+}

@@ -1,0 +1,358 @@
+//! Abstract syntax for the SQL subset.
+
+use std::fmt;
+use sysr_rss::{ColType, CompareOp, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable(CreateTableStmt),
+    CreateIndex(CreateIndexStmt),
+    Insert(InsertStmt),
+    Delete(DeleteStmt),
+    Update(UpdateStmt),
+    /// `UPDATE STATISTICS` — refresh all catalog statistics.
+    UpdateStatistics,
+    /// `EXPLAIN <select>` — plan without executing.
+    Explain(Box<Statement>),
+}
+
+/// `CREATE TABLE name (col type, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStmt {
+    pub name: String,
+    pub columns: Vec<(String, ColType)>,
+}
+
+/// `CREATE [UNIQUE] [CLUSTERED] INDEX name ON table (col, ...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndexStmt {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub unique: bool,
+    pub clustered: bool,
+}
+
+/// `INSERT INTO table [(cols)] VALUES (..), (..)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: String,
+    pub columns: Option<Vec<String>>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// `DELETE FROM table [WHERE ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// `UPDATE table SET col = expr, ... [WHERE ...]` — "Retrieval for data
+/// manipulation (UPDATE, DELETE) is treated similarly" (paper §1): the
+/// WHERE goes through the same access path selection as a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: String,
+    /// `(column, new value expression)` pairs. Value expressions may
+    /// reference the row's current columns (`SET SAL = SAL * 1.1`).
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// One query block: SELECT list, FROM list, WHERE tree (paper, Section 2),
+/// plus GROUP BY / ORDER BY, which define the block's *interesting orders*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub select: SelectList,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Vec<OrderItem>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *`
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// A FROM-list entry: `EMP` or `EMPLOYEE X`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses use to reference this table.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A possibly-qualified column reference: `DNO` or `EMP.DNO`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef { table: None, column: column.into().to_ascii_uppercase() }
+    }
+
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into().to_ascii_uppercase()),
+            column: column.into().to_ascii_uppercase(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// `ORDER BY col [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub col: ColumnRef,
+    pub desc: bool,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Expressions: scalar expressions and the boolean WHERE tree share one
+/// type; the binder separates them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Value),
+    /// `left op right`
+    Compare {
+        op: CompareOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr BETWEEN low AND high`
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    /// `expr op (SELECT ...)` — scalar subquery comparison.
+    CompareSubquery {
+        op: CompareOp,
+        left: Box<Expr>,
+        query: Box<SelectStmt>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Aggregate call; `arg = None` is `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ColumnRef::unqualified(name))
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Compare { op: CompareOp::Eq, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Visit every subquery directly nested in this expression.
+    pub fn for_each_subquery<'a>(&'a self, f: &mut impl FnMut(&'a SelectStmt)) {
+        match self {
+            Expr::InSubquery { expr, query, .. } => {
+                expr.for_each_subquery(f);
+                f(query);
+            }
+            Expr::CompareSubquery { left, query, .. } => {
+                left.for_each_subquery(f);
+                f(query);
+            }
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.for_each_subquery(f);
+                right.for_each_subquery(f);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.for_each_subquery(f);
+                low.for_each_subquery(f);
+                high.for_each_subquery(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.for_each_subquery(f);
+                for e in list {
+                    e.for_each_subquery(f);
+                }
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.for_each_subquery(f);
+                b.for_each_subquery(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.for_each_subquery(f),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.for_each_subquery(f);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+
+    /// Whether the expression contains an aggregate call at any depth
+    /// (not descending into subqueries, which aggregate independently).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Compare { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::CompareSubquery { left, .. } => left.contains_aggregate(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(),
+            Expr::Column(_) | Expr::Literal(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let e = Expr::col("A").eq(Expr::lit(1i64)).and(Expr::col("B").eq(Expr::lit("x")));
+        assert!(matches!(e, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef { table: "EMPLOYEE".into(), alias: Some("X".into()) };
+        assert_eq!(t.binding_name(), "X");
+        let t = TableRef { table: "EMP".into(), alias: None };
+        assert_eq!(t.binding_name(), "EMP");
+    }
+
+    #[test]
+    fn column_ref_uppercases() {
+        assert_eq!(ColumnRef::qualified("emp", "dno"), ColumnRef::qualified("EMP", "DNO"));
+        assert_eq!(ColumnRef::unqualified("dno").to_string(), "DNO");
+    }
+
+    #[test]
+    fn contains_aggregate_detection() {
+        let agg = Expr::Agg { func: AggFunc::Avg, arg: Some(Box::new(Expr::col("SAL"))) };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(agg),
+            right: Box::new(Expr::lit(1i64)),
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("SAL").contains_aggregate());
+    }
+}

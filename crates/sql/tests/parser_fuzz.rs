@@ -1,0 +1,68 @@
+//! Parser robustness: arbitrary input must produce `Ok` or a positioned
+//! `Err` — never a panic — and parsing must be deterministic.
+
+use proptest::prelude::*;
+use sysr_sql::{parse_statement, parse_statements};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Arbitrary character soup.
+    #[test]
+    fn prop_never_panics_on_garbage(src in "\\PC{0,120}") {
+        let _ = parse_statements(&src);
+        let _ = parse_statement(&src);
+    }
+
+    /// SQL-looking token soup: much higher chance of reaching deep parser
+    /// states than raw garbage.
+    #[test]
+    fn prop_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("FROM".to_string()),
+                Just("WHERE".to_string()), Just("AND".to_string()),
+                Just("OR".to_string()), Just("NOT".to_string()),
+                Just("IN".to_string()), Just("BETWEEN".to_string()),
+                Just("GROUP".to_string()), Just("ORDER".to_string()),
+                Just("BY".to_string()), Just("INSERT".to_string()),
+                Just("INTO".to_string()), Just("VALUES".to_string()),
+                Just("CREATE".to_string()), Just("TABLE".to_string()),
+                Just("INDEX".to_string()), Just("UPDATE".to_string()),
+                Just("SET".to_string()), Just("DELETE".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just(",".to_string()), Just("=".to_string()),
+                Just("<".to_string()), Just(">".to_string()),
+                Just("*".to_string()), Just(";".to_string()),
+                Just("'str'".to_string()), Just("T".to_string()),
+                Just("A".to_string()), Just("42".to_string()),
+                Just("4.5".to_string()), Just(".".to_string()),
+                Just("-".to_string()), Just("+".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_statements(&src);
+    }
+
+    /// Well-formed simple SELECTs always parse.
+    #[test]
+    fn prop_wellformed_selects_parse(
+        table in "T_[A-Z0-9_]{0,10}",
+        col in "C_[A-Z0-9_]{0,10}",
+        v in any::<i32>(),
+    ) {
+        // Prefixes keep generated identifiers clear of SQL keywords.
+        let sql = format!("SELECT {col} FROM {table} WHERE {col} = {v}");
+        prop_assert!(parse_statement(&sql).is_ok(), "{sql}");
+    }
+
+    /// Errors carry positions within the input.
+    #[test]
+    fn prop_error_positions_in_range(src in "\\PC{1,80}") {
+        if let Err(e) = parse_statement(&src) {
+            prop_assert!(e.pos <= src.len(), "pos {} beyond input {}", e.pos, src.len());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: create tables, load rows, build indexes, and watch the
+//! System R optimizer pick access paths.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use system_r::{tuple, Database, DbError};
+
+fn main() -> Result<(), DbError> {
+    let mut db = Database::new();
+
+    // ---- schema -----------------------------------------------------------
+    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)")?;
+    db.execute("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR(20), LOC VARCHAR(20))")?;
+
+    // ---- data ---------------------------------------------------------------
+    // A few departments via plain SQL...
+    db.execute(
+        "INSERT INTO DEPT VALUES
+           (50, 'MFG',   'DENVER'),
+           (51, 'BILLING', 'BOSTON'),
+           (52, 'ADMIN', 'DENVER')",
+    )?;
+    // ...and a bulk load for the big table.
+    db.insert_rows(
+        "EMP",
+        (0..5000).map(|i| {
+            tuple![
+                format!("EMP-{i:04}"),
+                50 + (i % 3),
+                i % 8,
+                8000.0 + (i % 100) as f64 * 250.0
+            ]
+        }),
+    )?;
+
+    // ---- access paths + statistics -----------------------------------------
+    db.execute("CREATE INDEX EMP_DNO ON EMP (DNO)")?;
+    db.execute("CREATE UNIQUE INDEX DEPT_DNO ON DEPT (DNO)")?;
+    db.execute("UPDATE STATISTICS")?;
+
+    // ---- ask the optimizer to explain itself --------------------------------
+    let sql = "SELECT NAME, SAL, DNAME
+               FROM EMP, DEPT
+               WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER' AND SAL > 30000
+               ORDER BY SAL DESC";
+    println!("EXPLAIN {sql}\n");
+    println!("{}", db.explain(sql)?);
+
+    // ---- run it, with the measured cost the optimizer tried to predict ------
+    db.reset_io_stats();
+    db.evict_buffers();
+    let result = db.query(sql)?;
+    println!("{result}");
+    let io = db.io_stats();
+    println!(
+        "measured: {} page fetches + W x {} RSI calls  (the optimizer's cost unit)",
+        io.page_fetches(),
+        io.rsi_calls
+    );
+
+    // ---- aggregation --------------------------------------------------------
+    let by_dept = db.query(
+        "SELECT DNAME, COUNT(*), AVG(SAL)
+         FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO
+         GROUP BY DNAME ORDER BY DNAME",
+    )?;
+    println!("{by_dept}");
+    Ok(())
+}

@@ -1,0 +1,663 @@
+//! # system-r — a reproduction of the System R access path selector
+//!
+//! This crate is the user-facing facade over the reproduction of
+//! *Selinger et al., "Access Path Selection in a Relational Database
+//! Management System", SIGMOD 1979*: a [`Database`] that runs SQL through
+//! the paper's four phases — parsing (`sysr-sql`), optimization
+//! (`sysr-core`, the paper's contribution), and execution
+//! (`sysr-executor`) against a from-scratch storage system (`sysr-rss`)
+//! with System R's catalogs and statistics (`sysr-catalog`).
+//!
+//! ```
+//! use system_r::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, SAL FLOAT)").unwrap();
+//! db.execute("INSERT INTO EMP VALUES ('SMITH', 50, 10000.0), ('JONES', 50, 20000.0)").unwrap();
+//! db.execute("CREATE INDEX EMP_DNO ON EMP (DNO)").unwrap();
+//! db.execute("UPDATE STATISTICS").unwrap();
+//! let result = db.execute("SELECT NAME FROM EMP WHERE DNO = 50 ORDER BY NAME").unwrap();
+//! assert_eq!(result.len(), 2);
+//! println!("{}", db.explain("SELECT NAME FROM EMP WHERE DNO = 50").unwrap());
+//! ```
+//!
+//! The cost model's knobs are exposed: the CPU weighting factor `W`, the
+//! buffer pool size, and the two search heuristics (interesting orders,
+//! Cartesian deferral) — the experiment harness sweeps all of them.
+
+use std::fmt;
+use sysr_catalog::{Catalog, CatalogError, ColumnMeta, RelId};
+use sysr_core::{bind_select, BindError, Optimizer, OptimizerConfig, QueryPlan};
+use sysr_executor::{execute, ExecEnv, ExecError, ResultSet};
+use sysr_rss::{IoStats, Rid, RssError, Storage, Tuple, Value};
+use sysr_sql::{
+    parse_statement, parse_statements, DeleteStmt, Expr, InsertStmt, ParseError, SelectList,
+    SelectStmt, Statement, TableRef,
+};
+
+pub use sysr_catalog as catalog;
+pub use sysr_core as core;
+pub use sysr_executor as executor;
+pub use sysr_rss as rss;
+pub use sysr_sql as sql;
+
+pub use sysr_core::OptimizerConfig as Config;
+pub use sysr_rss::{tuple, ColType};
+
+/// Any error a statement can raise, across all phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    Parse(ParseError),
+    Bind(BindError),
+    Catalog(CatalogError),
+    Storage(RssError),
+    Exec(ExecError),
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Bind(e) => write!(f, "{e}"),
+            DbError::Catalog(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+impl From<BindError> for DbError {
+    fn from(e: BindError) -> Self {
+        DbError::Bind(e)
+    }
+}
+impl From<CatalogError> for DbError {
+    fn from(e: CatalogError) -> Self {
+        DbError::Catalog(e)
+    }
+}
+impl From<RssError> for DbError {
+    fn from(e: RssError) -> Self {
+        DbError::Storage(e)
+    }
+}
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+
+pub type DbResult<T> = Result<T, DbError>;
+
+/// An embedded System R-style database: storage, catalogs, optimizer,
+/// executor.
+pub struct Database {
+    storage: Storage,
+    catalog: Catalog,
+    config: OptimizerConfig,
+    /// When set, new tables share this segment (the paper's interleaved
+    /// layout, giving `P(T) < 1`); otherwise each table gets its own.
+    shared_segment: Option<u32>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A database with the default buffer pool (matching the optimizer's
+    /// default buffer assumption) and default cost-model parameters.
+    pub fn new() -> Self {
+        let config = OptimizerConfig::default();
+        Database {
+            storage: Storage::new(config.buffer_pages),
+            catalog: Catalog::new(),
+            config,
+            shared_segment: None,
+        }
+    }
+
+    /// A database with explicit optimizer configuration; the buffer pool is
+    /// sized to `config.buffer_pages` so predictions and measurements see
+    /// the same buffer.
+    pub fn with_config(config: OptimizerConfig) -> Self {
+        Database {
+            storage: Storage::new(config.buffer_pages),
+            catalog: Catalog::new(),
+            config,
+            shared_segment: None,
+        }
+    }
+
+    /// Make subsequently created tables share one segment, interleaving
+    /// their tuples on common pages (exercises the `P(T)` statistic).
+    pub fn share_segment_for_new_tables(&mut self) {
+        if self.shared_segment.is_none() {
+            self.shared_segment = Some(self.storage.create_segment());
+        }
+    }
+
+    /// Give subsequently created tables their own segments again.
+    pub fn separate_segments_for_new_tables(&mut self) {
+        self.shared_segment = None;
+    }
+
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+
+    pub fn set_config(&mut self, config: OptimizerConfig) {
+        self.config = config;
+        self.storage.set_buffer_capacity(config.buffer_pages);
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Execution-time I/O counters since the last reset.
+    pub fn io_stats(&self) -> IoStats {
+        self.storage.io_stats()
+    }
+
+    pub fn reset_io_stats(&self) {
+        self.storage.reset_io_stats();
+    }
+
+    /// Evict the buffer pool (without clearing counters), so the next
+    /// measured query starts cold.
+    pub fn evict_buffers(&self) {
+        self.storage.evict_all();
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql_text: &str) -> DbResult<ResultSet> {
+        let stmt = parse_statement(sql_text)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a semicolon-separated script, returning the last statement's
+    /// result.
+    pub fn execute_script(&mut self, script: &str) -> DbResult<ResultSet> {
+        let stmts = parse_statements(script)?;
+        let mut last = ResultSet::empty();
+        for stmt in stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> DbResult<ResultSet> {
+        match stmt {
+            Statement::Select(sel) => self.run_select(&sel),
+            Statement::CreateTable(ct) => {
+                let segment = match self.shared_segment {
+                    Some(s) => s,
+                    None => self.storage.create_segment(),
+                };
+                let columns =
+                    ct.columns.iter().map(|(n, t)| ColumnMeta::new(n.as_str(), *t)).collect();
+                self.catalog.create_relation(&ct.name, segment, columns)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateIndex(ci) => {
+                let (rel_id, segment, key_cols) = {
+                    let rel = self.catalog.relation_by_name(&ci.table)?;
+                    let key_cols: Vec<usize> = ci
+                        .columns
+                        .iter()
+                        .map(|c| {
+                            rel.column_position(c).ok_or_else(|| {
+                                DbError::Catalog(CatalogError::UnknownColumn {
+                                    relation: rel.name.clone(),
+                                    column: c.clone(),
+                                })
+                            })
+                        })
+                        .collect::<DbResult<_>>()?;
+                    (rel.id, rel.segment, key_cols)
+                };
+                if ci.clustered {
+                    // Physically reorganize so the index really is
+                    // clustered, as a System R reorganization utility would.
+                    self.storage.cluster_relation(segment, rel_id, &key_cols)?;
+                }
+                let idx = self.storage.create_index(segment, rel_id, key_cols.clone(), ci.unique)?;
+                self.catalog.register_index(
+                    idx,
+                    &ci.name,
+                    rel_id,
+                    key_cols,
+                    ci.unique,
+                    ci.clustered,
+                )?;
+                // "Initial relation loading and index creation initialize
+                // these statistics."
+                self.catalog.update_statistics(&self.storage);
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert(ins) => self.run_insert(&ins),
+            Statement::Delete(del) => self.run_delete(&del),
+            Statement::Update(upd) => self.run_update(&upd),
+            Statement::UpdateStatistics => {
+                self.catalog.update_statistics(&self.storage);
+                Ok(ResultSet::empty())
+            }
+            Statement::Explain(inner) => {
+                let Statement::Select(sel) = *inner else {
+                    return Err(DbError::Unsupported("EXPLAIN requires a SELECT".into()));
+                };
+                let plan = self.plan_select(&sel)?;
+                let text = format!(
+                    "{}predicted: {} (W={}); QCARD≈{:.1}\n",
+                    plan.explain(&self.catalog),
+                    plan.predicted,
+                    self.config.w,
+                    plan.qcard
+                );
+                Ok(ResultSet::new(vec!["PLAN".into()], vec![Tuple::new(vec![Value::Str(text)])]))
+            }
+        }
+    }
+
+    /// Plan a SELECT without executing it.
+    pub fn plan(&self, sql_text: &str) -> DbResult<QueryPlan> {
+        let stmt = parse_statement(sql_text)?;
+        match stmt {
+            Statement::Select(sel) => self.plan_select(&sel),
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(sel) => self.plan_select(&sel),
+                _ => Err(DbError::Unsupported("EXPLAIN requires a SELECT".into())),
+            },
+            _ => Err(DbError::Unsupported("only SELECT statements have plans".into())),
+        }
+    }
+
+    /// EXPLAIN: render the chosen plan.
+    pub fn explain(&self, sql_text: &str) -> DbResult<String> {
+        let plan = self.plan(sql_text)?;
+        Ok(format!(
+            "{}predicted: {} (W={}); QCARD≈{:.1}\n",
+            plan.explain(&self.catalog),
+            plan.predicted,
+            self.config.w,
+            plan.qcard
+        ))
+    }
+
+    /// Run a read-only SELECT.
+    pub fn query(&self, sql_text: &str) -> DbResult<ResultSet> {
+        let stmt = parse_statement(sql_text)?;
+        match stmt {
+            Statement::Select(sel) => self.run_select(&sel),
+            _ => Err(DbError::Unsupported("query() only accepts SELECT".into())),
+        }
+    }
+
+    /// Execute an already-planned SELECT (the §7 experiments execute every
+    /// enumerated plan this way).
+    pub fn execute_plan(&self, plan: &QueryPlan) -> DbResult<ResultSet> {
+        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        Ok(execute(&env, plan)?)
+    }
+
+    fn plan_select(&self, sel: &SelectStmt) -> DbResult<QueryPlan> {
+        let optimizer = Optimizer::with_config(&self.catalog, self.config);
+        Ok(optimizer.optimize(sel)?)
+    }
+
+    fn run_select(&self, sel: &SelectStmt) -> DbResult<ResultSet> {
+        let plan = self.plan_select(sel)?;
+        self.execute_plan(&plan)
+    }
+
+    // ---- INSERT -------------------------------------------------------------
+
+    fn run_insert(&mut self, ins: &InsertStmt) -> DbResult<ResultSet> {
+        let (rel_id, segment, arity, positions, types) = {
+            let rel = self.catalog.relation_by_name(&ins.table)?;
+            let positions: Vec<usize> = match &ins.columns {
+                None => (0..rel.arity()).collect(),
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| {
+                        rel.column_position(c).ok_or_else(|| {
+                            DbError::Catalog(CatalogError::UnknownColumn {
+                                relation: rel.name.clone(),
+                                column: c.clone(),
+                            })
+                        })
+                    })
+                    .collect::<DbResult<_>>()?,
+            };
+            let types: Vec<ColType> = rel.columns.iter().map(|c| c.ty).collect();
+            (rel.id, rel.segment, rel.arity(), positions, types)
+        };
+        let mut inserted = 0usize;
+        for row in &ins.rows {
+            if row.len() != positions.len() {
+                return Err(DbError::Unsupported(format!(
+                    "INSERT row has {} values for {} columns",
+                    row.len(),
+                    positions.len()
+                )));
+            }
+            let mut values = vec![Value::Null; arity];
+            for (expr, &pos) in row.iter().zip(&positions) {
+                let v = const_eval(expr)?;
+                let v = coerce(v, types[pos])?;
+                values[pos] = v;
+            }
+            self.storage.insert(segment, rel_id, &Tuple::new(values))?;
+            inserted += 1;
+        }
+        Ok(ResultSet::new(
+            vec!["INSERTED".into()],
+            vec![Tuple::new(vec![Value::Int(inserted as i64)])],
+        ))
+    }
+
+    /// Bulk-load pre-built tuples (examples and benches use this instead of
+    /// millions of INSERT statements).
+    pub fn insert_rows(&mut self, table: &str, rows: impl IntoIterator<Item = Tuple>) -> DbResult<usize> {
+        let (rel_id, segment, types) = {
+            let rel = self.catalog.relation_by_name(table)?;
+            let types: Vec<ColType> = rel.columns.iter().map(|c| c.ty).collect();
+            (rel.id, rel.segment, types)
+        };
+        let mut n = 0;
+        for row in rows {
+            if row.arity() != types.len() {
+                return Err(DbError::Unsupported(format!(
+                    "row arity {} != table arity {}",
+                    row.arity(),
+                    types.len()
+                )));
+            }
+            for (v, &ty) in row.values().iter().zip(&types) {
+                if !v.fits(ty) {
+                    return Err(DbError::Unsupported(format!("value {v} does not fit {ty}")));
+                }
+            }
+            self.storage.insert(segment, rel_id, &row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    // ---- DELETE ---------------------------------------------------------------
+
+    fn run_delete(&mut self, del: &DeleteStmt) -> DbResult<ResultSet> {
+        // Retrieval for data manipulation "is treated similarly" (§1):
+        // plan the WHERE as a single-table SELECT *, execute it, then
+        // remove the matching tuples.
+        let sel = SelectStmt {
+            distinct: false,
+            select: SelectList::Star,
+            from: vec![TableRef { table: del.table.clone(), alias: None }],
+            where_clause: del.where_clause.clone(),
+            group_by: vec![],
+            order_by: vec![],
+        };
+        let bound = bind_select(&self.catalog, &sel)?;
+        let optimizer = Optimizer::with_config(&self.catalog, self.config);
+        let plan = optimizer.optimize_bound(&bound);
+        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let mut multiset = sysr_executor::block::matching_multiset(&env, &plan)?;
+        let (rel_id, segment) = {
+            let rel = self.catalog.relation_by_name(&del.table)?;
+            (rel.id, rel.segment)
+        };
+        // Map matching tuples back to RIDs (duplicates delete one-for-one).
+        let mut rids = Vec::new();
+        for (rid, tuple) in self.storage.segment(segment)?.iter_relation(rel_id) {
+            let tuple = tuple?;
+            if let Some(count) = multiset.get_mut(&tuple) {
+                if *count > 0 {
+                    *count -= 1;
+                    rids.push(rid);
+                }
+            }
+        }
+        for rid in &rids {
+            self.storage.delete(segment, rel_id, *rid)?;
+        }
+        Ok(ResultSet::new(
+            vec!["DELETED".into()],
+            vec![Tuple::new(vec![Value::Int(rids.len() as i64)])],
+        ))
+    }
+
+    // ---- UPDATE ---------------------------------------------------------------
+
+    /// `UPDATE t SET c = expr, ... [WHERE ...]`: "Retrieval for data
+    /// manipulation (UPDATE, DELETE) is treated similarly" (§1). The WHERE
+    /// and the assignment expressions run through the full
+    /// parse→optimize→execute pipeline as a SELECT of the old row plus the
+    /// new values; the matching tuples are then replaced.
+    fn run_update(&mut self, upd: &sysr_sql::UpdateStmt) -> DbResult<ResultSet> {
+        let (rel_id, segment, arity, types, positions, col_names) = {
+            let rel = self.catalog.relation_by_name(&upd.table)?;
+            let positions: Vec<usize> = upd
+                .assignments
+                .iter()
+                .map(|(c, _)| {
+                    rel.column_position(c).ok_or_else(|| {
+                        DbError::Catalog(CatalogError::UnknownColumn {
+                            relation: rel.name.clone(),
+                            column: c.clone(),
+                        })
+                    })
+                })
+                .collect::<DbResult<_>>()?;
+            let types: Vec<ColType> = rel.columns.iter().map(|c| c.ty).collect();
+            let names: Vec<String> = rel.columns.iter().map(|c| c.name.clone()).collect();
+            (rel.id, rel.segment, rel.arity(), types, positions, names)
+        };
+        // SELECT <all columns>, <assignment exprs> FROM t WHERE ...
+        let mut items: Vec<sysr_sql::SelectItem> = col_names
+            .iter()
+            .map(|n| sysr_sql::SelectItem {
+                expr: Expr::Column(sysr_sql::ColumnRef::unqualified(n.as_str())),
+                alias: None,
+            })
+            .collect();
+        for (_, e) in &upd.assignments {
+            items.push(sysr_sql::SelectItem { expr: e.clone(), alias: None });
+        }
+        let sel = SelectStmt {
+            distinct: false,
+            select: SelectList::Items(items),
+            from: vec![TableRef { table: upd.table.clone(), alias: None }],
+            where_clause: upd.where_clause.clone(),
+            group_by: vec![],
+            order_by: vec![],
+        };
+        let bound = bind_select(&self.catalog, &sel)?;
+        let optimizer = Optimizer::with_config(&self.catalog, self.config);
+        let plan = optimizer.optimize_bound(&bound);
+        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let rows = sysr_executor::execute_block(&env, &plan, Vec::new())?;
+
+        // Replace matching tuples one-for-one, evaluating all assignments
+        // against the *old* row values (already materialized above).
+        let mut old_multiset: std::collections::HashMap<Tuple, Vec<Tuple>> =
+            std::collections::HashMap::new();
+        for row in rows {
+            let values = row.into_values();
+            let old = Tuple::new(values[..arity].to_vec());
+            let mut new_values = old.values().to_vec();
+            for (i, &pos) in positions.iter().enumerate() {
+                new_values[pos] = coerce(values[arity + i].clone(), types[pos])?;
+            }
+            old_multiset.entry(old).or_default().push(Tuple::new(new_values));
+        }
+        let mut victims: Vec<(Rid, Tuple)> = Vec::new();
+        for (rid, tuple) in self.storage.segment(segment)?.iter_relation(rel_id) {
+            let tuple = tuple?;
+            if let Some(news) = old_multiset.get_mut(&tuple) {
+                if let Some(new) = news.pop() {
+                    victims.push((rid, new));
+                }
+            }
+        }
+        for (rid, _) in &victims {
+            self.storage.delete(segment, rel_id, *rid)?;
+        }
+        let updated = victims.len();
+        for (_, new) in victims {
+            self.storage.insert(segment, rel_id, &new)?;
+        }
+        Ok(ResultSet::new(
+            vec!["UPDATED".into()],
+            vec![Tuple::new(vec![Value::Int(updated as i64)])],
+        ))
+    }
+
+    /// Relation id lookup helper for tests and experiment harnesses.
+    pub fn relation_id(&self, table: &str) -> DbResult<RelId> {
+        Ok(self.catalog.relation_by_name(table)?.id)
+    }
+}
+
+/// Evaluate a constant expression from an INSERT VALUES list.
+fn const_eval(expr: &Expr) -> DbResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Neg(inner) => match const_eval(inner)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(DbError::Unsupported(format!("cannot negate {other}"))),
+        },
+        Expr::Arith { op, left, right } => {
+            let l = const_eval(left)?;
+            let r = const_eval(right)?;
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Err(DbError::Unsupported("non-numeric arithmetic in VALUES".into()));
+            };
+            use sysr_sql::ArithOp;
+            let x = match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        return Err(DbError::Unsupported("division by zero in VALUES".into()));
+                    }
+                    a / b
+                }
+            };
+            match (l, r) {
+                (Value::Int(_), Value::Int(_)) => Ok(Value::Int(x as i64)),
+                _ => Ok(Value::Float(x)),
+            }
+        }
+        other => Err(DbError::Unsupported(format!(
+            "VALUES entries must be constants, got {other:?}"
+        ))),
+    }
+}
+
+/// Coerce an inserted value to the column type (Int → Float only).
+fn coerce(v: Value, ty: ColType) -> DbResult<Value> {
+    match (&v, ty) {
+        (Value::Int(i), ColType::Float) => Ok(Value::Float(*i as f64)),
+        _ if v.fits(ty) => Ok(v),
+        _ => Err(DbError::Unsupported(format!("value {v} does not fit column type {ty}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_roundtrip() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))").unwrap();
+        db.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap();
+        let r = db.execute("SELECT B FROM T WHERE A >= 2 ORDER BY A DESC").unwrap();
+        assert_eq!(r.rows, vec![tuple!["z"], tuple!["y"]]);
+    }
+
+    #[test]
+    fn insert_column_list_and_defaults() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10), C FLOAT)").unwrap();
+        db.execute("INSERT INTO T (C, A) VALUES (5, 1)").unwrap();
+        let r = db.execute("SELECT A, B, C FROM T").unwrap();
+        assert_eq!(r.rows, vec![tuple![1i64, Value::Null, 5.0]]);
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        db.execute("INSERT INTO T VALUES (1), (2), (3), (2)").unwrap();
+        let r = db.execute("DELETE FROM T WHERE A = 2").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        let r = db.execute("SELECT A FROM T ORDER BY A").unwrap();
+        assert_eq!(r.rows, vec![tuple![1], tuple![3]]);
+    }
+
+    #[test]
+    fn explain_mentions_plan_shape() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        db.insert_rows("T", (0..2000).map(|i| tuple![i])).unwrap();
+        db.execute("CREATE UNIQUE INDEX T_A ON T (A)").unwrap();
+        let text = db.explain("SELECT A FROM T WHERE A = 1").unwrap();
+        assert!(text.contains("INDEX SCAN"), "{text}");
+        assert!(text.contains("predicted"), "{text}");
+        // A tiny table goes the other way: the whole relation is one page,
+        // cheaper than the 1+1+W unique probe.
+        let mut tiny = Database::new();
+        tiny.execute("CREATE TABLE S (A INTEGER)").unwrap();
+        tiny.execute("INSERT INTO S VALUES (1)").unwrap();
+        tiny.execute("CREATE UNIQUE INDEX S_A ON S (A)").unwrap();
+        let text = tiny.explain("SELECT A FROM S WHERE A = 1").unwrap();
+        assert!(text.contains("SEGMENT SCAN"), "{text}");
+    }
+
+    #[test]
+    fn errors_surface_by_phase() {
+        let mut db = Database::new();
+        assert!(matches!(db.execute("SELEC"), Err(DbError::Parse(_))));
+        assert!(matches!(db.execute("SELECT X FROM NOPE"), Err(DbError::Bind(_))));
+        db.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE T (A INTEGER)"),
+            Err(DbError::Catalog(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO T VALUES ('nope')"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unique_index_enforced_through_sql() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (A INTEGER)").unwrap();
+        db.execute("CREATE UNIQUE INDEX T_A ON T (A)").unwrap();
+        db.execute("INSERT INTO T VALUES (1)").unwrap();
+        assert!(matches!(db.execute("INSERT INTO T VALUES (1)"), Err(DbError::Storage(_))));
+    }
+}

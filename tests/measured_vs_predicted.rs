@@ -1,0 +1,262 @@
+//! The §7 evaluation methodology as a test suite: "Evaluation work on
+//! comparing the choices made to the 'right' choice … the true optimal
+//! path is selected in a large majority of cases. In many cases, the
+//! ordering among the estimated costs … is precisely the same as that
+//! among the actual measured costs."
+//!
+//! For each scenario we enumerate *every* complete plan (heuristic off),
+//! execute each one cold, measure `PAGE FETCHES + W * RSI CALLS`, and
+//! compare the optimizer's choice against the measured optimum.
+
+mod common;
+
+use common::fig1_db;
+use system_r::core::{bind_select, Cost, Enumerator, PlanExpr, QueryPlan};
+use system_r::sql::{parse_statement, Statement};
+use system_r::{tuple, Config, Database};
+
+/// Execute one raw plan cold and return its measured weighted cost.
+fn measure(db: &Database, query: &system_r::core::BoundQuery, plan: PlanExpr) -> f64 {
+    let full = QueryPlan {
+        query: query.clone(),
+        root: plan,
+        subplans: vec![],
+        block_filters: vec![],
+        predicted: Cost::ZERO,
+        qcard: 0.0,
+        stats: Default::default(),
+    };
+    db.evict_buffers();
+    db.reset_io_stats();
+    db.execute_plan(&full).expect("plan executes");
+    Cost::from_io(&db.io_stats()).total(db.config().w)
+}
+
+/// Run one scenario: returns (chosen_measured, best_measured, rank
+/// correlation between predicted and measured over all plans).
+fn run_scenario(db: &Database, sql: &str) -> (f64, f64, f64, usize) {
+    let Statement::Select(stmt) = parse_statement(sql).unwrap() else { panic!() };
+    let bound = bind_select(db.catalog(), &stmt).unwrap();
+    let config = Config { defer_cartesian: false, ..db.config() };
+    let enumerator = Enumerator::new(db.catalog(), &bound, config);
+
+    let (chosen, _) = enumerator.best_plan();
+    let chosen_predicted = chosen.cost.total(db.config().w);
+    let chosen_measured = measure(db, &bound, chosen.clone());
+
+    let all = enumerator.all_plans(400);
+    assert!(!all.is_empty());
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(all.len());
+    for plan in all {
+        let predicted = plan.cost.total(db.config().w);
+        let measured = measure(db, &bound, plan);
+        pairs.push((predicted, measured));
+    }
+    // Include the chosen plan's point too.
+    pairs.push((chosen_predicted, chosen_measured));
+    let best_measured =
+        pairs.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+    let rho = spearman(&pairs);
+    (chosen_measured, best_measured, rho, pairs.len())
+}
+
+/// Spearman rank correlation of (predicted, measured) pairs.
+fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    if n < 3 {
+        return 1.0;
+    }
+    let rank = |values: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let mut ranks = vec![0.0; values.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Average ranks over ties.
+            let mut j = i;
+            while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for &k in &idx[i..=j] {
+                ranks[k] = avg;
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    let rp = rank(pairs.iter().map(|&(p, _)| p).collect());
+    let rm = rank(pairs.iter().map(|&(_, m)| m).collect());
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut dp = 0.0;
+    let mut dm = 0.0;
+    for i in 0..n {
+        let a = rp[i] - mean;
+        let b = rm[i] - mean;
+        num += a * b;
+        dp += a * a;
+        dm += b * b;
+    }
+    if dp == 0.0 || dm == 0.0 {
+        return 1.0;
+    }
+    num / (dp * dm).sqrt()
+}
+
+struct Scenario {
+    name: &'static str,
+    db: Database,
+    sql: &'static str,
+}
+
+fn small_buffer() -> Config {
+    // A buffer far smaller than the working sets, so plan differences are
+    // not erased by caching (System R's per-user buffer was small too).
+    Config { buffer_pages: 16, ..Config::default() }
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let pad = |i: i64| format!("p{i:057}");
+
+    // Single relation, unique-index equal predicate (Table 2 situation 1).
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
+    db.insert_rows("T", (0..4000).map(|i| tuple![i, i % 40, pad(i)])).unwrap();
+    db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();
+    db.execute("CREATE INDEX T_GRP ON T (GRP)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario { name: "unique-eq", db, sql: "SELECT PAD FROM T WHERE K = 123" });
+
+    // Equal predicate through a clustered index.
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
+    db.insert_rows("T", (0..4000).map(|i| tuple![i, i % 40, pad(i)])).unwrap();
+    db.execute("CREATE CLUSTERED INDEX T_GRP ON T (GRP)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario { name: "clustered-eq", db, sql: "SELECT PAD FROM T WHERE GRP = 7" });
+
+    // Clustered range.
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
+    db.insert_rows(
+        "T",
+        (0..4000).map(|i| tuple![common::scatter(i, 4000), i % 40, pad(i)]),
+    )
+    .unwrap();
+    db.execute("CREATE CLUSTERED INDEX T_K ON T (K)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario {
+        name: "clustered-range",
+        db,
+        sql: "SELECT PAD FROM T WHERE K BETWEEN 100 AND 400",
+    });
+
+    // Order-by: sort vs scattered ordered index.
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
+    db.insert_rows(
+        "T",
+        (0..3000).map(|i| tuple![common::scatter(i, 3000), i % 40, pad(i)]),
+    )
+    .unwrap();
+    db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario { name: "order-by", db, sql: "SELECT PAD FROM T ORDER BY K" });
+
+    // Two-way join, selective outer with indexed inner: probes win big.
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE A (K INTEGER, TAG INTEGER, PAD VARCHAR(40))").unwrap();
+    db.execute("CREATE TABLE B (K INTEGER, PAD VARCHAR(40))").unwrap();
+    db.insert_rows("A", (0..600).map(|i| tuple![i % 100, i % 60, format!("a{i:036}")])).unwrap();
+    db.insert_rows("B", (0..6000i64).map(|i| tuple![i % 600, format!("b{i:036}")])).unwrap();
+    db.execute("CREATE INDEX B_K ON B (K)").unwrap();
+    // An index on TAG gives the optimizer the true 1/60 selectivity; with
+    // no statistics it would guess the paper's 1/10 default and mis-size
+    // the probe count (documented in EXPERIMENTS.md as an ablation).
+    db.execute("CREATE INDEX A_TAG ON A (TAG)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario {
+        name: "join-selective",
+        db,
+        sql: "SELECT A.PAD FROM A, B WHERE A.K = B.K AND A.TAG = 3",
+    });
+
+    // Two-way join, no helpful index on either side: merging scans win.
+    let mut db = Database::with_config(small_buffer());
+    db.execute("CREATE TABLE A (K INTEGER, PAD VARCHAR(40))").unwrap();
+    db.execute("CREATE TABLE B (K INTEGER, PAD VARCHAR(40))").unwrap();
+    db.insert_rows("A", (0..1500).map(|i| tuple![i % 400, format!("a{i:036}")])).unwrap();
+    db.insert_rows("B", (0..1500i64).map(|i| tuple![i % 400, format!("b{i:036}")])).unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    out.push(Scenario {
+        name: "join-unindexed",
+        db,
+        sql: "SELECT A.PAD FROM A, B WHERE A.K = B.K",
+    });
+
+    // The paper's three-way example.
+    let mut db = fig1_db(2500, 25, 10);
+    db.set_config(small_buffer());
+    out.push(Scenario {
+        name: "fig1",
+        db,
+        sql: "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB
+              WHERE TITLE='CLERK' AND LOC='DENVER'
+                AND EMP.DNO = DEPT.DNO AND EMP.JOB = JOB.JOB",
+    });
+
+    out
+}
+
+#[test]
+fn optimizer_picks_near_optimal_plans() {
+    let mut optimal = 0;
+    let mut near = 0;
+    let mut total = 0;
+    let mut report = String::new();
+    for s in scenarios() {
+        let (chosen, best, rho, n_plans) = run_scenario(&s.db, s.sql);
+        total += 1;
+        let ratio = if best > 0.0 { chosen / best } else { 1.0 };
+        // "True optimal" with a 5% tolerance: merge-join variants differ by
+        // a handful of temp pages and tie in practice.
+        if ratio <= 1.05 {
+            optimal += 1;
+        }
+        if ratio <= 2.0 {
+            near += 1;
+        }
+        report.push_str(&format!(
+            "{:<16} plans={:<3} chosen={:>10.1} best={:>10.1} ratio={:>5.2} rho={:>5.2}\n",
+            s.name, n_plans, chosen, best, ratio, rho
+        ));
+    }
+    eprintln!("{report}");
+    // "the true optimal path is selected in a large majority of cases"
+    assert!(
+        optimal * 2 > total,
+        "optimal in {optimal}/{total} scenarios — expected a majority\n{report}"
+    );
+    // And never a catastrophe in these scenarios.
+    assert_eq!(near, total, "all choices within 2x of measured best\n{report}");
+}
+
+#[test]
+fn predicted_and_measured_orderings_correlate() {
+    let mut rho_sum = 0.0;
+    let mut n = 0;
+    for s in scenarios() {
+        let (_, _, rho, n_plans) = run_scenario(&s.db, s.sql);
+        if n_plans >= 4 {
+            rho_sum += rho;
+            n += 1;
+        }
+    }
+    let mean_rho = rho_sum / n as f64;
+    assert!(
+        mean_rho > 0.5,
+        "mean Spearman correlation between predicted and measured cost orderings = {mean_rho}"
+    );
+}

@@ -1,0 +1,308 @@
+//! Property tests: for random data, random physical designs, and random
+//! predicate trees, the full pipeline (parse → bind → optimize → execute)
+//! must agree with a naive in-memory reference evaluator — whatever plan
+//! the optimizer picks.
+
+mod common;
+
+use proptest::prelude::*;
+use system_r::rss::{Tuple, Value};
+use system_r::{tuple, Database};
+
+/// A predicate over columns A (int), B (int) of table T, mirrored as SQL
+/// text and as a Rust closure with SQL-ish NULL semantics (any comparison
+/// involving NULL is false).
+#[derive(Debug, Clone)]
+enum Pred {
+    CmpA(&'static str, i64),
+    CmpB(&'static str, i64),
+    BetweenA(i64, i64),
+    InB(Vec<i64>),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    fn sql(&self) -> String {
+        match self {
+            Pred::CmpA(op, v) => format!("A {op} {v}"),
+            Pred::CmpB(op, v) => format!("B {op} {v}"),
+            Pred::BetweenA(lo, hi) => format!("A BETWEEN {lo} AND {hi}"),
+            Pred::InB(list) => format!(
+                "B IN ({})",
+                list.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            Pred::And(a, b) => format!("({} AND {})", a.sql(), b.sql()),
+            Pred::Or(a, b) => format!("({} OR {})", a.sql(), b.sql()),
+            Pred::Not(inner) => format!("NOT ({})", inner.sql()),
+        }
+    }
+
+    /// SQL three-valued logic: `None` is UNKNOWN (any comparison with
+    /// NULL); a row qualifies iff the predicate is `Some(true)`.
+    fn eval3(&self, a: Option<i64>, b: Option<i64>) -> Option<bool> {
+        fn cmp(op: &str, l: Option<i64>, r: i64) -> Option<bool> {
+            let l = l?;
+            Some(match op {
+                "=" => l == r,
+                "<>" => l != r,
+                "<" => l < r,
+                "<=" => l <= r,
+                ">" => l > r,
+                ">=" => l >= r,
+                _ => unreachable!(),
+            })
+        }
+        match self {
+            Pred::CmpA(op, v) => cmp(op, a, *v),
+            Pred::CmpB(op, v) => cmp(op, b, *v),
+            Pred::BetweenA(lo, hi) => a.map(|x| x >= *lo && x <= *hi),
+            Pred::InB(list) => b.map(|x| list.contains(&x)),
+            Pred::And(p, q) => match (p.eval3(a, b), q.eval3(a, b)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            Pred::Or(p, q) => match (p.eval3(a, b), q.eval3(a, b)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            Pred::Not(inner) => inner.eval3(a, b).map(|x| !x),
+        }
+    }
+
+    fn eval(&self, a: Option<i64>, b: Option<i64>) -> bool {
+        self.eval3(a, b) == Some(true)
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("="),
+        Just("<>"),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+    ]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        (arb_op(), 0i64..20).prop_map(|(op, v)| Pred::CmpA(op, v)),
+        (arb_op(), 0i64..8).prop_map(|(op, v)| Pred::CmpB(op, v)),
+        (0i64..20, 0i64..20).prop_map(|(x, y)| Pred::BetweenA(x.min(y), x.max(y))),
+        prop::collection::vec(0i64..8, 1..4).prop_map(Pred::InB),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Pred::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Row generator: (A, B) with occasional NULLs in B.
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, Option<i64>)>> {
+    prop::collection::vec((0i64..20, prop::option::weighted(0.9, 0i64..8)), 0..80)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Design {
+    NoIndex,
+    IndexA,
+    IndexB,
+    ClusteredA,
+    Both,
+}
+
+fn arb_design() -> impl Strategy<Value = Design> {
+    prop_oneof![
+        Just(Design::NoIndex),
+        Just(Design::IndexA),
+        Just(Design::IndexB),
+        Just(Design::ClusteredA),
+        Just(Design::Both),
+    ]
+}
+
+fn build_db(rows: &[(i64, Option<i64>)], design: Design) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE T (A INTEGER, B INTEGER, PAD VARCHAR(12))").unwrap();
+    db.insert_rows(
+        "T",
+        rows.iter().enumerate().map(|(i, (a, b))| {
+            Tuple::new(vec![
+                Value::Int(*a),
+                b.map(Value::Int).unwrap_or(Value::Null),
+                Value::Str(format!("p{i:08}")),
+            ])
+        }),
+    )
+    .unwrap();
+    match design {
+        Design::NoIndex => {}
+        Design::IndexA => {
+            db.execute("CREATE INDEX T_A ON T (A)").unwrap();
+        }
+        Design::IndexB => {
+            db.execute("CREATE INDEX T_B ON T (B)").unwrap();
+        }
+        Design::ClusteredA => {
+            db.execute("CREATE CLUSTERED INDEX T_A ON T (A)").unwrap();
+        }
+        Design::Both => {
+            db.execute("CREATE INDEX T_A ON T (A)").unwrap();
+            db.execute("CREATE INDEX T_B ON T (B)").unwrap();
+        }
+    }
+    db.execute("UPDATE STATISTICS").unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Single-table filters agree with the reference under every physical
+    /// design (the chosen access path must not change results).
+    #[test]
+    fn prop_filter_matches_reference(
+        rows in arb_rows(),
+        pred in arb_pred(),
+        design in arb_design(),
+    ) {
+        let db = build_db(&rows, design);
+        let sql = format!("SELECT A FROM T WHERE {} ORDER BY A", pred.sql());
+        let got: Vec<i64> = db
+            .query(&sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = rows
+            .iter()
+            .filter(|(a, b)| pred.eval(Some(*a), *b))
+            .map(|(a, _)| *a)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect, "query: {}", sql);
+    }
+
+    /// Aggregates over random filters agree with the reference.
+    #[test]
+    fn prop_aggregates_match_reference(
+        rows in arb_rows(),
+        pred in arb_pred(),
+    ) {
+        let db = build_db(&rows, Design::IndexA);
+        let sql = format!(
+            "SELECT COUNT(*), COUNT(B), MIN(A), MAX(A) FROM T WHERE {}",
+            pred.sql()
+        );
+        let r = db.query(&sql).unwrap();
+        let kept: Vec<&(i64, Option<i64>)> =
+            rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).collect();
+        let row = &r.rows[0];
+        prop_assert_eq!(row[0].as_int().unwrap(), kept.len() as i64);
+        prop_assert_eq!(
+            row[1].as_int().unwrap(),
+            kept.iter().filter(|(_, b)| b.is_some()).count() as i64
+        );
+        let min = kept.iter().map(|(a, _)| *a).min();
+        let max = kept.iter().map(|(a, _)| *a).max();
+        prop_assert_eq!(row[2].as_int(), min);
+        prop_assert_eq!(row[3].as_int(), max);
+    }
+
+    /// Two-table equi-joins agree with the nested-loop reference whatever
+    /// method and order the optimizer picks.
+    #[test]
+    fn prop_join_matches_reference(
+        left in prop::collection::vec((0i64..12, 0i64..5), 0..50),
+        right in prop::collection::vec(0i64..12, 0..50),
+        tag in 0i64..5,
+        index_right in any::<bool>(),
+    ) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE L (K INTEGER, TAG INTEGER)").unwrap();
+        db.execute("CREATE TABLE R (K INTEGER)").unwrap();
+        db.insert_rows("L", left.iter().map(|(k, t)| tuple![*k, *t])).unwrap();
+        db.insert_rows("R", right.iter().map(|k| tuple![*k])).unwrap();
+        if index_right {
+            db.execute("CREATE INDEX R_K ON R (K)").unwrap();
+        }
+        db.execute("UPDATE STATISTICS").unwrap();
+        let sql = format!(
+            "SELECT L.K FROM L, R WHERE L.K = R.K AND L.TAG = {tag} ORDER BY L.K"
+        );
+        let got: Vec<i64> = db
+            .query(&sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        let mut expect = Vec::new();
+        for (k, t) in &left {
+            if *t != tag {
+                continue;
+            }
+            for rk in &right {
+                if rk == k {
+                    expect.push(*k);
+                }
+            }
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// DISTINCT and GROUP BY agree.
+    #[test]
+    fn prop_distinct_and_group_by(rows in arb_rows()) {
+        let db = build_db(&rows, Design::ClusteredA);
+        let distinct: Vec<i64> = db
+            .query("SELECT DISTINCT A FROM T ORDER BY A")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(&distinct, &expect);
+
+        let grouped = db.query("SELECT A, COUNT(*) FROM T GROUP BY A ORDER BY A").unwrap();
+        prop_assert_eq!(grouped.rows.len(), expect.len());
+        for row in &grouped.rows {
+            let a = row[0].as_int().unwrap();
+            let n = row[1].as_int().unwrap();
+            let actual = rows.iter().filter(|(x, _)| *x == a).count() as i64;
+            prop_assert_eq!(n, actual);
+        }
+    }
+
+    /// DELETE removes exactly the matching rows.
+    #[test]
+    fn prop_delete_matches_reference(rows in arb_rows(), pred in arb_pred()) {
+        let mut db = build_db(&rows, Design::IndexA);
+        let deleted = db
+            .execute(&format!("DELETE FROM T WHERE {}", pred.sql()))
+            .unwrap();
+        let expect_deleted =
+            rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).count() as i64;
+        prop_assert_eq!(deleted.rows[0][0].as_int().unwrap(), expect_deleted);
+        let remaining = db.query("SELECT COUNT(*) FROM T").unwrap();
+        prop_assert_eq!(
+            remaining.rows[0][0].as_int().unwrap(),
+            rows.len() as i64 - expect_deleted
+        );
+    }
+}
