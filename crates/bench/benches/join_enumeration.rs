@@ -1,33 +1,24 @@
-//! Criterion bench: join-order enumeration time vs number of relations
-//! (§7: "Joins of 8 tables have been optimized in a few seconds" on 1979
-//! hardware; this bench records the modern constants for chain and star
-//! join graphs, with and without the Cartesian-deferral heuristic).
+//! Bench: join-order enumeration time vs number of relations (§7: "Joins
+//! of 8 tables have been optimized in a few seconds" on 1979 hardware;
+//! this bench records the modern constants for chain and star join
+//! graphs, with and without the Cartesian-deferral heuristic).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::{star_db, synth_chain_db};
 use system_r::Config;
 
-fn bench_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join_enumeration");
-    group.sample_size(20);
+fn main() {
+    let group = BenchGroup::new("join_enumeration").sample_size(20);
     for n in [2usize, 4, 6, 8] {
         let (db, sql) = synth_chain_db(n, 200);
-        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
-            b.iter(|| black_box(db.plan(&sql).unwrap().root.cost));
-        });
+        group.bench(&format!("chain/{n}"), || black_box(db.plan(&sql).unwrap().root.cost));
         let (db, sql) = star_db(n.max(2), 400, 50);
-        group.bench_with_input(BenchmarkId::new("star", n), &n, |b, _| {
-            b.iter(|| black_box(db.plan(&sql).unwrap().root.cost));
-        });
+        group.bench(&format!("star/{n}"), || black_box(db.plan(&sql).unwrap().root.cost));
         let (mut db, sql) = synth_chain_db(n, 200);
         db.set_config(Config { defer_cartesian: false, ..db.config() });
-        group.bench_with_input(BenchmarkId::new("chain_no_heuristic", n), &n, |b, _| {
-            b.iter(|| black_box(db.plan(&sql).unwrap().root.cost));
+        group.bench(&format!("chain_no_heuristic/{n}"), || {
+            black_box(db.plan(&sql).unwrap().root.cost)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_enumeration);
-criterion_main!(benches);

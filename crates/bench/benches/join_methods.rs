@@ -1,37 +1,27 @@
-//! Criterion bench: executing nested-loop-shaped vs merge-shaped joins on
-//! the workload regimes where each wins (§5's Blasgen & Eswaran point:
-//! one of the two methods is always optimal or near-optimal).
+//! Bench: executing nested-loop-shaped vs merge-shaped joins on the
+//! workload regimes where each wins (§5's Blasgen & Eswaran point: one of
+//! the two methods is always optimal or near-optimal).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::two_table_db;
 
-fn bench_join_methods(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join_methods");
-    group.sample_size(10);
+fn main() {
+    let group = BenchGroup::new("join_methods").sample_size(10);
 
     // Small restricted outer, indexed inner: the nested-loop regime.
     let db = two_table_db(2000, 8000, 500, 200, true, true, 30, 16);
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 1";
-    group.bench_function("nl_regime_small_outer", |b| {
-        b.iter(|| {
-            db.evict_buffers();
-            black_box(db.query(sql).unwrap().len())
-        });
+    group.bench("nl_regime_small_outer", || {
+        db.evict_buffers();
+        black_box(db.query(sql).unwrap().len())
     });
 
     // Full outer, merge regime.
     let db = two_table_db(4000, 4000, 400, 1, true, false, 30, 16);
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K";
-    group.bench_function("merge_regime_full_outer", |b| {
-        b.iter(|| {
-            db.evict_buffers();
-            black_box(db.query(sql).unwrap().len())
-        });
+    group.bench("merge_regime_full_outer", || {
+        db.evict_buffers();
+        black_box(db.query(sql).unwrap().len())
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_join_methods);
-criterion_main!(benches);

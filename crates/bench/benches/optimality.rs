@@ -1,16 +1,16 @@
-//! Criterion bench: the wall-clock value of cost-based optimization —
-//! executing the optimizer's chosen plan vs the worst enumerated plan for
-//! the same query (the time analog of §7's optimality experiment; the
-//! page-fetch version is `cargo run -p sysr-bench --bin exp_optimality`).
+//! Bench: the wall-clock value of cost-based optimization — executing the
+//! optimizer's chosen plan vs the worst enumerated plan for the same query
+//! (the time analog of §7's optimality experiment; the page-fetch version
+//! is `cargo run -p sysr-bench --bin exp_optimality`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
 use system_r::core::{bind_select, Cost, Enumerator, QueryPlan};
-use system_r::Config;
 use system_r::sql::{parse_statement, Statement};
+use system_r::Config;
 
-fn bench_optimality(c: &mut Criterion) {
+fn main() {
     let db = fig1_db(Fig1Params { n_emp: 1500, n_dept: 20, ..Default::default() });
     let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { unreachable!() };
     let bound = bind_select(db.catalog(), &stmt).unwrap();
@@ -37,22 +37,13 @@ fn bench_optimality(c: &mut Criterion) {
     let chosen_plan = wrap(chosen);
     let worst_plan = wrap(worst);
 
-    let mut group = c.benchmark_group("optimality");
-    group.sample_size(10);
-    group.bench_function("chosen_plan", |b| {
-        b.iter(|| {
-            db.evict_buffers();
-            black_box(db.execute_plan(&chosen_plan).unwrap().len())
-        });
+    let group = BenchGroup::new("optimality").sample_size(10);
+    group.bench("chosen_plan", || {
+        db.evict_buffers();
+        black_box(db.execute_plan(&chosen_plan).unwrap().len())
     });
-    group.bench_function("worst_enumerated_plan", |b| {
-        b.iter(|| {
-            db.evict_buffers();
-            black_box(db.execute_plan(&worst_plan).unwrap().len())
-        });
+    group.bench("worst_enumerated_plan", || {
+        db.evict_buffers();
+        black_box(db.execute_plan(&worst_plan).unwrap().len())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_optimality);
-criterion_main!(benches);

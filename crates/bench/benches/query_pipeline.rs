@@ -1,33 +1,22 @@
-//! Criterion bench: the full four-phase pipeline on the paper's Fig. 1
-//! query — parse, optimize, execute — plus the phases in isolation
-//! (the paper's amortization point: optimization is paid once, execution
-//! many times).
+//! Bench: the full four-phase pipeline on the paper's Fig. 1 query —
+//! parse, optimize, execute — plus the phases in isolation (the paper's
+//! amortization point: optimization is paid once, execution many times).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
 use system_r::sql::parse_statement;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let db = fig1_db(Fig1Params { n_emp: 2000, n_dept: 25, ..Default::default() });
+    let group = BenchGroup::new("pipeline");
 
-    c.bench_function("parse_fig1", |b| {
-        b.iter(|| black_box(parse_statement(FIG1_SQL).unwrap()));
-    });
+    group.bench("parse_fig1", || black_box(parse_statement(FIG1_SQL).unwrap()));
 
-    c.bench_function("optimize_fig1", |b| {
-        b.iter(|| black_box(db.plan(FIG1_SQL).unwrap().root.cost));
-    });
+    group.bench("optimize_fig1", || black_box(db.plan(FIG1_SQL).unwrap().root.cost));
 
     let plan = db.plan(FIG1_SQL).unwrap();
-    c.bench_function("execute_fig1_warm", |b| {
-        b.iter(|| black_box(db.execute_plan(&plan).unwrap().len()));
-    });
+    group.bench("execute_fig1_warm", || black_box(db.execute_plan(&plan).unwrap().len()));
 
-    c.bench_function("full_pipeline_fig1", |b| {
-        b.iter(|| black_box(db.query(FIG1_SQL).unwrap().len()));
-    });
+    group.bench("full_pipeline_fig1", || black_box(db.query(FIG1_SQL).unwrap().len()));
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,30 +1,23 @@
-//! Criterion bench: Table 1 selectivity estimation throughput — the
-//! per-boolean-factor work the OPTIMIZER does during catalog lookup and
-//! analysis.
+//! Bench: Table 1 selectivity estimation throughput — the per-boolean-
+//! factor work the OPTIMIZER does during catalog lookup and analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
 use system_r::core::{bind_select, Selectivity};
 use system_r::sql::{parse_statement, Statement};
 
-fn bench_selectivity(c: &mut Criterion) {
+fn main() {
     let db = fig1_db(Fig1Params { n_emp: 1000, ..Default::default() });
     let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { unreachable!() };
     let bound = bind_select(db.catalog(), &stmt).unwrap();
+    let group = BenchGroup::new("table1");
 
-    c.bench_function("table1_selectivity_fig1_factors", |b| {
-        b.iter(|| {
-            let sel = Selectivity::new(db.catalog(), &bound);
-            let f: f64 = bound.factors.iter().map(|fac| sel.factor(fac)).product();
-            black_box(f)
-        });
+    group.bench("selectivity_fig1_factors", || {
+        let sel = Selectivity::new(db.catalog(), &bound);
+        let f: f64 = bound.factors.iter().map(|fac| sel.factor(fac)).product();
+        black_box(f)
     });
 
-    c.bench_function("bind_fig1", |b| {
-        b.iter(|| black_box(bind_select(db.catalog(), &stmt).unwrap().factors.len()));
-    });
+    group.bench("bind_fig1", || black_box(bind_select(db.catalog(), &stmt).unwrap().factors.len()));
 }
-
-criterion_group!(benches, bench_selectivity);
-criterion_main!(benches);

@@ -1,39 +1,35 @@
-//! Criterion bench: Table 2 access-path enumeration and costing for one
-//! relation — the inner loop of the DP search.
+//! Bench: Table 2 access-path enumeration and costing for one relation —
+//! the inner loop of the DP search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
 use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
 use system_r::core::access::access_paths;
 use system_r::core::{bind_select, CostModel, Enumerator, TableSet};
 use system_r::sql::{parse_statement, Statement};
 
-fn bench_costing(c: &mut Criterion) {
+fn main() {
     let db = fig1_db(Fig1Params { n_emp: 1000, ..Default::default() });
     let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { unreachable!() };
     let bound = bind_select(db.catalog(), &stmt).unwrap();
     let enumerator = Enumerator::new(db.catalog(), &bound, db.config());
+    let group = BenchGroup::new("table2");
 
-    c.bench_function("table2_access_paths_emp", |b| {
-        b.iter(|| black_box(access_paths(&enumerator.ctx, 0, TableSet::EMPTY).len()));
+    group.bench("access_paths_emp", || {
+        black_box(access_paths(&enumerator.ctx, 0, TableSet::EMPTY).len())
     });
 
-    c.bench_function("table2_access_paths_probe", |b| {
-        b.iter(|| black_box(access_paths(&enumerator.ctx, 0, TableSet::single(1)).len()));
+    group.bench("access_paths_probe", || {
+        black_box(access_paths(&enumerator.ctx, 0, TableSet::single(1)).len())
     });
 
     let m = CostModel::new(0.02, 64);
-    c.bench_function("table2_formula_eval", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for f in [0.001, 0.01, 0.1, 0.5] {
-                acc += m.total(m.nonclustered_matching(f, 40.0, 10_000.0, 500.0, 200.0));
-                acc += m.total(m.clustered_matching(f, 40.0, 500.0, 200.0));
-            }
-            black_box(acc)
-        });
+    group.bench("formula_eval", || {
+        let mut acc = 0.0;
+        for f in [0.001, 0.01, 0.1, 0.5] {
+            acc += m.total(m.nonclustered_matching(f, 40.0, 10_000.0, 500.0, 200.0));
+            acc += m.total(m.clustered_matching(f, 40.0, 500.0, 200.0));
+        }
+        black_box(acc)
     });
 }
-
-criterion_group!(benches, bench_costing);
-criterion_main!(benches);

@@ -22,14 +22,10 @@ fn main() {
     );
     println!("{:-<68}", "");
     for buffer in [4usize, 8, 16, 32, 64, 128, 256] {
-        let mut db =
-            Database::with_config(Config { buffer_pages: buffer, ..Config::default() });
+        let mut db = Database::with_config(Config { buffer_pages: buffer, ..Config::default() });
         db.execute("CREATE TABLE T (GRP INTEGER, PAD VARCHAR(60))").unwrap();
-        db.insert_rows(
-            "T",
-            (0..10_000).map(|i| tuple![(i * 7919) % 40, format!("p{i:056}")]),
-        )
-        .unwrap();
+        db.insert_rows("T", (0..10_000).map(|i| tuple![(i * 7919) % 40, format!("p{i:056}")]))
+            .unwrap();
         db.execute("CREATE INDEX T_GRP ON T (GRP)").unwrap();
         db.execute("UPDATE STATISTICS").unwrap();
 

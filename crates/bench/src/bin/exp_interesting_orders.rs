@@ -44,18 +44,12 @@ fn main() {
     println!("INTERESTING-ORDER BOOKKEEPING (ablation)\n");
     let queries = [
         ("ORDER BY on indexed col", "SELECT PAD FROM FACT ORDER BY K"),
-        (
-            "merge-friendly join",
-            "SELECT FACT.PAD, DIM.NAME FROM FACT, DIM WHERE FACT.K = DIM.K",
-        ),
+        ("merge-friendly join", "SELECT FACT.PAD, DIM.NAME FROM FACT, DIM WHERE FACT.K = DIM.K"),
         (
             "join + ORDER BY join col",
             "SELECT FACT.PAD FROM FACT, DIM WHERE FACT.K = DIM.K ORDER BY DIM.K",
         ),
-        (
-            "GROUP BY on indexed col",
-            "SELECT K, COUNT(*) FROM FACT GROUP BY K",
-        ),
+        ("GROUP BY on indexed col", "SELECT K, COUNT(*) FROM FACT GROUP BY K"),
     ];
     println!(
         "{:<28} {:>12} {:>7} {:>14} {:>12} {:>7} {:>14}",
@@ -71,8 +65,7 @@ fn main() {
             db.evict_buffers();
             db.reset_io_stats();
             db.query(sql).unwrap();
-            let measured =
-                system_r::core::Cost::from_io(&db.io_stats()).total(db.config().w);
+            let measured = system_r::core::Cost::from_io(&db.io_stats()).total(db.config().w);
             row.push((plan.root.cost.total(db.config().w), sorts, measured));
         }
         println!(

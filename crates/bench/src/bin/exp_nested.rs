@@ -51,10 +51,8 @@ fn main() {
     let db = employee_db(n, 10);
     db.evict_buffers();
     db.reset_io_stats();
-    db.query(
-        "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)",
-    )
-    .unwrap();
+    db.query("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)")
+        .unwrap();
     let io = db.io_stats();
     println!(
         "\nuncorrelated scalar subquery over the same {n} rows: {} RSI calls\n\

@@ -33,10 +33,7 @@ fn main() {
         start.elapsed().as_secs_f64() / calls as f64
     };
     let per_retrieval = calibrate();
-    println!(
-        "calibration: one tuple retrieval ≈ {:.2} µs on this machine\n",
-        per_retrieval * 1e6
-    );
+    println!("calibration: one tuple retrieval ≈ {:.2} µs on this machine\n", per_retrieval * 1e6);
 
     // ---- two-way join (the paper's reference point) -----------------------
     let two_way = "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC='DENVER'";

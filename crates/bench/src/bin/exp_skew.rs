@@ -9,8 +9,7 @@
 //! cargo run --release -p sysr-bench --bin exp_skew
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use system_r::rss::SplitMix64;
 use system_r::{tuple, Config, Database};
 
 /// Draw from a Zipf(s) distribution over 1..=n by inverse CDF.
@@ -30,8 +29,8 @@ impl Zipf {
         Zipf { cdf: weights }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> i64 {
-        let u: f64 = rng.gen();
+    fn sample(&self, rng: &mut SplitMix64) -> i64 {
+        let u = rng.f64();
         self.cdf.partition_point(|&c| c < u) as i64
     }
 }
@@ -39,11 +38,8 @@ impl Zipf {
 fn build(keys: &[i64]) -> Database {
     let mut db = Database::with_config(Config { buffer_pages: 16, ..Config::default() });
     db.execute("CREATE TABLE T (K INTEGER, PAD VARCHAR(40))").unwrap();
-    db.insert_rows(
-        "T",
-        keys.iter().enumerate().map(|(i, &k)| tuple![k, format!("p{i:036}")]),
-    )
-    .unwrap();
+    db.insert_rows("T", keys.iter().enumerate().map(|(i, &k)| tuple![k, format!("p{i:036}")]))
+        .unwrap();
     db.execute("CREATE INDEX T_K ON T (K)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     db
@@ -52,9 +48,9 @@ fn build(keys: &[i64]) -> Database {
 fn main() {
     let n = 20_000usize;
     let domain = 50usize;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
 
-    let uniform: Vec<i64> = (0..n).map(|_| rng.gen_range(0..domain as i64)).collect();
+    let uniform: Vec<i64> = (0..n).map(|_| rng.range_i64(0, domain as i64)).collect();
     let zipf_dist = Zipf::new(domain, 1.2);
     let zipf: Vec<i64> = (0..n).map(|_| zipf_dist.sample(&mut rng)).collect();
 
@@ -73,10 +69,7 @@ fn main() {
             freq[k as usize] += 1;
         }
         let hot = (0..=domain).max_by_key(|&k| freq[k]).unwrap();
-        let cold = (0..=domain)
-            .filter(|&k| freq[k] > 0)
-            .min_by_key(|&k| freq[k])
-            .unwrap();
+        let cold = (0..=domain).filter(|&k| freq[k] > 0).min_by_key(|&k| freq[k]).unwrap();
         for (label, key) in [("hot", hot), ("cold", cold)] {
             let sql = format!("SELECT PAD FROM T WHERE K = {key}");
             let plan = db.plan(&sql).unwrap();

@@ -15,11 +15,8 @@ use system_r::{tuple, Config, Database};
 fn build(w: f64) -> Database {
     let mut db = Database::with_config(Config { w, buffer_pages: 16, ..Config::default() });
     db.execute("CREATE TABLE T (K INTEGER, PAD VARCHAR(60))").unwrap();
-    db.insert_rows(
-        "T",
-        (0..20_000).map(|i| tuple![(i * 7919) % 20_000, format!("p{i:057}")]),
-    )
-    .unwrap();
+    db.insert_rows("T", (0..20_000).map(|i| tuple![(i * 7919) % 20_000, format!("p{i:057}")]))
+        .unwrap();
     db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     db
@@ -28,10 +25,7 @@ fn build(w: f64) -> Database {
 fn main() {
     let sql = "SELECT PAD FROM T ORDER BY K";
     println!("W SWEEP: {sql}\n(20k rows, K scattered, unique unclustered index on K, buffer 16)\n");
-    println!(
-        "{:<8} {:>14} {:>14} {:<40}",
-        "W", "pred. pages", "pred. rsi", "chosen plan"
-    );
+    println!("{:<8} {:>14} {:>14} {:<40}", "W", "pred. pages", "pred. rsi", "chosen plan");
     println!("{:-<80}", "");
     let mut last = String::new();
     let mut flip_at = None;

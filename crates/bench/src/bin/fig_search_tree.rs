@@ -47,14 +47,9 @@ fn main() {
     for t in 0..bound.tables.len() {
         let name = &bound.tables[t].name;
         println!("\n  {name}:");
-        let cands = system_r::core::access::access_paths(
-            &enumerator.ctx,
-            t,
-            TableSet::EMPTY,
-        );
+        let cands = system_r::core::access::access_paths(&enumerator.ctx, t, TableSet::EMPTY);
         let w = db.config().w;
-        let cheapest =
-            cands.iter().map(|c| c.cost.total(w)).fold(f64::INFINITY, f64::min);
+        let cheapest = cands.iter().map(|c| c.cost.total(w)).fold(f64::INFINITY, f64::min);
         // A path is pruned if some path with the same (or better-covering)
         // order is cheaper; unordered paths survive only as the cheapest.
         for c in &cands {
@@ -80,8 +75,7 @@ fn main() {
     println!("\n=== Figs. 3-6: the search tree (surviving solutions per subset, per interesting order) ===");
     let w = db.config().w;
     for report in &tree {
-        let names: Vec<&str> =
-            report.set.iter().map(|t| bound.tables[t].name.as_str()).collect();
+        let names: Vec<&str> = report.set.iter().map(|t| bound.tables[t].name.as_str()).collect();
         let label = match report.set.len() {
             1 => "Fig. 3 (single relations)",
             2 => "Figs. 4/5 (pairs: nested loop + merge)",

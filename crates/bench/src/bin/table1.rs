@@ -15,14 +15,11 @@ fn main() {
     // SAL has an index with ICARD = 1000 over [0, 100_000]; JOB and NAME
     // have no index. DEPT: 40 rows, unique DNO index (ICARD = 40).
     let mut db = Database::new();
-    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)")
-        .unwrap();
+    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)").unwrap();
     db.execute("CREATE TABLE DEPT (DNO INTEGER, LOC VARCHAR(20))").unwrap();
     db.insert_rows(
         "EMP",
-        (0..10_000).map(|i| {
-            tuple![format!("E{i}"), i % 50, i % 17, ((i * 997) % 100_001) as f64]
-        }),
+        (0..10_000).map(|i| tuple![format!("E{i}"), i % 50, i % 17, ((i * 997) % 100_001) as f64]),
     )
     .unwrap();
     db.insert_rows("DEPT", (0..40).map(|d| tuple![d, if d % 4 == 0 { "DENVER" } else { "X" }]))
@@ -38,11 +35,7 @@ fn main() {
             "F = 1 / ICARD(column index)",
             "SELECT NAME FROM EMP WHERE DNO = 7",
         ),
-        (
-            "column = value (no index)",
-            "F = 1/10",
-            "SELECT NAME FROM EMP WHERE JOB = 3",
-        ),
+        ("column = value (no index)", "F = 1/10", "SELECT NAME FROM EMP WHERE JOB = 3"),
         (
             "column1 = column2 (indexes on both)",
             "F = 1/MAX(ICARD(c1), ICARD(c2))",
@@ -63,11 +56,7 @@ fn main() {
             "F = (high - value) / (high - low)",
             "SELECT NAME FROM EMP WHERE SAL > 75000",
         ),
-        (
-            "column > value (not interpolable)",
-            "F = 1/3",
-            "SELECT NAME FROM EMP WHERE NAME > 'M'",
-        ),
+        ("column > value (not interpolable)", "F = 1/3", "SELECT NAME FROM EMP WHERE NAME > 'M'"),
         (
             "column BETWEEN v1 AND v2 (interpolable)",
             "F = (v2 - v1) / (high - low)",
@@ -93,21 +82,9 @@ fn main() {
             "F = qcard(sub) / PRODUCT(card(sub FROM))",
             "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC = 'DENVER')",
         ),
-        (
-            "pred1 OR pred2",
-            "F = F1 + F2 - F1*F2",
-            "SELECT NAME FROM EMP WHERE DNO = 1 OR JOB = 2",
-        ),
-        (
-            "pred1 AND pred2",
-            "F = F1 * F2",
-            "SELECT NAME FROM EMP WHERE DNO = 1 AND JOB = 2",
-        ),
-        (
-            "NOT pred",
-            "F = 1 - F(pred)",
-            "SELECT NAME FROM EMP WHERE NOT DNO = 1",
-        ),
+        ("pred1 OR pred2", "F = F1 + F2 - F1*F2", "SELECT NAME FROM EMP WHERE DNO = 1 OR JOB = 2"),
+        ("pred1 AND pred2", "F = F1 * F2", "SELECT NAME FROM EMP WHERE DNO = 1 AND JOB = 2"),
+        ("NOT pred", "F = 1 - F(pred)", "SELECT NAME FROM EMP WHERE NOT DNO = 1"),
     ];
 
     println!("TABLE 1 — SELECTIVITY FACTORS (paper rule vs computed F)");

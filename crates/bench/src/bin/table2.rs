@@ -70,14 +70,10 @@ fn main() {
     // Build three physically different versions of the same logical
     // relation and measure the same predicate on each.
     let measure = |clustered: Option<bool>| -> (String, u64, u64) {
-        let mut db =
-            Database::with_config(Config { buffer_pages: 64, ..Config::default() });
+        let mut db = Database::with_config(Config { buffer_pages: 64, ..Config::default() });
         db.execute("CREATE TABLE T (GRP INTEGER, PAD VARCHAR(60))").unwrap();
-        db.insert_rows(
-            "T",
-            (0..10_000).map(|i| tuple![(i * 7919) % 50, format!("p{i:057}")]),
-        )
-        .unwrap();
+        db.insert_rows("T", (0..10_000).map(|i| tuple![(i * 7919) % 50, format!("p{i:057}")]))
+            .unwrap();
         let label = match clustered {
             None => "segment scan only".to_string(),
             Some(true) => {

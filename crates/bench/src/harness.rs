@@ -146,7 +146,7 @@ pub fn spearman(pairs: &[(f64, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workloads::{two_table_db, fig1_db, Fig1Params, FIG1_SQL};
+    use crate::workloads::{fig1_db, two_table_db, Fig1Params, FIG1_SQL};
 
     #[test]
     fn run_all_plans_finds_chosen() {

@@ -10,7 +10,9 @@
 //! recorded outputs.
 
 pub mod harness;
+pub mod timing;
 pub mod workloads;
 
 pub use harness::{measure_plan, run_all_plans, spearman, summarize_plan, PlanMeasurement};
+pub use timing::BenchGroup;
 pub use workloads::{employee_db, fig1_db, star_db, synth_chain_db, two_table_db, Fig1Params};

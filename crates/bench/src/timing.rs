@@ -1,0 +1,95 @@
+//! A minimal timing harness for the `benches/` targets, replacing the
+//! `criterion` dependency so benches build and run with no crates.io
+//! access (`cargo bench -p sysr-bench`).
+//!
+//! Protocol per benchmark: one warm-up call, then `samples` timed samples;
+//! each sample runs enough iterations to cover ~1 ms so cheap closures
+//! aren't dominated by timer resolution. Reported numbers are the min /
+//! median / mean per-iteration time — min is the steady-state figure to
+//! track across commits, median smooths scheduler noise.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    pub fn new(name: &str) -> Self {
+        BenchGroup { name: name.to_string(), samples: 20 }
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Time `f`, printing one summary line. The closure's return value is
+    /// consumed with [`std::hint::black_box`], so work is not elided.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up, also used to size the per-sample iteration count.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{}/{name}: min {} median {} mean {} ({} samples x {iters} iters)",
+            self.name,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_and_reports() {
+        let mut calls = 0u64;
+        BenchGroup::new("t").sample_size(2).bench("count", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls >= 3, "warm-up plus two samples, got {calls}");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

@@ -6,8 +6,7 @@
 //! actually responds to: cardinalities, value distributions, clustering,
 //! and the index inventory.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use system_r::rss::SplitMix64;
 use system_r::{tuple, Config, Database};
 
 /// Deterministic scatter (coprime stride) for reproducible "random"
@@ -51,11 +50,10 @@ pub const FIG1_SQL: &str = "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB
 
 /// Build the Fig. 1 database with the worked example's index inventory.
 pub fn fig1_db(p: Fig1Params) -> Database {
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = SplitMix64::new(p.seed);
     let mut db =
         Database::with_config(Config { buffer_pages: p.buffer_pages, ..Config::default() });
-    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)")
-        .unwrap();
+    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)").unwrap();
     db.execute("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR(20), LOC VARCHAR(20))").unwrap();
     db.execute("CREATE TABLE JOB (JOB INTEGER, TITLE VARCHAR(20))").unwrap();
 
@@ -66,18 +64,17 @@ pub fn fig1_db(p: Fig1Params) -> Database {
         (0..p.n_emp).map(|i| {
             tuple![
                 format!("EMP-{i:06}"),
-                rng.gen_range(0..p.n_dept),
-                5 + rng.gen_range(0..p.n_job),
-                1000.0 + rng.gen_range(0..50_000) as f64
+                rng.range_i64(0, p.n_dept),
+                5 + rng.range_i64(0, p.n_job),
+                1000.0 + rng.range_i64(0, 50_000) as f64
             ]
         }),
     )
     .unwrap();
     db.insert_rows(
         "DEPT",
-        (0..p.n_dept).map(|d| {
-            tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]
-        }),
+        (0..p.n_dept)
+            .map(|d| tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]),
     )
     .unwrap();
     db.insert_rows(
@@ -150,12 +147,10 @@ pub fn two_table_db(
 pub fn synth_chain_db(n: usize, rows_per_table: i64) -> (Database, String) {
     let mut db = Database::new();
     for i in 0..n {
-        db.execute(&format!("CREATE TABLE T{i} (K INTEGER, FK INTEGER, PAD VARCHAR(20))"))
-            .unwrap();
+        db.execute(&format!("CREATE TABLE T{i} (K INTEGER, FK INTEGER, PAD VARCHAR(20))")).unwrap();
         db.insert_rows(
             &format!("T{i}"),
-            (0..rows_per_table)
-                .map(|r| tuple![r, scatter(r, rows_per_table), format!("p{r:016}")]),
+            (0..rows_per_table).map(|r| tuple![r, scatter(r, rows_per_table), format!("p{r:016}")]),
         )
         .unwrap();
         db.execute(&format!("CREATE UNIQUE INDEX T{i}_K ON T{i} (K)")).unwrap();
@@ -195,8 +190,7 @@ pub fn star_db(n: usize, fact_rows: i64, dim_rows: i64) -> (Database, String) {
     let tables: Vec<String> =
         std::iter::once("FACT".to_string()).chain((0..dims).map(|d| format!("DIM{d}"))).collect();
     let joins: Vec<String> = (0..dims).map(|d| format!("FACT.D{d} = DIM{d}.K")).collect();
-    let sql =
-        format!("SELECT FACT.PAD FROM {} WHERE {}", tables.join(","), joins.join(" AND "));
+    let sql = format!("SELECT FACT.PAD FROM {} WHERE {}", tables.join(","), joins.join(" AND "));
     (db, sql)
 }
 

@@ -174,9 +174,8 @@ impl Catalog {
         if self.idx_by_name.contains_key(&upper) {
             return Err(CatalogError::DuplicateIndex(upper));
         }
-        let relation = self
-            .relation(rel)
-            .ok_or_else(|| CatalogError::UnknownRelation(format!("id {rel}")))?;
+        let relation =
+            self.relation(rel).ok_or_else(|| CatalogError::UnknownRelation(format!("id {rel}")))?;
         if key_cols.is_empty() || key_cols.iter().any(|&c| c >= relation.arity()) {
             return Err(CatalogError::Invalid("bad index key columns".into()));
         }
@@ -302,7 +301,6 @@ impl Catalog {
         Some(rstats.ncard > icard)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

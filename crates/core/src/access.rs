@@ -46,8 +46,7 @@ impl<'a> PlanCtx<'a> {
         let sel = Selectivity::new(catalog, query);
         let fsel = query.factors.iter().map(|f| sel.factor(f)).collect();
         let orders = OrderInfo::build(query);
-        let mut needed_cols =
-            vec![std::collections::HashSet::new(); query.tables.len()];
+        let mut needed_cols = vec![std::collections::HashSet::new(); query.tables.len()];
         {
             let mut note = |c: ColId| {
                 if let Some(set) = needed_cols.get_mut(c.table) {
@@ -104,9 +103,7 @@ impl<'a> PlanCtx<'a> {
     }
 
     pub fn relation(&self, table: usize) -> &RelationMeta {
-        self.catalog
-            .relation(self.query.tables[table].rel)
-            .expect("bound table exists in catalog")
+        self.catalog.relation(self.query.tables[table].rel).expect("bound table exists in catalog")
     }
 
     /// NCARD of a FROM-list table.
@@ -181,9 +178,7 @@ fn operand_available(op: &Operand, available: TableSet, query: &BoundQuery) -> b
         // A correlated scalar subquery may depend on this block's own
         // tables; its value is not fixed per scan, so it cannot be a probe
         // or SARG operand.
-        Operand::Subquery(i) => {
-            query.subqueries.get(*i).map(|s| !s.correlated).unwrap_or(false)
-        }
+        Operand::Subquery(i) => query.subqueries.get(*i).map(|s| !s.correlated).unwrap_or(false),
     }
 }
 
@@ -315,9 +310,7 @@ fn collect_outer_at(e: &SExpr, depth: usize, note: &mut impl FnMut(ColId)) {
             collect_outer_at(right, depth, note);
         }
         SExpr::Neg(inner) => collect_outer_at(inner, depth, note),
-        SExpr::Agg(crate::query::AggCall { arg: Some(a), .. }) => {
-            collect_outer_at(a, depth, note)
-        }
+        SExpr::Agg(crate::query::AggCall { arg: Some(a), .. }) => collect_outer_at(a, depth, note),
         _ => {}
     }
 }
@@ -350,19 +343,15 @@ pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec
         .factors
         .iter()
         .enumerate()
-        .filter(|(_, f)| {
-            f.tables.contains(table) && f.tables.minus(me).is_subset_of(available)
-        })
+        .filter(|(_, f)| f.tables.contains(table) && f.tables.minus(me).is_subset_of(available))
         .collect();
 
     // Classify each factor once.
     let uses: Vec<(usize, FactorUse)> = applicable
         .iter()
-        .map(|&(i, f)| {
-            match sargify(&f.expr, table, available, ctx.query) {
-                Some(dnf) => (i, FactorUse::Sarg(dnf)),
-                None => (i, FactorUse::Residual),
-            }
+        .map(|&(i, f)| match sargify(&f.expr, table, available, ctx.query) {
+            Some(dnf) => (i, FactorUse::Sarg(dnf)),
+            None => (i, FactorUse::Residual),
         })
         .collect();
 
@@ -383,10 +372,8 @@ pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec
             FactorUse::Residual => None,
         })
         .collect();
-    let residual: Vec<usize> = uses
-        .iter()
-        .filter_map(|(i, u)| matches!(u, FactorUse::Residual).then_some(*i))
-        .collect();
+    let residual: Vec<usize> =
+        uses.iter().filter_map(|(i, u)| matches!(u, FactorUse::Residual).then_some(*i)).collect();
 
     let mut candidates = Vec::new();
 
@@ -408,8 +395,17 @@ pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec
     // ---- one candidate per index ----------------------------------------
     for idx in ctx.catalog.indexes_on(rel.id) {
         candidates.push(index_candidate(
-            ctx, table, idx, &uses, &sargs, &residual, &applied, ncard, stats.tcard as f64,
-            out_rows, rsicard,
+            ctx,
+            table,
+            idx,
+            &uses,
+            &sargs,
+            &residual,
+            &applied,
+            ncard,
+            stats.tcard as f64,
+            out_rows,
+            rsicard,
         ));
     }
     candidates
@@ -438,9 +434,7 @@ fn index_candidate(
 
     let single_atom = |u: &FactorUse| -> Option<SargAtom> {
         match u {
-            FactorUse::Sarg(dnf) if dnf.len() == 1 && dnf[0].len() == 1 => {
-                Some(dnf[0][0].clone())
-            }
+            FactorUse::Sarg(dnf) if dnf.len() == 1 && dnf[0].len() == 1 => Some(dnf[0][0].clone()),
             _ => None,
         }
     };
@@ -522,8 +516,7 @@ fn index_candidate(
     let nindx = istats.nindx as f64;
     let f_matching: f64 = matching.iter().map(|&i| ctx.fsel[i]).product();
     let unique_full_eq = idx.unique && eq_prefix.len() == idx.key_cols.len();
-    let index_only =
-        ctx.config.index_only_scans && ctx.index_covers(table, &idx.key_cols);
+    let index_only = ctx.config.index_only_scans && ctx.index_covers(table, &idx.key_cols);
 
     let cost = if index_only {
         // Extension beyond the paper: only index pages are fetched. A
@@ -793,7 +786,7 @@ mod tests {
         let (cands, _) = paths_for(&cat, "SELECT NAME FROM EMP");
         let clustered = index_path(&cands, 0); // clustered, non-matching
         let nonclustered = index_path(&cands, 1); // non-clustered, non-matching
-        // clustered: NINDX + TCARD = 60+500 = 560
+                                                  // clustered: NINDX + TCARD = 60+500 = 560
         assert!((clustered.cost.pages - 560.0).abs() < 1e-9);
         // non-clustered: small = 40+500 = 540 > buffer 64 → NINDX + NCARD.
         assert!((nonclustered.cost.pages - 10_040.0).abs() < 1e-9);

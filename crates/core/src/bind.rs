@@ -8,9 +8,7 @@
 //! a nested block can reference "a value obtained from a candidate tuple of
 //! a higher level query block" (§6) — a correlation subquery.
 
-use crate::query::{
-    AggCall, BExpr, BoundQuery, BoundTable, ColId, Factor, SExpr, SubqueryDef,
-};
+use crate::query::{AggCall, BExpr, BoundQuery, BoundTable, ColId, Factor, SExpr, SubqueryDef};
 use std::fmt;
 use sysr_catalog::{Catalog, RelationMeta};
 use sysr_rss::{ColType, CompareOp, Value};
@@ -145,11 +143,8 @@ fn bind_block_inner<'a>(
     }
 
     // ---- GROUP BY / ORDER BY ----------------------------------------------
-    let group_by: Vec<ColId> = stmt
-        .group_by
-        .iter()
-        .map(|c| ctx.resolve_col_current(c))
-        .collect::<Result<_, _>>()?;
+    let group_by: Vec<ColId> =
+        stmt.group_by.iter().map(|c| ctx.resolve_col_current(c)).collect::<Result<_, _>>()?;
     let order_by: Vec<(ColId, bool)> = stmt
         .order_by
         .iter()
@@ -168,9 +163,7 @@ fn bind_block_inner<'a>(
         let mut bad = false;
         f.expr.visit_scalar(&mut |e| bad |= e.contains_aggregate());
         if bad {
-            return Err(BindError::AggregateMisuse(
-                "aggregates are not allowed in WHERE".into(),
-            ));
+            return Err(BindError::AggregateMisuse("aggregates are not allowed in WHERE".into()));
         }
     }
 
@@ -362,10 +355,7 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
             },
             Expr::InList { expr, list, negated } => BExpr::InList {
                 expr: self.bind_scalar(expr, false)?,
-                list: list
-                    .iter()
-                    .map(|e| self.bind_scalar(e, false))
-                    .collect::<Result<_, _>>()?,
+                list: list.iter().map(|e| self.bind_scalar(e, false)).collect::<Result<_, _>>()?,
                 negated: *negated,
             },
             Expr::InSubquery { expr, query, negated } => {
@@ -640,10 +630,7 @@ mod tests {
 
     #[test]
     fn ambiguous_and_unknown_columns() {
-        assert!(matches!(
-            bind("SELECT DNO FROM EMP, DEPT"),
-            Err(BindError::AmbiguousColumn(_))
-        ));
+        assert!(matches!(bind("SELECT DNO FROM EMP, DEPT"), Err(BindError::AmbiguousColumn(_))));
         assert!(matches!(bind("SELECT BOGUS FROM EMP"), Err(BindError::UnknownColumn(_))));
         assert!(matches!(bind("SELECT X FROM NOPE"), Err(BindError::UnknownTable(_))));
         assert!(matches!(
@@ -657,10 +644,7 @@ mod tests {
         let q = bind("SELECT A.NAME FROM EMP A, EMP B WHERE A.DNO = B.DNO").unwrap();
         assert_eq!(q.tables.len(), 2);
         assert_eq!(q.factors[0].equijoin, Some((ColId::new(0, 1), ColId::new(1, 1))));
-        assert!(matches!(
-            bind("SELECT NAME FROM EMP, EMP"),
-            Err(BindError::DuplicateBinding(_))
-        ));
+        assert!(matches!(bind("SELECT NAME FROM EMP, EMP"), Err(BindError::DuplicateBinding(_))));
     }
 
     #[test]
@@ -689,18 +673,13 @@ mod tests {
 
     #[test]
     fn uncorrelated_subquery() {
-        let q = bind(
-            "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)",
-        )
-        .unwrap();
+        let q = bind("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)")
+            .unwrap();
         assert_eq!(q.subqueries.len(), 1);
         assert!(!q.subqueries[0].correlated);
         assert!(q.subqueries[0].scalar);
         assert!(q.subqueries[0].query.aggregated);
-        assert!(matches!(
-            q.factors[0].expr,
-            BExpr::Cmp { right: SExpr::Subquery(0), .. }
-        ));
+        assert!(matches!(q.factors[0].expr, BExpr::Cmp { right: SExpr::Subquery(0), .. }));
     }
 
     #[test]
@@ -739,10 +718,8 @@ mod tests {
 
     #[test]
     fn in_subquery_binds_as_set() {
-        let q = bind(
-            "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC='DENVER')",
-        )
-        .unwrap();
+        let q = bind("SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC='DENVER')")
+            .unwrap();
         assert!(!q.subqueries[0].scalar);
         assert!(!q.subqueries[0].correlated);
     }
@@ -771,10 +748,7 @@ mod tests {
 
     #[test]
     fn arithmetic_type_checks() {
-        assert!(matches!(
-            bind("SELECT SAL + NAME FROM EMP"),
-            Err(BindError::TypeMismatch(_))
-        ));
+        assert!(matches!(bind("SELECT SAL + NAME FROM EMP"), Err(BindError::TypeMismatch(_))));
         assert!(bind("SELECT SAL * 2 + DNO FROM EMP").is_ok());
     }
 

@@ -92,11 +92,7 @@ impl TableSet {
             // Advance to the next same-popcount pattern (Gosper's hack).
             let lowest = c & c.wrapping_neg();
             let ripple = c.wrapping_add(lowest);
-            cur = if ripple == 0 {
-                None
-            } else {
-                Some(ripple | (((c ^ ripple) >> 2) / lowest))
-            };
+            cur = if ripple == 0 { None } else { Some(ripple | (((c ^ ripple) >> 2) / lowest)) };
             Some(TableSet(c))
         })
     }

@@ -269,8 +269,8 @@ mod tests {
     #[test]
     fn nonclustered_buffer_fit_switches_formula() {
         let m = model(); // buffer = 50 pages
-        // Very selective: F=0.001 retrieves 10 of 10000 tuples scattered
-        // over 400 pages → ~10 distinct pages; fits in the buffer.
+                         // Very selective: F=0.001 retrieves 10 of 10000 tuples scattered
+                         // over 400 pages → ~10 distinct pages; fits in the buffer.
         let c = m.nonclustered_matching(0.001, 20.0, 10_000.0, 400.0, 10.0);
         assert!(c.pages > 9.0 && c.pages < 11.0, "pages={}", c.pages);
         // Unselective: F=0.5 → the buffered estimate exceeds the pool, so

@@ -27,6 +27,7 @@
 //! `sysr-executor`.
 
 pub mod access;
+pub mod analyze;
 pub mod bind;
 pub mod cost;
 pub mod enumerate;
@@ -39,10 +40,13 @@ pub mod selectivity;
 
 mod bitset;
 
+pub use analyze::NodeMeasurement;
 pub use bind::{bind_select, BindError};
 pub use bitset::TableSet;
 pub use cost::{Cost, CostModel};
-pub use enumerate::{EnumerationStats, Enumerator, SubsetReport};
+pub use enumerate::{
+    EnumerationStats, Enumerator, SearchTrace, SubsetReport, SubsetTrace, TraceEntry,
+};
 pub use plan::{Access, IndexRange, PlanExpr, PlanNode, QueryPlan, SargAtom, SargFactor, ScanPlan};
 pub use query::{
     AggCall, BExpr, BoundQuery, BoundTable, ColId, Factor, Operand, SExpr, SubqueryDef,
@@ -115,5 +119,15 @@ impl<'a> Optimizer<'a> {
     /// Plan an already-bound query (used recursively for subqueries).
     pub fn optimize_bound(&self, bound: &BoundQuery) -> QueryPlan {
         nested::plan_query(self.catalog, &self.config, bound)
+    }
+
+    /// Like [`Optimizer::optimize`], additionally collecting the
+    /// enumerator's [`SearchTrace`] for every query block (root first).
+    pub fn optimize_traced(
+        &self,
+        stmt: &SelectStmt,
+    ) -> Result<(QueryPlan, Vec<(String, SearchTrace)>), BindError> {
+        let bound = bind_select(self.catalog, stmt)?;
+        Ok(nested::plan_query_traced(self.catalog, &self.config, &bound))
     }
 }

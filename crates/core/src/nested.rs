@@ -16,7 +16,7 @@
 //!   when this pays off; caching is strictly better than the sequential
 //!   test and needs no ordering assumption).
 
-use crate::enumerate::Enumerator;
+use crate::enumerate::{Enumerator, SearchTrace};
 use crate::plan::QueryPlan;
 use crate::query::BoundQuery;
 use crate::selectivity::estimate_qcard;
@@ -25,14 +25,49 @@ use sysr_catalog::Catalog;
 
 /// Plan a bound query block and, recursively, all of its subquery blocks.
 pub fn plan_query(catalog: &Catalog, config: &OptimizerConfig, bound: &BoundQuery) -> QueryPlan {
+    plan_block(catalog, config, bound, "root", &mut None)
+}
+
+/// Like [`plan_query`], additionally collecting each block's
+/// [`SearchTrace`], labeled by position (`root`, `subquery #0`,
+/// `subquery #0.1` for nesting), root block first.
+pub fn plan_query_traced(
+    catalog: &Catalog,
+    config: &OptimizerConfig,
+    bound: &BoundQuery,
+) -> (QueryPlan, Vec<(String, SearchTrace)>) {
+    let mut traces: Vec<(String, SearchTrace)> = Vec::new();
+    let plan = plan_block(catalog, config, bound, "root", &mut Some(&mut traces));
+    (plan, traces)
+}
+
+fn plan_block(
+    catalog: &Catalog,
+    config: &OptimizerConfig,
+    bound: &BoundQuery,
+    label: &str,
+    traces: &mut Option<&mut Vec<(String, SearchTrace)>>,
+) -> QueryPlan {
+    let enumerator = Enumerator::new(catalog, bound, *config);
+    let (root, stats) = match traces {
+        Some(out) => {
+            let (root, stats, trace) = enumerator.best_plan_traced();
+            out.push((label.to_string(), trace));
+            (root, stats)
+        }
+        None => enumerator.best_plan(),
+    };
+
     let subplans: Vec<QueryPlan> = bound
         .subqueries
         .iter()
-        .map(|s| plan_query(catalog, config, &s.query))
+        .enumerate()
+        .map(|(i, s)| {
+            let sub_label =
+                if label == "root" { format!("subquery #{i}") } else { format!("{label}.{i}") };
+            plan_block(catalog, config, &s.query, &sub_label, traces)
+        })
         .collect();
-
-    let enumerator = Enumerator::new(catalog, bound, *config);
-    let (root, stats) = enumerator.best_plan();
 
     // Factors with no local table (pure outer references / constants /
     // subquery-only comparisons) are evaluated once per correlation
@@ -59,9 +94,7 @@ pub fn plan_query(catalog: &Catalog, config: &OptimizerConfig, bound: &BoundQuer
             let candidates: f64 = bound
                 .tables
                 .iter()
-                .map(|t| {
-                    catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0)
-                })
+                .map(|t| catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0))
                 .product::<f64>()
                 .max(1.0);
             candidates.sqrt().max(1.0)
@@ -71,15 +104,7 @@ pub fn plan_query(catalog: &Catalog, config: &OptimizerConfig, bound: &BoundQuer
         predicted += sub.predicted.times(evals);
     }
 
-    QueryPlan {
-        query: bound.clone(),
-        root,
-        subplans,
-        block_filters,
-        predicted,
-        qcard,
-        stats,
-    }
+    QueryPlan { query: bound.clone(), root, subplans, block_filters, predicted, qcard, stats }
 }
 
 #[cfg(test)]
@@ -135,9 +160,7 @@ mod tests {
 
     #[test]
     fn uncorrelated_scalar_subquery_planned_once() {
-        let p = plan(
-            "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)",
-        );
+        let p = plan("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)");
         assert_eq!(p.subplans.len(), 1);
         assert!(!p.query.subqueries[0].correlated);
         // Predicted includes exactly one evaluation of the subquery.

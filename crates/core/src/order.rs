@@ -46,8 +46,7 @@ impl OrderInfo {
             uf.find(c);
         }
         let (class_of, n_classes) = uf.into_classes();
-        let required =
-            query.required_order().iter().map(|c| class_of[c]).collect::<Vec<_>>();
+        let required = query.required_order().iter().map(|c| class_of[c]).collect::<Vec<_>>();
         OrderInfo { class_of, required, n_classes }
     }
 
@@ -178,10 +177,7 @@ mod tests {
     fn transitive_equivalence_from_paper() {
         // E.DNO = D.DNO and D.DNO = F.DNO → one class of three columns.
         let q = query_with(
-            vec![
-                equijoin_factor(col(0, 1), col(1, 0)),
-                equijoin_factor(col(1, 0), col(2, 0)),
-            ],
+            vec![equijoin_factor(col(0, 1), col(1, 0)), equijoin_factor(col(1, 0), col(2, 0))],
             vec![],
         );
         let info = OrderInfo::build(&q);
@@ -194,10 +190,7 @@ mod tests {
     #[test]
     fn separate_join_columns_get_separate_classes() {
         let q = query_with(
-            vec![
-                equijoin_factor(col(0, 1), col(1, 0)),
-                equijoin_factor(col(0, 2), col(2, 0)),
-            ],
+            vec![equijoin_factor(col(0, 1), col(1, 0)), equijoin_factor(col(0, 2), col(2, 0))],
             vec![],
         );
         let info = OrderInfo::build(&q);
@@ -217,10 +210,7 @@ mod tests {
 
     #[test]
     fn required_order_satisfaction() {
-        let q = query_with(
-            vec![equijoin_factor(col(0, 1), col(1, 0))],
-            vec![col(0, 1), col(0, 3)],
-        );
+        let q = query_with(vec![equijoin_factor(col(0, 1), col(1, 0))], vec![col(0, 1), col(0, 3)]);
         let info = OrderInfo::build(&q);
         assert_eq!(info.required.len(), 2);
         // A plan ordered on D.DNO (same class as E.DNO) then E.c3 works.

@@ -84,7 +84,10 @@ pub enum PlanNode {
     Scan(ScanPlan),
     /// Nested loops: for each outer row, open the inner scan (whose probe
     /// operands may reference outer columns).
-    NestedLoop { outer: Box<PlanExpr>, inner: Box<PlanExpr> },
+    NestedLoop {
+        outer: Box<PlanExpr>,
+        inner: Box<PlanExpr>,
+    },
     /// Merging scans over `outer_key = inner_key`. The inner side is
     /// either a `Sort` (sorted temporary list, synchronized group scan) or
     /// an ordered index scan probed per distinct outer value. `residual`
@@ -97,7 +100,10 @@ pub enum PlanNode {
         residual: Vec<usize>,
     },
     /// Sort the input into a temporary list ordered by `keys` (ascending).
-    Sort { input: Box<PlanExpr>, keys: Vec<ColId> },
+    Sort {
+        input: Box<PlanExpr>,
+        keys: Vec<ColId>,
+    },
 }
 
 /// A plan node with the optimizer's annotations.
@@ -197,12 +203,8 @@ impl QueryPlan {
     fn render(&self, catalog: &Catalog, out: &mut String, depth: usize) {
         render_node(&self.root, &self.query, catalog, out, depth);
         if !self.block_filters.is_empty() {
-            let _ = writeln!(
-                out,
-                "{}block filters: {:?}",
-                "  ".repeat(depth + 1),
-                self.block_filters
-            );
+            let _ =
+                writeln!(out, "{}block filters: {:?}", "  ".repeat(depth + 1), self.block_filters);
         }
         for (i, sub) in self.subplans.iter().enumerate() {
             let def = &self.query.subqueries[i];
@@ -218,8 +220,53 @@ impl QueryPlan {
     }
 }
 
-fn table_name(query: &BoundQuery, table: usize) -> &str {
+pub(crate) fn table_name(query: &BoundQuery, table: usize) -> &str {
     query.tables.get(table).map(|t| t.name.as_str()).unwrap_or("?")
+}
+
+/// The head line of one plan node (no padding, no cost annotation) —
+/// shared between `EXPLAIN` and `EXPLAIN ANALYZE` rendering.
+pub(crate) fn node_head(plan: &PlanExpr, query: &BoundQuery, catalog: &Catalog) -> String {
+    match &plan.node {
+        PlanNode::Scan(s) => {
+            let tname = table_name(query, s.table);
+            match &s.access {
+                Access::Segment => format!("SEGMENT SCAN {tname}"),
+                Access::Index { index, eq_prefix, range, matching, index_only } => {
+                    let iname = catalog
+                        .index(*index)
+                        .map(|i| i.name.clone())
+                        .unwrap_or_else(|| format!("#{index}"));
+                    let mut probe = String::new();
+                    if !eq_prefix.is_empty() {
+                        let _ = write!(
+                            probe,
+                            " eq[{}]",
+                            eq_prefix.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+                        );
+                    }
+                    if let Some(r) = range {
+                        if let Some((op, incl)) = &r.lower {
+                            let _ = write!(probe, " from{}{}", if *incl { "=" } else { ">" }, op);
+                        }
+                        if let Some((op, incl)) = &r.upper {
+                            let _ = write!(probe, " to{}{}", if *incl { "=" } else { "<" }, op);
+                        }
+                    }
+                    let only = if *index_only { " INDEX-ONLY" } else { "" };
+                    format!("INDEX SCAN{only} {tname} via {iname}{probe} matching={matching:?}")
+                }
+            }
+        }
+        PlanNode::NestedLoop { .. } => "NESTED LOOP JOIN".to_string(),
+        PlanNode::Merge { outer_key, inner_key, residual, .. } => {
+            format!("MERGE JOIN on {outer_key}={inner_key} residual={residual:?}")
+        }
+        PlanNode::Sort { keys, .. } => {
+            let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
+            format!("SORT by [{}]", keys.join(", "))
+        }
+    }
 }
 
 fn render_node(
@@ -231,46 +278,9 @@ fn render_node(
 ) {
     let pad = "  ".repeat(depth);
     let annot = format!("(cost={}, rows={:.1})", plan.cost, plan.rows);
+    let _ = writeln!(out, "{pad}{} {annot}", node_head(plan, query, catalog));
     match &plan.node {
         PlanNode::Scan(s) => {
-            let tname = table_name(query, s.table);
-            match &s.access {
-                Access::Segment => {
-                    let _ = writeln!(out, "{pad}SEGMENT SCAN {tname} {annot}");
-                }
-                Access::Index { index, eq_prefix, range, matching, index_only } => {
-                    let iname = catalog
-                        .index(*index)
-                        .map(|i| i.name.clone())
-                        .unwrap_or_else(|| format!("#{index}"));
-                    let mut probe = String::new();
-                    if !eq_prefix.is_empty() {
-                        let _ = write!(
-                            probe,
-                            " eq[{}]",
-                            eq_prefix
-                                .iter()
-                                .map(|o| o.to_string())
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        );
-                    }
-                    if let Some(r) = range {
-                        if let Some((op, incl)) = &r.lower {
-                            let _ =
-                                write!(probe, " from{}{}", if *incl { "=" } else { ">" }, op);
-                        }
-                        if let Some((op, incl)) = &r.upper {
-                            let _ = write!(probe, " to{}{}", if *incl { "=" } else { "<" }, op);
-                        }
-                    }
-                    let only = if *index_only { " INDEX-ONLY" } else { "" };
-                    let _ = writeln!(
-                        out,
-                        "{pad}INDEX SCAN{only} {tname} via {iname}{probe} matching={matching:?} {annot}"
-                    );
-                }
-            }
             if !s.sargs.is_empty() {
                 let ids: Vec<usize> = s.sargs.iter().map(|sf| sf.factor).collect();
                 let _ = writeln!(out, "{pad}  sargs: factors {ids:?}");
@@ -279,23 +289,11 @@ fn render_node(
                 let _ = writeln!(out, "{pad}  residual: factors {:?}", s.residual);
             }
         }
-        PlanNode::NestedLoop { outer, inner } => {
-            let _ = writeln!(out, "{pad}NESTED LOOP JOIN {annot}");
+        PlanNode::NestedLoop { outer, inner } | PlanNode::Merge { outer, inner, .. } => {
             render_node(outer, query, catalog, out, depth + 1);
             render_node(inner, query, catalog, out, depth + 1);
         }
-        PlanNode::Merge { outer, inner, outer_key, inner_key, residual } => {
-            let _ = writeln!(
-                out,
-                "{pad}MERGE JOIN on {}={} residual={:?} {}",
-                outer_key, inner_key, residual, annot
-            );
-            render_node(outer, query, catalog, out, depth + 1);
-            render_node(inner, query, catalog, out, depth + 1);
-        }
-        PlanNode::Sort { input, keys } => {
-            let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
-            let _ = writeln!(out, "{pad}SORT by [{}] {annot}", keys.join(", "));
+        PlanNode::Sort { input, .. } => {
             render_node(input, query, catalog, out, depth + 1);
         }
     }
@@ -322,10 +320,7 @@ mod tests {
     #[test]
     fn tables_and_join_order() {
         let join = PlanExpr {
-            node: PlanNode::NestedLoop {
-                outer: Box::new(scan(2)),
-                inner: Box::new(scan(0)),
-            },
+            node: PlanNode::NestedLoop { outer: Box::new(scan(2)), inner: Box::new(scan(0)) },
             cost: Cost::new(50.0, 500.0),
             rows: 42.0,
             order: vec![],

@@ -98,9 +98,16 @@ pub struct AggCall {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SExpr {
     Col(ColId),
-    Outer { level: usize, col: ColId },
+    Outer {
+        level: usize,
+        col: ColId,
+    },
     Lit(Value),
-    Arith { op: ArithOp, left: Box<SExpr>, right: Box<SExpr> },
+    Arith {
+        op: ArithOp,
+        left: Box<SExpr>,
+        right: Box<SExpr>,
+    },
     Neg(Box<SExpr>),
     /// Scalar subquery (index into [`BoundQuery::subqueries`]).
     Subquery(usize),
@@ -183,11 +190,28 @@ impl SExpr {
 /// Bound boolean expression — the WHERE tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BExpr {
-    Cmp { op: CompareOp, left: SExpr, right: SExpr },
-    Between { expr: SExpr, low: SExpr, high: SExpr, negated: bool },
-    InList { expr: SExpr, list: Vec<SExpr>, negated: bool },
+    Cmp {
+        op: CompareOp,
+        left: SExpr,
+        right: SExpr,
+    },
+    Between {
+        expr: SExpr,
+        low: SExpr,
+        high: SExpr,
+        negated: bool,
+    },
+    InList {
+        expr: SExpr,
+        list: Vec<SExpr>,
+        negated: bool,
+    },
     /// `expr IN (subquery)`; the subquery returns a set.
-    InSubquery { expr: SExpr, subquery: usize, negated: bool },
+    InSubquery {
+        expr: SExpr,
+        subquery: usize,
+        negated: bool,
+    },
     And(Vec<BExpr>),
     Or(Vec<BExpr>),
     Not(Box<BExpr>),
@@ -379,10 +403,7 @@ mod tests {
 
     #[test]
     fn operand_conversion() {
-        assert_eq!(
-            col(1, 2).as_operand_excluding(0),
-            Some(Operand::Col(ColId::new(1, 2)))
-        );
+        assert_eq!(col(1, 2).as_operand_excluding(0), Some(Operand::Col(ColId::new(1, 2))));
         assert_eq!(col(0, 2).as_operand_excluding(0), None);
         assert_eq!(
             SExpr::Lit(Value::Int(5)).as_operand_excluding(0),

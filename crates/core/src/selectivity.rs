@@ -70,10 +70,9 @@ impl<'a> Selectivity<'a> {
                 }
             }
             // (pred1) OR (pred2): F = F1 + F2 - F1*F2, folded over children.
-            BExpr::Or(children) => children
-                .iter()
-                .map(|c| self.bexpr(c))
-                .fold(0.0, |acc, f| acc + f - acc * f),
+            BExpr::Or(children) => {
+                children.iter().map(|c| self.bexpr(c)).fold(0.0, |acc, f| acc + f - acc * f)
+            }
             // (pred1) AND (pred2): F = F1 * F2 — "this assumes that column
             // values are independent".
             BExpr::And(children) => children.iter().map(|c| self.bexpr(c)).product(),
@@ -196,11 +195,8 @@ impl<'a> Selectivity<'a> {
         };
         let sub = &def.query;
         let qcard = estimate_qcard(self.catalog, sub);
-        let from_product: f64 = sub
-            .tables
-            .iter()
-            .map(|t| rel_ncard(self.catalog, t).max(1.0))
-            .product();
+        let from_product: f64 =
+            sub.tables.iter().map(|t| rel_ncard(self.catalog, t).max(1.0)).product();
         if from_product <= 0.0 {
             return DEFAULT_EQ;
         }
@@ -333,10 +329,7 @@ mod tests {
     fn range_defaults_without_stats_or_on_strings() {
         let cat = demo();
         assert_eq!(sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB > 3"), DEFAULT_RANGE);
-        assert_eq!(
-            sel_of(&cat, "SELECT NAME FROM EMP WHERE NAME > 'SMITH'"),
-            DEFAULT_RANGE
-        );
+        assert_eq!(sel_of(&cat, "SELECT NAME FROM EMP WHERE NAME > 'SMITH'"), DEFAULT_RANGE);
     }
 
     #[test]
@@ -344,10 +337,7 @@ mod tests {
         let cat = demo();
         let f = sel_of(&cat, "SELECT NAME FROM EMP WHERE SAL BETWEEN 0 AND 9999.9");
         assert!((f - 0.1).abs() < 1e-3, "got {f}");
-        assert_eq!(
-            sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB BETWEEN 1 AND 2"),
-            DEFAULT_BETWEEN
-        );
+        assert_eq!(sel_of(&cat, "SELECT NAME FROM EMP WHERE JOB BETWEEN 1 AND 2"), DEFAULT_BETWEEN);
     }
 
     #[test]
@@ -357,10 +347,7 @@ mod tests {
         assert!((f - 3.0 / 50.0).abs() < 1e-12);
         // 40 items × 1/10 = 4.0 → capped at 1/2.
         let vals: Vec<String> = (0..40).map(|i| i.to_string()).collect();
-        let f = sel_of(
-            &cat,
-            &format!("SELECT NAME FROM EMP WHERE JOB IN ({})", vals.join(", ")),
-        );
+        let f = sel_of(&cat, &format!("SELECT NAME FROM EMP WHERE JOB IN ({})", vals.join(", ")));
         assert_eq!(f, IN_LIST_CAP);
     }
 
@@ -411,10 +398,8 @@ mod tests {
     fn scalar_subquery_operand_gets_eq_default() {
         let cat = demo();
         // JOB has no index: 1/10; with index on DNO: 1/50.
-        let f = sel_of(
-            &cat,
-            "SELECT NAME FROM EMP WHERE DNO = (SELECT DNO FROM DEPT WHERE LOC='X')",
-        );
+        let f =
+            sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO = (SELECT DNO FROM DEPT WHERE LOC='X')");
         assert!((f - 1.0 / 50.0).abs() < 1e-12);
     }
 

@@ -7,15 +7,42 @@ use crate::eval::{eval_bexpr, eval_grouped_sexpr};
 use crate::exec::exec_node;
 use crate::result::ResultSet;
 use crate::row::{cmp_rows, empty_row, row_value, rows_sorted, Row};
+use crate::tracer::ExecTracer;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use sysr_catalog::Catalog;
-use sysr_core::{ColId, QueryPlan};
+use sysr_core::{ColId, NodeMeasurement, QueryPlan};
 use sysr_rss::{Storage, Tuple, Value};
 
-/// Execution environment: the storage engine and catalogs.
+/// Execution environment: the storage engine and catalogs, plus an
+/// optional per-node measurement tracer (`EXPLAIN ANALYZE`).
 pub struct ExecEnv<'a> {
     pub storage: &'a Storage,
     pub catalog: &'a Catalog,
+    pub tracer: Option<Rc<RefCell<ExecTracer>>>,
+}
+
+impl<'a> ExecEnv<'a> {
+    pub fn new(storage: &'a Storage, catalog: &'a Catalog) -> Self {
+        ExecEnv { storage, catalog, tracer: None }
+    }
+
+    /// Attach a fresh tracer; harvest it with [`ExecEnv::take_measurements`].
+    pub fn with_tracer(storage: &'a Storage, catalog: &'a Catalog) -> Self {
+        ExecEnv { storage, catalog, tracer: Some(Rc::new(RefCell::new(ExecTracer::new()))) }
+    }
+
+    /// Detach the tracer and return what it measured (empty if untraced).
+    pub fn take_measurements(&mut self) -> HashMap<usize, NodeMeasurement> {
+        match self.tracer.take() {
+            Some(t) => Rc::try_unwrap(t)
+                .ok()
+                .map(|cell| cell.into_inner().into_measurements())
+                .unwrap_or_default(),
+            None => HashMap::new(),
+        }
+    }
 }
 
 /// A memoized subquery result.
@@ -44,37 +71,54 @@ pub struct BlockRt<'a> {
     /// Current rows of enclosing blocks, outermost first (the correlation
     /// context: `Outer { level: 1, .. }` reads the last entry).
     pub outer_stack: Vec<Row>,
+    /// Pre-order id of this block's root node (0 for the top block; see
+    /// `sysr_core::analyze` for the numbering of nested blocks).
+    pub base_id: usize,
     substates: Vec<SubState>,
     /// Free outer references per subquery, precomputed for memo keys.
     free_refs: Vec<Vec<(usize, ColId)>>,
 }
 
 impl<'a> BlockRt<'a> {
-    fn new(env: &'a ExecEnv<'a>, plan: &'a QueryPlan, outer_stack: Vec<Row>) -> Self {
+    fn new(
+        env: &'a ExecEnv<'a>,
+        plan: &'a QueryPlan,
+        outer_stack: Vec<Row>,
+        base_id: usize,
+    ) -> Self {
         let n = plan.query.subqueries.len();
-        let free_refs = plan
-            .query
-            .subqueries
-            .iter()
-            .map(|s| s.query.free_outer_refs())
-            .collect();
+        let free_refs = plan.query.subqueries.iter().map(|s| s.query.free_outer_refs()).collect();
         BlockRt {
             env,
             plan,
             outer_stack,
+            base_id,
             substates: (0..n).map(|_| SubState::default()).collect(),
             free_refs,
+        }
+    }
+
+    /// Open a measurement window for plan node `id` (no-op if untraced).
+    pub fn trace_enter(&self, id: usize) {
+        if let Some(t) = &self.env.tracer {
+            t.borrow_mut().enter(id, self.env.storage.io_stats());
+        }
+    }
+
+    /// Close the window for node `id`, crediting `rows` produced.
+    pub fn trace_exit(&self, id: usize, rows: usize) {
+        if let Some(t) = &self.env.tracer {
+            t.borrow_mut().exit(id, rows as u64, self.env.storage.io_stats());
         }
     }
 
     /// Resolve an outer reference from the correlation context. `level` is
     /// relative to *this* block (1 = immediate parent).
     pub fn outer_value(&self, level: usize, col: ColId) -> ExecResult<Value> {
-        let idx = self
-            .outer_stack
-            .len()
-            .checked_sub(level)
-            .ok_or_else(|| ExecError::Internal(format!("outer level {level} underflows stack")))?;
+        let idx =
+            self.outer_stack.len().checked_sub(level).ok_or_else(|| {
+                ExecError::Internal(format!("outer level {level} underflows stack"))
+            })?;
         Ok(row_value(&self.outer_stack[idx], col).cloned().unwrap_or(Value::Null))
     }
 
@@ -84,6 +128,7 @@ impl<'a> BlockRt<'a> {
     pub fn eval_subquery(&mut self, i: usize, current_row: &Row) -> ExecResult<SubValue> {
         let def = &self.plan.query.subqueries[i];
         let subplan = &self.plan.subplans[i];
+        let sub_base = self.plan.subplan_base(self.base_id, i);
         if !def.correlated {
             if let Some(v) = &self.substates[i].once {
                 return Ok(v.clone());
@@ -92,7 +137,7 @@ impl<'a> BlockRt<'a> {
             // but keeps deeper nesting uniform.
             let mut stack = self.outer_stack.clone();
             stack.push(current_row.clone());
-            let rows = execute_block(self.env, subplan, stack)?;
+            let rows = execute_block_at(self.env, subplan, stack, sub_base)?;
             let v = convert_sub_result(rows, def.scalar)?;
             self.substates[i].once = Some(v.clone());
             return Ok(v);
@@ -113,7 +158,7 @@ impl<'a> BlockRt<'a> {
         if let Some(v) = self.substates[i].memo.get(&key) {
             return Ok(v.clone());
         }
-        let rows = execute_block(self.env, subplan, stack)?;
+        let rows = execute_block_at(self.env, subplan, stack, sub_base)?;
         let v = convert_sub_result(rows, def.scalar)?;
         self.substates[i].memo.insert(key, v.clone());
         Ok(v)
@@ -128,9 +173,7 @@ fn convert_sub_result(rows: Vec<Tuple>, scalar: bool) -> ExecResult<SubValue> {
             n => Err(ExecError::ScalarSubqueryCardinality(n)),
         }
     } else {
-        Ok(SubValue::Set(std::rc::Rc::new(
-            rows.into_iter().map(|t| t[0].clone()).collect(),
-        )))
+        Ok(SubValue::Set(std::rc::Rc::new(rows.into_iter().map(|t| t[0].clone()).collect())))
     }
 }
 
@@ -147,7 +190,18 @@ pub fn execute_block(
     plan: &QueryPlan,
     outer_stack: Vec<Row>,
 ) -> ExecResult<Vec<Tuple>> {
-    let mut rt = BlockRt::new(env, plan, outer_stack);
+    execute_block_at(env, plan, outer_stack, 0)
+}
+
+/// [`execute_block`] with an explicit base node id for tracing (nested
+/// blocks occupy id ranges after their parent's tree).
+pub fn execute_block_at(
+    env: &ExecEnv<'_>,
+    plan: &QueryPlan,
+    outer_stack: Vec<Row>,
+    base_id: usize,
+) -> ExecResult<Vec<Tuple>> {
+    let mut rt = BlockRt::new(env, plan, outer_stack, base_id);
     let q = &plan.query;
 
     // Factors referencing no local table: decided once per block instance.
@@ -158,7 +212,7 @@ pub fn execute_block(
         }
     }
 
-    let mut rows = exec_node(&mut rt, &plan.root)?;
+    let mut rows = exec_node(&mut rt, &plan.root, base_id)?;
 
     if q.aggregated {
         return aggregate_output(&mut rt, rows);
@@ -247,10 +301,7 @@ fn dedup_preserving_order(rows: Vec<Tuple>) -> Vec<Tuple> {
 
 /// Convenience for facade-level DELETE: execute a `SELECT *` plan over one
 /// table and return the matching tuples as a multiset count map.
-pub fn matching_multiset(
-    env: &ExecEnv<'_>,
-    plan: &QueryPlan,
-) -> ExecResult<HashMap<Tuple, usize>> {
+pub fn matching_multiset(env: &ExecEnv<'_>, plan: &QueryPlan) -> ExecResult<HashMap<Tuple, usize>> {
     let rows = execute_block(env, plan, Vec::new())?;
     let mut counts = HashMap::new();
     for t in rows {

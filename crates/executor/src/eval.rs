@@ -33,13 +33,13 @@ pub fn eval_sexpr(rt: &mut BlockRt<'_>, row: &Row, e: &SExpr) -> ExecResult<Valu
         },
         SExpr::Subquery(i) => match rt.eval_subquery(*i, row)? {
             SubValue::Scalar(v) => Ok(v),
-            SubValue::Set(_) => Err(ExecError::Internal(
-                "set subquery used as a scalar value".into(),
-            )),
+            SubValue::Set(_) => {
+                Err(ExecError::Internal("set subquery used as a scalar value".into()))
+            }
         },
-        SExpr::Agg(_) => Err(ExecError::Internal(
-            "aggregate evaluated outside an aggregated SELECT list".into(),
-        )),
+        SExpr::Agg(_) => {
+            Err(ExecError::Internal("aggregate evaluated outside an aggregated SELECT list".into()))
+        }
     }
 }
 
@@ -249,19 +249,16 @@ pub fn resolve_operand(
         Operand::Col(c) => probe
             .and_then(|r| row_value(r, *c))
             .cloned()
-            .ok_or_else(|| {
-                ExecError::Internal(format!("probe operand {c} has no outer row"))
-            }),
+            .ok_or_else(|| ExecError::Internal(format!("probe operand {c} has no outer row"))),
         Operand::Outer { level, col } => rt.outer_value(*level, *col),
         Operand::Subquery(i) => {
             let row = probe.cloned().unwrap_or_default();
             match rt.eval_subquery(*i, &row)? {
                 SubValue::Scalar(v) => Ok(v),
-                SubValue::Set(_) => Err(ExecError::Internal(
-                    "set subquery used as probe operand".into(),
-                )),
+                SubValue::Set(_) => {
+                    Err(ExecError::Internal("set subquery used as probe operand".into()))
+                }
             }
         }
     }
 }
-

@@ -5,32 +5,48 @@ use crate::error::{ExecError, ExecResult};
 use crate::eval::{eval_bexpr, resolve_operand};
 use crate::row::{cmp_rows, combine, empty_row, flatten, row_value, Row};
 use sysr_core::{Access, PlanExpr, PlanNode, ScanPlan};
-use sysr_rss::{
-    IndexScan, RsiScan, SargExpr, SargPred, SegmentScan, TempList, Tuple, Value,
-};
+use sysr_rss::{IndexScan, RsiScan, SargExpr, SargPred, SegmentScan, TempList, Tuple, Value};
 
-/// Execute a plan subtree, producing composite rows.
-pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr) -> ExecResult<Vec<Row>> {
+/// Execute a plan subtree, producing composite rows. `id` is the node's
+/// pre-order id within the whole statement plan (see `sysr_core::analyze`);
+/// it keys the `EXPLAIN ANALYZE` measurements.
+pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResult<Vec<Row>> {
+    rt.trace_enter(id);
+    let result = exec_node_inner(rt, plan, id);
+    match &result {
+        Ok(rows) => rt.trace_exit(id, rows.len()),
+        // Errors abandon the measurement; the caller discards the tracer.
+        Err(_) => rt.trace_exit(id, 0),
+    }
+    result
+}
+
+fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResult<Vec<Row>> {
     match &plan.node {
         PlanNode::Scan(scan) => exec_scan(rt, scan, None),
         PlanNode::NestedLoop { outer, inner } => {
-            let outer_rows = exec_node(rt, outer)?;
+            let outer_id = plan.outer_child_id(id).expect("join has outer");
+            let inner_id = plan.inner_child_id(id).expect("join has inner");
+            let outer_rows = exec_node(rt, outer, outer_id)?;
             let PlanNode::Scan(inner_scan) = &inner.node else {
-                return Err(ExecError::Internal(
-                    "nested-loop inner must be a scan".into(),
-                ));
+                return Err(ExecError::Internal("nested-loop inner must be a scan".into()));
             };
             let mut out = Vec::new();
             for orow in &outer_rows {
                 // OPEN the inner scan per outer tuple, with probe operands
                 // bound from the outer row.
-                out.extend(exec_scan(rt, inner_scan, Some(orow))?);
+                rt.trace_enter(inner_id);
+                let matched = exec_scan(rt, inner_scan, Some(orow));
+                rt.trace_exit(inner_id, matched.as_ref().map_or(0, Vec::len));
+                out.extend(matched?);
             }
             Ok(out)
         }
         PlanNode::Merge { outer, inner, outer_key, inner_key, residual } => {
-            let outer_rows = exec_node(rt, outer)?;
-            let inner_rows = exec_node(rt, inner)?;
+            let outer_id = plan.outer_child_id(id).expect("join has outer");
+            let inner_id = plan.inner_child_id(id).expect("join has inner");
+            let outer_rows = exec_node(rt, outer, outer_id)?;
+            let inner_rows = exec_node(rt, inner, inner_id)?;
             debug_assert!(
                 crate::row::rows_sorted(&outer_rows, &[(*outer_key, false)]),
                 "merge outer must arrive sorted"
@@ -39,10 +55,8 @@ pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr) -> ExecResult<Vec<Row>> 
                 crate::row::rows_sorted(&inner_rows, &[(*inner_key, false)]),
                 "merge inner must arrive sorted"
             );
-            let residual_exprs: Vec<sysr_core::BExpr> = residual
-                .iter()
-                .map(|&f| rt.plan.query.factors[f].expr.clone())
-                .collect();
+            let residual_exprs: Vec<sysr_core::BExpr> =
+                residual.iter().map(|&f| rt.plan.query.factors[f].expr.clone()).collect();
             let mut out = Vec::new();
             // Synchronized group scan: the inner cursor only moves forward;
             // the current group [gstart, gend) is re-used for equal outer
@@ -91,7 +105,8 @@ pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr) -> ExecResult<Vec<Row>> 
             Ok(out)
         }
         PlanNode::Sort { input, keys } => {
-            let mut rows = exec_node(rt, input)?;
+            let input_id = plan.outer_child_id(id).expect("sort has input");
+            let mut rows = exec_node(rt, input, input_id)?;
             let sort_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();
             rows.sort_by(|a, b| cmp_rows(a, b, &sort_keys));
             // Materialize into a temporary list and read it back once, so
@@ -160,7 +175,8 @@ pub fn exec_scan(
             let start_bound = if start.is_empty() { None } else { Some(start) };
             let stop_bound = if stop.is_empty() {
                 None
-            } else if have_range && range.as_ref().is_some_and(|r| r.upper.is_none())
+            } else if have_range
+                && range.as_ref().is_some_and(|r| r.upper.is_none())
                 && eq_prefix.is_empty()
             {
                 // Pure lower-bounded range: no stop key.
@@ -197,12 +213,8 @@ pub fn exec_scan(
                     }
                     remapped.push(SargExpr { disjuncts });
                 }
-                let arity = rt
-                    .env
-                    .catalog
-                    .relation(table.rel)
-                    .map(|r| r.arity())
-                    .unwrap_or(key_cols.len());
+                let arity =
+                    rt.env.catalog.relation(table.rel).map(|r| r.arity()).unwrap_or(key_cols.len());
                 let mut s =
                     IndexScan::open(rt.env.storage, *index, start_bound, stop_bound, remapped)
                         .index_only();
@@ -216,19 +228,15 @@ pub fn exec_scan(
                 }
                 out
             } else {
-                let mut s =
-                    IndexScan::open(rt.env.storage, *index, start_bound, stop_bound, sargs);
+                let mut s = IndexScan::open(rt.env.storage, *index, start_bound, stop_bound, sargs);
                 s.collect_all()?
             }
         }
     };
 
     // Attach to the composite row and apply residual factors above the RSI.
-    let residual_exprs: Vec<sysr_core::BExpr> = scan
-        .residual
-        .iter()
-        .map(|&f| rt.plan.query.factors[f].expr.clone())
-        .collect();
+    let residual_exprs: Vec<sysr_core::BExpr> =
+        scan.residual.iter().map(|&f| rt.plan.query.factors[f].expr.clone()).collect();
     let base: Row = probe.cloned().unwrap_or_else(|| empty_row(ntables));
     let mut out = Vec::with_capacity(tuples.len());
     'tuples: for tuple in tuples {

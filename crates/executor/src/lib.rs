@@ -31,8 +31,10 @@ pub mod eval;
 pub mod exec;
 pub mod result;
 pub mod row;
+pub mod tracer;
 
-pub use block::{execute, execute_block, BlockRt, ExecEnv};
+pub use block::{execute, execute_block, execute_block_at, BlockRt, ExecEnv};
 pub use error::{ExecError, ExecResult};
 pub use result::ResultSet;
 pub use row::Row;
+pub use tracer::ExecTracer;

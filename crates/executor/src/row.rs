@@ -20,20 +20,14 @@ pub fn row_value(row: &Row, col: ColId) -> Option<&Value> {
 /// Combine two partial rows of the same block (disjoint table sets; the
 /// left side wins on overlap, which cannot happen in well-formed plans).
 pub fn combine(a: &Row, b: &Row) -> Row {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| x.clone().or_else(|| y.clone()))
-        .collect()
+    a.iter().zip(b.iter()).map(|(x, y)| x.clone().or_else(|| y.clone())).collect()
 }
 
 /// Flatten a row into a single tuple (for temp-list materialization and
 /// width accounting): concatenate the present tuples' values in table
 /// order.
 pub fn flatten(row: &Row) -> Tuple {
-    row.iter()
-        .flatten()
-        .flat_map(|t| t.values().iter().cloned())
-        .collect()
+    row.iter().flatten().flat_map(|t| t.values().iter().cloned()).collect()
 }
 
 /// Compare two rows by a sequence of `(column, descending)` sort keys;
@@ -92,20 +86,15 @@ mod tests {
 
     #[test]
     fn sorting_with_desc_keys() {
-        let rows: Vec<Row> = [3, 1, 2]
-            .iter()
-            .map(|&i| row2(Some(tuple![i]), None))
-            .collect();
+        let rows: Vec<Row> = [3, 1, 2].iter().map(|&i| row2(Some(tuple![i]), None)).collect();
         let key = ColId::new(0, 0);
         let mut asc = rows.clone();
         asc.sort_by(|a, b| cmp_rows(a, b, &[(key, false)]));
         assert!(rows_sorted(&asc, &[(key, false)]));
         let mut desc = rows.clone();
         desc.sort_by(|a, b| cmp_rows(a, b, &[(key, true)]));
-        let vals: Vec<i64> = desc
-            .iter()
-            .map(|r| row_value(r, key).unwrap().as_int().unwrap())
-            .collect();
+        let vals: Vec<i64> =
+            desc.iter().map(|r| row_value(r, key).unwrap().as_int().unwrap()).collect();
         assert_eq!(vals, vec![3, 2, 1]);
         assert!(!rows_sorted(&rows, &[(key, false)]));
     }

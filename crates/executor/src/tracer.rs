@@ -1,0 +1,115 @@
+//! Per-node execution measurement for `EXPLAIN ANALYZE`.
+//!
+//! The tracer watches the storage engine's [`IoStats`] counters around
+//! every plan-node invocation and attributes each unit of I/O to exactly
+//! one node. Nodes nest (a join's window contains its children's windows;
+//! a scan's window contains the windows of subqueries evaluated in its
+//! residual predicates), so each frame tracks how much of its window was
+//! already **charged** to frames opened inside it; on exit the node keeps
+//! `window - charged` as its own. Summing the per-node measurements
+//! therefore reproduces the whole-query [`IoStats`] delta exactly.
+
+use std::collections::HashMap;
+use sysr_core::NodeMeasurement;
+use sysr_rss::IoStats;
+
+struct Frame {
+    id: usize,
+    /// Counter snapshot when the node was opened.
+    start: IoStats,
+    /// I/O already attributed to frames nested inside this window.
+    charged: IoStats,
+}
+
+/// Accumulates [`NodeMeasurement`]s keyed by pre-order plan-node id (see
+/// `sysr_core::analyze` for the id scheme).
+#[derive(Default)]
+pub struct ExecTracer {
+    frames: Vec<Frame>,
+    measurements: HashMap<usize, NodeMeasurement>,
+}
+
+impl ExecTracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open node `id`; `now` is the current whole-storage counter state.
+    pub fn enter(&mut self, id: usize, now: IoStats) {
+        self.frames.push(Frame { id, start: now, charged: IoStats::default() });
+    }
+
+    /// Close node `id`, crediting it with `rows` produced and with the
+    /// window's I/O net of nested frames. The window total is passed up to
+    /// the parent as already-charged.
+    pub fn exit(&mut self, id: usize, rows: u64, now: IoStats) {
+        let frame = self.frames.pop().expect("tracer exit without enter");
+        debug_assert_eq!(frame.id, id, "tracer frames must nest");
+        let window = now.since(&frame.start);
+        let own = window.since(&frame.charged);
+        let m = self.measurements.entry(id).or_default();
+        m.invocations += 1;
+        m.rows += rows;
+        m.io += own;
+        if let Some(parent) = self.frames.last_mut() {
+            parent.charged += window;
+        }
+    }
+
+    /// The collected measurements. Every frame must be closed.
+    pub fn into_measurements(self) -> HashMap<usize, NodeMeasurement> {
+        debug_assert!(self.frames.is_empty(), "unclosed tracer frames");
+        self.measurements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io(data: u64, rsi: u64) -> IoStats {
+        IoStats { data_page_fetches: data, rsi_calls: rsi, ..IoStats::default() }
+    }
+
+    #[test]
+    fn nested_frames_partition_the_window() {
+        let mut t = ExecTracer::new();
+        t.enter(0, io(0, 0));
+        t.enter(1, io(2, 1)); // parent did 2 pages before the child opened
+        t.exit(1, 10, io(5, 4)); // child: 3 pages, 3 rsi
+        t.exit(0, 4, io(6, 6)); // parent total 6/6, child took 3/3 → own 3/3
+        let m = t.into_measurements();
+        assert_eq!(m[&1].io.data_page_fetches, 3);
+        assert_eq!(m[&1].io.rsi_calls, 3);
+        assert_eq!(m[&0].io.data_page_fetches, 3);
+        assert_eq!(m[&0].io.rsi_calls, 3);
+        assert_eq!(m[&0].rows, 4);
+        assert_eq!(m[&1].rows, 10);
+        let total: u64 = m.values().map(|v| v.io.data_page_fetches).sum();
+        assert_eq!(total, 6, "per-node I/O must sum to the whole delta");
+    }
+
+    #[test]
+    fn repeated_invocations_accumulate() {
+        let mut t = ExecTracer::new();
+        t.enter(2, io(0, 0));
+        t.exit(2, 1, io(1, 1));
+        t.enter(2, io(1, 1));
+        t.exit(2, 2, io(3, 2));
+        let m = t.into_measurements();
+        assert_eq!(m[&2].invocations, 2);
+        assert_eq!(m[&2].rows, 3);
+        assert_eq!(m[&2].io.data_page_fetches, 3);
+    }
+
+    #[test]
+    fn orphan_frames_still_record_their_own_io() {
+        // Subqueries evaluated from block filters run with no enclosing
+        // node frame; their I/O is still captured on their own ids.
+        let mut t = ExecTracer::new();
+        t.enter(7, io(0, 0));
+        t.exit(7, 5, io(4, 2));
+        let m = t.into_measurements();
+        assert_eq!(m[&7].io.data_page_fetches, 4);
+    }
+}

@@ -53,7 +53,7 @@ impl Db {
         let bound = bind_select(&self.catalog, &stmt).unwrap();
         let optimizer = Optimizer::with_config(&self.catalog, config);
         let plan = optimizer.optimize_bound(&bound);
-        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let env = ExecEnv::new(&self.storage, &self.catalog);
         let result = execute(&env, &plan).unwrap();
         (result.rows, plan.explain(&self.catalog))
     }
@@ -89,11 +89,7 @@ fn null_join_keys_never_match() {
     db.table(
         "A",
         vec![("K", ColType::Int), ("TAG", ColType::Int)],
-        vec![
-            tuple![1, 10],
-            Tuple::new(vec![Value::Null, Value::Int(20)]),
-            tuple![3, 30],
-        ],
+        vec![tuple![1, 10], Tuple::new(vec![Value::Null, Value::Int(20)]), tuple![3, 30]],
     );
     db.table(
         "B",
@@ -124,21 +120,11 @@ fn merge_join_path_handles_duplicates_and_gaps() {
     db.table("A", vec![("K", ColType::Int), ("ID", ColType::Int)], a_rows.clone());
     db.table("B", vec![("K", ColType::Int), ("ID", ColType::Int)], b_rows.clone());
     db.analyze();
-    let (rows, explain) = db.run_with(
-        "SELECT A.ID FROM A, B WHERE A.K = B.K",
-        OptimizerConfig::default(),
-    );
+    let (rows, explain) =
+        db.run_with("SELECT A.ID FROM A, B WHERE A.K = B.K", OptimizerConfig::default());
     assert!(explain.contains("MERGE JOIN"), "{explain}");
     // Reference count.
-    let expect: usize = a_rows
-        .iter()
-        .map(|a| {
-            b_rows
-                .iter()
-                .filter(|b| b[0] == a[0])
-                .count()
-        })
-        .sum();
+    let expect: usize = a_rows.iter().map(|a| b_rows.iter().filter(|b| b[0] == a[0]).count()).sum();
     assert_eq!(rows.len(), expect);
 }
 
@@ -188,7 +174,7 @@ fn arithmetic_error_surfaces_not_panics() {
     let bound = bind_select(&db.catalog, &stmt).unwrap();
     let optimizer = Optimizer::with_config(&db.catalog, OptimizerConfig::default());
     let plan = optimizer.optimize_bound(&bound);
-    let env = ExecEnv { storage: &db.storage, catalog: &db.catalog };
+    let env = ExecEnv::new(&db.storage, &db.catalog);
     let err = execute(&env, &plan).unwrap_err();
     assert!(format!("{err}").contains("division by zero"), "{err}");
 }
@@ -204,10 +190,8 @@ fn nested_loop_rebinds_probe_each_outer_row() {
     );
     db.index("B_K", big, vec![0], false);
     db.analyze();
-    let (rows, explain) = db.run_with(
-        "SELECT S.K FROM S, B WHERE S.K = B.K",
-        OptimizerConfig::default(),
-    );
+    let (rows, explain) =
+        db.run_with("SELECT S.K FROM S, B WHERE S.K = B.K", OptimizerConfig::default());
     assert!(explain.contains("NESTED LOOP"), "{explain}");
     // Each key appears 200 times in B; S has two 2s and one 4.
     assert_eq!(rows.len(), 3 * 200);
@@ -248,17 +232,11 @@ fn correlated_subquery_cache_counts_probes_once_per_value() {
     db.index("E_ID", emp, vec![0], true);
     db.analyze();
     db.storage.reset_io_stats();
-    let rows = db.run(
-        "SELECT ID FROM E X WHERE SAL > (SELECT SAL FROM E WHERE ID = X.MGR)",
-    );
+    let rows = db.run("SELECT ID FROM E X WHERE SAL > (SELECT SAL FROM E WHERE ID = X.MGR)");
     assert!(!rows.is_empty());
     let io = db.storage.io_stats();
     // 300 candidates + ~10 distinct managers probed; far below 2×300.
-    assert!(
-        io.rsi_calls < 300 + 50,
-        "memoization must bound subquery probes: {}",
-        io.rsi_calls
-    );
+    assert!(io.rsi_calls < 300 + 50, "memoization must bound subquery probes: {}", io.rsi_calls);
 }
 
 #[test]
@@ -289,11 +267,7 @@ fn plan_shapes_match_explain() {
         vec![("K", ColType::Int), ("PAD", ColType::Str)],
         (0..800).map(|i| tuple![(i * 31) % 200, format!("p{i:040}")]).collect(),
     );
-    db.table(
-        "B",
-        vec![("K", ColType::Int)],
-        (0..800).map(|i| tuple![(i * 17) % 200]).collect(),
-    );
+    db.table("B", vec![("K", ColType::Int)], (0..800).map(|i| tuple![(i * 17) % 200]).collect());
     db.analyze();
     let Statement::Select(stmt) =
         parse_statement("SELECT A.PAD FROM A, B WHERE A.K = B.K").unwrap()

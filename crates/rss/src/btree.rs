@@ -140,10 +140,7 @@ impl BTreeIndex {
 
     /// Number of leaf pages (the part a full index scan touches).
     pub fn leaf_page_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Some(Node::Leaf { .. })))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n, Some(Node::Leaf { .. }))).count()
     }
 
     /// Total (key, rid) entries.
@@ -231,11 +228,8 @@ impl BTreeIndex {
                 let right_rids = rids.split_off(mid);
                 let old_next = *next;
                 let sep = right_keys[0].clone();
-                let right = self.alloc(Node::Leaf {
-                    keys: right_keys,
-                    rids: right_rids,
-                    next: old_next,
-                });
+                let right =
+                    self.alloc(Node::Leaf { keys: right_keys, rids: right_rids, next: old_next });
                 let Node::Leaf { next, .. } = self.node_mut(node_id) else { unreachable!() };
                 *next = Some(right);
                 Some((sep, right))
@@ -279,9 +273,7 @@ impl BTreeIndex {
                 break;
             }
             if r == rid {
-                let Node::Leaf { keys, rids, .. } = self.node_mut(pos.leaf) else {
-                    unreachable!()
-                };
+                let Node::Leaf { keys, rids, .. } = self.node_mut(pos.leaf) else { unreachable!() };
                 keys.remove(pos.pos);
                 rids.remove(pos.pos);
                 self.entry_count -= 1;
@@ -324,8 +316,7 @@ impl BTreeIndex {
                     node_id = children[idx];
                 }
                 Node::Leaf { keys, .. } => {
-                    let pos =
-                        keys.partition_point(|k| cmp_key_prefix(k, prefix) == Ordering::Less);
+                    let pos = keys.partition_point(|k| cmp_key_prefix(k, prefix) == Ordering::Less);
                     if pos < keys.len() {
                         return (path, Some(LeafPos { leaf: node_id, pos }));
                     }
@@ -333,10 +324,7 @@ impl BTreeIndex {
                     // boundaries are not exact under lazy deletion).
                     let Node::Leaf { next, .. } = self.node(node_id) else { unreachable!() };
                     let here = *next;
-                    return (
-                        path,
-                        here.and_then(|leaf| self.first_entry_of_leaf_chain(leaf)),
-                    );
+                    return (path, here.and_then(|leaf| self.first_entry_of_leaf_chain(leaf)));
                 }
             }
         }
@@ -469,7 +457,7 @@ impl<'a> Iterator for BTreeIter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::SplitMix64;
 
     fn key(i: i64) -> Key {
         vec![Value::Int(i)]
@@ -620,42 +608,52 @@ mod tests {
         assert_eq!(t.entry_count(), 6);
     }
 
-    proptest! {
-        /// Random interleavings of inserts and deletes must preserve the
-        /// sorted-multiset semantics of the index.
-        #[test]
-        fn prop_matches_reference_multiset(ops in prop::collection::vec((any::<bool>(), 0i64..40), 1..300)) {
+    /// Random interleavings of inserts and deletes must preserve the
+    /// sorted-multiset semantics of the index.
+    #[test]
+    fn prop_matches_reference_multiset() {
+        let mut rng = SplitMix64::new(0xB7EE_0001);
+        for case in 0..256u64 {
+            let n_ops = 1 + rng.below(299) as usize;
             let mut t = BTreeIndex::new(0, 1, false, BTreeConfig::tiny());
             let mut reference: Vec<(i64, u32)> = Vec::new();
             let mut stamp = 0u32;
-            for (is_insert, k) in ops {
+            for _ in 0..n_ops {
+                let is_insert = rng.bool();
+                let k = rng.range_i64(0, 40);
                 if is_insert {
                     t.insert(key(k), rid(stamp)).unwrap();
                     reference.push((k, stamp));
                     stamp += 1;
                 } else if let Some(idx) = reference.iter().position(|&(rk, _)| rk == k) {
                     let (_, r) = reference.remove(idx);
-                    prop_assert!(t.delete(&key(k), rid(r)).unwrap());
+                    assert!(t.delete(&key(k), rid(r)).unwrap(), "case {case}");
                 } else {
-                    prop_assert!(!t.delete(&key(k), rid(0)).unwrap());
+                    assert!(!t.delete(&key(k), rid(0)).unwrap(), "case {case}");
                 }
             }
-            t.check_invariants().map_err(TestCaseError::fail)?;
+            t.check_invariants().unwrap_or_else(|e| panic!("case {case}: {e}"));
             let mut expect: Vec<i64> = reference.iter().map(|&(k, _)| k).collect();
             expect.sort_unstable();
             let got: Vec<i64> = t.iter().map(|(k, _)| k[0].as_int().unwrap()).collect();
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case}");
         }
+    }
 
-        /// Lower-bound seek agrees with a sorted reference vector.
-        #[test]
-        fn prop_seek_is_lower_bound(mut keys in prop::collection::vec(0i64..1000, 1..200), probe in 0i64..1000) {
+    /// Lower-bound seek agrees with a sorted reference vector.
+    #[test]
+    fn prop_seek_is_lower_bound() {
+        let mut rng = SplitMix64::new(0xB7EE_0002);
+        for case in 0..256u64 {
+            let n_keys = 1 + rng.below(199) as usize;
+            let mut keys: Vec<i64> = (0..n_keys).map(|_| rng.range_i64(0, 1000)).collect();
+            let probe = rng.range_i64(0, 1000);
             let t = build(&keys);
             keys.sort_unstable();
             let expect = keys.iter().copied().find(|&k| k >= probe);
             let (_, pos) = t.seek(&key(probe));
             let got = pos.map(|p| t.entry(p).0[0].as_int().unwrap());
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case}");
         }
     }
 }

@@ -86,6 +86,27 @@ impl IoStats {
     }
 }
 
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            data_page_fetches: self.data_page_fetches + rhs.data_page_fetches,
+            index_page_fetches: self.index_page_fetches + rhs.index_page_fetches,
+            temp_page_fetches: self.temp_page_fetches + rhs.temp_page_fetches,
+            temp_pages_written: self.temp_pages_written + rhs.temp_pages_written,
+            buffer_hits: self.buffer_hits + rhs.buffer_hits,
+            rsi_calls: self.rsi_calls + rhs.rsi_calls,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
 impl fmt::Display for IoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -190,12 +211,8 @@ impl BufferPool {
     /// Drop all resident pages of `file` (e.g. a temporary list being
     /// destroyed).
     pub fn invalidate_file(&mut self, file: FileId) {
-        let victims: Vec<(u64, PageKey)> = self
-            .resident
-            .iter()
-            .filter(|(k, _)| k.file == file)
-            .map(|(k, s)| (*s, *k))
-            .collect();
+        let victims: Vec<(u64, PageKey)> =
+            self.resident.iter().filter(|(k, _)| k.file == file).map(|(k, s)| (*s, *k)).collect();
         for (stamp, key) in victims {
             self.lru.remove(&stamp);
             self.resident.remove(&key);

@@ -124,8 +124,8 @@ impl<'a> Cursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prng::SplitMix64;
     use crate::tuple;
-    use proptest::prelude::*;
 
     #[test]
     fn roundtrip_basic() {
@@ -168,25 +168,37 @@ mod tests {
         assert!(decode_tuple(&bytes).is_err());
     }
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        prop_oneof![
-            Just(Value::Null),
-            any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_map(Value::Float),
-            "[a-zA-Z0-9 _-]{0,40}".prop_map(Value::Str),
-        ]
+    fn arb_value(rng: &mut SplitMix64) -> Value {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+        match rng.below(4) {
+            0 => Value::Null,
+            1 => Value::Int(rng.next_u64() as i64),
+            // Raw bit patterns: exercises NaN payloads, infinities, subnormals.
+            2 => Value::Float(f64::from_bits(rng.next_u64())),
+            _ => {
+                let len = rng.below(41) as usize;
+                Value::Str(
+                    (0..len)
+                        .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+                        .collect(),
+                )
+            }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(values in prop::collection::vec(arb_value(), 0..12)) {
+    #[test]
+    fn prop_roundtrip() {
+        let mut rng = SplitMix64::new(0xC0DE_0001);
+        for case in 0..512u64 {
+            let n_values = rng.below(12) as usize;
+            let values: Vec<Value> = (0..n_values).map(|_| arb_value(&mut rng)).collect();
             let t = Tuple::new(values);
             let bytes = tuple_bytes(&t);
-            prop_assert_eq!(bytes.len(), t.encoded_size());
+            assert_eq!(bytes.len(), t.encoded_size(), "case {case}");
             let back = decode_tuple(&bytes).unwrap();
             // NaN payloads survive because floats roundtrip via bits; use
             // the total-order Eq on Value.
-            prop_assert_eq!(back, t);
+            assert_eq!(back, t, "case {case}");
         }
     }
 }

@@ -237,7 +237,7 @@ impl std::fmt::Debug for Page {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prng::SplitMix64;
 
     #[test]
     fn insert_and_get() {
@@ -326,14 +326,18 @@ mod tests {
         assert_eq!(p.iter().count(), 0);
     }
 
-    proptest! {
-        /// Inserting arbitrary byte strings and deleting a subset must keep
-        /// survivors byte-identical, before and after compaction.
-        #[test]
-        fn prop_page_contents_survive(
-            payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..30),
-            delete_mask in prop::collection::vec(any::<bool>(), 30)
-        ) {
+    /// Inserting arbitrary byte strings and deleting a subset must keep
+    /// survivors byte-identical, before and after compaction.
+    #[test]
+    fn prop_page_contents_survive() {
+        let mut rng = SplitMix64::new(0x9A6E_0001);
+        for case in 0..256u64 {
+            let n_payloads = 1 + rng.below(29) as usize;
+            let payloads: Vec<Vec<u8>> = (0..n_payloads)
+                .map(|_| (0..rng.below(200)).map(|_| rng.below(256) as u8).collect())
+                .collect();
+            let delete_mask: Vec<bool> = (0..30).map(|_| rng.bool()).collect();
+
             let mut p = Page::new();
             let mut inserted: Vec<(u16, Vec<u8>)> = Vec::new();
             for payload in &payloads {
@@ -350,13 +354,13 @@ mod tests {
                 }
             }
             for (slot, data) in &kept {
-                prop_assert_eq!(p.get(*slot).unwrap().1, &data[..]);
+                assert_eq!(p.get(*slot).unwrap().1, &data[..], "case {case}");
             }
             p.compact();
             for (slot, data) in &kept {
-                prop_assert_eq!(p.get(*slot).unwrap().1, &data[..]);
+                assert_eq!(p.get(*slot).unwrap().1, &data[..], "case {case}");
             }
-            prop_assert_eq!(p.live_count() as usize, kept.len());
+            assert_eq!(p.live_count() as usize, kept.len(), "case {case}");
         }
     }
 }

@@ -261,7 +261,14 @@ mod tests {
         assert_eq!(CompareOp::Le.negated(), CompareOp::Gt);
         assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
         // flip∘flip = id, neg∘neg = id
-        for op in [CompareOp::Eq, CompareOp::Ne, CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge] {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
             assert_eq!(op.negated().negated(), op);
         }
@@ -272,10 +279,7 @@ mod tests {
         // (c0 = 1 AND c1 > 10) OR (c0 = 2)
         let expr = SargExpr {
             disjuncts: vec![
-                vec![
-                    SargPred::new(0, CompareOp::Eq, 1i64),
-                    SargPred::new(1, CompareOp::Gt, 10i64),
-                ],
+                vec![SargPred::new(0, CompareOp::Eq, 1i64), SargPred::new(1, CompareOp::Gt, 10i64)],
                 vec![SargPred::new(0, CompareOp::Eq, 2i64)],
             ],
         };

@@ -18,9 +18,9 @@ use crate::btree::{cmp_key_prefix, IndexId, LeafPos};
 use crate::buffer::{FileId, PageKey};
 use crate::error::RssResult;
 use crate::rid::Rid;
-use crate::sarg::SargList;
 #[cfg(test)]
 use crate::sarg::SargExpr;
+use crate::sarg::SargList;
 use crate::segment::SegmentId;
 use crate::storage::Storage;
 use crate::tuple::Tuple;
@@ -275,7 +275,10 @@ mod tests {
         let stats = st.io_stats();
         assert_eq!(stats.rsi_calls, 500);
         // Each non-empty page touched exactly once.
-        assert_eq!(stats.data_page_fetches as usize, st.segment(seg).unwrap().nonempty_page_count());
+        assert_eq!(
+            stats.data_page_fetches as usize,
+            st.segment(seg).unwrap().nonempty_page_count()
+        );
         assert_eq!(stats.buffer_hits, 0);
     }
 
@@ -289,7 +292,10 @@ mod tests {
         let stats = st.io_stats();
         // Pages all touched, but only matching tuples crossed the RSI.
         assert_eq!(stats.rsi_calls, 50);
-        assert_eq!(stats.data_page_fetches as usize, st.segment(seg).unwrap().nonempty_page_count());
+        assert_eq!(
+            stats.data_page_fetches as usize,
+            st.segment(seg).unwrap().nonempty_page_count()
+        );
     }
 
     #[test]
@@ -406,8 +412,7 @@ mod tests {
         let (mut st, seg) = setup(500, false);
         let idx = st.create_index(seg, 1, vec![0], true).unwrap();
         st.reset_io_stats();
-        let mut scan =
-            IndexScan::open_full(&st, idx, SargExpr::always_true()).index_only();
+        let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true()).index_only();
         let rows = scan.collect_all().unwrap();
         assert_eq!(rows.len(), 500);
         assert_eq!(st.io_stats().data_page_fetches, 0);

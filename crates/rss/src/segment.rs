@@ -129,9 +129,9 @@ impl Segment {
         rel_id: u16,
     ) -> impl Iterator<Item = (Rid, RssResult<Tuple>)> + 'a {
         self.pages.iter().enumerate().flat_map(move |(page_no, page)| {
-            page.iter().filter(move |&(_, rel, _)| rel == rel_id).map(move |(slot, _, bytes)| {
-                (Rid::new(page_no as u32, slot), decode_tuple(bytes))
-            })
+            page.iter()
+                .filter(move |&(_, rel, _)| rel == rel_id)
+                .map(move |(slot, _, bytes)| (Rid::new(page_no as u32, slot), decode_tuple(bytes)))
         })
     }
 

@@ -259,7 +259,8 @@ impl Storage {
                     self.btree_config,
                 );
                 for (rid, tuple) in new_rids.iter().zip(rows.iter().map(|(_, t)| t)) {
-                    let key: Vec<Value> = entry.key_cols.iter().map(|&c| tuple[c].clone()).collect();
+                    let key: Vec<Value> =
+                        entry.key_cols.iter().map(|&c| tuple[c].clone()).collect();
                     tree.insert(key, *rid)?;
                 }
                 entry.tree = tree;

@@ -2,8 +2,7 @@
 //! (HashMap + BTreeMap recency index) must agree, access for access, with
 //! a trivially correct reference model (a Vec ordered by recency).
 
-use proptest::prelude::*;
-use sysr_rss::{BufferPool, FileId, PageKey};
+use sysr_rss::{BufferPool, FileId, PageKey, SplitMix64};
 
 /// The obviously-correct reference: a recency-ordered vector.
 struct ModelLru {
@@ -43,52 +42,52 @@ enum Op {
     Clear,
 }
 
-fn arb_key() -> impl Strategy<Value = PageKey> {
-    (
-        prop_oneof![
-            (0u32..3).prop_map(FileId::Segment),
-            (0u32..3).prop_map(FileId::Index),
-            (0u32..3).prop_map(FileId::Temp),
-        ],
-        0u32..12,
-    )
-        .prop_map(|(file, page)| PageKey::new(file, page))
+fn arb_key(rng: &mut SplitMix64) -> PageKey {
+    let id = rng.below(3) as u32;
+    let file = match rng.below(3) {
+        0 => FileId::Segment(id),
+        1 => FileId::Index(id),
+        _ => FileId::Temp(id),
+    };
+    PageKey::new(file, rng.below(12) as u32)
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        8 => arb_key().prop_map(Op::Access),
-        1 => prop_oneof![
-            (0u32..3).prop_map(FileId::Segment),
-            (0u32..3).prop_map(FileId::Temp),
-        ]
-        .prop_map(Op::InvalidateFile),
-        1 => Just(Op::Clear),
-    ]
+fn arb_op(rng: &mut SplitMix64) -> Op {
+    // Weights as in the original strategy: 8 access : 1 invalidate : 1 clear.
+    match rng.below(10) {
+        0..=7 => Op::Access(arb_key(rng)),
+        8 => {
+            let id = rng.below(3) as u32;
+            Op::InvalidateFile(if rng.bool() { FileId::Segment(id) } else { FileId::Temp(id) })
+        }
+        _ => Op::Clear,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pool_matches_reference_model(
-        capacity in 1usize..10,
-        ops in prop::collection::vec(arb_op(), 1..400),
-    ) {
+#[test]
+fn pool_matches_reference_model() {
+    let mut rng = SplitMix64::new(0xBFFE_0001);
+    for case in 0..128u64 {
+        let capacity = 1 + rng.below(9) as usize;
+        let n_ops = 1 + rng.below(399) as usize;
         let mut pool = BufferPool::new(capacity);
         let mut model = ModelLru::new(capacity);
         let mut misses = 0u64;
         let mut hits = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match arb_op(&mut rng) {
                 Op::Access(key) => {
                     let miss = pool.access(key);
                     let model_miss = model.access(key);
-                    prop_assert_eq!(
+                    assert_eq!(
                         miss, model_miss,
-                        "divergence on {:?} (capacity {})", key, capacity
+                        "case {case}: divergence on {key:?} (capacity {capacity})"
                     );
-                    if miss { misses += 1 } else { hits += 1 }
+                    if miss {
+                        misses += 1
+                    } else {
+                        hits += 1
+                    }
                 }
                 Op::InvalidateFile(file) => {
                     pool.invalidate_file(file);
@@ -99,11 +98,11 @@ proptest! {
                     model.pages.clear();
                 }
             }
-            prop_assert_eq!(pool.resident_pages(), model.pages.len());
-            prop_assert!(pool.resident_pages() <= capacity);
+            assert_eq!(pool.resident_pages(), model.pages.len(), "case {case}");
+            assert!(pool.resident_pages() <= capacity, "case {case}");
         }
         let stats = pool.stats();
-        prop_assert_eq!(stats.page_fetches(), misses);
-        prop_assert_eq!(stats.buffer_hits, hits);
+        assert_eq!(stats.page_fetches(), misses, "case {case}");
+        assert_eq!(stats.buffer_hits, hits, "case {case}");
     }
 }

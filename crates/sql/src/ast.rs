@@ -16,6 +16,9 @@ pub enum Statement {
     UpdateStatistics,
     /// `EXPLAIN <select>` — plan without executing.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <select>` — plan, execute, and report measured
+    /// rows and page fetches per plan node alongside the predictions.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// `CREATE TABLE name (col type, ...)`.
@@ -347,11 +350,8 @@ mod tests {
     fn contains_aggregate_detection() {
         let agg = Expr::Agg { func: AggFunc::Avg, arg: Some(Box::new(Expr::col("SAL"))) };
         assert!(agg.contains_aggregate());
-        let nested = Expr::Arith {
-            op: ArithOp::Add,
-            left: Box::new(agg),
-            right: Box::new(Expr::lit(1i64)),
-        };
+        let nested =
+            Expr::Arith { op: ArithOp::Add, left: Box::new(agg), right: Box::new(Expr::lit(1i64)) };
         assert!(nested.contains_aggregate());
         assert!(!Expr::col("SAL").contains_aggregate());
     }

@@ -202,19 +202,14 @@ impl<'a> Lexer<'a> {
                 }
             }
             b'\'' => return self.string_literal(start),
-            b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
-                return self.number(start)
-            }
+            b'.' if self.peek2().is_some_and(|d| d.is_ascii_digit()) => return self.number(start),
             b'.' => {
                 self.pos += 1;
                 TokenKind::Dot
             }
             c if c.is_ascii_digit() => return self.number(start),
             c if c.is_ascii_alphabetic() || c == b'_' => {
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-                {
+                while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                     self.pos += 1;
                 }
                 TokenKind::Ident(self.src[start..self.pos].to_ascii_uppercase())

@@ -32,8 +32,7 @@ pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
 
 /// Parse a semicolon-separated script.
 pub fn parse_statements(src: &str) -> Result<Vec<Statement>, ParseError> {
-    let tokens =
-        Lexer::tokenize(src).map_err(|(message, pos)| ParseError { message, pos })?;
+    let tokens = Lexer::tokenize(src).map_err(|(message, pos)| ParseError { message, pos })?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut stmts = Vec::new();
     loop {
@@ -133,6 +132,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ANALYZE") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.peek_kw("SELECT") {
@@ -532,9 +534,9 @@ impl Parser {
             }
             TokenKind::LParen => {
                 if self.at_subquery() {
-                    return Err(self.error(
-                        "subqueries are only allowed as comparison or IN operands",
-                    ));
+                    return Err(
+                        self.error("subqueries are only allowed as comparison or IN operands")
+                    );
                 }
                 self.advance();
                 let e = self.expr()?;
@@ -591,14 +593,12 @@ mod tests {
 
     #[test]
     fn paper_fig1_query_parses() {
-        let s = sel(
-            "SELECT NAME, TITLE, SAL, DNAME
+        let s = sel("SELECT NAME, TITLE, SAL, DNAME
              FROM EMP, DEPT, JOB
              WHERE TITLE='CLERK'
                AND LOC='DENVER'
                AND EMP.DNO=DEPT.DNO
-               AND EMP.JOB=JOB.JOB",
-        );
+               AND EMP.JOB=JOB.JOB");
         assert_eq!(s.from.len(), 3);
         let SelectList::Items(items) = &s.select else { panic!() };
         assert_eq!(items.len(), 4);
@@ -661,13 +661,9 @@ mod tests {
 
     #[test]
     fn scalar_subquery_from_paper() {
-        let s = sel(
-            "SELECT NAME FROM EMPLOYEE
-             WHERE SALARY = (SELECT AVG(SALARY) FROM EMPLOYEE)",
-        );
-        let Expr::CompareSubquery { op, query, .. } = s.where_clause.unwrap() else {
-            panic!()
-        };
+        let s = sel("SELECT NAME FROM EMPLOYEE
+             WHERE SALARY = (SELECT AVG(SALARY) FROM EMPLOYEE)");
+        let Expr::CompareSubquery { op, query, .. } = s.where_clause.unwrap() else { panic!() };
         assert_eq!(op, CompareOp::Eq);
         let SelectList::Items(items) = &query.select else { panic!() };
         assert!(matches!(items[0].expr, Expr::Agg { func: AggFunc::Avg, .. }));
@@ -675,24 +671,18 @@ mod tests {
 
     #[test]
     fn in_subquery_from_paper() {
-        let s = sel(
-            "SELECT NAME FROM EMPLOYEE
+        let s = sel("SELECT NAME FROM EMPLOYEE
              WHERE DEPARTMENT_NUMBER IN
-               (SELECT DEPARTMENT_NUMBER FROM DEPARTMENT WHERE LOCATION='DENVER')",
-        );
+               (SELECT DEPARTMENT_NUMBER FROM DEPARTMENT WHERE LOCATION='DENVER')");
         assert!(matches!(s.where_clause.unwrap(), Expr::InSubquery { negated: false, .. }));
     }
 
     #[test]
     fn correlated_three_level_query_from_paper() {
-        let s = sel(
-            "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
+        let s = sel("SELECT NAME FROM EMPLOYEE X WHERE SALARY >
                (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER =
-                 (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))",
-        );
-        let Expr::CompareSubquery { query: level2, .. } = s.where_clause.unwrap() else {
-            panic!()
-        };
+                 (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))");
+        let Expr::CompareSubquery { query: level2, .. } = s.where_clause.unwrap() else { panic!() };
         let Expr::CompareSubquery { query: level3, .. } = level2.where_clause.clone().unwrap()
         else {
             panic!()
@@ -727,8 +717,7 @@ mod tests {
     #[test]
     fn ddl_create_table() {
         let Statement::CreateTable(ct) =
-            parse_statement("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, SAL FLOAT)")
-                .unwrap()
+            parse_statement("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, SAL FLOAT)").unwrap()
         else {
             panic!()
         };
@@ -752,8 +741,7 @@ mod tests {
         };
         assert!(ci.unique && ci.clustered);
         assert_eq!(ci.columns, vec!["DNO", "JOB"]);
-        let Statement::CreateIndex(ci) =
-            parse_statement("CREATE INDEX J ON JOB (JOB)").unwrap()
+        let Statement::CreateIndex(ci) = parse_statement("CREATE INDEX J ON JOB (JOB)").unwrap()
         else {
             panic!()
         };
@@ -762,10 +750,10 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let Statement::Insert(ins) = parse_statement(
-            "INSERT INTO JOB (JOB, TITLE) VALUES (5, 'CLERK'), (6, 'TYPIST')",
-        )
-        .unwrap() else {
+        let Statement::Insert(ins) =
+            parse_statement("INSERT INTO JOB (JOB, TITLE) VALUES (5, 'CLERK'), (6, 'TYPIST')")
+                .unwrap()
+        else {
             panic!()
         };
         assert_eq!(ins.rows.len(), 2);
@@ -785,9 +773,20 @@ mod tests {
     }
 
     #[test]
-    fn explain_wraps() {
-        let Statement::Explain(inner) = parse_statement("EXPLAIN SELECT A FROM T").unwrap()
+    fn explain_analyze_wraps() {
+        let Statement::ExplainAnalyze(inner) =
+            parse_statement("EXPLAIN ANALYZE SELECT A FROM T").unwrap()
         else {
+            panic!()
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+        // ANALYZE stays a context keyword: usable as an identifier.
+        assert!(parse_statement("SELECT ANALYZE FROM T").is_ok());
+    }
+
+    #[test]
+    fn explain_wraps() {
+        let Statement::Explain(inner) = parse_statement("EXPLAIN SELECT A FROM T").unwrap() else {
             panic!()
         };
         assert!(matches!(*inner, Statement::Select(_)));

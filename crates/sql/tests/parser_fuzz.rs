@@ -1,68 +1,79 @@
 //! Parser robustness: arbitrary input must produce `Ok` or a positioned
 //! `Err` — never a panic — and parsing must be deterministic.
 
-use proptest::prelude::*;
+use sysr_rss::SplitMix64;
 use sysr_sql::{parse_statement, parse_statements};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+/// Printable character soup, ASCII-heavy with a sprinkling of multibyte
+/// code points (the original proptest strategy was `\PC{0,120}`).
+fn garbage(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0..=5 => (0x20 + rng.below(0x5f) as u32) as u8 as char, // printable ASCII
+            6 => char::from_u32(0xA1 + rng.below(0x100) as u32).unwrap_or('¿'),
+            _ => char::from_u32(0x2500 + rng.below(0x100) as u32).unwrap_or('█'),
+        })
+        .collect()
+}
 
-    /// Arbitrary character soup.
-    #[test]
-    fn prop_never_panics_on_garbage(src in "\\PC{0,120}") {
+/// Arbitrary character soup.
+#[test]
+fn prop_never_panics_on_garbage() {
+    let mut rng = SplitMix64::new(0xF422_0001);
+    for _ in 0..512 {
+        let src = garbage(&mut rng, 120);
         let _ = parse_statements(&src);
         let _ = parse_statement(&src);
     }
+}
 
-    /// SQL-looking token soup: much higher chance of reaching deep parser
-    /// states than raw garbage.
-    #[test]
-    fn prop_never_panics_on_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("SELECT".to_string()), Just("FROM".to_string()),
-                Just("WHERE".to_string()), Just("AND".to_string()),
-                Just("OR".to_string()), Just("NOT".to_string()),
-                Just("IN".to_string()), Just("BETWEEN".to_string()),
-                Just("GROUP".to_string()), Just("ORDER".to_string()),
-                Just("BY".to_string()), Just("INSERT".to_string()),
-                Just("INTO".to_string()), Just("VALUES".to_string()),
-                Just("CREATE".to_string()), Just("TABLE".to_string()),
-                Just("INDEX".to_string()), Just("UPDATE".to_string()),
-                Just("SET".to_string()), Just("DELETE".to_string()),
-                Just("(".to_string()), Just(")".to_string()),
-                Just(",".to_string()), Just("=".to_string()),
-                Just("<".to_string()), Just(">".to_string()),
-                Just("*".to_string()), Just(";".to_string()),
-                Just("'str'".to_string()), Just("T".to_string()),
-                Just("A".to_string()), Just("42".to_string()),
-                Just("4.5".to_string()), Just(".".to_string()),
-                Just("-".to_string()), Just("+".to_string()),
-            ],
-            0..40,
-        )
-    ) {
-        let src = tokens.join(" ");
+/// SQL-looking token soup: much higher chance of reaching deep parser
+/// states than raw garbage.
+#[test]
+fn prop_never_panics_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN", "GROUP", "ORDER", "BY",
+        "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "INDEX", "UPDATE", "SET", "DELETE", "(",
+        ")", ",", "=", "<", ">", "*", ";", "'str'", "T", "A", "42", "4.5", ".", "-", "+",
+    ];
+    let mut rng = SplitMix64::new(0xF422_0002);
+    for _ in 0..512 {
+        let n = rng.below(40) as usize;
+        let src = (0..n).map(|_| *rng.pick(TOKENS)).collect::<Vec<_>>().join(" ");
         let _ = parse_statements(&src);
     }
+}
 
-    /// Well-formed simple SELECTs always parse.
-    #[test]
-    fn prop_wellformed_selects_parse(
-        table in "T_[A-Z0-9_]{0,10}",
-        col in "C_[A-Z0-9_]{0,10}",
-        v in any::<i32>(),
-    ) {
+/// Well-formed simple SELECTs always parse.
+#[test]
+fn prop_wellformed_selects_parse() {
+    const IDENT: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut rng = SplitMix64::new(0xF422_0003);
+    let ident = |rng: &mut SplitMix64, prefix: &str| {
         // Prefixes keep generated identifiers clear of SQL keywords.
+        let len = rng.below(11) as usize;
+        let mut s = String::from(prefix);
+        s.extend((0..len).map(|_| IDENT[rng.below(IDENT.len() as u64) as usize] as char));
+        s
+    };
+    for _ in 0..512 {
+        let table = ident(&mut rng, "T_");
+        let col = ident(&mut rng, "C_");
+        let v = rng.next_u64() as i32;
         let sql = format!("SELECT {col} FROM {table} WHERE {col} = {v}");
-        prop_assert!(parse_statement(&sql).is_ok(), "{sql}");
+        assert!(parse_statement(&sql).is_ok(), "{sql}");
     }
+}
 
-    /// Errors carry positions within the input.
-    #[test]
-    fn prop_error_positions_in_range(src in "\\PC{1,80}") {
+/// Errors carry positions within the input.
+#[test]
+fn prop_error_positions_in_range() {
+    let mut rng = SplitMix64::new(0xF422_0004);
+    for _ in 0..512 {
+        let src = garbage(&mut rng, 80);
         if let Err(e) = parse_statement(&src) {
-            prop_assert!(e.pos <= src.len(), "pos {} beyond input {}", e.pos, src.len());
+            assert!(e.pos <= src.len(), "pos {} beyond input {}", e.pos, src.len());
         }
     }
 }

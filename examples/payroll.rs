@@ -34,9 +34,8 @@ fn build(n_emp: i64, n_dept: i64) -> Result<Database, DbError> {
     let cities = ["DENVER", "SAN JOSE", "TUCSON", "BOSTON"];
     db.insert_rows(
         "DEPT",
-        (0..n_dept).map(|d| {
-            tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]
-        }),
+        (0..n_dept)
+            .map(|d| tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]),
     )?;
     let jobs = [5i64, 6, 9, 12];
     db.insert_rows(
@@ -103,7 +102,8 @@ fn main() -> Result<(), DbError> {
     db2.execute("INSERT INTO JOB VALUES (5, 'CLERK'), (6, 'TYPIST')")?;
     db2.insert_rows(
         "DEPT",
-        (0..50).map(|d| tuple![d, format!("D{d}"), if d % 4 == 0 { "DENVER" } else { "ELSEWHERE" }]),
+        (0..50)
+            .map(|d| tuple![d, format!("D{d}"), if d % 4 == 0 { "DENVER" } else { "ELSEWHERE" }]),
     )?;
     db2.insert_rows(
         "EMP",

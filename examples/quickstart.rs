@@ -26,12 +26,7 @@ fn main() -> Result<(), DbError> {
     db.insert_rows(
         "EMP",
         (0..5000).map(|i| {
-            tuple![
-                format!("EMP-{i:04}"),
-                50 + (i % 3),
-                i % 8,
-                8000.0 + (i % 100) as f64 * 250.0
-            ]
+            tuple![format!("EMP-{i:04}"), 50 + (i % 3), i % 8, 8000.0 + (i % 100) as f64 * 250.0]
         }),
     )?;
 

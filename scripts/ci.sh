@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, release build, and the full test suite.
+# Runs offline — the workspace has zero external crates.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace --bins --benches --examples
+cargo test --workspace

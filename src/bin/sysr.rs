@@ -11,11 +11,13 @@
 //! * `\evict`   — drop all buffered pages (next query runs cold)
 //! * `\tables`  — list relations with their statistics
 //! * `\w <f>`   — set the CPU weighting factor W
+//! * `\trace <select>` — show the optimizer's join-order search trace
 //! * `\demo`    — load the paper's Fig. 1 example database
 //! * `\q`       — quit
 //!
 //! Prefix any SELECT with `EXPLAIN` to see the chosen plan and its
-//! predicted cost instead of running it.
+//! predicted cost instead of running it, or with `EXPLAIN ANALYZE` to run
+//! it and see measured rows and page fetches next to the predictions.
 
 use std::io::{BufRead, Write};
 use system_r::{Database, DbError};
@@ -132,11 +134,22 @@ fn command(db: &mut Database, cmd: &str) -> bool {
             }
             None => eprintln!("usage: \\w <float>"),
         },
+        "\\trace" => {
+            let sql = cmd["\\trace".len()..].trim().trim_end_matches(';');
+            if sql.is_empty() {
+                eprintln!("usage: \\trace <select>");
+            } else {
+                match db.search_trace(sql) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => report(e),
+                }
+            }
+        }
         "\\demo" => match load_demo(db) {
             Ok(()) => println!("Fig. 1 demo loaded: EMP (10k), DEPT (50), JOB (4); try:\n  EXPLAIN SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB WHERE TITLE='CLERK' AND LOC='DENVER' AND EMP.DNO=DEPT.DNO AND EMP.JOB=JOB.JOB;"),
             Err(e) => report(e),
         },
-        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\tables \\w \\demo"),
+        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\tables \\w \\trace \\demo"),
     }
     true
 }
@@ -146,9 +159,7 @@ fn load_demo(db: &mut Database) -> Result<(), DbError> {
     db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)")?;
     db.execute("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR(20), LOC VARCHAR(20))")?;
     db.execute("CREATE TABLE JOB (JOB INTEGER, TITLE VARCHAR(20))")?;
-    db.execute(
-        "INSERT INTO JOB VALUES (5,'CLERK'), (6,'TYPIST'), (9,'SALES'), (12,'MECHANIC')",
-    )?;
+    db.execute("INSERT INTO JOB VALUES (5,'CLERK'), (6,'TYPIST'), (9,'SALES'), (12,'MECHANIC')")?;
     let cities = ["DENVER", "SAN JOSE", "TUCSON", "BOSTON"];
     db.insert_rows(
         "DEPT",

@@ -25,9 +25,10 @@
 //! buffer pool size, and the two search heuristics (interesting orders,
 //! Cartesian deferral) — the experiment harness sweeps all of them.
 
+use std::collections::HashMap;
 use std::fmt;
 use sysr_catalog::{Catalog, CatalogError, ColumnMeta, RelId};
-use sysr_core::{bind_select, BindError, Optimizer, OptimizerConfig, QueryPlan};
+use sysr_core::{bind_select, BindError, NodeMeasurement, Optimizer, OptimizerConfig, QueryPlan};
 use sysr_executor::{execute, ExecEnv, ExecError, ResultSet};
 use sysr_rss::{IoStats, Rid, RssError, Storage, Tuple, Value};
 use sysr_sql::{
@@ -239,7 +240,8 @@ impl Database {
                     // clustered, as a System R reorganization utility would.
                     self.storage.cluster_relation(segment, rel_id, &key_cols)?;
                 }
-                let idx = self.storage.create_index(segment, rel_id, key_cols.clone(), ci.unique)?;
+                let idx =
+                    self.storage.create_index(segment, rel_id, key_cols.clone(), ci.unique)?;
                 self.catalog.register_index(
                     idx,
                     &ci.name,
@@ -274,6 +276,15 @@ impl Database {
                 );
                 Ok(ResultSet::new(vec!["PLAN".into()], vec![Tuple::new(vec![Value::Str(text)])]))
             }
+            Statement::ExplainAnalyze(inner) => {
+                let Statement::Select(sel) = *inner else {
+                    return Err(DbError::Unsupported("EXPLAIN ANALYZE requires a SELECT".into()));
+                };
+                let plan = self.plan_select(&sel)?;
+                let (_, measurements, _) = self.execute_plan_traced(&plan)?;
+                let text = plan.explain_analyze(&self.catalog, &measurements, self.config.w);
+                Ok(ResultSet::new(vec!["PLAN".into()], vec![Tuple::new(vec![Value::Str(text)])]))
+            }
         }
     }
 
@@ -282,7 +293,7 @@ impl Database {
         let stmt = parse_statement(sql_text)?;
         match stmt {
             Statement::Select(sel) => self.plan_select(&sel),
-            Statement::Explain(inner) => match *inner {
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => match *inner {
                 Statement::Select(sel) => self.plan_select(&sel),
                 _ => Err(DbError::Unsupported("EXPLAIN requires a SELECT".into())),
             },
@@ -314,8 +325,54 @@ impl Database {
     /// Execute an already-planned SELECT (the §7 experiments execute every
     /// enumerated plan this way).
     pub fn execute_plan(&self, plan: &QueryPlan) -> DbResult<ResultSet> {
-        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let env = ExecEnv::new(&self.storage, &self.catalog);
         Ok(execute(&env, plan)?)
+    }
+
+    /// Execute a plan with per-node measurement: returns the result set,
+    /// the measurements keyed by pre-order node id (see
+    /// `sysr_core::analyze`), and the whole-query [`IoStats`] delta. The
+    /// per-node I/O sums to the delta exactly.
+    pub fn execute_plan_traced(
+        &self,
+        plan: &QueryPlan,
+    ) -> DbResult<(ResultSet, HashMap<usize, NodeMeasurement>, IoStats)> {
+        let mut env = ExecEnv::with_tracer(&self.storage, &self.catalog);
+        let start = self.storage.io_stats();
+        let result = execute(&env, plan)?;
+        let delta = self.storage.io_stats().since(&start);
+        let measurements = env.take_measurements();
+        Ok((result, measurements, delta))
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query and render the per-node
+    /// predicted-vs-measured report.
+    pub fn explain_analyze(&self, sql_text: &str) -> DbResult<String> {
+        let plan = self.plan(sql_text)?;
+        let (_, measurements, _) = self.execute_plan_traced(&plan)?;
+        Ok(plan.explain_analyze(&self.catalog, &measurements, self.config.w))
+    }
+
+    /// Render the optimizer's join-order search trace for a SELECT: per
+    /// subset level and interesting-order class, the candidates generated,
+    /// plans pruned, and surviving cheapest costs — for every query block.
+    pub fn search_trace(&self, sql_text: &str) -> DbResult<String> {
+        let stmt = parse_statement(sql_text)?;
+        let sel = match stmt {
+            Statement::Select(sel) => sel,
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(sel) => sel,
+                _ => return Err(DbError::Unsupported("trace requires a SELECT".into())),
+            },
+            _ => return Err(DbError::Unsupported("trace requires a SELECT".into())),
+        };
+        let optimizer = Optimizer::with_config(&self.catalog, self.config);
+        let (_, traces) = optimizer.optimize_traced(&sel)?;
+        let mut out = String::new();
+        for (label, trace) in &traces {
+            out.push_str(&format!("== block {label} ==\n{}", trace.render()));
+        }
+        Ok(out)
     }
 
     fn plan_select(&self, sel: &SelectStmt) -> DbResult<QueryPlan> {
@@ -376,7 +433,11 @@ impl Database {
 
     /// Bulk-load pre-built tuples (examples and benches use this instead of
     /// millions of INSERT statements).
-    pub fn insert_rows(&mut self, table: &str, rows: impl IntoIterator<Item = Tuple>) -> DbResult<usize> {
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> DbResult<usize> {
         let (rel_id, segment, types) = {
             let rel = self.catalog.relation_by_name(table)?;
             let types: Vec<ColType> = rel.columns.iter().map(|c| c.ty).collect();
@@ -419,7 +480,7 @@ impl Database {
         let bound = bind_select(&self.catalog, &sel)?;
         let optimizer = Optimizer::with_config(&self.catalog, self.config);
         let plan = optimizer.optimize_bound(&bound);
-        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let env = ExecEnv::new(&self.storage, &self.catalog);
         let mut multiset = sysr_executor::block::matching_multiset(&env, &plan)?;
         let (rel_id, segment) = {
             let rel = self.catalog.relation_by_name(&del.table)?;
@@ -493,7 +554,7 @@ impl Database {
         let bound = bind_select(&self.catalog, &sel)?;
         let optimizer = Optimizer::with_config(&self.catalog, self.config);
         let plan = optimizer.optimize_bound(&bound);
-        let env = ExecEnv { storage: &self.storage, catalog: &self.catalog };
+        let env = ExecEnv::new(&self.storage, &self.catalog);
         let rows = sysr_executor::execute_block(&env, &plan, Vec::new())?;
 
         // Replace matching tuples one-for-one, evaluating all assignments
@@ -569,9 +630,9 @@ fn const_eval(expr: &Expr) -> DbResult<Value> {
                 _ => Ok(Value::Float(x)),
             }
         }
-        other => Err(DbError::Unsupported(format!(
-            "VALUES entries must be constants, got {other:?}"
-        ))),
+        other => {
+            Err(DbError::Unsupported(format!("VALUES entries must be constants, got {other:?}")))
+        }
     }
 }
 
@@ -642,10 +703,7 @@ mod tests {
         assert!(matches!(db.execute("SELEC"), Err(DbError::Parse(_))));
         assert!(matches!(db.execute("SELECT X FROM NOPE"), Err(DbError::Bind(_))));
         db.execute("CREATE TABLE T (A INTEGER)").unwrap();
-        assert!(matches!(
-            db.execute("CREATE TABLE T (A INTEGER)"),
-            Err(DbError::Catalog(_))
-        ));
+        assert!(matches!(db.execute("CREATE TABLE T (A INTEGER)"), Err(DbError::Catalog(_))));
         assert!(matches!(
             db.execute("INSERT INTO T VALUES ('nope')"),
             Err(DbError::Unsupported(_))

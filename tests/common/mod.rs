@@ -22,8 +22,7 @@ pub fn scatter(i: i64, n: i64) -> i64 {
 /// matching the paper's example values.
 pub fn fig1_db(n_emp: i64, n_dept: i64, n_job: i64) -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)")
-        .unwrap();
+    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)").unwrap();
     db.execute("CREATE TABLE DEPT (DNO INTEGER, DNAME VARCHAR(20), LOC VARCHAR(20))").unwrap();
     db.execute("CREATE TABLE JOB (JOB INTEGER, TITLE VARCHAR(20))").unwrap();
 
@@ -44,9 +43,8 @@ pub fn fig1_db(n_emp: i64, n_dept: i64, n_job: i64) -> Database {
     .unwrap();
     db.insert_rows(
         "DEPT",
-        (0..n_dept).map(|d| {
-            tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]
-        }),
+        (0..n_dept)
+            .map(|d| tuple![d, format!("DEPT-{d:03}"), cities[(d % cities.len() as i64) as usize]]),
     )
     .unwrap();
     db.insert_rows(
@@ -105,9 +103,7 @@ pub fn int_column(rows: &[Tuple], col: usize) -> Vec<i64> {
 
 /// Extract a single string column.
 pub fn str_column(rows: &[Tuple], col: usize) -> Vec<String> {
-    rows.iter()
-        .map(|t| t[col].as_str().expect("string column").to_string())
-        .collect()
+    rows.iter().map(|t| t[col].as_str().expect("string column").to_string()).collect()
 }
 
 /// Extract floats.

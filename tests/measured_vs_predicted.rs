@@ -54,8 +54,7 @@ fn run_scenario(db: &Database, sql: &str) -> (f64, f64, f64, usize) {
     }
     // Include the chosen plan's point too.
     pairs.push((chosen_predicted, chosen_measured));
-    let best_measured =
-        pairs.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
+    let best_measured = pairs.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
     let rho = spearman(&pairs);
     (chosen_measured, best_measured, rho, pairs.len())
 }
@@ -140,11 +139,8 @@ fn scenarios() -> Vec<Scenario> {
     // Clustered range.
     let mut db = Database::with_config(small_buffer());
     db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
-    db.insert_rows(
-        "T",
-        (0..4000).map(|i| tuple![common::scatter(i, 4000), i % 40, pad(i)]),
-    )
-    .unwrap();
+    db.insert_rows("T", (0..4000).map(|i| tuple![common::scatter(i, 4000), i % 40, pad(i)]))
+        .unwrap();
     db.execute("CREATE CLUSTERED INDEX T_K ON T (K)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     out.push(Scenario {
@@ -156,11 +152,8 @@ fn scenarios() -> Vec<Scenario> {
     // Order-by: sort vs scattered ordered index.
     let mut db = Database::with_config(small_buffer());
     db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(60))").unwrap();
-    db.insert_rows(
-        "T",
-        (0..3000).map(|i| tuple![common::scatter(i, 3000), i % 40, pad(i)]),
-    )
-    .unwrap();
+    db.insert_rows("T", (0..3000).map(|i| tuple![common::scatter(i, 3000), i % 40, pad(i)]))
+        .unwrap();
     db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     out.push(Scenario { name: "order-by", db, sql: "SELECT PAD FROM T ORDER BY K" });

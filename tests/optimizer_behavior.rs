@@ -28,11 +28,7 @@ fn find_join(plan: &PlanExpr) -> Option<&'static str> {
 fn selective_predicate_uses_index_unselective_scans() {
     let mut db = Database::new();
     db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(40))").unwrap();
-    db.insert_rows(
-        "T",
-        (0..20_000).map(|i| tuple![i, i % 4, format!("pad-{i:035}")]),
-    )
-    .unwrap();
+    db.insert_rows("T", (0..20_000).map(|i| tuple![i, i % 4, format!("pad-{i:035}")])).unwrap();
     db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();
     db.execute("CREATE INDEX T_GRP ON T (GRP)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
@@ -44,11 +40,7 @@ fn selective_predicate_uses_index_unselective_scans() {
     // GRP = const selects 1/4 of 20k rows through a non-clustered index:
     // the segment scan is cheaper than ~5000 scattered data-page fetches.
     let plan = db.plan("SELECT PAD FROM T WHERE GRP = 2").unwrap();
-    assert!(
-        matches!(scan_access(&plan), Access::Segment),
-        "{}",
-        plan.explain(db.catalog())
-    );
+    assert!(matches!(scan_access(&plan), Access::Segment), "{}", plan.explain(db.catalog()));
 }
 
 #[test]
@@ -57,11 +49,7 @@ fn clustering_flips_the_choice() {
     // F * (NINDX + TCARD) beats the full segment scan.
     let mut db = Database::new();
     db.execute("CREATE TABLE T (K INTEGER, GRP INTEGER, PAD VARCHAR(40))").unwrap();
-    db.insert_rows(
-        "T",
-        (0..20_000).map(|i| tuple![i, i % 4, format!("pad-{i:035}")]),
-    )
-    .unwrap();
+    db.insert_rows("T", (0..20_000).map(|i| tuple![i, i % 4, format!("pad-{i:035}")])).unwrap();
     db.execute("CREATE CLUSTERED INDEX T_GRP ON T (GRP)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     let plan = db.plan("SELECT PAD FROM T WHERE GRP = 2").unwrap();
@@ -139,9 +127,7 @@ fn join_method_crossover_with_outer_size() {
         // TAG filter gets the 1/10 default instead of its true 1/100.
         db.execute("CREATE INDEX OUTR_TAG ON OUTR (TAG)").unwrap();
         db.execute("UPDATE STATISTICS").unwrap();
-        let sql = format!(
-            "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K {filter}"
-        );
+        let sql = format!("SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K {filter}");
         let plan = db.plan(&sql).unwrap();
         find_join(&plan.root).expect("join expected")
     };
@@ -231,8 +217,7 @@ fn probe_values_bound_at_execution() {
     db.execute("CREATE TABLE SMALL (K INTEGER)").unwrap();
     db.execute("CREATE TABLE BIG (K INTEGER, PAD VARCHAR(30))").unwrap();
     db.insert_rows("SMALL", (0..5).map(|i| tuple![i * 100])).unwrap();
-    db.insert_rows("BIG", (0..50_000i64).map(|i| tuple![i % 1000, format!("p{i:027}")]))
-        .unwrap();
+    db.insert_rows("BIG", (0..50_000i64).map(|i| tuple![i % 1000, format!("p{i:027}")])).unwrap();
     db.execute("CREATE INDEX BIG_K ON BIG (K)").unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     let plan = db.plan("SELECT SMALL.K FROM SMALL, BIG WHERE SMALL.K = BIG.K").unwrap();
@@ -297,10 +282,7 @@ fn index_only_scan_skips_data_pages_when_enabled() {
 
 #[test]
 fn index_only_not_used_when_query_needs_other_columns() {
-    let mut db = Database::with_config(Config {
-        index_only_scans: true,
-        ..Config::default()
-    });
+    let mut db = Database::with_config(Config { index_only_scans: true, ..Config::default() });
     db.execute("CREATE TABLE T (K INTEGER, PAD VARCHAR(30))").unwrap();
     db.insert_rows("T", (0..2000).map(|i| tuple![i, format!("p{i:027}")])).unwrap();
     db.execute("CREATE UNIQUE INDEX T_K ON T (K)").unwrap();

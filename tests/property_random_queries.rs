@@ -5,8 +5,7 @@
 
 mod common;
 
-use proptest::prelude::*;
-use system_r::rss::{Tuple, Value};
+use system_r::rss::{SplitMix64, Tuple, Value};
 use system_r::{tuple, Database};
 
 /// A predicate over columns A (int), B (int) of table T, mirrored as SQL
@@ -78,38 +77,55 @@ impl Pred {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = &'static str> {
-    prop_oneof![
-        Just("="),
-        Just("<>"),
-        Just("<"),
-        Just("<="),
-        Just(">"),
-        Just(">="),
-    ]
+const OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+
+fn arb_leaf(rng: &mut SplitMix64) -> Pred {
+    match rng.below(4) {
+        0 => {
+            let op = *rng.pick(&OPS);
+            Pred::CmpA(op, rng.range_i64(0, 20))
+        }
+        1 => {
+            let op = *rng.pick(&OPS);
+            Pred::CmpB(op, rng.range_i64(0, 8))
+        }
+        2 => {
+            let (x, y) = (rng.range_i64(0, 20), rng.range_i64(0, 20));
+            Pred::BetweenA(x.min(y), x.max(y))
+        }
+        _ => {
+            let n = 1 + rng.below(3) as usize;
+            Pred::InB((0..n).map(|_| rng.range_i64(0, 8)).collect())
+        }
+    }
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    let leaf = prop_oneof![
-        (arb_op(), 0i64..20).prop_map(|(op, v)| Pred::CmpA(op, v)),
-        (arb_op(), 0i64..8).prop_map(|(op, v)| Pred::CmpB(op, v)),
-        (0i64..20, 0i64..20).prop_map(|(x, y)| Pred::BetweenA(x.min(y), x.max(y))),
-        prop::collection::vec(0i64..8, 1..4).prop_map(Pred::InB),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Pred::Not(Box::new(a))),
-        ]
-    })
+/// Random predicate tree, AND/OR/NOT over leaves, up to 3 levels deep
+/// (mirrors the original `prop_recursive(3, 16, 2, …)` strategy).
+fn arb_pred(rng: &mut SplitMix64) -> Pred {
+    fn gen(rng: &mut SplitMix64, depth: u32) -> Pred {
+        if depth == 0 || rng.below(2) == 0 {
+            return arb_leaf(rng);
+        }
+        match rng.below(3) {
+            0 => Pred::And(Box::new(gen(rng, depth - 1)), Box::new(gen(rng, depth - 1))),
+            1 => Pred::Or(Box::new(gen(rng, depth - 1)), Box::new(gen(rng, depth - 1))),
+            _ => Pred::Not(Box::new(gen(rng, depth - 1))),
+        }
+    }
+    gen(rng, 3)
 }
 
 /// Row generator: (A, B) with occasional NULLs in B.
-fn arb_rows() -> impl Strategy<Value = Vec<(i64, Option<i64>)>> {
-    prop::collection::vec((0i64..20, prop::option::weighted(0.9, 0i64..8)), 0..80)
+fn arb_rows(rng: &mut SplitMix64) -> Vec<(i64, Option<i64>)> {
+    let n = rng.below(80) as usize;
+    (0..n)
+        .map(|_| {
+            let a = rng.range_i64(0, 20);
+            let b = if rng.chance(0.9) { Some(rng.range_i64(0, 8)) } else { None };
+            (a, b)
+        })
+        .collect()
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -121,14 +137,14 @@ enum Design {
     Both,
 }
 
-fn arb_design() -> impl Strategy<Value = Design> {
-    prop_oneof![
-        Just(Design::NoIndex),
-        Just(Design::IndexA),
-        Just(Design::IndexB),
-        Just(Design::ClusteredA),
-        Just(Design::Both),
-    ]
+fn arb_design(rng: &mut SplitMix64) -> Design {
+    match rng.below(5) {
+        0 => Design::NoIndex,
+        1 => Design::IndexA,
+        2 => Design::IndexB,
+        3 => Design::ClusteredA,
+        _ => Design::Both,
+    }
 }
 
 fn build_db(rows: &[(i64, Option<i64>)], design: Design) -> Database {
@@ -165,70 +181,66 @@ fn build_db(rows: &[(i64, Option<i64>)], design: Design) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Single-table filters agree with the reference under every physical
-    /// design (the chosen access path must not change results).
-    #[test]
-    fn prop_filter_matches_reference(
-        rows in arb_rows(),
-        pred in arb_pred(),
-        design in arb_design(),
-    ) {
+/// Single-table filters agree with the reference under every physical
+/// design (the chosen access path must not change results).
+#[test]
+fn prop_filter_matches_reference() {
+    let mut rng = SplitMix64::new(0x9019_0001);
+    for case in 0..64u64 {
+        let rows = arb_rows(&mut rng);
+        let pred = arb_pred(&mut rng);
+        let design = arb_design(&mut rng);
         let db = build_db(&rows, design);
         let sql = format!("SELECT A FROM T WHERE {} ORDER BY A", pred.sql());
-        let got: Vec<i64> = db
-            .query(&sql)
-            .unwrap()
-            .rows
-            .iter()
-            .map(|t| t[0].as_int().unwrap())
-            .collect();
-        let mut expect: Vec<i64> = rows
-            .iter()
-            .filter(|(a, b)| pred.eval(Some(*a), *b))
-            .map(|(a, _)| *a)
-            .collect();
+        let got: Vec<i64> =
+            db.query(&sql).unwrap().rows.iter().map(|t| t[0].as_int().unwrap()).collect();
+        let mut expect: Vec<i64> =
+            rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).map(|(a, _)| *a).collect();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect, "query: {}", sql);
+        assert_eq!(got, expect, "case {case} ({design:?}) query: {sql}");
     }
+}
 
-    /// Aggregates over random filters agree with the reference.
-    #[test]
-    fn prop_aggregates_match_reference(
-        rows in arb_rows(),
-        pred in arb_pred(),
-    ) {
+/// Aggregates over random filters agree with the reference.
+#[test]
+fn prop_aggregates_match_reference() {
+    let mut rng = SplitMix64::new(0x9019_0002);
+    for case in 0..64u64 {
+        let rows = arb_rows(&mut rng);
+        let pred = arb_pred(&mut rng);
         let db = build_db(&rows, Design::IndexA);
-        let sql = format!(
-            "SELECT COUNT(*), COUNT(B), MIN(A), MAX(A) FROM T WHERE {}",
-            pred.sql()
-        );
+        let sql = format!("SELECT COUNT(*), COUNT(B), MIN(A), MAX(A) FROM T WHERE {}", pred.sql());
         let r = db.query(&sql).unwrap();
         let kept: Vec<&(i64, Option<i64>)> =
             rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).collect();
         let row = &r.rows[0];
-        prop_assert_eq!(row[0].as_int().unwrap(), kept.len() as i64);
-        prop_assert_eq!(
+        assert_eq!(row[0].as_int().unwrap(), kept.len() as i64, "case {case}");
+        assert_eq!(
             row[1].as_int().unwrap(),
-            kept.iter().filter(|(_, b)| b.is_some()).count() as i64
+            kept.iter().filter(|(_, b)| b.is_some()).count() as i64,
+            "case {case}"
         );
         let min = kept.iter().map(|(a, _)| *a).min();
         let max = kept.iter().map(|(a, _)| *a).max();
-        prop_assert_eq!(row[2].as_int(), min);
-        prop_assert_eq!(row[3].as_int(), max);
+        assert_eq!(row[2].as_int(), min, "case {case}");
+        assert_eq!(row[3].as_int(), max, "case {case}");
     }
+}
 
-    /// Two-table equi-joins agree with the nested-loop reference whatever
-    /// method and order the optimizer picks.
-    #[test]
-    fn prop_join_matches_reference(
-        left in prop::collection::vec((0i64..12, 0i64..5), 0..50),
-        right in prop::collection::vec(0i64..12, 0..50),
-        tag in 0i64..5,
-        index_right in any::<bool>(),
-    ) {
+/// Two-table equi-joins agree with the nested-loop reference whatever
+/// method and order the optimizer picks.
+#[test]
+fn prop_join_matches_reference() {
+    let mut rng = SplitMix64::new(0x9019_0003);
+    for case in 0..64u64 {
+        let n_left = rng.below(50) as usize;
+        let left: Vec<(i64, i64)> =
+            (0..n_left).map(|_| (rng.range_i64(0, 12), rng.range_i64(0, 5))).collect();
+        let n_right = rng.below(50) as usize;
+        let right: Vec<i64> = (0..n_right).map(|_| rng.range_i64(0, 12)).collect();
+        let tag = rng.range_i64(0, 5);
+        let index_right = rng.bool();
+
         let mut db = Database::new();
         db.execute("CREATE TABLE L (K INTEGER, TAG INTEGER)").unwrap();
         db.execute("CREATE TABLE R (K INTEGER)").unwrap();
@@ -238,16 +250,9 @@ proptest! {
             db.execute("CREATE INDEX R_K ON R (K)").unwrap();
         }
         db.execute("UPDATE STATISTICS").unwrap();
-        let sql = format!(
-            "SELECT L.K FROM L, R WHERE L.K = R.K AND L.TAG = {tag} ORDER BY L.K"
-        );
-        let got: Vec<i64> = db
-            .query(&sql)
-            .unwrap()
-            .rows
-            .iter()
-            .map(|t| t[0].as_int().unwrap())
-            .collect();
+        let sql = format!("SELECT L.K FROM L, R WHERE L.K = R.K AND L.TAG = {tag} ORDER BY L.K");
+        let got: Vec<i64> =
+            db.query(&sql).unwrap().rows.iter().map(|t| t[0].as_int().unwrap()).collect();
         let mut expect = Vec::new();
         for (k, t) in &left {
             if *t != tag {
@@ -260,12 +265,16 @@ proptest! {
             }
         }
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// DISTINCT and GROUP BY agree.
-    #[test]
-    fn prop_distinct_and_group_by(rows in arb_rows()) {
+/// DISTINCT and GROUP BY agree.
+#[test]
+fn prop_distinct_and_group_by() {
+    let mut rng = SplitMix64::new(0x9019_0004);
+    for case in 0..64u64 {
+        let rows = arb_rows(&mut rng);
         let db = build_db(&rows, Design::ClusteredA);
         let distinct: Vec<i64> = db
             .query("SELECT DISTINCT A FROM T ORDER BY A")
@@ -277,32 +286,35 @@ proptest! {
         let mut expect: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
         expect.sort_unstable();
         expect.dedup();
-        prop_assert_eq!(&distinct, &expect);
+        assert_eq!(&distinct, &expect, "case {case}");
 
         let grouped = db.query("SELECT A, COUNT(*) FROM T GROUP BY A ORDER BY A").unwrap();
-        prop_assert_eq!(grouped.rows.len(), expect.len());
+        assert_eq!(grouped.rows.len(), expect.len(), "case {case}");
         for row in &grouped.rows {
             let a = row[0].as_int().unwrap();
             let n = row[1].as_int().unwrap();
             let actual = rows.iter().filter(|(x, _)| *x == a).count() as i64;
-            prop_assert_eq!(n, actual);
+            assert_eq!(n, actual, "case {case}");
         }
     }
+}
 
-    /// DELETE removes exactly the matching rows.
-    #[test]
-    fn prop_delete_matches_reference(rows in arb_rows(), pred in arb_pred()) {
+/// DELETE removes exactly the matching rows.
+#[test]
+fn prop_delete_matches_reference() {
+    let mut rng = SplitMix64::new(0x9019_0005);
+    for case in 0..64u64 {
+        let rows = arb_rows(&mut rng);
+        let pred = arb_pred(&mut rng);
         let mut db = build_db(&rows, Design::IndexA);
-        let deleted = db
-            .execute(&format!("DELETE FROM T WHERE {}", pred.sql()))
-            .unwrap();
-        let expect_deleted =
-            rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).count() as i64;
-        prop_assert_eq!(deleted.rows[0][0].as_int().unwrap(), expect_deleted);
+        let deleted = db.execute(&format!("DELETE FROM T WHERE {}", pred.sql())).unwrap();
+        let expect_deleted = rows.iter().filter(|(a, b)| pred.eval(Some(*a), *b)).count() as i64;
+        assert_eq!(deleted.rows[0][0].as_int().unwrap(), expect_deleted, "case {case}");
         let remaining = db.query("SELECT COUNT(*) FROM T").unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             remaining.rows[0][0].as_int().unwrap(),
-            rows.len() as i64 - expect_deleted
+            rows.len() as i64 - expect_deleted,
+            "case {case}"
         );
     }
 }

@@ -35,7 +35,8 @@ fn simple_filters() {
     assert_eq!(str_column(&r.rows, 0), vec!["CLARK", "JONES"]);
     let r = db.query("SELECT NAME FROM EMP WHERE SAL BETWEEN 8000 AND 9000 ORDER BY NAME").unwrap();
     assert_eq!(str_column(&r.rows, 0), vec!["BLAKE", "SMITH"]);
-    let r = db.query("SELECT NAME FROM EMP WHERE DNO IN (51, 52) AND JOB = 5 ORDER BY NAME").unwrap();
+    let r =
+        db.query("SELECT NAME FROM EMP WHERE DNO IN (51, 52) AND JOB = 5 ORDER BY NAME").unwrap();
     assert_eq!(str_column(&r.rows, 0), vec!["ADAMS", "BLAKE"]);
     let r = db.query("SELECT NAME FROM EMP WHERE NOT (SAL >= 9000 OR DNO = 52)").unwrap();
     assert_eq!(str_column(&r.rows, 0), vec!["SMITH"]);
@@ -44,9 +45,7 @@ fn simple_filters() {
 #[test]
 fn projection_and_arithmetic() {
     let db = small_db();
-    let r = db
-        .query("SELECT NAME, SAL * 2 + 1 AS DOUBLED FROM EMP WHERE NAME = 'SMITH'")
-        .unwrap();
+    let r = db.query("SELECT NAME, SAL * 2 + 1 AS DOUBLED FROM EMP WHERE NAME = 'SMITH'").unwrap();
     assert_eq!(r.columns, vec!["NAME", "DOUBLED"]);
     assert_eq!(r.rows[0][1], Value::Float(16001.0));
 }
@@ -119,18 +118,14 @@ fn aggregates_on_empty_input() {
     assert_eq!(r.rows[0][0], Value::Int(0));
     assert_eq!(r.rows[0][1], Value::Null);
     // With GROUP BY: zero groups.
-    let r = db
-        .query("SELECT DNO, COUNT(*) FROM EMP WHERE SAL > 1000000 GROUP BY DNO")
-        .unwrap();
+    let r = db.query("SELECT DNO, COUNT(*) FROM EMP WHERE SAL > 1000000 GROUP BY DNO").unwrap();
     assert!(r.rows.is_empty());
 }
 
 #[test]
 fn group_by_with_order() {
     let db = small_db();
-    let r = db
-        .query("SELECT DNO, COUNT(*), AVG(SAL) FROM EMP GROUP BY DNO ORDER BY DNO")
-        .unwrap();
+    let r = db.query("SELECT DNO, COUNT(*), AVG(SAL) FROM EMP GROUP BY DNO ORDER BY DNO").unwrap();
     assert_eq!(int_column(&r.rows, 0), vec![50, 51, 52]);
     assert_eq!(int_column(&r.rows, 1), vec![2, 1, 2]);
     assert_eq!(float_column(&r.rows, 2), vec![10_000.0, 9000.0, 11_000.0]);
@@ -167,11 +162,8 @@ fn order_by_desc_and_multi_key() {
 fn nulls_filtered_by_comparisons() {
     let mut db = Database::new();
     db.execute("CREATE TABLE T (A INTEGER, B INTEGER)").unwrap();
-    db.insert_rows(
-        "T",
-        vec![tuple![1, 10], Value::Null.into_tuple_with(2), tuple![3, 30]],
-    )
-    .unwrap();
+    db.insert_rows("T", vec![tuple![1, 10], Value::Null.into_tuple_with(2), tuple![3, 30]])
+        .unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     // Comparisons with NULL are never satisfied, in either polarity.
     let r = db.query("SELECT A FROM T WHERE B > 0").unwrap();
@@ -305,7 +297,9 @@ fn correlated_subquery_earn_more_than_manager() {
         .unwrap();
     // Verify against direct computation.
     let all = db
-        .query("SELECT NAME, SALARY, EMPLOYEE_NUMBER, MANAGER FROM EMPLOYEE ORDER BY EMPLOYEE_NUMBER")
+        .query(
+            "SELECT NAME, SALARY, EMPLOYEE_NUMBER, MANAGER FROM EMPLOYEE ORDER BY EMPLOYEE_NUMBER",
+        )
         .unwrap();
     let sal_of: Vec<f64> = float_column(&all.rows, 1);
     let expect: Vec<String> = all
@@ -340,14 +334,11 @@ fn three_level_nesting_from_paper() {
                  (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))",
         )
         .unwrap();
-    let all = db
-        .query("SELECT SALARY, MANAGER FROM EMPLOYEE ORDER BY EMPLOYEE_NUMBER")
-        .unwrap();
+    let all = db.query("SELECT SALARY, MANAGER FROM EMPLOYEE ORDER BY EMPLOYEE_NUMBER").unwrap();
     let sal: Vec<f64> = float_column(&all.rows, 0);
     let mgr: Vec<i64> = int_column(&all.rows, 1);
-    let expect = (0..60)
-        .filter(|&i| sal[i as usize] > sal[mgr[mgr[i as usize] as usize] as usize])
-        .count();
+    let expect =
+        (0..60).filter(|&i| sal[i as usize] > sal[mgr[mgr[i as usize] as usize] as usize]).count();
     assert_eq!(r.len(), expect);
 }
 
