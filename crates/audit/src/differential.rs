@@ -1,0 +1,148 @@
+//! The differential oracle: DP result vs. exhaustive enumeration.
+//!
+//! The paper's §5 dynamic program is exact *given* its pruning rule —
+//! keeping only the cheapest plan per (subset, interesting-order
+//! equivalence class) is safe because cost composition is monotone. This
+//! module re-derives that guarantee empirically: for every ≤ 4-relation
+//! corpus query it enumerates **every** complete plan with
+//! [`Enumerator::all_plans`] (no pruning, no Cartesian deferral) and
+//! asserts
+//!
+//! 1. the DP winner under the *relaxed* search space (Cartesian deferral
+//!    off, same space `all_plans` explores) costs exactly the true
+//!    minimum (`dp-optimal`), and
+//! 2. the DP winner under the *default* heuristic space — a subset of the
+//!    full space — is never cheaper than the true minimum
+//!    (`dp-admissible`).
+//!
+//! A failure here means pruning discarded a plan it needed (a DP
+//! admissibility bug) or cost composition broke monotonicity.
+
+use crate::corpus::{parse_select, CorpusCase};
+use crate::{AuditReport, Violation};
+use sysr_catalog::Catalog;
+use sysr_core::{bind_select, CostModel, Enumerator, OptimizerConfig};
+
+/// Queries above this FROM-list size are skipped: exhaustive enumeration
+/// grows factorially and 4 relations already covers every join-shape the
+/// DP distinguishes.
+pub const MAX_TABLES: usize = 4;
+
+/// Per-subset plan cap handed to [`Enumerator::all_plans`]. If a query
+/// hits the cap the enumeration is no longer exhaustive, so the case is
+/// skipped rather than risking a spurious verdict.
+const PLAN_CAP: usize = 200_000;
+
+/// Relative cost tolerance for "equals the true minimum" — floating-point
+/// cost arithmetic composes in a different association order in the DP
+/// and the exhaustive enumerator.
+const REL_TOL: f64 = 1e-6;
+
+/// Run the oracle over every eligible case; ineligible cases (too many
+/// tables, subqueries, cap overflow) contribute no checks.
+pub fn audit_differential(cases: &[CorpusCase], config: OptimizerConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    for case in cases {
+        report.merge(differential_case(case, config));
+    }
+    report
+}
+
+/// Compare one case's DP winner against the exhaustive minimum.
+pub fn differential_case(case: &CorpusCase, config: OptimizerConfig) -> AuditReport {
+    differential_check(&case.catalog, &case.label, &case.sql, config)
+}
+
+/// [`differential_case`] over a borrowed catalog, so callers with a live
+/// database (integration tests, the shell) can run the oracle against
+/// real gathered statistics instead of a corpus fixture.
+pub fn differential_check(
+    catalog: &Catalog,
+    label: &str,
+    sql: &str,
+    config: OptimizerConfig,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    let stmt = match parse_select(sql) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Violation::new("dp-optimal", label, format!("corpus parse: {e}")));
+            return report;
+        }
+    };
+    let bound = match bind_select(catalog, &stmt) {
+        Ok(b) => b,
+        Err(e) => {
+            report.push(Violation::new("dp-optimal", label, format!("corpus bind: {e}")));
+            return report;
+        }
+    };
+    if bound.tables.len() > MAX_TABLES || !bound.subqueries.is_empty() {
+        return report; // not eligible: zero checks, zero violations
+    }
+    let model = CostModel::new(config.w, config.buffer_pages);
+
+    // The exhaustive space matches the relaxed DP (no Cartesian deferral).
+    let relaxed = OptimizerConfig { defer_cartesian: false, ..config };
+    let enumerator = Enumerator::new(catalog, &bound, relaxed);
+    let every = enumerator.all_plans(PLAN_CAP);
+    if every.is_empty() || every.len() >= PLAN_CAP {
+        return report; // cap overflow: enumeration not exhaustive, skip
+    }
+    let truth = every.iter().map(|p| model.total(p.cost)).fold(f64::INFINITY, f64::min);
+    let tol = REL_TOL * truth.abs().max(1.0);
+
+    report.checks += 1;
+    let (relaxed_best, _) = enumerator.best_plan();
+    let relaxed_total = model.total(relaxed_best.cost);
+    let gap = (relaxed_total - truth).abs();
+    // Explicit NaN arm: a NaN total must fail, and `gap > tol` alone
+    // would let it through.
+    if gap.is_nan() || gap > tol {
+        report.push(Violation::new(
+            "dp-optimal",
+            label,
+            format!(
+                "relaxed DP chose cost {relaxed_total} but exhaustive minimum over {} plans \
+                 is {truth}",
+                every.len()
+            ),
+        ));
+    }
+
+    report.checks += 1;
+    let (default_best, _) = Enumerator::new(catalog, &bound, config).best_plan();
+    let default_total = model.total(default_best.cost);
+    if default_total < truth - tol {
+        report.push(Violation::new(
+            "dp-admissible",
+            label,
+            format!(
+                "heuristic DP claims cost {default_total}, cheaper than the exhaustive \
+                 minimum {truth} — its cost bookkeeping is inconsistent"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{builtin_cases, random_chain_cases};
+
+    #[test]
+    fn fig1_dp_matches_exhaustive_minimum() {
+        let config = OptimizerConfig::default();
+        let report = audit_differential(&builtin_cases(), config);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.checks > 0, "at least some builtin cases must be eligible");
+    }
+
+    #[test]
+    fn seeded_random_chains_stay_optimal() {
+        let config = OptimizerConfig::default();
+        let report = audit_differential(&random_chain_cases(0xD1FF, 6), config);
+        assert!(report.ok(), "{}", report.render());
+    }
+}

@@ -1,0 +1,101 @@
+//! # sysr-audit — plan-invariant verifier + in-tree lint pass
+//!
+//! The optimizer is only trustworthy if its outputs provably respect the
+//! paper's own rules: Table 1 selectivities in `[0, 1]`, Table 2 cost
+//! admissibility, interesting-order bookkeeping (§4/§5), SARGs pushed
+//! below the RSI boundary, and DP optimality against exhaustive
+//! enumeration. This crate checks all of that after the fact, on any
+//! [`sysr_core::QueryPlan`]:
+//!
+//! * [`invariants`] — the static plan auditor: node well-formedness,
+//!   order production, SARG placement, selectivity ranges, cost
+//!   monotonicity, search-trace accounting, and executor measurement
+//!   accounting.
+//! * [`differential`] — the exhaustive oracle: re-enumerates every
+//!   ≤ 4-relation query without pruning and asserts the DP winner's cost
+//!   equals the true minimum.
+//! * [`corpus`] — the built-in check corpus: the paper's Fig. 1 query,
+//!   synthetic join catalogs, and seeded random queries via
+//!   [`sysr_rss::SplitMix64`].
+//! * [`lint`] — the source lint runner: a line-level pass over
+//!   `crates/*/src` enforcing the project's panic/cast/division rules
+//!   without external lint dependencies; suppressions via
+//!   `// audit:allow(<rule>)` comments.
+//!
+//! The `sysr-audit` binary runs both engines (`--all`) and exits nonzero
+//! on any violation; `scripts/ci.sh` gates every PR on it.
+
+pub mod corpus;
+pub mod differential;
+pub mod invariants;
+pub mod lint;
+
+use std::fmt;
+
+/// One broken invariant or lint rule, pinned to a rule id and location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule id, e.g. `cost-admissible` or `no-unwrap`. DESIGN.md §8
+    /// catalogues every rule with its paper anchor.
+    pub rule: &'static str,
+    /// Where: `file:line` for lint findings, `corpus case / node path` for
+    /// plan findings.
+    pub location: String,
+    /// What went wrong, with the offending values.
+    pub detail: String,
+}
+
+impl Violation {
+    pub fn new(rule: &'static str, location: impl Into<String>, detail: impl Into<String>) -> Self {
+        Violation { rule, location: location.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.rule, self.location, self.detail)
+    }
+}
+
+/// Outcome of one audit engine run: how much was checked, what failed.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Individual checks evaluated (plans audited, lines linted, plans
+    /// re-enumerated, ...). Reported so "0 violations" can be told apart
+    /// from "checked nothing".
+    pub checks: u64,
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fold another engine's report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Human-readable summary, one violation per line.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{v}");
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} checks, {} violation{}",
+            self.checks,
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" }
+        );
+        out
+    }
+}

@@ -1,0 +1,443 @@
+//! The in-tree source lint pass.
+//!
+//! A deliberately small, zero-dependency, line-level linter for the rules
+//! this project cares about but `clippy` does not enforce in the shape we
+//! need (scoped to specific crates/files, suppressible in-tree):
+//!
+//! * **`no-unwrap`** — no `.unwrap()`, `.expect("...")` or `panic!(` in
+//!   library source outside `#[cfg(test)]`. The optimizer and executor
+//!   must surface errors as values; the paper's OPTIMIZER never aborts
+//!   the RDS. Applies to every `crates/*/src` except `crates/bench`
+//!   (a measurement harness, exempt wholesale).
+//! * **`no-as-cast`** — no bare `as` numeric casts in the cost-critical
+//!   files (`cost.rs`, `selectivity.rs`, `enumerate.rs`); silent
+//!   truncation there corrupts Table 1/Table 2 arithmetic. Casts must be
+//!   annotated with an explicit allow.
+//! * **`div-guard`** — every `/` on `f64` expressions in `cost.rs` /
+//!   `selectivity.rs` must have a visible guard (a zero test, `.max(..)`
+//!   clamp on the denominator, a literal, or an ALL_CAPS constant) within
+//!   the preceding few lines; unguarded division is how NaN enters the
+//!   cost model.
+//!
+//! Suppression: a `// audit:allow(<rule>)` comment on the offending line
+//! or within the two lines directly above it (statements wrap). The linter strips comments and string
+//! literals before matching (so `"…unwrap()…"` in a doc string is not a
+//! finding) and tracks `#[cfg(test)]` blocks by brace depth.
+//!
+//! This is a heuristic pass over lines, not a parser — exactly like the
+//! original use of `grep` in review checklists, but versioned, tested,
+//! and wired into CI.
+
+use crate::{AuditReport, Violation};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How many preceding lines a `div-guard` guard may appear on.
+const GUARD_WINDOW: usize = 6;
+
+/// Crates under `crates/` exempt from linting entirely.
+const EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Files (by name) subject to the `no-as-cast` rule.
+const CAST_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs", "enumerate.rs"];
+
+/// Files (by name) subject to the `div-guard` rule.
+const DIV_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs"];
+
+/// Lint every `crates/*/src/**/*.rs` under `root` (the repo root).
+pub fn lint_workspace(root: &Path) -> AuditReport {
+    let mut report = AuditReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match fs::read_dir(&crates_dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+        Err(e) => {
+            report.push(Violation::new(
+                "lint-io",
+                crates_dir.display().to_string(),
+                format!("cannot read crates directory: {e}"),
+            ));
+            return report;
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if EXEMPT_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            lint_tree(&src, root, &mut report);
+        }
+    }
+    report
+}
+
+fn lint_tree(dir: &Path, root: &Path, report: &mut AuditReport) {
+    let Ok(rd) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            lint_tree(&path, root, report);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            match fs::read_to_string(&path) {
+                Ok(text) => report.merge(lint_source(&path_label(&path, root), &text)),
+                Err(e) => report.push(Violation::new(
+                    "lint-io",
+                    path.display().to_string(),
+                    format!("cannot read: {e}"),
+                )),
+            }
+        }
+    }
+}
+
+fn path_label(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+/// Lint one file's source text. `label` is the repo-relative path used in
+/// violation locations (its file name selects the scoped rules).
+pub fn lint_source(label: &str, text: &str) -> AuditReport {
+    let mut report = AuditReport::default();
+    let file_name = label.rsplit('/').next().unwrap_or(label);
+    let cast_scoped = CAST_SCOPED_FILES.contains(&file_name);
+    let div_scoped = DIV_SCOPED_FILES.contains(&file_name);
+
+    let lines: Vec<&str> = text.lines().collect();
+    let allows: Vec<Vec<String>> = lines.iter().map(|l| allow_markers(l)).collect();
+    let stripped = strip_comments_and_strings(&lines);
+    let in_test = test_block_mask(&lines, &stripped);
+
+    for (i, code) in stripped.iter().enumerate() {
+        report.checks += 1;
+        if in_test[i] {
+            continue;
+        }
+        // A marker covers its own line and the two lines below it —
+        // rustfmt often splits the annotated statement across lines.
+        let lo = i.saturating_sub(2);
+        let allowed = |rule: &str| allows[lo..=i].iter().any(|line| line.iter().any(|a| a == rule));
+        let at = format!("{label}:{}", i + 1);
+
+        if (code.contains(".unwrap()") || code.contains(".expect(\"") || code.contains("panic!("))
+            && !allowed("no-unwrap")
+        {
+            report.push(Violation::new(
+                "no-unwrap",
+                at.clone(),
+                "unwrap/expect/panic in library code; return an error or annotate \
+                 `// audit:allow(no-unwrap)` with a safety argument",
+            ));
+        }
+
+        if cast_scoped && has_bare_as_cast(code) && !allowed("no-as-cast") {
+            report.push(Violation::new(
+                "no-as-cast",
+                at.clone(),
+                "bare `as` numeric cast in cost-critical code; annotate \
+                 `// audit:allow(no-as-cast)` after checking the value range",
+            ));
+        }
+
+        if div_scoped && has_unguarded_division(i, &stripped) && !allowed("div-guard") {
+            report.push(Violation::new(
+                "div-guard",
+                at,
+                "f64 division with no visible zero-guard in the preceding lines; \
+                 guard the denominator or annotate `// audit:allow(div-guard)`",
+            ));
+        }
+    }
+    report
+}
+
+/// `audit:allow(rule, rule2)` markers on a raw (un-stripped) line.
+fn allow_markers(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("audit:allow(") {
+        rest = &rest[pos + "audit:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                out.push(rule.trim().to_string());
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Replace comments and string/char literal contents with spaces, keeping
+/// line lengths and positions stable. Handles `//`, nested `/* */`, and
+/// escapes inside strings; raw strings are treated like plain strings
+/// (good enough: a `"#` terminator only delays the reset to the next
+/// quote, and the lint patterns never span literals).
+fn strip_comments_and_strings(lines: &[&str]) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum S {
+        Code,
+        Block(u32),
+        Str,
+    }
+    let mut state = S::Code;
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        let b = line.as_bytes();
+        let mut kept = String::with_capacity(b.len());
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                S::Code => {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        break; // rest of line is a comment
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        state = S::Block(1);
+                        kept.push_str("  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        state = S::Str;
+                        kept.push('"');
+                        i += 1;
+                    } else if b[i] == b'\'' && i + 2 < b.len() && b[i + 1] == b'\\' {
+                        // escaped char literal like '\n'
+                        let close = b[i + 2..].iter().position(|&c| c == b'\'');
+                        let len = close.map_or(b.len() - i, |c| c + 3);
+                        for _ in 0..len {
+                            kept.push(' ');
+                        }
+                        i += len;
+                    } else if b[i] == b'\''
+                        && i + 2 < b.len()
+                        && b[i + 2] == b'\''
+                        && b[i + 1] != b'\''
+                    {
+                        // simple char literal 'x' (not a lifetime)
+                        kept.push_str("   ");
+                        i += 3;
+                    } else {
+                        kept.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                S::Block(depth) => {
+                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        state = if depth == 1 { S::Code } else { S::Block(depth - 1) };
+                        kept.push_str("  ");
+                        i += 2;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        state = S::Block(depth + 1);
+                        kept.push_str("  ");
+                        i += 2;
+                    } else {
+                        kept.push(' ');
+                        i += 1;
+                    }
+                }
+                S::Str => {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        kept.push_str("  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        state = S::Code;
+                        kept.push('"');
+                        i += 1;
+                    } else {
+                        kept.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Unterminated string at EOL: plain strings don't span lines
+        // (multi-line strings continue, but resetting keeps the pass
+        // line-local and errs toward checking more code).
+        if state == S::Str {
+            state = S::Code;
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)]`-attributed items by brace tracking:
+/// from the attribute line, skip until the depth opened by the item's
+/// first `{` closes.
+fn test_block_mask(lines: &[&str], stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if stripped[i].contains("#[cfg(test)]") {
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                mask[j] = true;
+                for ch in stripped[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// A bare `as` numeric cast: the keyword `as` followed by a primitive
+/// numeric type. (`as usize`, `as f64`, ...)
+fn has_bare_as_cast(code: &str) -> bool {
+    const NUMERIC: &[&str] = &[
+        "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+        "f32", "f64",
+    ];
+    let mut rest = code;
+    while let Some(pos) = rest.find(" as ") {
+        let after = rest[pos + 4..].trim_start();
+        if NUMERIC.iter().any(|t| {
+            after.starts_with(t)
+                && !after[t.len()..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_')
+        }) {
+            return true;
+        }
+        rest = &rest[pos + 4..];
+    }
+    false
+}
+
+/// Division on line `i` with no guard in sight. Guards recognised in the
+/// line itself or the preceding [`GUARD_WINDOW`] lines:
+/// comparison against zero, `.max(`/`.clamp(`/`is_finite`/`abs()` on the
+/// denominator side, or an `if`/`else` arm. Literal and ALL_CAPS-constant
+/// denominators are inherently safe.
+fn has_unguarded_division(i: usize, stripped: &[String]) -> bool {
+    let code = &stripped[i];
+    let mut found = false;
+    for (pos, _) in code.match_indices('/') {
+        // `x /= y` divides too — its denominator sits after the `=`.
+        let denom = code[pos + 1..].trim_start().trim_start_matches('=').trim_start();
+        if denom.is_empty() {
+            continue;
+        }
+        if denominator_is_safe(denom) {
+            continue;
+        }
+        found = true;
+    }
+    if !found {
+        return false;
+    }
+    let lo = i.saturating_sub(GUARD_WINDOW);
+    !stripped[lo..=i].iter().any(|l| {
+        l.contains("== 0")
+            || l.contains("!= 0")
+            || l.contains("> 0")
+            || l.contains(">= 1")
+            || l.contains("<= 0")
+            || l.contains("< 1")
+            || l.contains("<= 1")
+            || l.contains(".max(")
+            || l.contains(".clamp(")
+            || l.contains("is_finite")
+            || l.contains("is_nan")
+    })
+}
+
+/// A denominator that cannot be zero/NaN by construction: a numeric
+/// literal (leading digit) or an ALL_CAPS constant.
+fn denominator_is_safe(denom: &str) -> bool {
+    let tok: String =
+        denom.chars().take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.').collect();
+    if tok.is_empty() {
+        return false;
+    }
+    if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return true; // literal like 2.0
+    }
+    let ident: String = tok.chars().take_while(|c| *c != '.').collect();
+    !ident.is_empty()
+        && ident.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(label: &str, src: &str) -> Vec<String> {
+        lint_source(label, src).violations.iter().map(|v| v.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        assert_eq!(lint("crates/core/src/a.rs", src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_and_previous_line() {
+        let same = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // audit:allow(no-unwrap)\n}\n";
+        assert!(lint("crates/core/src/a.rs", same).is_empty());
+        let prev = "fn f(x: Option<u8>) -> u8 {\n    // audit:allow(no-unwrap) — checked above\n    x.unwrap()\n}\n";
+        assert!(lint("crates/core/src/a.rs", prev).is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_string_literal_ignored() {
+        let src = "fn f() -> &'static str {\n    \"call .unwrap() never\"\n}\n";
+        assert!(lint("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn method_named_expect_without_string_ignored() {
+        let src = "fn f(p: &mut P) {\n    p.expect(&TokenKind::LParen);\n}\n";
+        assert!(lint("crates/sql/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_cast_flagged_only_in_scoped_files() {
+        let src = "fn f(x: u64) -> f64 {\n    x as f64\n}\n";
+        assert_eq!(lint("crates/core/src/cost.rs", src), vec!["no-as-cast"]);
+        assert!(lint("crates/core/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn division_needs_guard_in_scoped_files() {
+        let bad = "fn f(a: f64, b: f64) -> f64 {\n    a / b\n}\n";
+        assert_eq!(lint("crates/core/src/cost.rs", bad), vec!["div-guard"]);
+        let guarded = "fn f(a: f64, b: f64) -> f64 {\n    if b > 0.0 {\n        a / b\n    } else {\n        0.0\n    }\n}\n";
+        assert!(lint("crates/core/src/cost.rs", guarded).is_empty());
+        let clamped = "fn f(a: f64, b: f64) -> f64 {\n    a / b.max(1.0)\n}\n";
+        assert!(lint("crates/core/src/cost.rs", clamped).is_empty());
+        let literal = "fn f(a: f64) -> f64 {\n    a / 2.0\n}\n";
+        assert!(lint("crates/core/src/cost.rs", literal).is_empty());
+        let constant = "fn f(a: f64) -> f64 {\n    a / TEMP_PAGE_BYTES\n}\n";
+        assert!(lint("crates/core/src/cost.rs", constant).is_empty());
+    }
+
+    #[test]
+    fn lint_counts_lines_checked() {
+        let r = lint_source("crates/core/src/a.rs", "fn a() {}\nfn b() {}\n");
+        assert_eq!(r.checks, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! `sysr-audit` — run the plan auditor and the source lint pass.
+//!
+//! ```text
+//! sysr-audit --all               # plans + differential + lint (CI mode)
+//! sysr-audit --plans             # plan invariants over the built-in corpus
+//! sysr-audit --diff              # DP-vs-exhaustive differential oracle
+//! sysr-audit --lint              # source lint over crates/*/src
+//! sysr-audit --root <dir>        # repo root for --lint (default: .)
+//! sysr-audit --seed <n>          # seed for the random corpus (default 0xA0D17)
+//! sysr-audit --random <n>        # number of random cases (default 12)
+//! ```
+//!
+//! Exit status: 0 when every check passes, 1 on any violation, 2 on bad
+//! usage. Output is one violation per line plus a summary — grep-friendly
+//! for CI logs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sysr_audit::corpus::{builtin_cases, parse_select, random_chain_cases, CorpusCase};
+use sysr_audit::invariants::{audit_query_plan, audit_traces};
+use sysr_audit::{differential, lint, AuditReport, Violation};
+use sysr_core::{Optimizer, OptimizerConfig};
+
+struct Options {
+    plans: bool,
+    diff: bool,
+    lint: bool,
+    root: PathBuf,
+    seed: u64,
+    random: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        plans: false,
+        diff: false,
+        lint: false,
+        root: PathBuf::from("."),
+        seed: 0xA0D17,
+        random: 12,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.plans = true;
+                opts.diff = true;
+                opts.lint = true;
+            }
+            "--plans" => opts.plans = true,
+            "--diff" => opts.diff = true,
+            "--lint" => opts.lint = true,
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--random" => {
+                let v = it.next().ok_or("--random needs a number")?;
+                opts.random = v.parse().map_err(|_| format!("bad count {v}"))?;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(opts.plans || opts.diff || opts.lint) {
+        return Err("pick at least one of --all / --plans / --diff / --lint".into());
+    }
+    Ok(opts)
+}
+
+/// Optimize every corpus case and audit the plan plus its search traces.
+fn audit_corpus_plans(cases: &[CorpusCase], config: OptimizerConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    for case in cases {
+        let stmt = match parse_select(&case.sql) {
+            Ok(s) => s,
+            Err(e) => {
+                report.push(Violation::new(
+                    "plan-wellformed",
+                    &case.label,
+                    format!("corpus parse: {e}"),
+                ));
+                continue;
+            }
+        };
+        let optimizer = Optimizer::with_config(&case.catalog, config);
+        match optimizer.optimize_traced(&stmt) {
+            Ok((plan, traces)) => {
+                report.merge(audit_query_plan(&case.catalog, &plan, &config, &case.label));
+                report.merge(audit_traces(&traces, &case.label));
+            }
+            Err(e) => report.push(Violation::new(
+                "plan-wellformed",
+                &case.label,
+                format!("corpus bind: {e}"),
+            )),
+        }
+    }
+    report
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg == "help" {
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--lint] [--root DIR] [--seed N] [--random N]");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("sysr-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = OptimizerConfig::default();
+    let mut cases = builtin_cases();
+    cases.extend(random_chain_cases(opts.seed, opts.random));
+
+    let mut report = AuditReport::default();
+    if opts.plans {
+        let r = audit_corpus_plans(&cases, config);
+        println!("plans: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.diff {
+        let r = differential::audit_differential(&cases, config);
+        println!("differential: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.lint {
+        let r = lint::lint_workspace(&opts.root);
+        println!("lint: {} lines checked, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+
+    print!("{}", report.render());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

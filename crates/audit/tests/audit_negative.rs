@@ -1,0 +1,225 @@
+//! Negative coverage: the auditor must *fail* when fed broken inputs.
+//!
+//! Every engine gets an injected violation — a mutated plan, a cooked
+//! search trace, mismatched executor measurements, lint-rule fixtures —
+//! and the test asserts the specific rule fires. The final test runs the
+//! real `sysr-audit` binary against a synthesized workspace containing a
+//! lint violation and asserts the process exits nonzero, which is the
+//! contract CI relies on.
+
+use std::collections::HashMap;
+use sysr_audit::{corpus, differential, invariants, lint};
+use sysr_core::{ColId, NodeMeasurement, Optimizer, OptimizerConfig, QueryPlan};
+use sysr_rss::IoStats;
+
+fn fig1_plan(sql: &str) -> (QueryPlan, Vec<(String, sysr_core::SearchTrace)>) {
+    let catalog = corpus::fig1_catalog();
+    let stmt = corpus::parse_select(sql).expect("corpus SQL parses");
+    Optimizer::with_config(&catalog, OptimizerConfig::default())
+        .optimize_traced(&stmt)
+        .expect("corpus SQL binds")
+}
+
+fn rules(report: &sysr_audit::AuditReport) -> Vec<&'static str> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn pristine_plan_is_clean() {
+    let catalog = corpus::fig1_catalog();
+    let (plan, traces) = fig1_plan(corpus::FIG1_SQL);
+    let config = OptimizerConfig::default();
+    let mut report = invariants::audit_query_plan(&catalog, &plan, &config, "fig1");
+    report.merge(invariants::audit_traces(&traces, "fig1"));
+    assert!(report.ok(), "unexpected violations:\n{}", report.render());
+    assert!(report.checks > 20, "auditor barely checked anything");
+}
+
+#[test]
+fn negative_cost_triggers_cost_admissible() {
+    let catalog = corpus::fig1_catalog();
+    let (mut plan, _) = fig1_plan(corpus::FIG1_SQL);
+    // Finite but negative: inadmissible under Table 2, yet safe to total()
+    // in debug builds (NaN would trip Cost's own debug_assert first).
+    plan.root.cost.pages = -5.0;
+    let report =
+        invariants::audit_query_plan(&catalog, &plan, &OptimizerConfig::default(), "mutated");
+    assert!(rules(&report).contains(&"cost-admissible"), "got:\n{}", report.render());
+}
+
+#[test]
+fn fabricated_order_triggers_order_and_wellformed_rules() {
+    let catalog = corpus::fig1_catalog();
+    let (mut plan, _) = fig1_plan(corpus::FIG1_SQL);
+    // Claim an order on a column that does not exist in any FROM table.
+    plan.root.order = vec![ColId::new(0, 99)];
+    let report =
+        invariants::audit_query_plan(&catalog, &plan, &OptimizerConfig::default(), "mutated");
+    let r = rules(&report);
+    assert!(r.contains(&"plan-wellformed"), "got:\n{}", report.render());
+    // The root is a join whose outer no longer matches the claimed order.
+    assert!(r.contains(&"order-produced"), "got:\n{}", report.render());
+}
+
+#[test]
+fn local_factor_in_block_filters_triggers_sarg_pushdown() {
+    let catalog = corpus::fig1_catalog();
+    let (mut plan, _) = fig1_plan(corpus::FIG1_SQL);
+    // Factor #0 references FROM-list tables; hoisting it to the block
+    // filter list would skip it below the RSI where it belongs.
+    assert!(!plan.query.factors[0].tables.is_empty());
+    plan.block_filters.push(0);
+    let report =
+        invariants::audit_query_plan(&catalog, &plan, &OptimizerConfig::default(), "mutated");
+    assert!(rules(&report).contains(&"sarg-pushdown"), "got:\n{}", report.render());
+}
+
+#[test]
+fn dropped_rows_estimate_triggers_wellformed() {
+    let catalog = corpus::fig1_catalog();
+    let (mut plan, _) = fig1_plan(corpus::FIG1_SQL);
+    plan.root.rows = -1.0;
+    let report =
+        invariants::audit_query_plan(&catalog, &plan, &OptimizerConfig::default(), "mutated");
+    assert!(rules(&report).contains(&"plan-wellformed"), "got:\n{}", report.render());
+}
+
+#[test]
+fn cooked_trace_breaks_the_accounting_identity() {
+    let (_, mut traces) = fig1_plan(corpus::FIG1_SQL);
+    let subset = &mut traces[0].1.subsets[0];
+    subset.pruned += 1; // pruned + surviving != generated
+    let report = invariants::audit_traces(&traces, "mutated");
+    assert!(rules(&report).contains(&"trace-accounting"), "got:\n{}", report.render());
+}
+
+#[test]
+fn trace_totals_must_match_stats() {
+    let (_, mut traces) = fig1_plan(corpus::FIG1_SQL);
+    traces[0].1.stats.plans_considered += 7;
+    let report = invariants::audit_traces(&traces, "mutated");
+    assert!(rules(&report).contains(&"trace-accounting"), "got:\n{}", report.render());
+}
+
+#[test]
+fn measurement_io_must_sum_to_the_query_delta() {
+    let mut measurements = HashMap::new();
+    measurements.insert(
+        0,
+        NodeMeasurement {
+            invocations: 1,
+            rows: 10,
+            io: IoStats { data_page_fetches: 3, ..IoStats::default() },
+        },
+    );
+    let delta = IoStats { data_page_fetches: 4, ..IoStats::default() };
+    let report = invariants::audit_measurements(&measurements, 1, &delta, "mutated");
+    assert!(rules(&report).contains(&"exec-accounting"), "got:\n{}", report.render());
+
+    // And the matching case is clean.
+    let delta = IoStats { data_page_fetches: 3, ..IoStats::default() };
+    let report = invariants::audit_measurements(&measurements, 1, &delta, "ok");
+    assert!(report.ok(), "got:\n{}", report.render());
+}
+
+#[test]
+fn measurement_node_id_out_of_range_is_flagged() {
+    let mut measurements = HashMap::new();
+    measurements.insert(9, NodeMeasurement { invocations: 1, rows: 0, io: IoStats::default() });
+    let report = invariants::audit_measurements(&measurements, 3, &IoStats::default(), "mutated");
+    assert!(rules(&report).contains(&"exec-accounting"), "got:\n{}", report.render());
+}
+
+#[test]
+fn differential_oracle_checks_the_builtin_corpus() {
+    let cases = corpus::builtin_cases();
+    let report = differential::audit_differential(&cases, OptimizerConfig::default());
+    assert!(report.ok(), "DP vs exhaustive mismatch:\n{}", report.render());
+    assert!(report.checks > 0);
+}
+
+// ---- lint rules fire on fixture sources -------------------------------
+
+#[test]
+fn lint_flags_unwrap_and_respects_allow() {
+    let report = lint::lint_source(
+        "crates/x/src/lib.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    assert_eq!(rules(&report), vec!["no-unwrap"], "got:\n{}", report.render());
+
+    let report = lint::lint_source(
+        "crates/x/src/lib.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    // audit:allow(no-unwrap) — test fixture\n    x.unwrap()\n}\n",
+    );
+    assert!(report.ok(), "got:\n{}", report.render());
+}
+
+#[test]
+fn lint_flags_bare_casts_only_in_scoped_files() {
+    let src = "fn f(x: u64) -> f64 {\n    x as f64\n}\n";
+    let scoped = lint::lint_source("crates/core/src/cost.rs", src);
+    assert_eq!(rules(&scoped), vec!["no-as-cast"], "got:\n{}", scoped.render());
+    let unscoped = lint::lint_source("crates/x/src/lib.rs", src);
+    assert!(unscoped.ok(), "got:\n{}", unscoped.render());
+}
+
+#[test]
+fn lint_flags_unguarded_division() {
+    let report = lint::lint_source(
+        "crates/core/src/selectivity.rs",
+        "fn f(a: f64, b: f64) -> f64 {\n    a / b\n}\n",
+    );
+    assert_eq!(rules(&report), vec!["div-guard"], "got:\n{}", report.render());
+
+    let guarded = lint::lint_source(
+        "crates/core/src/selectivity.rs",
+        "fn f(a: f64, b: f64) -> f64 {\n    if b == 0.0 {\n        return 0.0;\n    }\n    a / b\n}\n",
+    );
+    assert!(guarded.ok(), "got:\n{}", guarded.render());
+}
+
+// ---- the binary's exit status is the CI contract ----------------------
+
+/// Build a throwaway workspace containing one lint violation and check the
+/// `sysr-audit` binary exits nonzero on it — and zero once it's allowed.
+#[test]
+fn binary_exits_nonzero_on_injected_violation() {
+    use std::process::Command;
+
+    let dir = std::env::temp_dir().join(format!("sysr-audit-neg-{}", std::process::id()));
+    let src_dir = dir.join("crates/x/src");
+    std::fs::create_dir_all(&src_dir).expect("temp workspace");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+
+    let bin = env!("CARGO_BIN_EXE_sysr-audit");
+    let out =
+        Command::new(bin).args(["--lint", "--root"]).arg(&dir).output().expect("run sysr-audit");
+    assert!(
+        !out.status.success(),
+        "expected nonzero exit on injected violation; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no-unwrap"), "violation not reported:\n{stdout}");
+
+    // Suppress it and the same tree goes green.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(no-unwrap) — fixture\n    x.unwrap()\n}\n",
+    )
+    .expect("rewrite fixture");
+    let out =
+        Command::new(bin).args(["--lint", "--root"]).arg(&dir).output().expect("run sysr-audit");
+    assert!(
+        out.status.success(),
+        "expected exit 0 after allow marker; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -103,6 +103,7 @@ impl<'a> PlanCtx<'a> {
     }
 
     pub fn relation(&self, table: usize) -> &RelationMeta {
+        // audit:allow(no-unwrap) — binder resolved every table id against this catalog
         self.catalog.relation(self.query.tables[table].rel).expect("bound table exists in catalog")
     }
 
@@ -457,6 +458,7 @@ fn index_candidate(
                     .unwrap_or(false)
         });
         if let Some(&(i, ref u)) = eq {
+            // audit:allow(no-unwrap) — the find() above only yields factors with a single atom
             let atom = single_atom(u).expect("checked");
             eq_prefix.push(atom.operand);
             matching.push(i);

@@ -233,6 +233,7 @@ struct BlockCtx<'a, 'b> {
 
 impl<'a, 'b> BlockCtx<'a, 'b> {
     fn current_tables(&self) -> &[(String, &'a RelationMeta)] {
+        // audit:allow(no-unwrap) — a scope is pushed before any lookup and popped after
         &self.scopes.last().expect("current scope").tables
     }
 

@@ -28,23 +28,39 @@ impl Cost {
     pub const ZERO: Cost = Cost { pages: 0.0, rsi: 0.0 };
 
     pub fn new(pages: f64, rsi: f64) -> Self {
-        Cost { pages, rsi }
+        let c = Cost { pages, rsi };
+        debug_assert!(c.is_finite(), "non-finite cost constructed: {pages} pages, {rsi} rsi");
+        c
+    }
+
+    /// Both components are finite (neither NaN nor infinite). The DP's
+    /// pruning comparisons are only sound over finite costs — a NaN
+    /// compares false against everything and silently survives every
+    /// `min`, so arithmetic below asserts this in debug builds and the
+    /// audit crate re-checks it on every emitted plan.
+    pub fn is_finite(&self) -> bool {
+        self.pages.is_finite() && self.rsi.is_finite()
     }
 
     /// The scalar cost under weighting factor `w`.
     pub fn total(&self, w: f64) -> f64 {
+        debug_assert!(self.is_finite(), "total() on non-finite cost {self}");
         self.pages + w * self.rsi
     }
 
     /// Cost of repeating this `n` times (the `N * C-inner` term of the join
     /// formulas).
     pub fn times(&self, n: f64) -> Cost {
-        Cost { pages: self.pages * n, rsi: self.rsi * n }
+        debug_assert!(n.is_finite() && n >= 0.0, "cost repeated {n} times");
+        let c = Cost { pages: self.pages * n, rsi: self.rsi * n };
+        debug_assert!(c.is_finite(), "times({n}) overflowed: {self}");
+        c
     }
 
     /// The cost actually measured by the executor, for
     /// predicted-vs-measured comparisons.
     pub fn from_io(io: &IoStats) -> Cost {
+        // audit:allow(no-as-cast) — u64 counters widened to f64; loses only sub-ulp precision
         Cost { pages: io.page_fetches() as f64, rsi: io.rsi_calls as f64 }
     }
 }
@@ -52,14 +68,15 @@ impl Cost {
 impl Add for Cost {
     type Output = Cost;
     fn add(self, rhs: Cost) -> Cost {
-        Cost { pages: self.pages + rhs.pages, rsi: self.rsi + rhs.rsi }
+        let c = Cost { pages: self.pages + rhs.pages, rsi: self.rsi + rhs.rsi };
+        debug_assert!(c.is_finite(), "cost sum went non-finite: {self} + {rhs}");
+        c
     }
 }
 
 impl AddAssign for Cost {
     fn add_assign(&mut self, rhs: Cost) {
-        self.pages += rhs.pages;
-        self.rsi += rhs.rsi;
+        *self = *self + rhs;
     }
 }
 
@@ -70,6 +87,7 @@ impl fmt::Display for Cost {
 }
 
 /// Usable bytes per temp-list page, mirroring [`sysr_rss::TempList`].
+// audit:allow(no-as-cast) — compile-time constant, exact in f64
 const TEMP_PAGE_BYTES: f64 = (PAGE_SIZE - PAGE_HEADER_SIZE) as f64;
 
 /// Cardenas' approximation of the number of **distinct pages** touched
@@ -107,6 +125,7 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new(w: f64, buffer_pages: usize) -> Self {
+        // audit:allow(no-as-cast) — pool sizes are far below f64's exact-integer range
         CostModel { w, buffer_pages: buffer_pages as f64 }
     }
 
@@ -247,6 +266,15 @@ mod tests {
         let c = Cost::new(1.0, 2.0) + Cost::new(3.0, 4.0);
         assert_eq!(c, Cost::new(4.0, 6.0));
         assert_eq!(Cost::new(1.0, 2.0).times(10.0), Cost::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_infinity() {
+        assert!(Cost::new(1.0, 2.0).is_finite());
+        assert!(Cost::ZERO.is_finite());
+        assert!(!Cost { pages: f64::NAN, rsi: 0.0 }.is_finite());
+        assert!(!Cost { pages: 0.0, rsi: f64::INFINITY }.is_finite());
+        assert!(!Cost { pages: f64::NEG_INFINITY, rsi: 0.0 }.is_finite());
     }
 
     #[test]

@@ -237,6 +237,7 @@ impl<'a> Enumerator<'a> {
                         distinct.push(p);
                     }
                 }
+                // audit:allow(no-as-cast) — collection length into a u64 counter
                 let surviving = distinct.len() as u64;
                 let generated = o.generated.get(set).copied().unwrap_or(0);
                 SubsetTrace {
@@ -349,6 +350,7 @@ impl<'a> Enumerator<'a> {
                         .copied()
                         .filter(|&t| self.extension_allowed(t, set.minus(TableSet::single(t))))
                         .collect();
+                    // audit:allow(no-as-cast) — ok is a filtered subset of members, difference fits u64
                     stats.heuristic_skips += (members.len() - ok.len()) as u64;
                     ok
                 } else {
@@ -396,11 +398,15 @@ impl<'a> Enumerator<'a> {
             outcome.relaxed = true;
             return outcome;
         }
+        // audit:allow(no-unwrap) — run_search falls back to the relaxed pass above precisely so
+        // the full set always has at least one solution
         let sols = table.get(&full).expect("full set always has solutions");
+        // audit:allow(no-as-cast) — slot counts into u64 reporting counters
         stats.plans_kept = table.values().map(|s| s.best.len() as u64).sum();
         stats.solution_bytes = table
             .values()
             .flat_map(|s| s.best.values())
+            // audit:allow(no-as-cast) — byte-size estimate for reporting only
             .map(|p| (p.node_count() * std::mem::size_of::<PlanExpr>()) as u64)
             .sum();
 
@@ -428,6 +434,7 @@ impl<'a> Enumerator<'a> {
                 _ => sorted,
             }
         };
+        // audit:allow(no-as-cast) — elapsed micros saturate u64 after ~580k years
         stats.elapsed_micros = started.elapsed().as_micros() as u64;
         SearchOutcome { best, stats, table, generated, relaxed: false }
     }
@@ -589,8 +596,10 @@ impl<'a> Enumerator<'a> {
         let pages = match &cand.scan.access {
             crate::plan::Access::Segment => rel.stats.segment_scan_pages(),
             crate::plan::Access::Index { index, .. } => {
+                // audit:allow(no-as-cast) — catalog page/tuple counts widened to f64
                 let nindx =
                     self.ctx.catalog.index(*index).map(|i| i.stats.nindx as f64).unwrap_or(0.0);
+                // audit:allow(no-as-cast)
                 rel.stats.tcard as f64 + nindx
             }
         };

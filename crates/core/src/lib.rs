@@ -47,11 +47,12 @@ pub use cost::{Cost, CostModel};
 pub use enumerate::{
     EnumerationStats, Enumerator, SearchTrace, SubsetReport, SubsetTrace, TraceEntry,
 };
+pub use order::{OrderInfo, OrderKey};
 pub use plan::{Access, IndexRange, PlanExpr, PlanNode, QueryPlan, SargAtom, SargFactor, ScanPlan};
 pub use query::{
     AggCall, BExpr, BoundQuery, BoundTable, ColId, Factor, Operand, SExpr, SubqueryDef,
 };
-pub use selectivity::Selectivity;
+pub use selectivity::{estimate_qcard, Selectivity};
 
 use sysr_catalog::Catalog;
 use sysr_sql::SelectStmt;

@@ -97,6 +97,7 @@ impl<'a> Selectivity<'a> {
         if idx.stats.icard == 0 {
             return None;
         }
+        // audit:allow(no-as-cast) — u64 key count widened to f64
         Some(idx.stats.icard as f64)
     }
 
@@ -131,7 +132,9 @@ impl<'a> Selectivity<'a> {
     /// applies to parameters and scalar-subquery operands.
     fn eq_sel(&self, col: Option<ColId>) -> f64 {
         match col.and_then(|c| self.icard(c)) {
-            Some(icard) => 1.0 / icard,
+            // `icard()` filters ICARD = 0, but clamp the denominator anyway
+            // so a stale/corrupt catalog entry can never mint an infinite F.
+            Some(icard) => 1.0 / icard.max(1.0),
             None => DEFAULT_EQ,
         }
     }
@@ -158,7 +161,10 @@ impl<'a> Selectivity<'a> {
     /// selection time; otherwise 1/3.
     fn open_range(&self, col: Option<ColId>, other: &SExpr, greater: bool) -> f64 {
         if let (Some(c), SExpr::Lit(v)) = (col, other) {
-            if let Some(frac) = self.interpolate(c, v) {
+            // Interpolation over low/high catalog keys can go non-finite
+            // (e.g. NaN Float statistics); fall back to the Table 1 default
+            // rather than letting NaN reach the cost formulas.
+            if let Some(frac) = self.interpolate(c, v).filter(|f| f.is_finite()) {
                 // frac = (value - low) / (high - low); `col > value` keeps
                 // the upper part of the range.
                 return clamp(if greater { 1.0 - frac } else { frac });
@@ -171,7 +177,10 @@ impl<'a> Selectivity<'a> {
     /// key range when interpolable; otherwise 1/4.
     fn between(&self, expr: &SExpr, low: &SExpr, high: &SExpr) -> f64 {
         if let (Some(c), SExpr::Lit(lo), SExpr::Lit(hi)) = (expr.as_col(), low, high) {
-            if let (Some(flo), Some(fhi)) = (self.interpolate(c, lo), self.interpolate(c, hi)) {
+            if let (Some(flo), Some(fhi)) = (
+                self.interpolate(c, lo).filter(|f| f.is_finite()),
+                self.interpolate(c, hi).filter(|f| f.is_finite()),
+            ) {
                 return clamp(fhi - flo);
             }
         }
@@ -182,6 +191,7 @@ impl<'a> Selectivity<'a> {
     /// at 1/2.
     fn in_list(&self, expr: &SExpr, list: &[SExpr]) -> f64 {
         let per_item = self.eq_sel(expr.as_col());
+        // audit:allow(no-as-cast) — IN-list lengths are tiny
         clamp((list.len() as f64 * per_item).min(IN_LIST_CAP))
     }
 
@@ -197,7 +207,7 @@ impl<'a> Selectivity<'a> {
         let qcard = estimate_qcard(self.catalog, sub);
         let from_product: f64 =
             sub.tables.iter().map(|t| rel_ncard(self.catalog, t).max(1.0)).product();
-        if from_product <= 0.0 {
+        if from_product <= 0.0 || !from_product.is_finite() {
             return DEFAULT_EQ;
         }
         clamp(qcard / from_product)
@@ -205,6 +215,7 @@ impl<'a> Selectivity<'a> {
 }
 
 fn rel_ncard(catalog: &Catalog, t: &BoundTable) -> f64 {
+    // audit:allow(no-as-cast) — u64 cardinality widened to f64
     catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0)
 }
 
@@ -215,7 +226,14 @@ pub fn estimate_qcard(catalog: &Catalog, query: &BoundQuery) -> f64 {
     let sel = Selectivity::new(catalog, query);
     let cards: f64 = query.tables.iter().map(|t| rel_ncard(catalog, t)).product();
     let fs: f64 = query.factors.iter().map(|f| sel.factor(f)).product();
-    (cards * fs).max(0.0)
+    // Every factor is clamped to [0, 1], but an overflowing FROM product
+    // (or 0 × ∞ against an empty relation) must still come out finite:
+    // QCARD feeds every Table 2 formula downstream.
+    let qcard = cards * fs;
+    if qcard.is_nan() {
+        return 0.0;
+    }
+    qcard.clamp(0.0, f64::MAX)
 }
 
 fn clamp(f: f64) -> f64 {
@@ -401,6 +419,52 @@ mod tests {
         let f =
             sel_of(&cat, "SELECT NAME FROM EMP WHERE DNO = (SELECT DNO FROM DEPT WHERE LOC='X')");
         assert!((f - 1.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_icard_and_nan_stats_never_produce_nan() {
+        let mut cat = demo();
+        // ICARD = 0 (index on an emptied column) and NaN interpolation keys.
+        let dno = cat.index_by_name("EMP_DNO").unwrap().id;
+        cat.set_index_stats(
+            dno,
+            IndexStats {
+                icard: 0,
+                nindx: 1,
+                leaf_pages: 1,
+                low_key: Some(Value::Float(f64::NAN)),
+                high_key: Some(Value::Float(f64::NAN)),
+                valid: true,
+            },
+        );
+        for sql in [
+            "SELECT NAME FROM EMP WHERE DNO = 7",
+            "SELECT NAME FROM EMP WHERE DNO > 7",
+            "SELECT NAME FROM EMP WHERE DNO BETWEEN 3 AND 9",
+            "SELECT NAME FROM EMP WHERE DNO IN (1, 2, 3)",
+            "SELECT NAME FROM EMP WHERE DNO = 1 OR DNO = 2 AND NOT DNO = 3",
+        ] {
+            let f = sel_of(&cat, sql);
+            assert!(f.is_finite() && (0.0..=1.0).contains(&f), "{sql} → {f}");
+        }
+    }
+
+    #[test]
+    fn empty_relation_gives_zero_finite_qcard() {
+        let mut cat = demo();
+        let emp = cat.relation_by_name("EMP").unwrap().id;
+        cat.set_relation_stats(
+            emp,
+            RelStats { ncard: 0, tcard: 0, pfrac: 1.0, avg_width: 32.0, valid: true },
+        );
+        let Statement::Select(stmt) =
+            parse_statement("SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO").unwrap()
+        else {
+            panic!()
+        };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let qcard = estimate_qcard(&cat, &q);
+        assert!(qcard.is_finite() && qcard == 0.0, "got {qcard}");
     }
 
     #[test]

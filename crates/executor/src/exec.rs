@@ -25,7 +25,9 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
     match &plan.node {
         PlanNode::Scan(scan) => exec_scan(rt, scan, None),
         PlanNode::NestedLoop { outer, inner } => {
+            // audit:allow(no-unwrap) — the pre-order id scheme always assigns both children
             let outer_id = plan.outer_child_id(id).expect("join has outer");
+            // audit:allow(no-unwrap)
             let inner_id = plan.inner_child_id(id).expect("join has inner");
             let outer_rows = exec_node(rt, outer, outer_id)?;
             let PlanNode::Scan(inner_scan) = &inner.node else {
@@ -43,7 +45,9 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
             Ok(out)
         }
         PlanNode::Merge { outer, inner, outer_key, inner_key, residual } => {
+            // audit:allow(no-unwrap) — the pre-order id scheme always assigns both children
             let outer_id = plan.outer_child_id(id).expect("join has outer");
+            // audit:allow(no-unwrap)
             let inner_id = plan.inner_child_id(id).expect("join has inner");
             let outer_rows = exec_node(rt, outer, outer_id)?;
             let inner_rows = exec_node(rt, inner, inner_id)?;
@@ -105,6 +109,7 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
             Ok(out)
         }
         PlanNode::Sort { input, keys } => {
+            // audit:allow(no-unwrap) — sorts always carry their input child id
             let input_id = plan.outer_child_id(id).expect("sort has input");
             let mut rows = exec_node(rt, input, input_id)?;
             let sort_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();

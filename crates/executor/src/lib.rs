@@ -37,4 +37,4 @@ pub use block::{execute, execute_block, execute_block_at, BlockRt, ExecEnv};
 pub use error::{ExecError, ExecResult};
 pub use result::ResultSet;
 pub use row::Row;
-pub use tracer::ExecTracer;
+pub use tracer::{sum_node_io, ExecTracer};

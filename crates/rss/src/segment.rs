@@ -80,6 +80,7 @@ impl Segment {
         let mut page = Page::new();
         let slot = page
             .insert(rel_id, &data)
+            // audit:allow(no-unwrap) — tuple size was checked against max_tuple_size above
             .expect("fresh page must accept a tuple within max_tuple_size");
         self.pages.push(page);
         self.fill_hint = self.pages.len() - 1;

@@ -240,6 +240,7 @@ impl<'a> Lexer<'a> {
                 Some(_) => {
                     // Advance over one UTF-8 character.
                     let rest = &self.src[self.pos..];
+                    // audit:allow(no-unwrap) — the peek above guarantees at least one byte remains
                     let ch = rest.chars().next().expect("peek saw a byte");
                     s.push(ch);
                     self.pos += ch.len_utf8();

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# CI gate: formatting, lints, release build, and the full test suite.
+# CI gate: formatting, lints, docs, release build, the full test suite,
+# and the sysr-audit invariant/lint pass (see DESIGN.md §8).
 # Runs offline — the workspace has zero external crates.
 set -eux
 
@@ -7,5 +8,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release --workspace --bins --benches --examples
 cargo test --workspace
+cargo run --release -p sysr-audit -- --all

@@ -12,6 +12,8 @@
 //! * `\tables`  — list relations with their statistics
 //! * `\w <f>`   — set the CPU weighting factor W
 //! * `\trace <select>` — show the optimizer's join-order search trace
+//! * `\audit [select]` — verify the plan invariants (see `sysr-audit`);
+//!   with no argument, run the audit over its built-in corpus
 //! * `\demo`    — load the paper's Fig. 1 example database
 //! * `\q`       — quit
 //!
@@ -145,13 +147,53 @@ fn command(db: &mut Database, cmd: &str) -> bool {
                 }
             }
         }
+        "\\audit" => {
+            let sql = cmd["\\audit".len()..].trim().trim_end_matches(';');
+            if sql.is_empty() {
+                audit_builtin_corpus(db.config());
+            } else {
+                match db.audit(sql) {
+                    Ok(r) => print!("{}", r.render()),
+                    Err(e) => report(e),
+                }
+            }
+        }
         "\\demo" => match load_demo(db) {
             Ok(()) => println!("Fig. 1 demo loaded: EMP (10k), DEPT (50), JOB (4); try:\n  EXPLAIN SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB WHERE TITLE='CLERK' AND LOC='DENVER' AND EMP.DNO=DEPT.DNO AND EMP.JOB=JOB.JOB;"),
             Err(e) => report(e),
         },
-        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\tables \\w \\trace \\demo"),
+        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\tables \\w \\trace \\audit \\demo"),
     }
     true
+}
+
+/// `\audit` with no SQL: run the plan auditor and differential oracle
+/// over `sysr-audit`'s built-in corpus under the shell's current config.
+fn audit_builtin_corpus(config: system_r::Config) {
+    use system_r::audit::{corpus, differential, invariants, AuditReport};
+    use system_r::core::Optimizer;
+    let mut report = AuditReport::default();
+    for case in corpus::builtin_cases() {
+        match corpus::parse_select(&case.sql) {
+            Ok(stmt) => {
+                match Optimizer::with_config(&case.catalog, config).optimize_traced(&stmt) {
+                    Ok((plan, traces)) => {
+                        report.merge(invariants::audit_query_plan(
+                            &case.catalog,
+                            &plan,
+                            &config,
+                            &case.label,
+                        ));
+                        report.merge(invariants::audit_traces(&traces, &case.label));
+                    }
+                    Err(e) => eprintln!("{}: bind error: {e}", case.label),
+                }
+            }
+            Err(e) => eprintln!("{}: parse error: {e}", case.label),
+        }
+        report.merge(differential::differential_case(&case, config));
+    }
+    print!("{}", report.render());
 }
 
 fn load_demo(db: &mut Database) -> Result<(), DbError> {

@@ -36,6 +36,7 @@ use sysr_sql::{
     SelectStmt, Statement, TableRef,
 };
 
+pub use sysr_audit as audit;
 pub use sysr_catalog as catalog;
 pub use sysr_core as core;
 pub use sysr_executor as executor;
@@ -351,6 +352,36 @@ impl Database {
         let plan = self.plan(sql_text)?;
         let (_, measurements, _) = self.execute_plan_traced(&plan)?;
         Ok(plan.explain_analyze(&self.catalog, &measurements, self.config.w))
+    }
+
+    /// Audit a SELECT end to end against the paper-derived invariants
+    /// (see `sysr-audit`): optimize with tracing, statically verify the
+    /// plan and the search-trace accounting, then execute with per-node
+    /// measurement and verify the executor's I/O accounting. Returns the
+    /// combined report; `report.ok()` means every check passed.
+    pub fn audit(&self, sql_text: &str) -> DbResult<sysr_audit::AuditReport> {
+        let stmt = parse_statement(sql_text)?;
+        let sel = match stmt {
+            Statement::Select(sel) => sel,
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(sel) => sel,
+                _ => return Err(DbError::Unsupported("audit requires a SELECT".into())),
+            },
+            _ => return Err(DbError::Unsupported("audit requires a SELECT".into())),
+        };
+        let optimizer = Optimizer::with_config(&self.catalog, self.config);
+        let (plan, traces) = optimizer.optimize_traced(&sel)?;
+        let mut report =
+            sysr_audit::invariants::audit_query_plan(&self.catalog, &plan, &self.config, "query");
+        report.merge(sysr_audit::invariants::audit_traces(&traces, "query"));
+        let (_, measurements, delta) = self.execute_plan_traced(&plan)?;
+        report.merge(sysr_audit::invariants::audit_measurements(
+            &measurements,
+            plan.total_nodes(),
+            &delta,
+            "query",
+        ));
+        Ok(report)
     }
 
     /// Render the optimizer's join-order search trace for a SELECT: per
