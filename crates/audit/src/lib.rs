@@ -16,7 +16,14 @@
 //!   equals the true minimum.
 //! * [`corpus`] — the built-in check corpus: the paper's Fig. 1 query,
 //!   synthetic join catalogs, and seeded random queries via
-//!   [`sysr_rss::SplitMix64`].
+//!   [`sysr_rss::SplitMix64`]. For 5–6-relation queries (beyond
+//!   exhaustive reach) [`differential::audit_order_samples`] draws a
+//!   seeded subset of join orders and asserts the DP never loses to any
+//!   of them.
+//! * [`recovery`] — the persistence rules: saved page files carry valid
+//!   checksums and LSN stamps, corruption is detected on open, and a
+//!   reopened database returns identical scan results and catalog
+//!   statistics.
 //! * [`lint`] — the source lint runner: a line-level pass over
 //!   `crates/*/src` enforcing the project's panic/cast/division rules
 //!   without external lint dependencies; suppressions via
@@ -29,6 +36,7 @@ pub mod corpus;
 pub mod differential;
 pub mod invariants;
 pub mod lint;
+pub mod recovery;
 
 use std::fmt;
 

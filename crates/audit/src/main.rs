@@ -1,9 +1,10 @@
 //! `sysr-audit` — run the plan auditor and the source lint pass.
 //!
 //! ```text
-//! sysr-audit --all               # plans + differential + lint (CI mode)
+//! sysr-audit --all               # plans + differential + recovery + lint (CI mode)
 //! sysr-audit --plans             # plan invariants over the built-in corpus
-//! sysr-audit --diff              # DP-vs-exhaustive differential oracle
+//! sysr-audit --diff              # DP-vs-exhaustive oracle + sampled 5-6-way orders
+//! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
 //! sysr-audit --root <dir>        # repo root for --lint (default: .)
 //! sysr-audit --seed <n>          # seed for the random corpus (default 0xA0D17)
@@ -24,6 +25,7 @@ use sysr_core::{Optimizer, OptimizerConfig};
 struct Options {
     plans: bool,
     diff: bool,
+    recovery: bool,
     lint: bool,
     root: PathBuf,
     seed: u64,
@@ -34,6 +36,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         plans: false,
         diff: false,
+        recovery: false,
         lint: false,
         root: PathBuf::from("."),
         seed: 0xA0D17,
@@ -45,10 +48,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--all" => {
                 opts.plans = true;
                 opts.diff = true;
+                opts.recovery = true;
                 opts.lint = true;
             }
             "--plans" => opts.plans = true,
             "--diff" => opts.diff = true,
+            "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
             "--root" => {
                 opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
@@ -65,8 +70,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(opts.plans || opts.diff || opts.lint) {
-        return Err("pick at least one of --all / --plans / --diff / --lint".into());
+    if !(opts.plans || opts.diff || opts.recovery || opts.lint) {
+        return Err("pick at least one of --all / --plans / --diff / --recovery / --lint".into());
     }
     Ok(opts)
 }
@@ -108,7 +113,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--lint] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
@@ -127,8 +132,14 @@ fn main() -> ExitCode {
         report.merge(r);
     }
     if opts.diff {
-        let r = differential::audit_differential(&cases, config);
+        let mut r = differential::audit_differential(&cases, config);
+        r.merge(differential::audit_order_samples(opts.seed, config));
         println!("differential: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.recovery {
+        let r = sysr_audit::recovery::audit_recovery();
+        println!("recovery: {} checks, {} violations", r.checks, r.violations.len());
         report.merge(r);
     }
     if opts.lint {

@@ -16,7 +16,7 @@ fn main() {
         let (db, sql) = star_db(n.max(2), 400, 50);
         group.bench(&format!("star/{n}"), || black_box(db.plan(&sql).unwrap().root.cost));
         let (mut db, sql) = synth_chain_db(n, 200);
-        db.set_config(Config { defer_cartesian: false, ..db.config() });
+        db.set_config(Config { defer_cartesian: false, ..db.config() }).unwrap();
         group.bench(&format!("chain_no_heuristic/{n}"), || {
             black_box(db.plan(&sql).unwrap().root.cost)
         });

@@ -13,7 +13,7 @@ fn main() {
     let db = two_table_db(2000, 8000, 500, 200, true, true, 30, 16);
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 1";
     group.bench("nl_regime_small_outer", || {
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         black_box(db.query(sql).unwrap().len())
     });
 
@@ -21,7 +21,7 @@ fn main() {
     let db = two_table_db(4000, 4000, 400, 1, true, false, 30, 16);
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K";
     group.bench("merge_regime_full_outer", || {
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         black_box(db.query(sql).unwrap().len())
     });
 }

@@ -39,11 +39,11 @@ fn main() {
 
     let group = BenchGroup::new("optimality").sample_size(10);
     group.bench("chosen_plan", || {
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         black_box(db.execute_plan(&chosen_plan).unwrap().len())
     });
     group.bench("worst_enumerated_plan", || {
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         black_box(db.execute_plan(&worst_plan).unwrap().len())
     });
 }

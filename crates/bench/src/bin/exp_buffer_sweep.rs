@@ -37,7 +37,7 @@ fn main() {
             },
             _ => "?",
         };
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         db.reset_io_stats();
         db.query(sql).unwrap();
         let io = db.io_stats();

@@ -62,7 +62,7 @@ fn main() {
             let db = build(16, interesting);
             let plan = db.plan(sql).unwrap();
             let sorts = count_sorts(&plan.root);
-            db.evict_buffers();
+            db.evict_buffers().unwrap();
             db.reset_io_stats();
             db.query(sql).unwrap();
             let measured = system_r::core::Cost::from_io(&db.io_stats()).total(db.config().w);

@@ -25,7 +25,7 @@ fn main() {
     println!("{:-<78}", "");
     for span in [1i64, 2, 10, 50, 200, 2000] {
         let db = employee_db(n, span);
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         db.reset_io_stats();
         let r = db.query(CORRELATED).unwrap();
         let io = db.io_stats();
@@ -49,7 +49,7 @@ fn main() {
 
     // Uncorrelated subqueries evaluate exactly once, regardless of outer size.
     let db = employee_db(n, 10);
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     db.query("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)")
         .unwrap();

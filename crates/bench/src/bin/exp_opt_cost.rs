@@ -78,7 +78,7 @@ fn main() {
     }
 
     // ---- amortization -------------------------------------------------------
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     let start = Instant::now();
     db.query(two_way).unwrap();

@@ -62,7 +62,7 @@ fn main() {
                 _ => clique_db(n, 200),
             };
             if no_heuristic {
-                db.set_config(Config { defer_cartesian: false, ..db.config() });
+                db.set_config(Config { defer_cartesian: false, ..db.config() }).unwrap();
             }
             let plan = db.plan(&sql).unwrap();
             let s = plan.stats;

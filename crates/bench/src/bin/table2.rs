@@ -86,7 +86,7 @@ fn main() {
             }
         };
         db.execute("UPDATE STATISTICS").unwrap();
-        db.evict_buffers();
+        db.evict_buffers().unwrap();
         db.reset_io_stats();
         let r = db.query("SELECT PAD FROM T WHERE GRP = 7").unwrap();
         let io = db.io_stats();

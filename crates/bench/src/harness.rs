@@ -27,7 +27,7 @@ pub fn measure_plan(db: &Database, query: &BoundQuery, plan: PlanExpr) -> (f64, 
         qcard: 0.0,
         stats: Default::default(),
     };
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     db.execute_plan(&full).expect("plan executes");
     let io = db.io_stats();

@@ -26,6 +26,7 @@
 //! facade.
 
 mod meta;
+pub mod persist;
 mod stats;
 
 pub use meta::{Catalog, CatalogError, ColumnMeta, IndexMeta, RelId, RelationMeta};

@@ -243,12 +243,17 @@ impl Catalog {
         for idx in &mut self.indexes {
             let Ok(entry) = storage.index(idx.id) else { continue };
             let tree = &entry.tree;
+            // A tree that fails to walk (corrupt page image) keeps its old
+            // statistics; query execution will surface the error itself.
+            let Ok(icard) = tree.distinct_keys() else { continue };
+            let Ok(low) = tree.min_key() else { continue };
+            let Ok(high) = tree.max_key() else { continue };
             idx.stats = IndexStats {
-                icard: tree.distinct_keys() as u64,
+                icard: icard as u64,
                 nindx: tree.page_count() as u64,
                 leaf_pages: tree.leaf_page_count() as u64,
-                low_key: tree.min_key().map(|k| k[0].clone()),
-                high_key: tree.max_key().map(|k| k[0].clone()),
+                low_key: low.map(|k| k[0].clone()),
+                high_key: high.map(|k| k[0].clone()),
                 valid: true,
             };
         }

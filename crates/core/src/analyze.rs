@@ -169,17 +169,15 @@ fn render_node_analyze(
     match &plan.node {
         PlanNode::Scan(_) => {}
         PlanNode::NestedLoop { outer, inner } | PlanNode::Merge { outer, inner, .. } => {
-            // audit:allow(no-unwrap) — the pre-order id scheme always assigns both children
-            let outer_id = plan.outer_child_id(id).expect("join has outer");
-            // audit:allow(no-unwrap)
-            let inner_id = plan.inner_child_id(id).expect("join has inner");
+            // Child ids per the pre-order scheme: outer at id+1, inner after
+            // the whole outer subtree.
+            let outer_id = id + 1;
+            let inner_id = id + 1 + outer.node_count();
             render_node_analyze(outer, block, catalog, measurements, outer_id, out, depth + 1);
             render_node_analyze(inner, block, catalog, measurements, inner_id, out, depth + 1);
         }
         PlanNode::Sort { input, .. } => {
-            // audit:allow(no-unwrap) — sorts always carry their input child id
-            let input_id = plan.outer_child_id(id).expect("sort has input");
-            render_node_analyze(input, block, catalog, measurements, input_id, out, depth + 1);
+            render_node_analyze(input, block, catalog, measurements, id + 1, out, depth + 1);
         }
     }
 }

@@ -388,6 +388,7 @@ mod tests {
             temp_pages_written: 1,
             buffer_hits: 99,
             rsi_calls: 42,
+            ..IoStats::default()
         };
         let c = Cost::from_io(&io);
         assert_eq!(c.pages, 11.0);

@@ -503,6 +503,70 @@ impl<'a> Enumerator<'a> {
         complete
     }
 
+    /// Cheapest complete plan whose left-deep join sequence is exactly
+    /// `order` (a permutation of the block's table positions). Every
+    /// access path and join method is considered at each step, with none
+    /// of the DP's interesting-order pruning; `cap` bounds the per-prefix
+    /// frontier by keeping the `cap` cheapest prefixes. Truncation can
+    /// lose the per-order optimum but never fabricates one — every
+    /// surviving plan is complete and real, so the returned cost is
+    /// always an upper bound the DP winner must meet or beat. Returns
+    /// `None` if `order` is not a permutation of `0..n` or the frontier
+    /// empties.
+    pub fn best_plan_for_order(&self, order: &[usize], cap: usize) -> Option<PlanExpr> {
+        let n = self.ctx.query.tables.len();
+        if order.len() != n || order.iter().copied().collect::<TableSet>() != TableSet::full(n) {
+            return None;
+        }
+        let mut frontier: Vec<PlanExpr> = access_paths(&self.ctx, order[0], TableSet::EMPTY)
+            .into_iter()
+            .map(AccessCandidate::into_plan)
+            .collect();
+        let mut joined = TableSet::single(order[0]);
+        for &t in &order[1..] {
+            let set = joined.union(TableSet::single(t));
+            let rows_out = self.ctx.subset_rows(set);
+            let inner_probe = access_paths(&self.ctx, t, joined);
+            let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
+            let mut next = Vec::new();
+            for outer in &frontier {
+                next.extend(self.join_candidates(
+                    outer,
+                    t,
+                    joined,
+                    rows_out,
+                    &inner_probe,
+                    &inner_local,
+                ));
+            }
+            if next.len() > cap {
+                next.sort_by(|a, b| {
+                    self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
+                });
+                next.truncate(cap);
+            }
+            frontier = next;
+            joined = set;
+        }
+        // Same required-order discipline as `best_plan` / `all_plans`.
+        if !self.ctx.orders.required.is_empty() {
+            let width = self.ctx.composite_width(TableSet::full(n));
+            frontier = frontier
+                .into_iter()
+                .map(|p| {
+                    if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
+                        p
+                    } else {
+                        sort_plan(p, self.ctx.query.required_order(), width)
+                    }
+                })
+                .collect();
+        }
+        frontier
+            .into_iter()
+            .min_by(|a, b| self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost)))
+    }
+
     /// All ways to join relation `t` (the inner) to an existing plan for
     /// `s_prime` (the outer): nested loops over every inner access path,
     /// and merging scans over every equi-join predicate connecting them.
@@ -679,6 +743,7 @@ impl<'a> Enumerator<'a> {
 mod tests {
     use super::*;
     use crate::bind::bind_select;
+    use crate::cost::CostModel;
     use crate::plan::{Access, PlanNode};
     use sysr_catalog::{ColumnMeta, IndexStats, RelStats};
     use sysr_rss::{ColType, Value};
@@ -803,6 +868,40 @@ mod tests {
         assert!(without.0.cost.total(w) <= with.0.cost.total(w) + 1e-9);
         assert!(with.1.plans_considered < without.1.plans_considered);
         assert!(with.1.heuristic_skips > 0);
+    }
+
+    #[test]
+    fn per_order_minimum_matches_relaxed_dp() {
+        // Minimising best_plan_for_order over every permutation re-derives
+        // the exhaustive optimum, which the relaxed DP must equal.
+        let cat = fig1_catalog();
+        let relaxed = OptimizerConfig { defer_cartesian: false, ..OptimizerConfig::default() };
+        let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { panic!() };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let e = Enumerator::new(&cat, &q, relaxed);
+        let (best, _) = e.best_plan();
+        let model = CostModel::new(relaxed.w, relaxed.buffer_pages);
+        let dp_total = model.total(best.cost);
+        let orders: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut min_over_orders = f64::INFINITY;
+        for order in &orders {
+            let plan = e.best_plan_for_order(order, 100_000).expect("order plan");
+            assert_eq!(plan.tables().len(), 3, "order {order:?} must cover all tables");
+            let total = model.total(plan.cost);
+            assert!(
+                total >= dp_total - 1e-6,
+                "order {order:?} plan ({total}) beat the DP winner ({dp_total})"
+            );
+            min_over_orders = min_over_orders.min(total);
+        }
+        assert!(
+            (min_over_orders - dp_total).abs() <= 1e-6 * dp_total.abs().max(1.0),
+            "best over all orders {min_over_orders} != DP winner {dp_total}"
+        );
+        // Malformed permutations are rejected, not mis-planned.
+        assert!(e.best_plan_for_order(&[0, 1], 1000).is_none());
+        assert!(e.best_plan_for_order(&[0, 1, 1], 1000).is_none());
     }
 
     #[test]

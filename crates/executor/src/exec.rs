@@ -25,10 +25,7 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
     match &plan.node {
         PlanNode::Scan(scan) => exec_scan(rt, scan, None),
         PlanNode::NestedLoop { outer, inner } => {
-            // audit:allow(no-unwrap) — the pre-order id scheme always assigns both children
-            let outer_id = plan.outer_child_id(id).expect("join has outer");
-            // audit:allow(no-unwrap)
-            let inner_id = plan.inner_child_id(id).expect("join has inner");
+            let (outer_id, inner_id) = join_child_ids(plan, id)?;
             let outer_rows = exec_node(rt, outer, outer_id)?;
             let PlanNode::Scan(inner_scan) = &inner.node else {
                 return Err(ExecError::Internal("nested-loop inner must be a scan".into()));
@@ -45,10 +42,7 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
             Ok(out)
         }
         PlanNode::Merge { outer, inner, outer_key, inner_key, residual } => {
-            // audit:allow(no-unwrap) — the pre-order id scheme always assigns both children
-            let outer_id = plan.outer_child_id(id).expect("join has outer");
-            // audit:allow(no-unwrap)
-            let inner_id = plan.inner_child_id(id).expect("join has inner");
+            let (outer_id, inner_id) = join_child_ids(plan, id)?;
             let outer_rows = exec_node(rt, outer, outer_id)?;
             let inner_rows = exec_node(rt, inner, inner_id)?;
             debug_assert!(
@@ -109,21 +103,34 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
             Ok(out)
         }
         PlanNode::Sort { input, keys } => {
-            // audit:allow(no-unwrap) — sorts always carry their input child id
-            let input_id = plan.outer_child_id(id).expect("sort has input");
+            let input_id = plan.outer_child_id(id).ok_or_else(|| {
+                ExecError::Internal(format!("sort node {id} carries no input child id"))
+            })?;
             let mut rows = exec_node(rt, input, input_id)?;
             let sort_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();
             rows.sort_by(|a, b| cmp_rows(a, b, &sort_keys));
             // Materialize into a temporary list and read it back once, so
             // the I/O matches C-sort + the merge's consumption of the list.
             let flat: Vec<Tuple> = rows.iter().map(flatten).collect();
-            let temp = TempList::materialize(rt.env.storage, flat);
+            let temp = TempList::materialize(rt.env.storage, flat)?;
             let mut scan = temp.scan(rt.env.storage);
             while scan.next()?.is_some() {}
             temp.destroy(rt.env.storage);
             Ok(rows)
         }
     }
+}
+
+/// Pre-order child ids of a join node; their absence means the plan tree
+/// and the id scheme disagree — an internal error, not a panic.
+fn join_child_ids(plan: &PlanExpr, id: usize) -> ExecResult<(usize, usize)> {
+    let outer = plan
+        .outer_child_id(id)
+        .ok_or_else(|| ExecError::Internal(format!("join node {id} carries no outer child id")))?;
+    let inner = plan
+        .inner_child_id(id)
+        .ok_or_else(|| ExecError::Internal(format!("join node {id} carries no inner child id")))?;
+    Ok((outer, inner))
 }
 
 /// Execute one relation scan. `probe` supplies the outer row for join

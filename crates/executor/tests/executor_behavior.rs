@@ -251,7 +251,7 @@ fn index_only_plan_shape_observed() {
     db.analyze();
     let config = OptimizerConfig { index_only_scans: true, ..OptimizerConfig::default() };
     db.storage.reset_io_stats();
-    db.storage.evict_all();
+    db.storage.evict_all().unwrap();
     let (rows, explain) = db.run_with("SELECT K FROM A WHERE K < 100 ORDER BY K", config);
     assert!(explain.contains("INDEX-ONLY"), "{explain}");
     assert_eq!(ints(&rows, 0), (0..100).collect::<Vec<_>>());

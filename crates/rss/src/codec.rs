@@ -25,28 +25,71 @@ const TAG_INT: u8 = 1;
 const TAG_FLOAT: u8 = 2;
 const TAG_STR: u8 = 3;
 
+/// Encode one value (tag + payload) into `out`, appending.
+pub(crate) fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            let len = s.len() as u16;
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decode one value from a cursor positioned at its tag byte.
+pub(crate) fn decode_value(cursor: &mut Cursor<'_>) -> RssResult<Value> {
+    let tag = cursor.u8()?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_INT => Value::Int(i64::from_le_bytes(cursor.array::<8>()?)),
+        TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(cursor.array::<8>()?))),
+        TAG_STR => {
+            let len = cursor.u16()? as usize;
+            let raw = cursor.slice(len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| RssError::Corrupt("invalid utf-8 in string column".into()))?;
+            Value::Str(s.to_string())
+        }
+        t => return Err(RssError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+/// Encode a key (u16 column count + values) into `out`. This is the same
+/// layout as a tuple, reused for B-tree node keys.
+pub(crate) fn encode_key(key: &[Value], out: &mut Vec<u8>) {
+    let ncols = key.len() as u16;
+    out.extend_from_slice(&ncols.to_le_bytes());
+    for v in key {
+        encode_value(v, out);
+    }
+}
+
+/// Decode a key written by [`encode_key`] from a cursor.
+pub(crate) fn decode_key(cursor: &mut Cursor<'_>) -> RssResult<Vec<Value>> {
+    let ncols = cursor.u16()? as usize;
+    let mut values = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        values.push(decode_value(cursor)?);
+    }
+    Ok(values)
+}
+
 /// Encode a tuple into `out`, appending.
 pub fn encode_tuple(tuple: &Tuple, out: &mut Vec<u8>) {
     let ncols = tuple.arity() as u16;
     out.extend_from_slice(&ncols.to_le_bytes());
     for v in tuple.values() {
-        match v {
-            Value::Null => out.push(TAG_NULL),
-            Value::Int(i) => {
-                out.push(TAG_INT);
-                out.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(x) => {
-                out.push(TAG_FLOAT);
-                out.extend_from_slice(&x.to_bits().to_le_bytes());
-            }
-            Value::Str(s) => {
-                out.push(TAG_STR);
-                let len = s.len() as u16;
-                out.extend_from_slice(&len.to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
-            }
-        }
+        encode_value(v, out);
     }
 }
 
@@ -59,25 +102,11 @@ pub fn tuple_bytes(tuple: &Tuple) -> Vec<u8> {
 
 /// Decode a tuple from the byte string produced by [`encode_tuple`].
 pub fn decode_tuple(bytes: &[u8]) -> RssResult<Tuple> {
-    let mut cursor = Cursor { bytes, pos: 0 };
+    let mut cursor = Cursor::new(bytes);
     let ncols = cursor.u16()? as usize;
     let mut values = Vec::with_capacity(ncols);
     for _ in 0..ncols {
-        let tag = cursor.u8()?;
-        let v = match tag {
-            TAG_NULL => Value::Null,
-            TAG_INT => Value::Int(i64::from_le_bytes(cursor.array::<8>()?)),
-            TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(cursor.array::<8>()?))),
-            TAG_STR => {
-                let len = cursor.u16()? as usize;
-                let raw = cursor.slice(len)?;
-                let s = std::str::from_utf8(raw)
-                    .map_err(|_| RssError::Corrupt("invalid utf-8 in string column".into()))?;
-                Value::Str(s.to_string())
-            }
-            t => return Err(RssError::Corrupt(format!("unknown value tag {t}"))),
-        };
-        values.push(v);
+        values.push(decode_value(&mut cursor)?);
     }
     if cursor.pos != bytes.len() {
         return Err(RssError::Corrupt(format!(
@@ -89,13 +118,19 @@ pub fn decode_tuple(bytes: &[u8]) -> RssResult<Tuple> {
     Ok(Tuple::new(values))
 }
 
-struct Cursor<'a> {
+/// Bounds-checked reader over a byte slice; every overrun is a
+/// [`RssError::Corrupt`], never a panic.
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn slice(&mut self, n: usize) -> RssResult<&'a [u8]> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub(crate) fn slice(&mut self, n: usize) -> RssResult<&'a [u8]> {
         if self.pos + n > self.bytes.len() {
             return Err(RssError::Corrupt("truncated tuple bytes".into()));
         }
@@ -104,16 +139,20 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> RssResult<u8> {
+    pub(crate) fn u8(&mut self) -> RssResult<u8> {
         Ok(self.slice(1)?[0])
     }
 
-    fn u16(&mut self) -> RssResult<u16> {
+    pub(crate) fn u16(&mut self) -> RssResult<u16> {
         let s = self.slice(2)?;
         Ok(u16::from_le_bytes([s[0], s[1]]))
     }
 
-    fn array<const N: usize>(&mut self) -> RssResult<[u8; N]> {
+    pub(crate) fn u32(&mut self) -> RssResult<u32> {
+        Ok(u32::from_le_bytes(self.array::<4>()?))
+    }
+
+    pub(crate) fn array<const N: usize>(&mut self) -> RssResult<[u8; N]> {
         let s = self.slice(N)?;
         let mut a = [0u8; N];
         a.copy_from_slice(s);

@@ -20,6 +20,8 @@ pub enum RssError {
     Corrupt(String),
     /// A key with the wrong number of columns was handed to an index.
     KeyArity { expected: usize, got: usize },
+    /// An operating-system I/O failure while reading or writing page files.
+    Io(String),
 }
 
 impl fmt::Display for RssError {
@@ -36,6 +38,7 @@ impl fmt::Display for RssError {
             RssError::KeyArity { expected, got } => {
                 write!(f, "index key arity mismatch: expected {expected} columns, got {got}")
             }
+            RssError::Io(m) => write!(f, "page file I/O error: {m}"),
         }
     }
 }

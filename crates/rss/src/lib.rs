@@ -34,6 +34,7 @@ pub mod buffer;
 pub mod codec;
 pub mod error;
 pub mod page;
+pub mod pagefile;
 pub mod prng;
 pub mod rid;
 pub mod sarg;
@@ -48,6 +49,7 @@ pub use btree::{BTreeConfig, BTreeIndex, IndexId};
 pub use buffer::{BufferPool, FileId, IoStats, PageKey};
 pub use error::{RssError, RssResult};
 pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
+pub use pagefile::{DirBackend, MemBackend, PageBackend};
 pub use prng::SplitMix64;
 pub use rid::Rid;
 pub use sarg::{CompareOp, SargExpr, SargList, SargPred};

@@ -55,6 +55,18 @@ impl Page {
         page
     }
 
+    /// Rebuild a page from a raw 4 KB image (a verified backend read).
+    pub fn from_bytes(bytes: Box<[u8; PAGE_SIZE]>) -> Self {
+        Page { bytes }
+    }
+
+    /// The raw page image, for stamping and backend writes. Bytes 8..16 of
+    /// the header are unused by the slotted layout and carry the recovery
+    /// stamp (checksum + LSN).
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
     fn u16_at(&self, off: usize) -> u16 {
         u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]])
     }

@@ -1,0 +1,396 @@
+//! Page files: the persistent byte store beneath the buffer pool.
+//!
+//! Every page the RSS manages — segment data pages, B-tree node pages,
+//! temporary-list pages — is a 4 KB frame addressed by a
+//! [`PageKey`]. This module supplies the storage
+//! for those frames:
+//!
+//! * [`PageBackend`] — the trait the buffer pool reads misses from and
+//!   writes dirty frames back to.
+//! * [`MemBackend`] — an in-memory backend for tests and throwaway
+//!   databases (the default for [`Storage::new`](crate::Storage::new)).
+//! * [`DirBackend`] — a directory of real page files, one file per
+//!   [`FileId`] (`seg-N.pages`, `idx-N.pages`, `tmp-N.pages`), each a flat
+//!   array of 4 KB frames.
+//!
+//! # Page stamp
+//!
+//! Bytes 8..16 of every page header are reserved for the recovery stamp:
+//! a FNV-1a 32-bit checksum at bytes 8..12 (computed over the whole page
+//! with the checksum field zeroed) and a u32 LSN at bytes 12..16, bumped
+//! on every write. [`verify_page`] checks the stamp on every read; a
+//! mismatch is torn-write / bit-rot corruption and surfaces as
+//! [`RssError::Corrupt`] rather than a panic. An all-zero page verifies
+//! clean — it is a never-written gap in a sparse file, and FNV over zeros
+//! does not yield a zero digest, so real data can't masquerade as a gap.
+
+use crate::buffer::{FileId, PageKey};
+use crate::error::{RssError, RssResult};
+use crate::page::PAGE_SIZE;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Byte offset of the FNV-1a checksum in the page header.
+const CHECKSUM_OFFSET: usize = 8;
+/// Byte offset of the LSN in the page header.
+const LSN_OFFSET: usize = 12;
+
+/// FNV-1a 32-bit over `bytes` with the checksum field itself zeroed.
+fn page_digest(bytes: &[u8; PAGE_SIZE]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for (i, &b) in bytes.iter().enumerate() {
+        let b = if (CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4).contains(&i) { 0 } else { b };
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Stamp `bytes` with `lsn` and its checksum. Call on every page image
+/// before it goes to a backend.
+pub fn stamp_page(bytes: &mut [u8; PAGE_SIZE], lsn: u32) {
+    bytes[LSN_OFFSET..LSN_OFFSET + 4].copy_from_slice(&lsn.to_le_bytes());
+    let digest = page_digest(bytes);
+    bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&digest.to_le_bytes());
+}
+
+/// The LSN a page image was stamped with.
+pub fn page_lsn(bytes: &[u8; PAGE_SIZE]) -> u32 {
+    let mut lsn = [0u8; 4];
+    lsn.copy_from_slice(&bytes[LSN_OFFSET..LSN_OFFSET + 4]);
+    u32::from_le_bytes(lsn)
+}
+
+/// Verify the recovery stamp of a page image read from a backend. An
+/// all-zero page (never-written gap) passes; anything else must carry a
+/// matching checksum.
+pub fn verify_page(bytes: &[u8; PAGE_SIZE], key: PageKey) -> RssResult<()> {
+    if bytes.iter().all(|&b| b == 0) {
+        return Ok(());
+    }
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(&bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4]);
+    let stored = u32::from_le_bytes(stored);
+    let computed = page_digest(bytes);
+    if stored != computed {
+        return Err(RssError::Corrupt(format!(
+            "checksum mismatch on {key:?}: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Persistent storage for 4 KB page images, addressed by [`PageKey`].
+pub trait PageBackend: std::fmt::Debug {
+    /// Read page `key` into `buf`. Reading a page beyond the end of its
+    /// file yields all zeros (a sparse gap), not an error.
+    fn read_page(&mut self, key: PageKey, buf: &mut [u8; PAGE_SIZE]) -> RssResult<()>;
+
+    /// Write page `key`, extending the file as needed.
+    fn write_page(&mut self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()>;
+
+    /// Number of pages stored for `file` (0 if the file does not exist).
+    fn page_count(&mut self, file: FileId) -> RssResult<u32>;
+
+    /// Every file this backend holds pages for.
+    fn files(&mut self) -> RssResult<Vec<FileId>>;
+
+    /// Flush OS buffers to stable storage (no-op for memory backends).
+    fn sync(&mut self) -> RssResult<()>;
+
+    /// The directory backing this store, if it is file-based.
+    fn dir(&self) -> Option<&Path> {
+        None
+    }
+}
+
+/// In-memory page store: the default backend, and the reference
+/// implementation for tests.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: HashMap<FileId, Vec<Box<[u8; PAGE_SIZE]>>>,
+}
+
+impl MemBackend {
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+}
+
+impl PageBackend for MemBackend {
+    fn read_page(&mut self, key: PageKey, buf: &mut [u8; PAGE_SIZE]) -> RssResult<()> {
+        match self.files.get(&key.file).and_then(|pages| pages.get(key.page as usize)) {
+            Some(page) => buf.copy_from_slice(&page[..]),
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()> {
+        let pages = self.files.entry(key.file).or_default();
+        while pages.len() <= key.page as usize {
+            pages.push(Box::new([0u8; PAGE_SIZE]));
+        }
+        pages[key.page as usize].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn page_count(&mut self, file: FileId) -> RssResult<u32> {
+        Ok(self.files.get(&file).map_or(0, |pages| pages.len() as u32))
+    }
+
+    fn files(&mut self) -> RssResult<Vec<FileId>> {
+        let mut files: Vec<FileId> = self.files.keys().copied().collect();
+        files.sort();
+        Ok(files)
+    }
+
+    fn sync(&mut self) -> RssResult<()> {
+        Ok(())
+    }
+}
+
+/// File name for one [`FileId`] inside a database directory.
+pub fn file_name(file: FileId) -> String {
+    match file {
+        FileId::Segment(n) => format!("seg-{n}.pages"),
+        FileId::Index(n) => format!("idx-{n}.pages"),
+        FileId::Temp(n) => format!("tmp-{n}.pages"),
+    }
+}
+
+/// Parse a page-file name back into its [`FileId`].
+pub fn parse_file_name(name: &str) -> Option<FileId> {
+    let stem = name.strip_suffix(".pages")?;
+    if let Some(n) = stem.strip_prefix("seg-") {
+        return n.parse().ok().map(FileId::Segment);
+    }
+    if let Some(n) = stem.strip_prefix("idx-") {
+        return n.parse().ok().map(FileId::Index);
+    }
+    if let Some(n) = stem.strip_prefix("tmp-") {
+        return n.parse().ok().map(FileId::Temp);
+    }
+    None
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> RssError {
+    RssError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// A directory of real page files, one per [`FileId`]. Files are opened
+/// lazily and kept open for the backend's lifetime.
+#[derive(Debug)]
+pub struct DirBackend {
+    dir: PathBuf,
+    handles: HashMap<FileId, File>,
+}
+
+impl DirBackend {
+    /// Open (creating if absent) a database directory.
+    pub fn open(dir: impl Into<PathBuf>) -> RssResult<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create dir", &dir, e))?;
+        Ok(DirBackend { dir, handles: HashMap::new() })
+    }
+
+    fn path_of(&self, file: FileId) -> PathBuf {
+        self.dir.join(file_name(file))
+    }
+
+    fn handle(&mut self, file: FileId) -> RssResult<&mut File> {
+        if !self.handles.contains_key(&file) {
+            let path = self.path_of(file);
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)
+                .map_err(|e| io_err("open", &path, e))?;
+            self.handles.insert(file, f);
+        }
+        // The entry was just inserted if absent; a miss here would mean the
+        // map dropped it between the two statements.
+        self.handles
+            .get_mut(&file)
+            .ok_or_else(|| RssError::Corrupt(format!("page-file handle vanished for {file:?}")))
+    }
+}
+
+impl PageBackend for DirBackend {
+    fn read_page(&mut self, key: PageKey, buf: &mut [u8; PAGE_SIZE]) -> RssResult<()> {
+        let path = self.path_of(key.file);
+        if !path.exists() {
+            buf.fill(0);
+            return Ok(());
+        }
+        let offset = u64::from(key.page) * PAGE_SIZE as u64;
+        let f = self.handle(key.file)?;
+        let len = f.metadata().map_err(|e| io_err("stat", &path, e))?.len();
+        if offset >= len {
+            buf.fill(0);
+            return Ok(());
+        }
+        f.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek", &path, e))?;
+        match f.read_exact(buf) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(RssError::Corrupt(
+                format!("truncated page file {}: page {} cut short", path.display(), key.page),
+            )),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    fn write_page(&mut self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()> {
+        let path = self.path_of(key.file);
+        let offset = u64::from(key.page) * PAGE_SIZE as u64;
+        let f = self.handle(key.file)?;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek", &path, e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", &path, e))
+    }
+
+    fn page_count(&mut self, file: FileId) -> RssResult<u32> {
+        let path = self.path_of(file);
+        if !path.exists() {
+            return Ok(0);
+        }
+        let f = self.handle(file)?;
+        let len = f.metadata().map_err(|e| io_err("stat", &path, e))?.len();
+        Ok(len.div_ceil(PAGE_SIZE as u64) as u32)
+    }
+
+    fn files(&mut self) -> RssResult<Vec<FileId>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| io_err("read dir", &self.dir, e))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read dir", &self.dir, e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(file) = parse_file_name(name) {
+                    files.push(file);
+                }
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    fn sync(&mut self) -> RssResult<()> {
+        for (file, handle) in &mut self.handles {
+            handle.sync_all().map_err(|e| io_err("sync", &self.dir.join(file_name(*file)), e))?;
+        }
+        Ok(())
+    }
+
+    fn dir(&self) -> Option<&Path> {
+        Some(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(page: u32) -> PageKey {
+        PageKey::new(FileId::Segment(3), page)
+    }
+
+    fn stamped(fill: u8, lsn: u32) -> [u8; PAGE_SIZE] {
+        let mut buf = [fill; PAGE_SIZE];
+        stamp_page(&mut buf, lsn);
+        buf
+    }
+
+    #[test]
+    fn stamp_roundtrip_verifies() {
+        let buf = stamped(7, 42);
+        verify_page(&buf, key(0)).unwrap();
+        assert_eq!(page_lsn(&buf), 42);
+    }
+
+    #[test]
+    fn flipped_bit_fails_verification() {
+        let mut buf = stamped(7, 42);
+        buf[100] ^= 1;
+        assert!(matches!(verify_page(&buf, key(0)), Err(RssError::Corrupt(_))));
+    }
+
+    #[test]
+    fn all_zero_page_verifies_as_gap() {
+        let buf = [0u8; PAGE_SIZE];
+        verify_page(&buf, key(0)).unwrap();
+    }
+
+    #[test]
+    fn mem_backend_roundtrip_and_gaps() {
+        let mut b = MemBackend::new();
+        let img = stamped(5, 1);
+        b.write_page(key(2), &img).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        b.read_page(key(2), &mut out).unwrap();
+        assert_eq!(out, img);
+        // Pages 0 and 1 were never written: they read as zero gaps.
+        b.read_page(key(0), &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        assert_eq!(b.page_count(FileId::Segment(3)).unwrap(), 3);
+        assert_eq!(b.files().unwrap(), vec![FileId::Segment(3)]);
+    }
+
+    #[test]
+    fn file_names_roundtrip() {
+        for f in [FileId::Segment(0), FileId::Index(17), FileId::Temp(4_000_000)] {
+            assert_eq!(parse_file_name(&file_name(f)), Some(f));
+        }
+        assert_eq!(parse_file_name("storage.meta"), None);
+        assert_eq!(parse_file_name("seg-x.pages"), None);
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sysr-pagefile-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dir_backend_roundtrip_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let img = stamped(9, 3);
+        {
+            let mut b = DirBackend::open(&dir).unwrap();
+            b.write_page(key(1), &img).unwrap();
+            b.sync().unwrap();
+        }
+        let mut b = DirBackend::open(&dir).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        b.read_page(key(1), &mut out).unwrap();
+        assert_eq!(out, img);
+        verify_page(&out, key(1)).unwrap();
+        // Page 0 is a sparse gap.
+        b.read_page(key(0), &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        assert_eq!(b.page_count(FileId::Segment(3)).unwrap(), 2);
+        assert_eq!(b.files().unwrap(), vec![FileId::Segment(3)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_reads_as_corrupt() {
+        let dir = temp_dir("torn");
+        {
+            let mut b = DirBackend::open(&dir).unwrap();
+            b.write_page(key(0), &stamped(1, 1)).unwrap();
+        }
+        // Tear the file: chop the page in half.
+        let path = dir.join(file_name(FileId::Segment(3)));
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..PAGE_SIZE / 2]).unwrap();
+        let mut b = DirBackend::open(&dir).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        // metadata says the page exists (len > 0) but read_exact hits EOF.
+        let err = b.read_page(key(0), &mut out).unwrap_err();
+        assert!(matches!(err, RssError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

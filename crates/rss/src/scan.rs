@@ -92,7 +92,7 @@ impl RsiScan for SegmentScan<'_> {
                 continue;
             }
             if !self.entered_page {
-                self.storage.touch(PageKey::new(FileId::Segment(self.seg), self.page_no));
+                self.storage.touch(PageKey::new(FileId::Segment(self.seg), self.page_no))?;
                 self.entered_page = true;
             }
             while self.slot < page.slot_count() {
@@ -184,13 +184,13 @@ impl<'a> IndexScan<'a> {
     fn do_open(&mut self) -> RssResult<()> {
         let entry = self.storage.index(self.index)?;
         let (path, pos) = match &self.start {
-            Some(prefix) => entry.tree.seek(prefix),
-            None => entry.tree.seek_first(),
+            Some(prefix) => entry.tree.seek(prefix)?,
+            None => entry.tree.seek_first()?,
         };
         // The OPEN descends root→leaf: every internal page on the path is
         // one index page fetch.
         for page in path {
-            self.storage.touch(PageKey::new(FileId::Index(self.index), page));
+            self.storage.touch(PageKey::new(FileId::Index(self.index), page))?;
         }
         self.cursor = pos;
         self.opened = true;
@@ -220,16 +220,16 @@ impl RsiScan for IndexScan<'_> {
             // Touch the leaf page when the scan moves onto it. A NEXT along
             // the chain touches each leaf exactly once.
             if self.current_leaf != Some(pos.leaf) {
-                self.storage.touch(PageKey::new(FileId::Index(self.index), pos.leaf));
+                self.storage.touch(PageKey::new(FileId::Index(self.index), pos.leaf))?;
                 self.current_leaf = Some(pos.leaf);
             }
-            let (key, rid) = entry.tree.entry(pos);
+            let (key, rid) = entry.tree.entry(pos)?;
             if self.past_stop(key) {
                 self.cursor = None;
                 return Ok(None);
             }
             let key_owned: Vec<Value> = key.to_vec();
-            self.cursor = entry.tree.next_pos(pos);
+            self.cursor = entry.tree.next_pos(pos)?;
             let tuple = if self.fetch_data {
                 self.storage.fetch(entry.segment, entry.rel_id, rid)?
             } else {
@@ -379,7 +379,7 @@ mod tests {
         let unclustered = st.io_stats().data_page_fetches;
 
         st.cluster_relation(seg, 1, &[0]).unwrap();
-        st.evict_all();
+        st.evict_all().unwrap();
         st.reset_io_stats();
         let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
         assert_eq!(scan.collect_all().unwrap().len(), n as usize);
@@ -403,7 +403,7 @@ mod tests {
         let stats = st.io_stats();
         let tree = &st.index(idx).unwrap().tree;
         // Full scan: every leaf once, plus the root-to-leftmost-leaf path.
-        let expected = tree.leaf_page_count() as u64 + (tree.height() as u64 - 1);
+        let expected = tree.leaf_page_count() as u64 + (tree.height().unwrap() as u64 - 1);
         assert_eq!(stats.index_page_fetches, expected);
     }
 

@@ -12,6 +12,7 @@ use crate::error::{RssError, RssResult};
 use crate::page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
 use crate::rid::Rid;
 use crate::tuple::Tuple;
+use std::collections::BTreeSet;
 
 /// Identifier of a segment within a [`crate::Storage`].
 pub type SegmentId = u32;
@@ -23,11 +24,30 @@ pub struct Segment {
     pages: Vec<Page>,
     /// Page to try first on insert; avoids rescanning from page 0.
     fill_hint: usize,
+    /// Pages mutated since the last [`Segment::drain_dirty`]; the storage
+    /// layer flushes their images to the page-file backend after every
+    /// mutating call so the persistent bytes stay current.
+    dirty: BTreeSet<u32>,
 }
 
 impl Segment {
     pub fn new(id: SegmentId) -> Self {
-        Segment { id, pages: Vec::new(), fill_hint: 0 }
+        Segment { id, pages: Vec::new(), fill_hint: 0, dirty: BTreeSet::new() }
+    }
+
+    /// Rebuild a segment from page images read back from a page file
+    /// (database open). Nothing is considered dirty.
+    pub fn from_pages(id: SegmentId, pages: Vec<Page>, fill_hint: usize) -> Self {
+        Segment { id, pages, fill_hint, dirty: BTreeSet::new() }
+    }
+
+    /// Take the set of pages mutated since the last drain.
+    pub fn drain_dirty(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    pub fn fill_hint(&self) -> usize {
+        self.fill_hint
     }
 
     pub fn id(&self) -> SegmentId {
@@ -73,6 +93,7 @@ impl Segment {
             if let Some(page) = self.pages.get_mut(candidate) {
                 if let Some(slot) = page.insert(rel_id, &data) {
                     self.fill_hint = candidate;
+                    self.dirty.insert(candidate as u32);
                     return Ok(Rid::new(candidate as u32, slot));
                 }
             }
@@ -84,6 +105,7 @@ impl Segment {
             .expect("fresh page must accept a tuple within max_tuple_size");
         self.pages.push(page);
         self.fill_hint = self.pages.len() - 1;
+        self.dirty.insert((self.pages.len() - 1) as u32);
         Ok(Rid::new((self.pages.len() - 1) as u32, slot))
     }
 
@@ -115,6 +137,7 @@ impl Segment {
         if page.free_space() < PAGE_SIZE / 8 {
             page.compact();
         }
+        self.dirty.insert(rid.page);
         if (rid.page as usize) < self.fill_hint {
             self.fill_hint = rid.page as usize;
         }

@@ -1,19 +1,43 @@
-//! The storage engine root: segments + indexes + one buffer pool.
+//! The storage engine root: segments + indexes + buffer pool + page files.
 //!
 //! [`Storage`] is the RSS proper. It owns the segments (data pages) and the
-//! B-tree indexes, routes every page access through the counting
-//! [`BufferPool`], and keeps indexes consistent with tuple inserts and
-//! deletes. Everything above it (catalog, optimizer, executor) talks to
-//! storage in terms of segment ids, relation ids, index ids, and RIDs.
+//! B-tree indexes, routes every page access through the [`BufferPool`]
+//! frame cache backed by a [`PageBackend`], and keeps indexes consistent
+//! with tuple inserts and deletes. Everything above it (catalog, optimizer,
+//! executor) talks to storage in terms of segment ids, relation ids, index
+//! ids, and RIDs.
+//!
+//! # Persistence model
+//!
+//! The in-memory `Segment` pages and B-tree arenas are the authoritative
+//! working copies; the page backend holds the persistent stamped images.
+//! After **every** mutating call (`insert`, `delete`, `create_index`,
+//! `cluster_relation`) the dirty page set is flushed through the buffer
+//! pool — write-through in place if the page is resident (deferring the
+//! physical write to eviction or flush), write-around to the backend
+//! otherwise — so the backend is always current before any read. A page
+//! fetch (pool miss) therefore performs a real, checksum-verified backend
+//! read, and `IoStats::backend_reads` equals the fetch counters within any
+//! measurement window.
+//!
+//! [`Storage::save_to`] snapshots the database into a directory
+//! ([`DirBackend`] page files plus a `storage.meta` descriptor);
+//! [`Storage::open`] rebuilds segments and trees from those pages.
 
 use crate::btree::{BTreeConfig, BTreeIndex, IndexId};
 use crate::buffer::{BufferPool, FileId, IoStats, PageKey};
 use crate::error::{RssError, RssResult};
+use crate::page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+use crate::pagefile::{stamp_page, verify_page, DirBackend, MemBackend, PageBackend};
 use crate::rid::Rid;
 use crate::segment::{Segment, SegmentId};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::path::{Path, PathBuf};
+
+/// Name of the storage descriptor file inside a database directory.
+pub const STORAGE_META: &str = "storage.meta";
 
 /// Physical description of one index: which segment/relation it covers and
 /// which tuple columns (in order) form its key.
@@ -32,24 +56,30 @@ impl IndexEntry {
     }
 }
 
-/// The storage engine: all segments, all indexes, one buffer pool.
+/// The storage engine: all segments, all indexes, one buffer pool, one
+/// page-file backend.
 #[derive(Debug)]
 pub struct Storage {
     segments: Vec<Segment>,
     indexes: Vec<IndexEntry>,
     buffer: RefCell<BufferPool>,
-    next_temp: std::cell::Cell<u32>,
+    backend: RefCell<Box<dyn PageBackend>>,
+    next_temp: Cell<u32>,
+    next_lsn: Cell<u32>,
     btree_config: BTreeConfig,
 }
 
 impl Storage {
-    /// A storage engine whose buffer pool holds `buffer_pages` pages.
+    /// A storage engine whose buffer pool holds `buffer_pages` pages,
+    /// backed by in-memory page files (tests, throwaway databases).
     pub fn new(buffer_pages: usize) -> Self {
         Storage {
             segments: Vec::new(),
             indexes: Vec::new(),
             buffer: RefCell::new(BufferPool::new(buffer_pages)),
-            next_temp: std::cell::Cell::new(0),
+            backend: RefCell::new(Box::new(MemBackend::new())),
+            next_temp: Cell::new(0),
+            next_lsn: Cell::new(1),
             btree_config: BTreeConfig::default(),
         }
     }
@@ -58,6 +88,12 @@ impl Storage {
     /// (tests use tiny fanouts to exercise deep trees).
     pub fn set_btree_config(&mut self, config: BTreeConfig) {
         self.btree_config = config;
+    }
+
+    /// The database directory, if this storage is backed by page files on
+    /// disk rather than memory.
+    pub fn dir(&self) -> Option<PathBuf> {
+        self.backend.borrow().dir().map(Path::to_path_buf)
     }
 
     // ---- segments -------------------------------------------------------
@@ -80,11 +116,48 @@ impl Storage {
         self.segments.len()
     }
 
-    // ---- buffer pool / accounting ---------------------------------------
+    // ---- buffer pool / page I/O -----------------------------------------
 
-    /// Record an access to a page; misses count as page fetches.
-    pub fn touch(&self, key: PageKey) -> bool {
-        self.buffer.borrow_mut().access(key)
+    /// Access a page; a miss reads and verifies its image from the page
+    /// backend (one physical read) and counts a page fetch. Returns `true`
+    /// on a miss.
+    pub fn touch(&self, key: PageKey) -> RssResult<bool> {
+        let mut backend = self.backend.borrow_mut();
+        self.buffer.borrow_mut().read(key, backend.as_mut())
+    }
+
+    /// Stamp (LSN + checksum) and write one page image through the pool:
+    /// in place if resident (dirty, deferred write-back), write-around to
+    /// the backend otherwise. Writes never establish residency.
+    fn write_image(&self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()> {
+        let mut img = *bytes;
+        let lsn = self.next_lsn.get();
+        self.next_lsn.set(lsn.wrapping_add(1));
+        stamp_page(&mut img, lsn);
+        let mut backend = self.backend.borrow_mut();
+        self.buffer.borrow_mut().write_through(key, &img, backend.as_mut())
+    }
+
+    /// Flush every page mutated since the last call — segment pages and
+    /// B-tree node pages — so the backend (or a dirty resident frame)
+    /// holds the current image. Called after every mutating operation.
+    fn flush_dirty(&mut self) -> RssResult<()> {
+        for si in 0..self.segments.len() {
+            for p in self.segments[si].drain_dirty() {
+                let seg = &self.segments[si];
+                let Some(page) = seg.page(p) else { continue };
+                let img = *page.bytes();
+                self.write_image(PageKey::new(FileId::Segment(seg.id()), p), &img)?;
+            }
+        }
+        for ii in 0..self.indexes.len() {
+            for n in self.indexes[ii].tree.drain_dirty() {
+                let img = self.indexes[ii].tree.encode_node_page(n)?;
+                let key = PageKey::new(FileId::Index(self.indexes[ii].tree.id()), n);
+                self.write_image(key, &img)?;
+            }
+        }
+        Ok(())
     }
 
     /// Record one tuple crossing the RSI.
@@ -95,6 +168,15 @@ impl Storage {
     /// Record `pages` temporary pages written.
     pub fn record_temp_write(&self, pages: u64) {
         self.buffer.borrow_mut().record_temp_write(pages);
+    }
+
+    /// Write one temporary-list page image (concatenated tuple encodings,
+    /// truncated to the page payload) to the backend.
+    pub fn write_temp_page(&self, file: u32, page: u32, payload: &[u8]) -> RssResult<()> {
+        let mut img = [0u8; PAGE_SIZE];
+        let n = payload.len().min(PAGE_SIZE - PAGE_HEADER_SIZE);
+        img[PAGE_HEADER_SIZE..PAGE_HEADER_SIZE + n].copy_from_slice(&payload[..n]);
+        self.write_image(PageKey::new(FileId::Temp(file), page), &img)
     }
 
     pub fn io_stats(&self) -> IoStats {
@@ -109,15 +191,30 @@ impl Storage {
         self.buffer.borrow().capacity()
     }
 
-    /// Resize the buffer pool (evicts everything).
-    pub fn set_buffer_capacity(&self, pages: usize) {
-        self.buffer.borrow_mut().set_capacity(pages);
+    /// Resize the buffer pool. Growing keeps resident pages; shrinking
+    /// evicts (with dirty write-back) only down to the new capacity.
+    pub fn set_buffer_capacity(&self, pages: usize) -> RssResult<()> {
+        let mut backend = self.backend.borrow_mut();
+        self.buffer.borrow_mut().set_capacity(pages, Some(backend.as_mut()))
     }
 
-    /// Evict all resident pages without touching counters (used between
-    /// measured runs so each starts cold).
-    pub fn evict_all(&self) {
-        self.buffer.borrow_mut().clear();
+    /// Evict all resident pages without touching the fetch counters (used
+    /// between measured runs so each starts cold). Dirty frames are
+    /// written back first.
+    pub fn evict_all(&self) -> RssResult<()> {
+        let mut backend = self.backend.borrow_mut();
+        let mut pool = self.buffer.borrow_mut();
+        pool.flush(backend.as_mut())?;
+        pool.clear();
+        Ok(())
+    }
+
+    /// Flush dirty frames and fsync the page files (no-op backend sync for
+    /// in-memory storage).
+    pub fn sync(&self) -> RssResult<()> {
+        let mut backend = self.backend.borrow_mut();
+        self.buffer.borrow_mut().flush(backend.as_mut())?;
+        backend.sync()
     }
 
     /// Allocate a fresh file id for a temporary list.
@@ -141,7 +238,7 @@ impl Storage {
         for entry in &self.indexes {
             if entry.segment == seg && entry.rel_id == rel_id && entry.tree.is_unique() {
                 let key = entry.key_of(tuple);
-                if entry.tree.contains_key(&key) {
+                if entry.tree.contains_key(&key)? {
                     return Err(RssError::DuplicateKey(format!("{key:?}")));
                 }
             }
@@ -153,6 +250,7 @@ impl Storage {
                 entry.tree.insert(key, rid)?;
             }
         }
+        self.flush_dirty()?;
         Ok(rid)
     }
 
@@ -166,6 +264,7 @@ impl Storage {
                 entry.tree.delete(&key, rid)?;
             }
         }
+        self.flush_dirty()?;
         Ok(())
     }
 
@@ -173,7 +272,7 @@ impl Storage {
     /// touched in the buffer pool (this is how non-clustered index scans
     /// incur a fetch per tuple).
     pub fn fetch(&self, seg: SegmentId, rel_id: u16, rid: Rid) -> RssResult<Tuple> {
-        self.touch(PageKey::new(FileId::Segment(seg), rid.page));
+        self.touch(PageKey::new(FileId::Segment(seg), rid.page))?;
         self.segment(seg)?.get(rel_id, rid)
     }
 
@@ -206,6 +305,7 @@ impl Storage {
             tree.insert(key, rid)?;
         }
         self.indexes.push(IndexEntry { tree, segment: seg, rel_id, key_cols });
+        self.flush_dirty()?;
         Ok(id)
     }
 
@@ -249,7 +349,9 @@ impl Storage {
             // Compact as we go so the rewritten relation is dense.
             new_rids.push(self.segment_mut(seg)?.insert(rel_id, tuple)?);
         }
-        // Rebuild every index on this relation.
+        // Rebuild every index on this relation. Rebuilt trees get entirely
+        // new node images, so the pool's frames for the old tree are stale:
+        // drop them before the fresh images are flushed.
         for entry in &mut self.indexes {
             if entry.segment == seg && entry.rel_id == rel_id {
                 let mut tree = BTreeIndex::new(
@@ -263,10 +365,258 @@ impl Storage {
                         entry.key_cols.iter().map(|&c| tuple[c].clone()).collect();
                     tree.insert(key, *rid)?;
                 }
+                self.buffer.borrow_mut().invalidate_file(FileId::Index(entry.tree.id()));
                 entry.tree = tree;
             }
         }
+        self.flush_dirty()?;
         Ok(())
+    }
+
+    // ---- persistence -----------------------------------------------------
+
+    /// Snapshot the database into `dir`: every segment and index page is
+    /// copied verbatim (already stamped) into per-file page files, and a
+    /// `storage.meta` descriptor records the shapes needed to rebuild.
+    /// Temporary lists are not saved. The storage keeps its current
+    /// backend; the snapshot can be reopened with [`Storage::open`].
+    pub fn save_to(&self, dir: &Path) -> RssResult<()> {
+        {
+            // Make the backend the single source of truth.
+            let mut backend = self.backend.borrow_mut();
+            self.buffer.borrow_mut().flush(backend.as_mut())?;
+        }
+        let mut dst = DirBackend::open(dir)?;
+        let mut src = self.backend.borrow_mut();
+        let mut copy = |key: PageKey| -> RssResult<()> {
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            src.read_page(key, &mut buf)?;
+            verify_page(&buf, key)?;
+            dst.write_page(key, &buf)
+        };
+        for seg in &self.segments {
+            for p in 0..seg.page_count() as u32 {
+                copy(PageKey::new(FileId::Segment(seg.id()), p))?;
+            }
+        }
+        for entry in &self.indexes {
+            for p in 0..entry.tree.node_slot_count() as u32 {
+                copy(PageKey::new(FileId::Index(entry.tree.id()), p))?;
+            }
+        }
+        dst.sync()?;
+        let meta_path = dir.join(STORAGE_META);
+        std::fs::write(&meta_path, self.render_meta())
+            .map_err(|e| RssError::Io(format!("write {}: {e}", meta_path.display())))
+    }
+
+    fn render_meta(&self) -> String {
+        let mut out = String::from("sysr-storage v1\n");
+        out.push_str(&format!("lsn {}\n", self.next_lsn.get()));
+        out.push_str(&format!("temp {}\n", self.next_temp.get()));
+        out.push_str(&format!(
+            "btree {} {}\n",
+            self.btree_config.leaf_capacity, self.btree_config.internal_capacity
+        ));
+        out.push_str(&format!("segments {}\n", self.segments.len()));
+        for seg in &self.segments {
+            out.push_str(&format!("seg {} {} {}\n", seg.id(), seg.fill_hint(), seg.page_count()));
+        }
+        out.push_str(&format!("indexes {}\n", self.indexes.len()));
+        for e in &self.indexes {
+            let t = &e.tree;
+            let cols: Vec<String> = e.key_cols.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                "idx {} {} {} {} {} {} {} {} {} {}\n",
+                t.id(),
+                e.segment,
+                e.rel_id,
+                u8::from(t.is_unique()),
+                t.config().leaf_capacity,
+                t.config().internal_capacity,
+                t.root_page(),
+                t.entry_count(),
+                t.node_slot_count(),
+                cols.join(" "),
+            ));
+        }
+        out
+    }
+
+    /// Reopen a database saved with [`Storage::save_to`]. The returned
+    /// storage reads and writes the page files in `dir` directly.
+    pub fn open(dir: &Path, buffer_pages: usize) -> RssResult<Storage> {
+        let meta_path = dir.join(STORAGE_META);
+        let text = std::fs::read_to_string(&meta_path)
+            .map_err(|e| RssError::Io(format!("read {}: {e}", meta_path.display())))?;
+        let meta = StorageMeta::parse(&text)?;
+        let mut backend: Box<dyn PageBackend> = Box::new(DirBackend::open(dir)?);
+
+        let mut read = |key: PageKey| -> RssResult<Box<[u8; PAGE_SIZE]>> {
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            backend.read_page(key, &mut buf)?;
+            verify_page(&buf, key)?;
+            Ok(buf)
+        };
+
+        let mut segments = Vec::with_capacity(meta.segments.len());
+        for (i, sm) in meta.segments.iter().enumerate() {
+            if sm.id as usize != i {
+                return Err(RssError::Corrupt(format!(
+                    "segment ids out of order in {STORAGE_META}: {} at position {i}",
+                    sm.id
+                )));
+            }
+            let mut pages = Vec::with_capacity(sm.page_count);
+            for p in 0..sm.page_count as u32 {
+                pages.push(Page::from_bytes(read(PageKey::new(FileId::Segment(sm.id), p))?));
+            }
+            segments.push(Segment::from_pages(sm.id, pages, sm.fill_hint));
+        }
+
+        let mut indexes = Vec::with_capacity(meta.indexes.len());
+        for (i, im) in meta.indexes.iter().enumerate() {
+            if im.id as usize != i {
+                return Err(RssError::Corrupt(format!(
+                    "index ids out of order in {STORAGE_META}: {} at position {i}",
+                    im.id
+                )));
+            }
+            let mut pages = Vec::with_capacity(im.node_pages);
+            for p in 0..im.node_pages as u32 {
+                pages.push(read(PageKey::new(FileId::Index(im.id), p))?);
+            }
+            let tree = BTreeIndex::from_node_pages(
+                im.id,
+                im.key_cols.len(),
+                im.unique,
+                BTreeConfig {
+                    leaf_capacity: im.leaf_capacity,
+                    internal_capacity: im.internal_capacity,
+                },
+                im.root,
+                im.entry_count,
+                &pages,
+            )?;
+            indexes.push(IndexEntry {
+                tree,
+                segment: im.segment,
+                rel_id: im.rel_id,
+                key_cols: im.key_cols.clone(),
+            });
+        }
+
+        Ok(Storage {
+            segments,
+            indexes,
+            buffer: RefCell::new(BufferPool::new(buffer_pages)),
+            backend: RefCell::new(backend),
+            next_temp: Cell::new(meta.next_temp),
+            next_lsn: Cell::new(meta.next_lsn),
+            btree_config: meta.btree_config,
+        })
+    }
+}
+
+struct SegMeta {
+    id: SegmentId,
+    fill_hint: usize,
+    page_count: usize,
+}
+
+struct IdxMeta {
+    id: IndexId,
+    segment: SegmentId,
+    rel_id: u16,
+    unique: bool,
+    leaf_capacity: usize,
+    internal_capacity: usize,
+    root: u32,
+    entry_count: usize,
+    node_pages: usize,
+    key_cols: Vec<usize>,
+}
+
+struct StorageMeta {
+    next_lsn: u32,
+    next_temp: u32,
+    btree_config: BTreeConfig,
+    segments: Vec<SegMeta>,
+    indexes: Vec<IdxMeta>,
+}
+
+fn meta_err(detail: impl std::fmt::Display) -> RssError {
+    RssError::Corrupt(format!("malformed {STORAGE_META}: {detail}"))
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> RssResult<T> {
+    tok.ok_or_else(|| meta_err(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| meta_err(format!("bad {what}")))
+}
+
+impl StorageMeta {
+    fn parse(text: &str) -> RssResult<StorageMeta> {
+        let mut lines = text.lines();
+        if lines.next() != Some("sysr-storage v1") {
+            return Err(meta_err("unknown header"));
+        }
+        let mut next_lsn = 1u32;
+        let mut next_temp = 0u32;
+        let mut btree_config = BTreeConfig::default();
+        let mut segments = Vec::new();
+        let mut indexes = Vec::new();
+        for line in lines {
+            let mut tok = line.split_whitespace();
+            match tok.next() {
+                Some("lsn") => next_lsn = parse_num(tok.next(), "lsn")?,
+                Some("temp") => next_temp = parse_num(tok.next(), "temp")?,
+                Some("btree") => {
+                    btree_config = BTreeConfig {
+                        leaf_capacity: parse_num(tok.next(), "leaf capacity")?,
+                        internal_capacity: parse_num(tok.next(), "internal capacity")?,
+                    }
+                }
+                Some("segments") | Some("indexes") => {} // counts are implicit
+                Some("seg") => segments.push(SegMeta {
+                    id: parse_num(tok.next(), "segment id")?,
+                    fill_hint: parse_num(tok.next(), "fill hint")?,
+                    page_count: parse_num(tok.next(), "page count")?,
+                }),
+                Some("idx") => {
+                    let id = parse_num(tok.next(), "index id")?;
+                    let segment = parse_num(tok.next(), "index segment")?;
+                    let rel_id = parse_num(tok.next(), "index relation")?;
+                    let unique: u8 = parse_num(tok.next(), "unique flag")?;
+                    let leaf_capacity = parse_num(tok.next(), "leaf capacity")?;
+                    let internal_capacity = parse_num(tok.next(), "internal capacity")?;
+                    let root = parse_num(tok.next(), "root page")?;
+                    let entry_count = parse_num(tok.next(), "entry count")?;
+                    let node_pages = parse_num(tok.next(), "node pages")?;
+                    let key_cols: Vec<usize> = tok
+                        .map(|t| t.parse().map_err(|_| meta_err("bad key column")))
+                        .collect::<RssResult<_>>()?;
+                    if key_cols.is_empty() {
+                        return Err(meta_err(format!("index {id} has no key columns")));
+                    }
+                    indexes.push(IdxMeta {
+                        id,
+                        segment,
+                        rel_id,
+                        unique: unique != 0,
+                        leaf_capacity,
+                        internal_capacity,
+                        root,
+                        entry_count,
+                        node_pages,
+                        key_cols,
+                    });
+                }
+                Some(other) => return Err(meta_err(format!("unknown line kind {other:?}"))),
+                None => {} // blank line
+            }
+        }
+        Ok(StorageMeta { next_lsn, next_temp, btree_config, segments, indexes })
     }
 }
 
@@ -296,9 +646,11 @@ mod tests {
         let t = st.fetch(seg, 1, rid).unwrap();
         assert_eq!(t, row(0));
         assert_eq!(st.io_stats().data_page_fetches, 1);
+        assert_eq!(st.io_stats().backend_reads, 1, "a miss is one physical read");
         // Second fetch of the same page hits.
         st.fetch(seg, 1, rid).unwrap();
         assert_eq!(st.io_stats().data_page_fetches, 1);
+        assert_eq!(st.io_stats().backend_reads, 1);
         assert_eq!(st.io_stats().buffer_hits, 1);
     }
 
@@ -311,7 +663,7 @@ mod tests {
         assert_eq!(st.index(idx).unwrap().tree.entry_count(), 101);
         st.delete(seg, 1, rid).unwrap();
         assert_eq!(st.index(idx).unwrap().tree.entry_count(), 100);
-        assert!(!st.index(idx).unwrap().tree.contains_key(&[Value::Int(200)]));
+        assert!(!st.index(idx).unwrap().tree.contains_key(&[Value::Int(200)]).unwrap());
     }
 
     #[test]
@@ -348,7 +700,8 @@ mod tests {
         assert_eq!(tree.entry_count(), 500);
         tree.check_invariants().unwrap();
         // Index RIDs point at valid tuples.
-        for (key, rid) in tree.iter() {
+        for item in tree.iter() {
+            let (key, rid) = item.unwrap();
             let t = st.fetch_unaccounted(seg, 1, rid).unwrap();
             assert_eq!(&t[0], &key[0]);
         }
@@ -359,8 +712,8 @@ mod tests {
         let (mut st, seg) = loaded_storage(50);
         let a = st.create_index(seg, 1, vec![0], true).unwrap();
         let b = st.create_index(seg, 1, vec![2], false).unwrap();
-        assert_eq!(st.index(a).unwrap().tree.distinct_keys(), 50);
-        assert_eq!(st.index(b).unwrap().tree.distinct_keys(), 10);
+        assert_eq!(st.index(a).unwrap().tree.distinct_keys().unwrap(), 50);
+        assert_eq!(st.index(b).unwrap().tree.distinct_keys().unwrap(), 10);
         let rid = st.insert(seg, 1, &row(60)).unwrap();
         st.delete(seg, 1, rid).unwrap();
         assert_eq!(st.index(a).unwrap().tree.entry_count(), 50);
@@ -378,5 +731,80 @@ mod tests {
         let st = Storage::new(8);
         assert!(st.segment(3).is_err());
         assert!(st.index(0).is_err());
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sysr-storage-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn relation_rows(st: &Storage, seg: SegmentId) -> Vec<Tuple> {
+        st.segment(seg).unwrap().iter_relation(1).map(|(_, t)| t.unwrap()).collect()
+    }
+
+    #[test]
+    fn save_open_roundtrip_preserves_rows_and_indexes() {
+        let (mut st, seg) = loaded_storage(300);
+        let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+        let dir = temp_dir("roundtrip");
+        st.save_to(&dir).unwrap();
+
+        let back = Storage::open(&dir, 64).unwrap();
+        assert_eq!(relation_rows(&back, seg), relation_rows(&st, seg));
+        let ta = &st.index(idx).unwrap().tree;
+        let tb = &back.index(idx).unwrap().tree;
+        assert_eq!(tb.entry_count(), ta.entry_count());
+        assert_eq!(tb.distinct_keys().unwrap(), ta.distinct_keys().unwrap());
+        tb.check_invariants().unwrap();
+        // The reopened store keeps working: insert + unique violation.
+        let mut back = back;
+        back.insert(seg, 1, &row(900)).unwrap();
+        assert!(back.insert(seg, 1, &row(900)).is_err(), "unique index survived reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_storage_reads_pages_from_disk() {
+        let (mut st, seg) = loaded_storage(200);
+        st.create_index(seg, 1, vec![0], true).unwrap();
+        let dir = temp_dir("disk-reads");
+        st.save_to(&dir).unwrap();
+        drop(st);
+
+        let back = Storage::open(&dir, 64).unwrap();
+        back.reset_io_stats();
+        let rid = back.segment(seg).unwrap().iter_relation(1).next().unwrap().0;
+        back.fetch(seg, 1, rid).unwrap();
+        let s = back.io_stats();
+        assert_eq!(s.data_page_fetches, 1);
+        assert_eq!(s.backend_reads, 1, "fetch on reopened store reads the page file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_page_file_is_a_clean_error() {
+        let (mut st, seg) = loaded_storage(100);
+        st.create_index(seg, 1, vec![0], true).unwrap();
+        let dir = temp_dir("corrupt");
+        st.save_to(&dir).unwrap();
+        // Flip a byte in the middle of the first segment page.
+        let path = dir.join(crate::pagefile::file_name(FileId::Segment(seg)));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[100] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Storage::open(&dir, 64).unwrap_err();
+        assert!(matches!(err, RssError::Corrupt(_)), "got {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_meta_is_a_clean_error() {
+        let (st, _) = loaded_storage(10);
+        let dir = temp_dir("badmeta");
+        st.save_to(&dir).unwrap();
+        std::fs::write(dir.join(STORAGE_META), "sysr-storage v1\nseg nonsense\n").unwrap();
+        assert!(Storage::open(&dir, 64).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,10 +8,12 @@
 //! `C-inner(sorted list) = TEMPPAGES/N + W*RSICARD` formula charges its
 //! page footprint.
 //!
-//! A [`TempList`] materializes tuples into virtual 4 KB pages (page
-//! boundaries computed from real encoded sizes) registered with the buffer
-//! pool under a fresh [`FileId::Temp`], so reading it back costs temp-page
-//! fetches and RSI calls exactly like any other access path.
+//! A [`TempList`] materializes tuples into real 4 KB pages (page boundaries
+//! computed from real encoded sizes) written to the page backend under a
+//! fresh [`FileId::Temp`], so reading it back costs temp-page fetches — each
+//! a physical backend read on a pool miss — and RSI calls exactly like any
+//! other access path. Temp pages are scratch: they are never saved with the
+//! database and [`TempList::destroy`] only drops their buffer frames.
 
 use crate::buffer::{FileId, PageKey};
 use crate::error::RssResult;
@@ -30,26 +32,36 @@ pub struct TempList {
 }
 
 impl TempList {
-    /// Materialize `tuples` into a new temp list, charging one temp-page
-    /// write per page produced.
-    pub fn materialize(storage: &Storage, tuples: Vec<Tuple>) -> TempList {
+    /// Materialize `tuples` into a new temp list, writing each page image
+    /// to the page backend and charging one temp-page write per page.
+    pub fn materialize(storage: &Storage, tuples: Vec<Tuple>) -> RssResult<TempList> {
         let file = storage.alloc_temp_file();
         let usable = PAGE_SIZE - PAGE_HEADER_SIZE;
         let mut page_of = Vec::with_capacity(tuples.len());
         let mut page = 0u32;
         let mut used = 0usize;
+        let mut payload: Vec<u8> = Vec::with_capacity(usable);
         for t in &tuples {
             let sz = t.encoded_size().min(usable);
             if used + sz > usable && used > 0 {
+                storage.write_temp_page(file, page, &payload)?;
+                payload.clear();
                 page += 1;
                 used = 0;
             }
             used += sz;
+            crate::codec::encode_tuple(t, &mut payload);
+            // A tuple bigger than a page occupies one page alone; its image
+            // is clipped (the in-memory copy stays authoritative).
+            payload.truncate(usable);
             page_of.push(page);
         }
         let page_count = if tuples.is_empty() { 0 } else { page + 1 };
+        if !tuples.is_empty() {
+            storage.write_temp_page(file, page, &payload)?;
+        }
         storage.record_temp_write(page_count as u64);
-        TempList { file, tuples, page_of, page_count }
+        Ok(TempList { file, tuples, page_of, page_count })
     }
 
     pub fn len(&self) -> usize {
@@ -70,11 +82,13 @@ impl TempList {
     }
 
     /// Read tuple `i`, touching its page and counting one RSI call.
-    pub fn read(&self, storage: &Storage, i: usize) -> Option<&Tuple> {
-        let t = self.tuples.get(i)?;
-        storage.touch(PageKey::new(FileId::Temp(self.file), self.page_of[i]));
+    pub fn read(&self, storage: &Storage, i: usize) -> RssResult<Option<&Tuple>> {
+        let Some(t) = self.tuples.get(i) else {
+            return Ok(None);
+        };
+        storage.touch(PageKey::new(FileId::Temp(self.file), self.page_of[i]))?;
         storage.record_rsi_call();
-        Some(t)
+        Ok(Some(t))
     }
 
     /// Peek tuple `i` without any accounting (planning / tests).
@@ -117,7 +131,7 @@ impl<'a> TempScan<'a> {
 
     /// NEXT: read and advance. Counts a temp-page touch and an RSI call.
     pub fn next(&mut self) -> RssResult<Option<Tuple>> {
-        match self.list.read(self.storage, self.pos) {
+        match self.list.read(self.storage, self.pos)? {
             Some(t) => {
                 self.pos += 1;
                 Ok(Some(t.clone()))
@@ -139,7 +153,7 @@ mod tests {
     #[test]
     fn materialize_counts_page_writes() {
         let st = Storage::new(16);
-        let list = TempList::materialize(&st, rows(1000));
+        let list = TempList::materialize(&st, rows(1000)).unwrap();
         assert!(list.page_count() > 1);
         assert_eq!(st.io_stats().temp_pages_written, list.page_count() as u64);
     }
@@ -147,7 +161,7 @@ mod tests {
     #[test]
     fn empty_list() {
         let st = Storage::new(16);
-        let list = TempList::materialize(&st, vec![]);
+        let list = TempList::materialize(&st, vec![]).unwrap();
         assert_eq!(list.page_count(), 0);
         assert!(list.is_empty());
         let mut scan = list.scan(&st);
@@ -157,7 +171,7 @@ mod tests {
     #[test]
     fn sequential_scan_touches_each_page_once() {
         let st = Storage::new(64);
-        let list = TempList::materialize(&st, rows(500));
+        let list = TempList::materialize(&st, rows(500)).unwrap();
         st.reset_io_stats();
         let mut scan = list.scan(&st);
         let mut n = 0;
@@ -173,7 +187,7 @@ mod tests {
     #[test]
     fn seek_and_tell_support_group_rewind() {
         let st = Storage::new(64);
-        let list = TempList::materialize(&st, rows(10));
+        let list = TempList::materialize(&st, rows(10)).unwrap();
         let mut scan = list.scan(&st);
         scan.next().unwrap();
         scan.next().unwrap();
@@ -186,7 +200,7 @@ mod tests {
     #[test]
     fn destroy_invalidates_buffer_pages() {
         let st = Storage::new(64);
-        let list = TempList::materialize(&st, rows(100));
+        let list = TempList::materialize(&st, rows(100)).unwrap();
         let mut scan = list.scan(&st);
         while scan.next().unwrap().is_some() {}
         let before = st.io_stats().temp_page_fetches;
@@ -201,7 +215,7 @@ mod tests {
     fn big_tuples_one_per_page() {
         let st = Storage::new(16);
         let big: Vec<Tuple> = (0..5).map(|i| tuple![i, "x".repeat(3000)]).collect();
-        let list = TempList::materialize(&st, big);
+        let list = TempList::materialize(&st, big).unwrap();
         assert_eq!(list.page_count(), 5);
     }
 }

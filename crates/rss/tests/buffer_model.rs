@@ -77,7 +77,7 @@ fn pool_matches_reference_model() {
         for _ in 0..n_ops {
             match arb_op(&mut rng) {
                 Op::Access(key) => {
-                    let miss = pool.access(key);
+                    let miss = pool.access(key).unwrap();
                     let model_miss = model.access(key);
                     assert_eq!(
                         miss, model_miss,

@@ -77,7 +77,7 @@ fn main() -> Result<(), DbError> {
     println!("optimization time:       {} \u{b5}s\n", s.elapsed_micros);
 
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let result = db.query(FIG1)?;
     let io = db.io_stats();
     println!("=== Result: {} clerk rows in Denver ===", result.len());

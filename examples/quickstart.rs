@@ -45,7 +45,7 @@ fn main() -> Result<(), DbError> {
 
     // ---- run it, with the measured cost the optimizer tried to predict ------
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let result = db.query(sql)?;
     println!("{result}");
     let io = db.io_stats();

@@ -20,7 +20,7 @@ fn load(db: &mut Database) -> Result<(), DbError> {
 }
 
 fn measure(db: &Database, sql: &str) -> (u64, u64) {
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     let r = db.query(sql).expect("query runs");
     let io = db.io_stats();
@@ -71,7 +71,7 @@ fn main() -> Result<(), DbError> {
     db.execute("UPDATE STATISTICS")?;
     println!("--- W = 0 (I/O only): {order_by} ---");
     println!("{}", db.explain(order_by)?);
-    db.set_config(Config { w: 3.0, buffer_pages: 16, ..Config::default() });
+    db.set_config(Config { w: 3.0, buffer_pages: 16, ..Config::default() }).unwrap();
     println!("--- W = 3 (CPU-heavy): same query ---");
     println!("{}", db.explain(order_by)?);
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # CI gate: formatting, lints, docs, release build, the full test suite,
-# and the sysr-audit invariant/lint pass (see DESIGN.md §8).
-# Runs offline — the workspace has zero external crates.
+# the persistence round-trip, and the sysr-audit invariant/recovery/lint
+# pass (see DESIGN.md §8–§9). Runs offline — zero external crates.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,4 +11,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 cargo build --release --workspace --bins --benches --examples
 cargo test --workspace
+# Save/reopen round-trip against real page files in a temp dir; pins the
+# fetches == device-reads identity and clean errors on torn/corrupt files.
+cargo test --release --test persistence
+# --all = plan invariants + DP oracle & sampled orders + recovery rules
+# (page-checksum, reopen-equivalence) + source lint.
 cargo run --release -p sysr-audit -- --all

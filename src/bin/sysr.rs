@@ -9,6 +9,8 @@
 //! * `\stats`   — I/O counters since the last `\reset`
 //! * `\reset`   — zero the I/O counters
 //! * `\evict`   — drop all buffered pages (next query runs cold)
+//! * `\save <dir>` — save the database (page files + catalogs) to a directory
+//! * `\open <dir>` — open a database previously saved with `\save`
 //! * `\tables`  — list relations with their statistics
 //! * `\w <f>`   — set the CPU weighting factor W
 //! * `\trace <select>` — show the optimizer's join-order search trace
@@ -97,10 +99,27 @@ fn command(db: &mut Database, cmd: &str) -> bool {
             db.reset_io_stats();
             println!("counters zeroed");
         }
-        "\\evict" => {
-            db.evict_buffers();
-            println!("buffer pool emptied");
-        }
+        "\\evict" => match db.evict_buffers() {
+            Ok(()) => println!("buffer pool emptied"),
+            Err(e) => report(e),
+        },
+        "\\save" => match parts.next() {
+            Some(dir) => match db.save(dir) {
+                Ok(()) => println!("saved to {dir}"),
+                Err(e) => report(e),
+            },
+            None => eprintln!("usage: \\save <directory>"),
+        },
+        "\\open" => match parts.next() {
+            Some(dir) => match Database::open_with_config(dir, db.config()) {
+                Ok(opened) => {
+                    *db = opened;
+                    println!("opened {dir} ({} relations)", db.catalog().relations().len());
+                }
+                Err(e) => report(e),
+            },
+            None => eprintln!("usage: \\open <directory>"),
+        },
         "\\tables" => {
             for rel in db.catalog().relations() {
                 let idx: Vec<String> = db
@@ -131,8 +150,10 @@ fn command(db: &mut Database, cmd: &str) -> bool {
             Some(w) => {
                 let mut cfg = db.config();
                 cfg.w = w;
-                db.set_config(cfg);
-                println!("W = {w}");
+                match db.set_config(cfg) {
+                    Ok(()) => println!("W = {w}"),
+                    Err(e) => report(e),
+                }
             }
             None => eprintln!("usage: \\w <float>"),
         },
@@ -162,7 +183,7 @@ fn command(db: &mut Database, cmd: &str) -> bool {
             Ok(()) => println!("Fig. 1 demo loaded: EMP (10k), DEPT (50), JOB (4); try:\n  EXPLAIN SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB WHERE TITLE='CLERK' AND LOC='DENVER' AND EMP.DNO=DEPT.DNO AND EMP.JOB=JOB.JOB;"),
             Err(e) => report(e),
         },
-        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\tables \\w \\trace \\audit \\demo"),
+        other => eprintln!("unknown command {other}; try \\q \\stats \\reset \\evict \\save \\open \\tables \\w \\trace \\audit \\demo"),
     }
     true
 }

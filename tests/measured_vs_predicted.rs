@@ -26,7 +26,7 @@ fn measure(db: &Database, query: &system_r::core::BoundQuery, plan: PlanExpr) ->
         qcard: 0.0,
         stats: Default::default(),
     };
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     db.execute_plan(&full).expect("plan executes");
     Cost::from_io(&db.io_stats()).total(db.config().w)
@@ -191,7 +191,7 @@ fn scenarios() -> Vec<Scenario> {
 
     // The paper's three-way example.
     let mut db = fig1_db(2500, 25, 10);
-    db.set_config(small_buffer());
+    db.set_config(small_buffer()).unwrap();
     out.push(Scenario {
         name: "fig1",
         db,

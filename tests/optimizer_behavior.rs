@@ -74,7 +74,7 @@ fn range_scan_uses_clustered_index_bounds() {
     assert!(range.is_some(), "BETWEEN must become start/stop keys");
     // Execute and confirm the scan touched only a sliver of the relation.
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let r = db.query("SELECT PAD FROM T WHERE K BETWEEN 100 AND 150").unwrap();
     assert_eq!(r.len(), 51);
     let io = db.io_stats();
@@ -162,7 +162,7 @@ fn w_weighting_shifts_plan_choice() {
         plan_low_w.explain(db.catalog())
     );
 
-    db.set_config(Config { w: 3.0, buffer_pages: 8, ..Config::default() });
+    db.set_config(Config { w: 3.0, buffer_pages: 8, ..Config::default() }).unwrap();
     let plan_high_w = db.plan(sql).unwrap();
     assert!(
         matches!(
@@ -201,7 +201,7 @@ fn sargs_filter_below_the_rsi() {
     db.insert_rows("T", (0..10_000).map(|i| tuple![i % 100, format!("x{i:027}")])).unwrap();
     db.execute("UPDATE STATISTICS").unwrap();
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let r = db.query("SELECT PAD FROM T WHERE A = 5").unwrap();
     assert_eq!(r.len(), 100);
     let io = db.io_stats();
@@ -223,7 +223,7 @@ fn probe_values_bound_at_execution() {
     let plan = db.plan("SELECT SMALL.K FROM SMALL, BIG WHERE SMALL.K = BIG.K").unwrap();
     assert_eq!(find_join(&plan.root), Some("nested-loop"), "{}", plan.explain(db.catalog()));
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let r = db.query("SELECT SMALL.K FROM SMALL, BIG WHERE SMALL.K = BIG.K").unwrap();
     assert_eq!(r.len(), 5 * 50); // each key appears 50 times in BIG
     let io = db.io_stats();
@@ -260,7 +260,7 @@ fn index_only_scan_skips_data_pages_when_enabled() {
     let plan = db.plan(sql).unwrap();
     let text = plan.explain(db.catalog());
     assert!(text.contains("INDEX-ONLY"), "{text}");
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     let r = db.query(sql).unwrap();
     assert_eq!(r.len(), 1901);
@@ -273,7 +273,7 @@ fn index_only_scan_skips_data_pages_when_enabled() {
     let db = build(false);
     let plan = db.plan(sql).unwrap();
     assert!(!plan.explain(db.catalog()).contains("INDEX-ONLY"));
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     db.reset_io_stats();
     let r2 = db.query(sql).unwrap();
     assert_eq!(r2.rows, r.rows, "results identical either way");
@@ -305,7 +305,7 @@ fn segment_scan_via_rss_matches_tcard() {
     let rel = db.catalog().relation_by_name("T").unwrap();
     let (tcard, seg, rel_id) = (rel.stats.tcard, rel.segment, rel.id);
     db.reset_io_stats();
-    db.evict_buffers();
+    db.evict_buffers().unwrap();
     let mut scan = system_r::rss::SegmentScan::open(
         db.storage(),
         seg,

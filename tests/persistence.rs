@@ -1,0 +1,165 @@
+//! Persistence round-trip: a database saved to real page files must come
+//! back byte-for-byte equivalent — same query results, same catalog
+//! statistics — and the disk backend's I/O accounting must match the
+//! buffer pool's page-fetch counters exactly.
+
+mod common;
+
+use common::fig1_db;
+use std::path::PathBuf;
+use system_r::Database;
+
+/// The query corpus re-run before and after the round-trip: the same
+/// shapes `sql_correctness` pins (filters, joins, the Fig. 1 three-way
+/// join, grouping, subqueries), each with ORDER BY so row order is
+/// deterministic.
+const CORPUS: &[&str] = &[
+    "SELECT NAME FROM EMP WHERE SAL > 9000 ORDER BY NAME",
+    "SELECT NAME FROM EMP WHERE DNO IN (1, 2) AND JOB = 5 ORDER BY NAME",
+    "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER' ORDER BY NAME",
+    "SELECT NAME, TITLE, SAL, DNAME FROM EMP, DEPT, JOB \
+     WHERE TITLE = 'CLERK' AND LOC = 'DENVER' \
+       AND EMP.DNO = DEPT.DNO AND EMP.JOB = JOB.JOB ORDER BY NAME",
+    "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO ORDER BY DNO",
+    "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO FROM DEPT WHERE LOC = 'DENVER') ORDER BY NAME",
+    "SELECT NAME, SAL FROM EMP WHERE SAL BETWEEN 2000 AND 30000 AND JOB IN (5, 6) ORDER BY NAME, SAL",
+];
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sysr-persist-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// NCARD / TCARD / ICARD / NINDX for every object, as one comparable blob.
+fn stats_fingerprint(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.catalog().relations() {
+        out.push_str(&format!(
+            "rel {} ncard={} tcard={} valid={}\n",
+            rel.name, rel.stats.ncard, rel.stats.tcard, rel.stats.valid
+        ));
+    }
+    for idx in db.catalog().indexes() {
+        out.push_str(&format!(
+            "idx {} icard={} nindx={} valid={}\n",
+            idx.name, idx.stats.icard, idx.stats.nindx, idx.stats.valid
+        ));
+    }
+    out
+}
+
+#[test]
+fn round_trip_reruns_the_correctness_corpus_identically() {
+    let db = fig1_db(2_000, 25, 5);
+    let before: Vec<_> =
+        CORPUS.iter().map(|sql| db.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"))).collect();
+    let stats_before = stats_fingerprint(&db);
+
+    let dir = scratch_dir("roundtrip");
+    db.save(&dir).expect("save");
+    let reopened = Database::open(&dir).expect("open");
+
+    assert_eq!(stats_fingerprint(&reopened), stats_before, "catalog statistics must survive");
+    for (sql, expected) in CORPUS.iter().zip(&before) {
+        let got = reopened.query(sql).unwrap_or_else(|e| panic!("reopened {sql}: {e}"));
+        assert_eq!(got.columns, expected.columns, "column headers changed: {sql}");
+        assert_eq!(got.rows, expected.rows, "rows changed after reopen: {sql}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn page_fetches_on_disk_backend_equal_backend_reads() {
+    // The tentpole identity: with real page files behind the pool, every
+    // counted page fetch is a device read — `EXPLAIN ANALYZE` fetches
+    // correspond to actual I/O, not a residency simulation.
+    let db = fig1_db(2_000, 25, 5);
+    let dir = scratch_dir("identity");
+    db.save(&dir).expect("save");
+    let reopened = Database::open(&dir).expect("open");
+
+    for sql in CORPUS {
+        reopened.evict_buffers().expect("evict");
+        reopened.reset_io_stats();
+        reopened.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let io = reopened.io_stats();
+        let fetches = io.data_page_fetches + io.index_page_fetches + io.temp_page_fetches;
+        assert_eq!(
+            fetches, io.backend_reads,
+            "page fetches must equal device reads for {sql}: {io}"
+        );
+        assert!(io.data_page_fetches > 0, "cold scan must touch data pages: {sql}");
+    }
+
+    // The rendered EXPLAIN ANALYZE report rides on the same counters.
+    let report = reopened
+        .explain_analyze("SELECT NAME FROM EMP WHERE SAL > 9000 ORDER BY NAME")
+        .expect("explain analyze");
+    assert!(report.contains("measured io:"), "analyze report must show measured I/O:\n{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_and_truncated_files_are_clean_errors() {
+    let db = fig1_db(500, 10, 5);
+    let dir = scratch_dir("torn");
+    db.save(&dir).expect("save");
+
+    // Torn write: chop the segment file mid-page.
+    let seg = dir.join("seg-0.pages");
+    let bytes = std::fs::read(&seg).expect("read seg");
+    assert!(bytes.len() > 4096, "fixture must span pages");
+    std::fs::write(&seg, &bytes[..bytes.len() - 1000]).expect("truncate");
+    let err = Database::open(&dir).err().expect("torn page file must fail to open");
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+
+    // Restore, then corrupt a single byte instead.
+    std::fs::write(&seg, &bytes).expect("restore");
+    Database::open(&dir).expect("restored database opens again");
+    let mut flipped = bytes.clone();
+    flipped[200] ^= 0x5A;
+    std::fs::write(&seg, &flipped).expect("corrupt");
+    assert!(Database::open(&dir).is_err(), "checksum mismatch must fail to open");
+
+    // Truncated metadata is a parse error, not a panic.
+    std::fs::write(&seg, &bytes).expect("restore again");
+    let meta = dir.join("storage.meta");
+    let text = std::fs::read_to_string(&meta).expect("read meta");
+    let keep = text.len() / 2;
+    std::fs::write(&meta, &text[..keep]).expect("truncate meta");
+    assert!(Database::open(&dir).is_err(), "truncated storage.meta must fail to open");
+
+    // Missing catalog metadata fails cleanly too.
+    std::fs::write(&meta, &text).expect("restore meta");
+    std::fs::remove_file(dir.join("catalog.meta")).expect("drop catalog.meta");
+    assert!(Database::open(&dir).is_err(), "missing catalog.meta must fail to open");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn save_into_and_reopen_from_a_nested_directory() {
+    // `save` must create the directory path itself, and a reopened
+    // database stays fully writable: inserts, new indexes, re-gathered
+    // statistics, and a second save into the same directory.
+    let db = fig1_db(500, 10, 5);
+    let dir = scratch_dir("nested").join("a").join("b");
+    db.save(&dir).expect("save into nested path");
+
+    let mut reopened = Database::open(&dir).expect("open");
+    reopened
+        .execute("INSERT INTO DEPT VALUES (99, 'NEW-DEPT', 'DENVER')")
+        .expect("insert after reopen");
+    reopened.execute("UPDATE STATISTICS").expect("statistics after reopen");
+    let n = reopened.query("SELECT DNAME FROM DEPT WHERE DNO = 99").expect("query new row");
+    assert_eq!(n.rows.len(), 1);
+    reopened.save(&dir).expect("second save");
+
+    let third = Database::open(&dir).expect("reopen after second save");
+    let n = third.query("SELECT DNAME FROM DEPT WHERE DNO = 99").expect("query survives");
+    assert_eq!(n.rows.len(), 1);
+    let _ = std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("sysr-persist-{}-nested", std::process::id())),
+    );
+}
