@@ -36,6 +36,7 @@ pub mod corpus;
 pub mod differential;
 pub mod invariants;
 pub mod lint;
+pub mod parallel;
 pub mod recovery;
 
 use std::fmt;

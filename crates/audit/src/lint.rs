@@ -42,8 +42,6 @@ const GUARD_WINDOW: usize = 6;
 /// anyway), but new bench modules are linted by default until someone
 /// consciously adds them here.
 const EXEMPT_FILES: &[&str] = &[
-    "crates/bench/src/harness.rs",
-    "crates/bench/src/workloads.rs",
     "crates/bench/src/bin/exp_buffer_sweep.rs",
     "crates/bench/src/bin/exp_interesting_orders.rs",
     "crates/bench/src/bin/exp_nested.rs",

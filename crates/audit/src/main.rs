@@ -1,9 +1,10 @@
 //! `sysr-audit` — run the plan auditor and the source lint pass.
 //!
 //! ```text
-//! sysr-audit --all               # plans + differential + recovery + lint (CI mode)
+//! sysr-audit --all               # plans + differential + parallel + recovery + lint (CI mode)
 //! sysr-audit --plans             # plan invariants over the built-in corpus
 //! sysr-audit --diff              # DP-vs-exhaustive oracle + sampled 5-6-way orders
+//! sysr-audit --parallel          # threads>1 search must be bit-identical to threads=1
 //! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
 //! sysr-audit --root <dir>        # repo root for --lint (default: .)
@@ -25,6 +26,7 @@ use sysr_core::{Optimizer, OptimizerConfig};
 struct Options {
     plans: bool,
     diff: bool,
+    parallel: bool,
     recovery: bool,
     lint: bool,
     root: PathBuf,
@@ -36,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         plans: false,
         diff: false,
+        parallel: false,
         recovery: false,
         lint: false,
         root: PathBuf::from("."),
@@ -48,11 +51,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--all" => {
                 opts.plans = true;
                 opts.diff = true;
+                opts.parallel = true;
                 opts.recovery = true;
                 opts.lint = true;
             }
             "--plans" => opts.plans = true,
             "--diff" => opts.diff = true,
+            "--parallel" => opts.parallel = true,
             "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
             "--root" => {
@@ -70,8 +75,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(opts.plans || opts.diff || opts.recovery || opts.lint) {
-        return Err("pick at least one of --all / --plans / --diff / --recovery / --lint".into());
+    if !(opts.plans || opts.diff || opts.parallel || opts.recovery || opts.lint) {
+        return Err(
+            "pick at least one of --all / --plans / --diff / --parallel / --recovery / --lint"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -113,7 +121,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
@@ -135,6 +143,11 @@ fn main() -> ExitCode {
         let mut r = differential::audit_differential(&cases, config);
         r.merge(differential::audit_order_samples(opts.seed, config));
         println!("differential: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.parallel {
+        let r = sysr_audit::parallel::audit_parallel(&cases, config);
+        println!("parallel: {} checks, {} violations", r.checks, r.violations.len());
         report.merge(r);
     }
     if opts.recovery {

@@ -1,0 +1,132 @@
+//! The parallel-determinism rule: `dp-parallel-deterministic`.
+//!
+//! The parallel join-order search partitions each DP level's work items
+//! across threads and merges the per-item winners in item order, which is
+//! designed to reproduce the sequential search *exactly* — same plan,
+//! bit-identical costs, same trace accounting. This module re-derives
+//! that guarantee empirically over the audit corpus: every case is
+//! optimized with `threads = 1` and `threads = N` and the results must
+//! match byte for byte (plan debug rendering, which includes every `f64`
+//! cost in shortest-roundtrip form, plus each block's search-trace
+//! rendering and enumeration counters, excluding wall-clock time).
+//!
+//! A failure here means the parallel merge is not a faithful refactoring
+//! of the sequential fold — a scheduling-dependent plan choice, exactly
+//! the class of bug that makes parallel optimizers untrustworthy.
+
+use crate::corpus::{parse_select, CorpusCase};
+use crate::{AuditReport, Violation};
+use sysr_core::{Optimizer, OptimizerConfig, QueryPlan};
+
+/// Zero every block's `elapsed_micros` (the one stats field that is
+/// wall-clock, not search accounting) so plan comparisons see only the
+/// deterministic parts.
+fn strip_elapsed(plan: &mut QueryPlan) {
+    plan.stats.elapsed_micros = 0;
+    for sub in &mut plan.subplans {
+        strip_elapsed(sub);
+    }
+}
+
+/// Thread counts checked against the sequential baseline. Two is the
+/// smallest pool; four exercises multi-worker merges.
+const THREAD_COUNTS: [usize; 2] = [2, 4];
+
+/// Run the determinism rule over every corpus case.
+pub fn audit_parallel(cases: &[CorpusCase], config: OptimizerConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    for case in cases {
+        report.merge(parallel_case(case, config));
+    }
+    report
+}
+
+/// Optimize one case sequentially and at each pooled thread count, and
+/// require identical plans, traces, and counters.
+pub fn parallel_case(case: &CorpusCase, config: OptimizerConfig) -> AuditReport {
+    const RULE: &str = "dp-parallel-deterministic";
+    let mut report = AuditReport::default();
+    let stmt = match parse_select(&case.sql) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(Violation::new(RULE, &case.label, format!("corpus parse: {e}")));
+            return report;
+        }
+    };
+    let sequential = OptimizerConfig { threads: 1, ..config };
+    let mut baseline =
+        match Optimizer::with_config(&case.catalog, sequential).optimize_traced(&stmt) {
+            Ok(r) => r,
+            Err(e) => {
+                report.push(Violation::new(RULE, &case.label, format!("corpus bind: {e}")));
+                return report;
+            }
+        };
+    strip_elapsed(&mut baseline.0);
+    let base_plan = format!("{:?}", baseline.0);
+    let base_traces: Vec<(String, String)> =
+        baseline.1.iter().map(|(l, t)| (l.clone(), t.render())).collect();
+
+    for threads in THREAD_COUNTS {
+        let pooled_config = OptimizerConfig { threads, ..config };
+        let mut pooled =
+            match Optimizer::with_config(&case.catalog, pooled_config).optimize_traced(&stmt) {
+                Ok(r) => r,
+                Err(e) => {
+                    report.push(Violation::new(
+                        RULE,
+                        &case.label,
+                        format!("threads={threads} bind: {e}"),
+                    ));
+                    continue;
+                }
+            };
+        strip_elapsed(&mut pooled.0);
+
+        report.checks += 1;
+        let pooled_plan = format!("{:?}", pooled.0);
+        if pooled_plan != base_plan {
+            report.push(Violation::new(
+                RULE,
+                &case.label,
+                format!("threads={threads} chose a different plan than threads=1"),
+            ));
+        }
+
+        report.checks += 1;
+        let pooled_traces: Vec<(String, String)> =
+            pooled.1.iter().map(|(l, t)| (l.clone(), t.render())).collect();
+        if pooled_traces != base_traces {
+            report.push(Violation::new(
+                RULE,
+                &case.label,
+                format!(
+                    "threads={threads} search trace differs from threads=1 \
+                     (accounting is scheduling-dependent)"
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{builtin_cases, random_chain_cases};
+
+    #[test]
+    fn builtin_corpus_is_parallel_deterministic() {
+        let config = OptimizerConfig::default();
+        let report = audit_parallel(&builtin_cases(), config);
+        assert!(report.ok(), "{}", report.render());
+        assert!(report.checks > 0, "rule must actually compare something");
+    }
+
+    #[test]
+    fn random_chains_are_parallel_deterministic() {
+        let config = OptimizerConfig::default();
+        let report = audit_parallel(&random_chain_cases(0x9A11E1, 4), config);
+        assert!(report.ok(), "{}", report.render());
+    }
+}

@@ -10,7 +10,7 @@ fn main() {
     let group = BenchGroup::new("join_methods").sample_size(10);
 
     // Small restricted outer, indexed inner: the nested-loop regime.
-    let db = two_table_db(2000, 8000, 500, 200, true, true, 30, 16);
+    let db = two_table_db(2000, 8000, 500, 200, true, true, 30, 16).unwrap();
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 1";
     group.bench("nl_regime_small_outer", || {
         db.evict_buffers().unwrap();
@@ -18,7 +18,7 @@ fn main() {
     });
 
     // Full outer, merge regime.
-    let db = two_table_db(4000, 4000, 400, 1, true, false, 30, 16);
+    let db = two_table_db(4000, 4000, 400, 1, true, false, 30, 16).unwrap();
     let sql = "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K";
     group.bench("merge_regime_full_outer", || {
         db.evict_buffers().unwrap();

@@ -11,7 +11,7 @@ use system_r::sql::{parse_statement, Statement};
 use system_r::Config;
 
 fn main() {
-    let db = fig1_db(Fig1Params { n_emp: 1500, n_dept: 20, ..Default::default() });
+    let db = fig1_db(Fig1Params { n_emp: 1500, n_dept: 20, ..Default::default() }).unwrap();
     let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { unreachable!() };
     let bound = bind_select(db.catalog(), &stmt).unwrap();
     let config = Config { defer_cartesian: false, ..db.config() };

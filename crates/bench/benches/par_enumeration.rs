@@ -1,0 +1,38 @@
+//! Bench: the parallel join-order DP across worker-thread counts, on the
+//! 5- and 6-relation chain workloads (the arities where enumeration cost
+//! starts to dominate). Every thread count produces bit-identical plans —
+//! the only difference is wall-clock. On a single-core host the pooled
+//! runs can only measure coordination overhead; `BENCH_optimizer.json`
+//! (written by `bench_optimizer`) records the hardware thread count next
+//! to the numbers for exactly that reason.
+
+use std::hint::black_box;
+use sysr_bench::timing::BenchGroup;
+use sysr_bench::workloads::synth_chain_db;
+use system_r::core::{bind_select, Enumerator};
+use system_r::sql::{parse_statement, Statement};
+use system_r::Config;
+
+fn main() {
+    let group = BenchGroup::new("par_enumeration").sample_size(20);
+    for n in [5usize, 6] {
+        let (db, sql) = synth_chain_db(n, 400).unwrap();
+        let Statement::Select(stmt) = parse_statement(&sql).unwrap() else {
+            unreachable!("chain workload is a SELECT")
+        };
+        let bound = bind_select(db.catalog(), &stmt).unwrap();
+        for threads in [1usize, 2, 4] {
+            let config = Config { threads, ..Config::default() };
+            let e = Enumerator::new(db.catalog(), &bound, config);
+            group.bench(&format!("chain{n}/t{threads}"), || black_box(e.best_plan().0.cost));
+        }
+        // The relaxed space (Cartesian deferral off) is the heavyweight
+        // case: ~6x the candidates at n = 6.
+        for threads in [1usize, 4] {
+            let config = Config { threads, defer_cartesian: false, ..Config::default() };
+            let e = Enumerator::new(db.catalog(), &bound, config);
+            group
+                .bench(&format!("chain{n}_relaxed/t{threads}"), || black_box(e.best_plan().0.cost));
+        }
+    }
+}

@@ -8,7 +8,7 @@ use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
 use system_r::sql::parse_statement;
 
 fn main() {
-    let db = fig1_db(Fig1Params { n_emp: 2000, n_dept: 25, ..Default::default() });
+    let db = fig1_db(Fig1Params { n_emp: 2000, n_dept: 25, ..Default::default() }).unwrap();
     let group = BenchGroup::new("pipeline");
 
     group.bench("parse_fig1", || black_box(parse_statement(FIG1_SQL).unwrap()));

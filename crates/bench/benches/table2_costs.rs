@@ -9,7 +9,7 @@ use system_r::core::{bind_select, CostModel, Enumerator, TableSet};
 use system_r::sql::{parse_statement, Statement};
 
 fn main() {
-    let db = fig1_db(Fig1Params { n_emp: 1000, ..Default::default() });
+    let db = fig1_db(Fig1Params { n_emp: 1000, ..Default::default() }).unwrap();
     let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { unreachable!() };
     let bound = bind_select(db.catalog(), &stmt).unwrap();
     let enumerator = Enumerator::new(db.catalog(), &bound, db.config());

@@ -11,7 +11,7 @@
 use sysr_bench::harness::run_all_plans;
 use sysr_bench::workloads::two_table_db;
 
-fn main() {
+fn main() -> Result<(), system_r::DbError> {
     println!("JOIN METHODS: nested loops vs merging scans (inner: 8000 rows, K indexed)\n");
     println!(
         "{:<28} {:>10} {:>12} {:>12} {:>9}   optimizer chose",
@@ -29,13 +29,13 @@ fn main() {
         (2, "outer ≈ 2000 rows"),
         (1, "outer = 4000 rows"),
     ] {
-        let db = two_table_db(4000, 8000, 500, tag_card, true, true, 40, 16);
+        let db = two_table_db(4000, 8000, 500, tag_card, true, true, 40, 16)?;
         let sql = if tag_card == 1 {
             "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K".to_string()
         } else {
             "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 1".to_string()
         };
-        let (plans, chosen_idx) = run_all_plans(&db, &sql, 300);
+        let (plans, chosen_idx) = run_all_plans(&db, &sql, 300)?;
         let best_of = |tag: &str| -> f64 {
             plans
                 .iter()
@@ -61,4 +61,5 @@ fn main() {
          small restricted outers probe the inner index (NL); large outers amortize one sort\n\
          of the inner (merge)."
     );
+    Ok(())
 }

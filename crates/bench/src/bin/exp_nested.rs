@@ -24,7 +24,7 @@ fn main() {
     );
     println!("{:-<78}", "");
     for span in [1i64, 2, 10, 50, 200, 2000] {
-        let db = employee_db(n, span);
+        let db = employee_db(n, span).unwrap();
         db.evict_buffers().unwrap();
         db.reset_io_stats();
         let r = db.query(CORRELATED).unwrap();
@@ -48,7 +48,7 @@ fn main() {
     );
 
     // Uncorrelated subqueries evaluate exactly once, regardless of outer size.
-    let db = employee_db(n, 10);
+    let db = employee_db(n, 10).unwrap();
     db.evict_buffers().unwrap();
     db.reset_io_stats();
     db.query("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)")
@@ -62,7 +62,7 @@ fn main() {
     );
 
     // Three-level nesting from the paper.
-    let db = employee_db(500, 5);
+    let db = employee_db(500, 5).unwrap();
     let r = db
         .query(
             "SELECT NAME FROM EMPLOYEE X WHERE SALARY >

@@ -17,7 +17,7 @@ use std::time::Instant;
 use sysr_bench::workloads::{fig1_db, synth_chain_db, Fig1Params, FIG1_SQL};
 
 fn main() {
-    let db = fig1_db(Fig1Params { n_emp: 5000, n_dept: 50, ..Default::default() });
+    let db = fig1_db(Fig1Params { n_emp: 5000, n_dept: 50, ..Default::default() }).unwrap();
 
     // Calibrate: the cost of one database retrieval = average time per RSI
     // call over a warm segment scan.
@@ -73,7 +73,7 @@ fn main() {
     run("two-way join", &db, two_way);
     run("three-way join (Fig. 1)", &db, FIG1_SQL);
     for n in [4usize, 6, 8] {
-        let (chain_db, sql) = synth_chain_db(n, 500);
+        let (chain_db, sql) = synth_chain_db(n, 500).unwrap();
         run(&format!("{n}-way chain join"), &chain_db, &sql);
     }
 

@@ -27,7 +27,8 @@ fn scenarios() -> Vec<Scenario> {
     for seed in [1u64, 2, 3] {
         out.push(Scenario {
             name: format!("fig1/seed{seed}"),
-            db: fig1_db(Fig1Params { n_emp: 2000, n_dept: 25, seed, ..Default::default() }),
+            db: fig1_db(Fig1Params { n_emp: 2000, n_dept: 25, seed, ..Default::default() })
+                .unwrap(),
             sql: FIG1_SQL.to_string(),
         });
     }
@@ -36,7 +37,7 @@ fn scenarios() -> Vec<Scenario> {
     {
         out.push(Scenario {
             name: name.to_string(),
-            db: two_table_db(800, 4000, key_card, 50, index_inner, true, 40, 16),
+            db: two_table_db(800, 4000, key_card, 50, index_inner, true, 40, 16).unwrap(),
             sql: "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 3"
                 .to_string(),
         });
@@ -44,7 +45,7 @@ fn scenarios() -> Vec<Scenario> {
     out.push(Scenario {
         name: "single/range".into(),
         db: {
-            let mut db = two_table_db(6000, 10, 1000, 50, false, false, 60, 16);
+            let mut db = two_table_db(6000, 10, 1000, 50, false, false, 60, 16).unwrap();
             db.execute("CREATE CLUSTERED INDEX OUTR_K ON OUTR (K)").unwrap();
             db.execute("UPDATE STATISTICS").unwrap();
             db
@@ -65,7 +66,7 @@ fn main() {
     let mut total = 0usize;
     let mut rhos = Vec::new();
     for s in scenarios() {
-        let (plans, idx) = run_all_plans(&s.db, &s.sql, 400);
+        let (plans, idx) = run_all_plans(&s.db, &s.sql, 400).unwrap();
         let chosen = &plans[idx];
         let best = plans.iter().map(|m| m.measured).fold(f64::INFINITY, f64::min);
         let ratio = if best > 0.0 { chosen.measured / best } else { 1.0 };

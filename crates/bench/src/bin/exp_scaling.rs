@@ -57,8 +57,8 @@ fn main() {
                 continue;
             }
             let (mut db, sql) = match shape {
-                "chain" => synth_chain_db(n, 300),
-                "star" => star_db(n.max(2), 500, 60),
+                "chain" => synth_chain_db(n, 300).unwrap(),
+                "star" => star_db(n.max(2), 500, 60).unwrap(),
                 _ => clique_db(n, 200),
             };
             if no_heuristic {

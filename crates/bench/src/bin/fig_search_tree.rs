@@ -20,7 +20,7 @@ use system_r::sql::{parse_statement, Statement};
 
 fn main() {
     let p = Fig1Params { n_emp: 10_000, n_dept: 50, n_job: 10, ..Default::default() };
-    let db = fig1_db(p);
+    let db = fig1_db(p).unwrap();
 
     println!("=== Fig. 1: the example join query ===\n{FIG1_SQL}\n");
     for t in ["EMP", "DEPT", "JOB"] {

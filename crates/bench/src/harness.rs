@@ -3,7 +3,7 @@
 
 use system_r::core::{bind_select, BoundQuery, Cost, Enumerator, PlanExpr, PlanNode, QueryPlan};
 use system_r::sql::{parse_statement, Statement};
-use system_r::{Config, Database};
+use system_r::{Config, Database, DbError, DbResult};
 
 /// One executed plan's numbers.
 #[derive(Debug, Clone)]
@@ -17,7 +17,7 @@ pub struct PlanMeasurement {
 
 /// Execute a raw plan with a cold buffer and return its measured weighted
 /// cost. The plan must come from the same bound query.
-pub fn measure_plan(db: &Database, query: &BoundQuery, plan: PlanExpr) -> (f64, f64) {
+pub fn measure_plan(db: &Database, query: &BoundQuery, plan: PlanExpr) -> DbResult<(f64, f64)> {
     let full = QueryPlan {
         query: query.clone(),
         root: plan,
@@ -27,21 +27,25 @@ pub fn measure_plan(db: &Database, query: &BoundQuery, plan: PlanExpr) -> (f64, 
         qcard: 0.0,
         stats: Default::default(),
     };
-    db.evict_buffers().unwrap();
+    db.evict_buffers()?;
     db.reset_io_stats();
-    db.execute_plan(&full).expect("plan executes");
+    db.execute_plan(&full)?;
     let io = db.io_stats();
-    (Cost::from_io(&io).total(db.config().w), io.page_fetches() as f64)
+    Ok((Cost::from_io(&io).total(db.config().w), io.page_fetches() as f64))
 }
 
 /// Enumerate every complete plan for `sql` (heuristic off so genuinely
 /// *all* join orders appear), execute each cold, and return the
 /// measurements plus the index of the optimizer's chosen plan.
-pub fn run_all_plans(db: &Database, sql: &str, cap: usize) -> (Vec<PlanMeasurement>, usize) {
-    let Statement::Select(stmt) = parse_statement(sql).expect("parses") else {
-        panic!("not a SELECT")
+pub fn run_all_plans(
+    db: &Database,
+    sql: &str,
+    cap: usize,
+) -> DbResult<(Vec<PlanMeasurement>, usize)> {
+    let Statement::Select(stmt) = parse_statement(sql)? else {
+        return Err(DbError::Unsupported("run_all_plans takes a SELECT".into()));
     };
-    let bound = bind_select(db.catalog(), &stmt).expect("binds");
+    let bound = bind_select(db.catalog(), &stmt)?;
     let config = Config { defer_cartesian: false, ..db.config() };
     let enumerator = Enumerator::new(db.catalog(), &bound, config);
     let (chosen, _) = enumerator.best_plan();
@@ -52,16 +56,18 @@ pub fn run_all_plans(db: &Database, sql: &str, cap: usize) -> (Vec<PlanMeasureme
         let predicted = plan.cost.total(w);
         let predicted_pages = plan.cost.pages;
         let summary = summarize_plan(&plan);
-        let (measured, measured_pages) = measure_plan(db, &bound, plan);
+        let (measured, measured_pages) = measure_plan(db, &bound, plan)?;
         out.push(PlanMeasurement { predicted, measured, predicted_pages, measured_pages, summary });
     }
     let chosen_summary = summarize_plan(&chosen);
     let chosen_pred = chosen.cost.total(w);
-    let idx = out
+    let idx = match out
         .iter()
         .position(|m| m.summary == chosen_summary && (m.predicted - chosen_pred).abs() < 1e-6)
-        .unwrap_or_else(|| {
-            let (measured, measured_pages) = measure_plan(db, &bound, chosen.clone());
+    {
+        Some(i) => i,
+        None => {
+            let (measured, measured_pages) = measure_plan(db, &bound, chosen.clone())?;
             out.push(PlanMeasurement {
                 predicted: chosen_pred,
                 measured,
@@ -70,8 +76,9 @@ pub fn run_all_plans(db: &Database, sql: &str, cap: usize) -> (Vec<PlanMeasureme
                 summary: chosen_summary,
             });
             out.len() - 1
-        });
-    (out, idx)
+        }
+    };
+    Ok((out, idx))
 }
 
 /// One-line plan description, e.g. `NL(NL(seg(JOB), idx(EMP.EMP_JOB)),
@@ -150,9 +157,10 @@ mod tests {
 
     #[test]
     fn run_all_plans_finds_chosen() {
-        let db = two_table_db(300, 600, 50, 10, true, false, 20, 16);
+        let db = two_table_db(300, 600, 50, 10, true, false, 20, 16).unwrap();
         let (plans, idx) =
-            run_all_plans(&db, "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K", 200);
+            run_all_plans(&db, "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K", 200)
+                .unwrap();
         assert!(plans.len() >= 4);
         assert!(idx < plans.len());
         assert!(plans.iter().all(|m| m.measured > 0.0));
@@ -160,8 +168,8 @@ mod tests {
 
     #[test]
     fn fig1_chosen_is_competitive() {
-        let db = fig1_db(Fig1Params { n_emp: 400, n_dept: 10, ..Default::default() });
-        let (plans, idx) = run_all_plans(&db, FIG1_SQL, 300);
+        let db = fig1_db(Fig1Params { n_emp: 400, n_dept: 10, ..Default::default() }).unwrap();
+        let (plans, idx) = run_all_plans(&db, FIG1_SQL, 300).unwrap();
         let best = plans.iter().map(|m| m.measured).fold(f64::INFINITY, f64::min);
         assert!(plans[idx].measured <= best * 3.0, "chosen plan grossly suboptimal");
     }

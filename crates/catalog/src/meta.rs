@@ -96,11 +96,22 @@ pub struct Catalog {
     indexes: Vec<IndexMeta>,
     rel_by_name: HashMap<String, RelId>,
     idx_by_name: HashMap<String, IndexId>,
+    /// Bumped on every change that can alter an access path decision
+    /// (DDL, statistics). Plan caches compare this stamp to decide
+    /// whether a stored plan is still valid.
+    version: u64,
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The catalog's change stamp: monotonically increasing across DDL
+    /// and statistics updates, so `version() != stamped_version` means a
+    /// previously chosen plan may no longer be the best (or even valid).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     // ---- relations -------------------------------------------------------
@@ -135,6 +146,7 @@ impl Catalog {
             stats: RelStats::default(),
         });
         self.rel_by_name.insert(upper, id);
+        self.version += 1;
         Ok(id)
     }
 
@@ -143,6 +155,9 @@ impl Catalog {
     }
 
     pub fn relation_mut(&mut self, id: RelId) -> Option<&mut RelationMeta> {
+        // Handing out `&mut` means the caller may change anything the
+        // optimizer reads; assume it does.
+        self.version += 1;
         self.relations.get_mut(id as usize)
     }
 
@@ -195,6 +210,7 @@ impl Catalog {
             stats: IndexStats::default(),
         });
         self.idx_by_name.insert(upper, id);
+        self.version += 1;
         Ok(id)
     }
 
@@ -226,6 +242,7 @@ impl Catalog {
     /// statistic by walking storage. "They are then updated periodically by
     /// an UPDATE STATISTICS command, which can be run by any user."
     pub fn update_statistics(&mut self, storage: &Storage) {
+        self.version += 1;
         for rel in &mut self.relations {
             let Ok(segment) = storage.segment(rel.segment) else { continue };
             let ncard = segment.count_tuples(rel.id) as u64;
@@ -266,6 +283,7 @@ impl Catalog {
         match self.indexes.iter_mut().find(|i| i.id == id) {
             Some(idx) => {
                 idx.stats = stats;
+                self.version += 1;
                 true
             }
             None => false,
@@ -278,6 +296,7 @@ impl Catalog {
         match self.relations.get_mut(id as usize) {
             Some(rel) => {
                 rel.stats = stats;
+                self.version += 1;
                 true
             }
             None => false,

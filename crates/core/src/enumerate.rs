@@ -13,19 +13,37 @@
 //! 1)`; [`EnumerationStats`] reports the actual counts and a byte
 //! estimate, reproducing the paper's "a few thousand bytes of storage"
 //! claim.
+//!
+//! # Hot-path engineering
+//!
+//! The search works on an indexed [`PlanArena`]
+//! instead of cloned [`PlanExpr`] trees, with order keys interned to
+//! dense ids ([`KeyInterner`]) — candidate
+//! generation is a node push, not a subtree clone, and solution stores
+//! are flat slot arrays. Because every level-*k* subset depends only on
+//! the frozen level-<*k* memo, the per-level batch of (subset, extension)
+//! work items can be solved by a scoped worker pool
+//! ([`OptimizerConfig::threads`]); results are merged deterministically
+//! in work-item order, so plans, costs, and every trace counter are
+//! bit-identical to the sequential `threads = 1` path.
 
 use crate::access::{access_paths, AccessCandidate, PlanCtx};
+use crate::arena::{ArenaNode, NodeId, NodeKind, PlanArena, WorkArena};
 use crate::bitset::TableSet;
-use crate::join::{merge_join, nested_loop, sort_plan};
+use crate::intern::{KeyId, KeyInterner, EMPTY_KEY};
+use crate::join::{merge_cost, nested_loop_cost, sort_cost, sort_plan};
 use crate::order::OrderKey;
 use crate::plan::PlanExpr;
 use crate::query::{BoundQuery, ColId};
 use crate::OptimizerConfig;
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::{Arc, Mutex};
 use sysr_catalog::Catalog;
 
 /// Counters describing one enumeration run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnumerationStats {
     /// Subsets of the FROM list for which solutions were built.
     pub subsets_examined: u64,
@@ -41,18 +59,6 @@ pub struct EnumerationStats {
     pub solution_bytes: u64,
     /// Wall-clock time of the search, microseconds.
     pub elapsed_micros: u64,
-}
-
-/// Per-subset solution store: cheapest plan per order key, plus the
-/// cheapest overall under the empty key.
-struct SubsetSolutions {
-    best: HashMap<OrderKey, PlanExpr>,
-}
-
-impl SubsetSolutions {
-    fn new() -> Self {
-        SubsetSolutions { best: HashMap::new() }
-    }
 }
 
 /// One subset's surviving solutions, for search-tree reporting (the
@@ -80,6 +86,8 @@ pub struct TraceEntry {
 /// What the DP search did for one subset of the FROM list.
 #[derive(Debug, Clone)]
 pub struct SubsetTrace {
+    /// The subset's bit pattern over FROM-list positions.
+    pub set: TableSet,
     /// Names of the subset's relations, FROM-list order.
     pub tables: Vec<String>,
     /// Subset size (the DP level).
@@ -102,7 +110,7 @@ pub struct SubsetTrace {
 /// `pruned() + surviving() == plans_considered` holds by construction.
 #[derive(Debug, Clone)]
 pub struct SearchTrace {
-    /// Per-subset traces, sorted by level then subset bits.
+    /// Per-subset traces, sorted by level then subset bit pattern.
     pub subsets: Vec<SubsetTrace>,
     /// Copy of the run's [`EnumerationStats`].
     pub stats: EnumerationStats,
@@ -169,11 +177,20 @@ impl SearchTrace {
     }
 }
 
+/// Dense per-subset solution store: `slots[key id]` is the cheapest plan
+/// with that interned order key (`slots[0]` = cheapest overall).
+type SlotStore = Box<[Option<NodeId>]>;
+
 /// Everything one DP run produced (internal).
 struct SearchOutcome {
     best: PlanExpr,
     stats: EnumerationStats,
-    table: HashMap<TableSet, SubsetSolutions>,
+    arena: PlanArena,
+    memo: HashMap<TableSet, SlotStore>,
+    /// Interner snapshot that decodes the memo's slot indexes (the
+    /// relaxed fallback re-runs with its own enumerator, so the outcome
+    /// must carry the interner that produced it).
+    keys: KeyInterner,
     /// Candidates generated per subset (sums to `stats.plans_considered`).
     generated: HashMap<TableSet, u64>,
     /// True if the heuristic stranded the full set and the search re-ran
@@ -181,14 +198,264 @@ struct SearchOutcome {
     relaxed: bool,
 }
 
+/// One unit of DP work: extend subset `set` by joining relation `t` last.
+/// A level's items are solved independently (each reads only the frozen
+/// lower-level memo) and merged in item order.
+struct WorkItem {
+    set: TableSet,
+    t: usize,
+}
+
+/// What solving one work item produced: the per-slot winners among this
+/// item's candidate stream, the scratch nodes those winners reference,
+/// and how many candidates the item generated.
+struct ItemOut {
+    slots: Vec<Option<(NodeId, f64)>>,
+    scratch: Vec<ArenaNode>,
+    generated: u64,
+}
+
+/// One DP level's frozen state, shared with the pool workers while the
+/// level runs: the work items, the arena nodes and memo built by the
+/// levels below (read-only), a claim counter, and the result sink. The
+/// main thread moves the state in, workers claim items off `next`, and
+/// once every worker signals done the state is moved back out.
+struct LevelShared {
+    items: Vec<WorkItem>,
+    nodes: Vec<ArenaNode>,
+    memo: HashMap<TableSet, SlotStore>,
+    next: AtomicUsize,
+    results: Mutex<Vec<(usize, ItemOut)>>,
+}
+
+/// Pool coordination state: a generation counter workers spin on, the
+/// published level, and done/dead counters. A level's handoff must cost
+/// well under the level's work (tens of microseconds), so workers
+/// busy-wait on `seq` instead of blocking on a channel — a futex wake per
+/// worker per level would dominate the search. The pool only lives for
+/// one `run_search`, so the spinning is bounded by the search itself.
+struct PoolShared {
+    /// Bumped to publish a new level (and once more at shutdown).
+    seq: AtomicUsize,
+    /// Set (before the final `seq` bump) when the pool is dropped.
+    shutdown: AtomicBool,
+    /// Workers that finished the current generation's items.
+    done: AtomicUsize,
+    /// Workers that died unwinding; excused from every later generation.
+    dead: AtomicUsize,
+    /// The current level, present from publish until every live worker
+    /// reports done.
+    level: Mutex<Option<Arc<LevelShared>>>,
+}
+
+/// Bumps `dead` if its worker unwinds, so the main thread never waits on
+/// a done signal that cannot come. The worker's per-level state drops
+/// first (locals unwind before this outer guard), so its
+/// `Arc<LevelShared>` clone is already released by then.
+struct DeathNotice<'a> {
+    dead: &'a AtomicUsize,
+    armed: bool,
+}
+
+impl Drop for DeathNotice<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.dead.fetch_add(1, std::sync::atomic::Ordering::Release);
+        }
+    }
+}
+
+/// One round of a wait spin: cheap pause hints first, then polite yields
+/// so an oversubscribed machine still makes progress.
+fn wait_spin(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 200 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A per-search pool of scoped worker threads. Each level publishes an
+/// [`Arc<LevelShared>`] and bumps the generation counter; workers wake
+/// off their spin, race the main thread for items, and report done.
+/// Dropping the pool flags shutdown, ending the workers before the scope
+/// joins them.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `n_workers` scoped threads that serve levels until shutdown.
+    /// Each worker keeps one [`AccessCache`] for the whole search (its
+    /// entries are pure functions of the query, so reuse across levels is
+    /// sound) and drops its `Arc` clone *before* reporting done, so the
+    /// main thread can reclaim the level state. Results are batched into
+    /// one sink push per worker per level.
+    fn start<'scope>(
+        e: &'scope Enumerator<'scope>,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        n_workers: usize,
+    ) -> WorkerPool {
+        use std::sync::atomic::Ordering;
+        use std::sync::PoisonError;
+        let shared = Arc::new(PoolShared {
+            seq: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            done: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+            level: Mutex::new(None),
+        });
+        for _ in 0..n_workers {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                let mut notice = DeathNotice { dead: &shared.dead, armed: true };
+                let mut cache = AccessCache::new(e.ctx.query.factors.len());
+                let mut last = 0usize;
+                let mut spins = 0u32;
+                loop {
+                    let s = shared.seq.load(Ordering::Acquire);
+                    if s == last {
+                        wait_spin(&mut spins);
+                        continue;
+                    }
+                    spins = 0;
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    last = s;
+                    let level = shared.level.lock().unwrap_or_else(PoisonError::into_inner).clone();
+                    if let Some(level) = level {
+                        let mut local: Vec<(usize, ItemOut)> = Vec::new();
+                        loop {
+                            let i = level.next.fetch_add(1, Ordering::Relaxed);
+                            if i >= level.items.len() {
+                                break;
+                            }
+                            let out = e.solve_item(
+                                &level.items[i],
+                                &level.nodes,
+                                &level.memo,
+                                &mut cache,
+                            );
+                            local.push((i, out));
+                        }
+                        if !local.is_empty() {
+                            level
+                                .results
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .extend(local);
+                        }
+                        drop(level);
+                    }
+                    shared.done.fetch_add(1, Ordering::Release);
+                }
+                notice.armed = false;
+            });
+        }
+        WorkerPool { shared, workers: n_workers }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering;
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.seq.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Worker-local memo for [`access_paths`]: its output is a pure function
+/// of `(table, applicable factor set)` — a factor is applicable exactly
+/// when all its non-local operand tables are available, which also makes
+/// every probe operand resolvable — so candidates are keyed by the
+/// factor bitmask and reused across subsets. Disabled for blocks with
+/// more than 64 factors (no bitmask; correctness falls back to direct
+/// calls).
+struct AccessCache {
+    map: HashMap<(usize, u64), Rc<Vec<AccessCandidate>>>,
+    enabled: bool,
+}
+
+impl AccessCache {
+    fn new(n_factors: usize) -> Self {
+        AccessCache { map: HashMap::new(), enabled: n_factors <= 64 }
+    }
+
+    fn paths(
+        &mut self,
+        ctx: &PlanCtx<'_>,
+        t: usize,
+        available: TableSet,
+    ) -> Rc<Vec<AccessCandidate>> {
+        if !self.enabled {
+            return Rc::new(access_paths(ctx, t, available));
+        }
+        let me = TableSet::single(t);
+        let mut mask = 0u64;
+        for (i, f) in ctx.query.factors.iter().enumerate() {
+            if f.tables.contains(t) && f.tables.minus(me).is_subset_of(available) {
+                mask |= 1u64 << i;
+            }
+        }
+        self.map
+            .entry((t, mask))
+            .or_insert_with(|| Rc::new(access_paths(ctx, t, available)))
+            .clone()
+    }
+}
+
+/// Per-item candidate scaffolding shared by every outer plan of the item:
+/// the inner access-path nodes (pushed once, referenced per join) and the
+/// merge-key variants with their residual factor lists.
+struct ItemScaffold {
+    rows_out: f64,
+    /// Nested-loop inners: scratch node + buffer-resident page cap.
+    probes: Vec<(NodeId, Option<f64>)>,
+    merges: Vec<MergeScaffold>,
+}
+
+struct MergeScaffold {
+    outer_col: ColId,
+    inner_col: ColId,
+    /// Interned key of a sort on `outer_col` (for unsorted outers).
+    outer_sort_key: KeyId,
+    /// Merge inner variants: scratch node + residual factors.
+    inner_variants: Vec<(NodeId, Vec<usize>)>,
+}
+
 /// The join-order enumerator for one query block.
 pub struct Enumerator<'a> {
     pub ctx: PlanCtx<'a>,
+    /// Frozen order-key interner (the key universe is closed: scan
+    /// orders, single-class sort orders, and the empty key).
+    keys: KeyInterner,
+    /// Interned key of `[class c]` per equivalence class.
+    class_keys: Vec<KeyId>,
+    /// Interned key of each index's produced order, per FROM position
+    /// (self-joins give the same index different keys per position).
+    index_keys: HashMap<(usize, u32), KeyId>,
 }
 
 impl<'a> Enumerator<'a> {
     pub fn new(catalog: &'a Catalog, query: &'a BoundQuery, config: OptimizerConfig) -> Self {
-        Enumerator { ctx: PlanCtx::new(catalog, query, config) }
+        let ctx = PlanCtx::new(catalog, query, config);
+        let mut keys = KeyInterner::new();
+        let class_keys: Vec<KeyId> =
+            (0..ctx.orders.class_count()).map(|c| keys.intern(vec![c])).collect();
+        let mut index_keys = HashMap::new();
+        for (t, bt) in query.tables.iter().enumerate() {
+            if let Some(rel) = catalog.relation(bt.rel) {
+                for idx in catalog.indexes_on(rel.id) {
+                    let cols: Vec<ColId> = idx.key_cols.iter().map(|&c| ColId::new(t, c)).collect();
+                    index_keys.insert((t, idx.id), keys.intern(ctx.orders.order_key(&cols)));
+                }
+            }
+        }
+        keys.freeze(&ctx.orders);
+        Enumerator { ctx, keys, class_keys, index_keys }
     }
 
     /// Run the DP search and also return the full solution table — the
@@ -197,10 +464,19 @@ impl<'a> Enumerator<'a> {
     pub fn best_plan_with_tree(&self) -> (PlanExpr, EnumerationStats, Vec<SubsetReport>) {
         let o = self.run_search();
         let mut reports: Vec<SubsetReport> = o
-            .table
-            .into_iter()
-            .map(|(set, sols)| {
-                let mut entries: Vec<(OrderKey, PlanExpr)> = sols.best.into_iter().collect();
+            .memo
+            .iter()
+            .map(|(&set, slots)| {
+                let mut entries: Vec<(OrderKey, PlanExpr)> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(kid, slot)| {
+                        slot.map(|id| {
+                            // audit:allow(no-as-cast) — slot index is an interned key id
+                            (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id))
+                        })
+                    })
+                    .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
                 SubsetReport { set, entries }
             })
@@ -223,11 +499,19 @@ impl<'a> Enumerator<'a> {
     pub fn best_plan_traced(&self) -> (PlanExpr, EnumerationStats, SearchTrace) {
         let o = self.run_search();
         let mut subsets: Vec<SubsetTrace> = o
-            .table
+            .memo
             .iter()
-            .map(|(set, sols)| {
-                let mut entries: Vec<(OrderKey, PlanExpr)> =
-                    sols.best.iter().map(|(k, p)| (k.clone(), p.clone())).collect();
+            .map(|(&set, slots)| {
+                let mut entries: Vec<(OrderKey, PlanExpr)> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(kid, slot)| {
+                        slot.map(|id| {
+                            // audit:allow(no-as-cast) — slot index is an interned key id
+                            (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id))
+                        })
+                    })
+                    .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
                 // Distinct plans: the cheapest-overall slot usually aliases
                 // one of the order slots; count each stored plan once.
@@ -239,8 +523,9 @@ impl<'a> Enumerator<'a> {
                 }
                 // audit:allow(no-as-cast) — collection length into a u64 counter
                 let surviving = distinct.len() as u64;
-                let generated = o.generated.get(set).copied().unwrap_or(0);
+                let generated = o.generated.get(&set).copied().unwrap_or(0);
                 SubsetTrace {
+                    set,
                     tables: set
                         .iter()
                         .map(|t| {
@@ -268,7 +553,10 @@ impl<'a> Enumerator<'a> {
                 }
             })
             .collect();
-        subsets.sort_by_key(|s| (s.level, s.tables.clone()));
+        // Sort by (level, subset bit pattern): a pure integer key, cheaper
+        // and better-defined than the old sort by cloned table-name lists
+        // (which ordered subsets alphabetically, not by FROM position).
+        subsets.sort_by_key(|s| (s.level, s.set.0));
         let trace = SearchTrace { subsets, stats: o.stats, relaxed_fallback: o.relaxed };
         (o.best, o.stats, trace)
     }
@@ -309,134 +597,542 @@ impl<'a> Enumerator<'a> {
         }
     }
 
+    // ---- candidate generation (shared by DP and oracle paths) ------------
+
+    /// Interned [`KeyId`]s are dense indexes into per-subset slot arrays.
+    fn slot_index(key: KeyId) -> usize {
+        key as usize // audit:allow(no-as-cast) — dense interner id, starts at 0
+    }
+
+    /// Interned order key of a scan candidate.
+    fn scan_key(&self, cand: &AccessCandidate) -> KeyId {
+        match &cand.scan.access {
+            crate::plan::Access::Segment => EMPTY_KEY,
+            crate::plan::Access::Index { index, .. } => {
+                self.index_keys.get(&(cand.scan.table, *index)).copied().unwrap_or(EMPTY_KEY)
+            }
+        }
+    }
+
+    /// Interned key of an order on exactly `[col]`.
+    fn class_key(&self, col: ColId) -> KeyId {
+        self.ctx.orders.class_of(col).map(|c| self.class_keys[c]).unwrap_or(EMPTY_KEY)
+    }
+
+    fn push_scan(&self, wa: &mut WorkArena<'_>, cand: &AccessCandidate) -> NodeId {
+        wa.push(ArenaNode {
+            kind: NodeKind::Scan { scan: cand.scan.clone(), order: cand.order.clone() },
+            cost: cand.cost,
+            rows: cand.out_rows,
+            key: self.scan_key(cand),
+            count: 1,
+        })
+    }
+
+    fn push_sort(
+        &self,
+        wa: &mut WorkArena<'_>,
+        input: NodeId,
+        keys: Vec<ColId>,
+        width: f64,
+        key: KeyId,
+    ) -> NodeId {
+        let (cost, rows, count) = {
+            let n = wa.node(input);
+            (sort_cost(n.cost, n.rows, width), n.rows, n.count + 1)
+        };
+        wa.push(ArenaNode { kind: NodeKind::Sort { input, keys }, cost, rows, key, count })
+    }
+
+    /// Build the per-item scaffolding: nested-loop inners pushed once and
+    /// merge variants with residuals, shared across every outer plan.
+    #[allow(clippy::too_many_arguments)]
+    fn build_scaffold(
+        &self,
+        wa: &mut WorkArena<'_>,
+        t: usize,
+        set: TableSet,
+        s_prime: TableSet,
+        rows_out: f64,
+        probe: &[AccessCandidate],
+        local: &[AccessCandidate],
+    ) -> ItemScaffold {
+        let probes: Vec<(NodeId, Option<f64>)> = probe
+            .iter()
+            .map(|cand| (self.push_scan(wa, cand), self.inner_footprint(t, cand)))
+            .collect();
+        // Local scan nodes are pushed lazily, once, and shared across the
+        // merge keys that use them.
+        let mut local_nodes: Vec<Option<NodeId>> = vec![None; local.len()];
+        let mut merges = Vec::new();
+        for (fidx, outer_col, inner_col) in self.merge_keys(t, s_prime) {
+            let mut inner_variants: Vec<(NodeId, Vec<usize>)> = Vec::new();
+            // Inner side: an ordered access path on the join column (local
+            // predicates only), or sort the cheapest local path.
+            for (ci, cand) in local.iter().enumerate() {
+                if cand.order.first() == Some(&inner_col) {
+                    let node = *local_nodes[ci].get_or_insert_with(|| self.push_scan(wa, cand));
+                    let mut applied = cand.applied.clone();
+                    applied.push(fidx);
+                    inner_variants.push((node, self.residual_factors(t, set, &applied)));
+                }
+            }
+            if let Some((ci, cheapest)) = local.iter().enumerate().min_by(|a, b| {
+                self.ctx.model.total(a.1.cost).total_cmp(&self.ctx.model.total(b.1.cost))
+            }) {
+                let node = *local_nodes[ci].get_or_insert_with(|| self.push_scan(wa, cheapest));
+                let sorted = self.push_sort(
+                    wa,
+                    node,
+                    vec![inner_col],
+                    self.ctx.width(t),
+                    self.class_key(inner_col),
+                );
+                let mut applied = cheapest.applied.clone();
+                applied.push(fidx);
+                inner_variants.push((sorted, self.residual_factors(t, set, &applied)));
+            }
+            merges.push(MergeScaffold {
+                outer_col,
+                inner_col,
+                outer_sort_key: self.class_key(outer_col),
+                inner_variants,
+            });
+        }
+        ItemScaffold { rows_out, probes, merges }
+    }
+
+    /// Residual factors of a merge: every factor newly in scope that the
+    /// inner scan and merge key do not already enforce.
+    fn residual_factors(&self, t: usize, set: TableSet, applied: &[usize]) -> Vec<usize> {
+        self.ctx
+            .query
+            .factors
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| {
+                !f.tables.is_empty()
+                    && f.tables.contains(t)
+                    && f.tables.is_subset_of(set)
+                    && !applied.contains(i)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Generate every way to join relation `t` (the inner) to one outer
+    /// plan — nested loops over every inner access path, and merging
+    /// scans per equi-join predicate — calling `emit` per candidate, in
+    /// the same order the tree-cloning implementation produced them.
+    fn extend_outer(
+        &self,
+        wa: &mut WorkArena<'_>,
+        sc: &ItemScaffold,
+        s_prime: TableSet,
+        outer: NodeId,
+        emit: &mut impl FnMut(&mut WorkArena<'_>, NodeId),
+    ) {
+        // ---- nested loops ------------------------------------------------
+        for &(inner, cap) in &sc.probes {
+            let (cost, key, count) = {
+                let o = wa.node(outer);
+                let i = wa.node(inner);
+                (nested_loop_cost(o.cost, o.rows, i.cost, cap), o.key, o.count + i.count + 1)
+            };
+            let id = wa.push(ArenaNode {
+                kind: NodeKind::NestedLoop { outer, inner },
+                cost,
+                rows: sc.rows_out,
+                key,
+                count,
+            });
+            emit(wa, id);
+        }
+        // ---- merging scans -----------------------------------------------
+        for m in &sc.merges {
+            // Outer side: use as-is when already ordered on the join
+            // column's class, otherwise sort the composite.
+            let outer_ready =
+                self.keys.leads_with(wa.node(outer).key, self.ctx.orders.class_of(m.outer_col));
+            let outer_variant = if outer_ready {
+                outer
+            } else {
+                self.push_sort(
+                    wa,
+                    outer,
+                    vec![m.outer_col],
+                    self.ctx.composite_width(s_prime),
+                    m.outer_sort_key,
+                )
+            };
+            for (inner, residual) in &m.inner_variants {
+                let (cost, key, count) = {
+                    let o = wa.node(outer_variant);
+                    let i = wa.node(*inner);
+                    (merge_cost(o.cost, i.cost), o.key, o.count + i.count + 1)
+                };
+                let id = wa.push(ArenaNode {
+                    kind: NodeKind::Merge {
+                        outer: outer_variant,
+                        inner: *inner,
+                        outer_key: m.outer_col,
+                        inner_key: m.inner_col,
+                        residual: residual.clone(),
+                    },
+                    cost,
+                    rows: sc.rows_out,
+                    key,
+                    count,
+                });
+                emit(wa, id);
+            }
+        }
+    }
+
+    /// Offer a candidate to an item's slot store: it may become the
+    /// cheapest plan overall (slot 0) and/or the cheapest for its
+    /// interesting-order class. Ties keep the earlier candidate, exactly
+    /// like the sequential `consider` always has.
+    fn consider(
+        &self,
+        wa: &WorkArena<'_>,
+        slots: &mut [Option<(NodeId, f64)>],
+        id: NodeId,
+        generated: &mut u64,
+    ) {
+        *generated += 1;
+        let node = wa.node(id);
+        let key = if self.ctx.config.interesting_orders { node.key } else { EMPTY_KEY };
+        let total = self.ctx.model.total(node.cost);
+        if key != EMPTY_KEY {
+            match slots[Self::slot_index(key)] {
+                Some((_, best)) if best <= total => {}
+                _ => slots[Self::slot_index(key)] = Some((id, total)),
+            }
+        }
+        match slots[Self::slot_index(EMPTY_KEY)] {
+            Some((_, best)) if best <= total => {}
+            _ => slots[Self::slot_index(EMPTY_KEY)] = Some((id, total)),
+        }
+    }
+
+    /// Solve one work item against the frozen lower-level memo: generate
+    /// this (subset, extension)'s candidate stream and keep the per-slot
+    /// winners. Pure function of the item — safe to run on any worker.
+    fn solve_item(
+        &self,
+        item: &WorkItem,
+        main: &[ArenaNode],
+        memo: &HashMap<TableSet, SlotStore>,
+        cache: &mut AccessCache,
+    ) -> ItemOut {
+        let mut wa = WorkArena::new(main);
+        let mut slots: Vec<Option<(NodeId, f64)>> = vec![None; self.keys.len()];
+        let mut generated = 0u64;
+        if item.set.len() == 1 {
+            // Level 1: every access path for the single relation.
+            let local = cache.paths(&self.ctx, item.t, TableSet::EMPTY);
+            for cand in local.iter() {
+                let id = self.push_scan(&mut wa, cand);
+                self.consider(&wa, &mut slots, id, &mut generated);
+            }
+        } else {
+            let s_prime = item.set.minus(TableSet::single(item.t));
+            if let Some(outer_slots) = memo.get(&s_prime) {
+                let rows_out = self.ctx.subset_rows(item.set);
+                let probe = cache.paths(&self.ctx, item.t, s_prime);
+                let local = cache.paths(&self.ctx, item.t, TableSet::EMPTY);
+                let sc = self
+                    .build_scaffold(&mut wa, item.t, item.set, s_prime, rows_out, &probe, &local);
+                for outer in outer_slots.iter().flatten().copied() {
+                    self.extend_outer(&mut wa, &sc, s_prime, outer, &mut |wa, id| {
+                        self.consider(wa, &mut slots, id, &mut generated);
+                    });
+                }
+            }
+        }
+        ItemOut { slots, scratch: wa.local, generated }
+    }
+
+    /// Run one level's items on the pool: freeze the level's state into an
+    /// `Arc`, publish it to the workers, claim items on this thread too,
+    /// then recover the state once every live worker reports done.
+    /// Results are re-sorted by item index, so the output is the same
+    /// vector, in the same order, as the sequential path produces.
+    fn run_level_pooled(
+        &self,
+        pool: &WorkerPool,
+        items: Vec<WorkItem>,
+        nodes: Vec<ArenaNode>,
+        memo: HashMap<TableSet, SlotStore>,
+        cache: &mut AccessCache,
+    ) -> (Vec<ItemOut>, Vec<WorkItem>, Vec<ArenaNode>, HashMap<TableSet, SlotStore>) {
+        use std::sync::atomic::Ordering;
+        use std::sync::PoisonError;
+        let shared = Arc::new(LevelShared {
+            items,
+            nodes,
+            memo,
+            next: AtomicUsize::new(0),
+            results: Mutex::new(Vec::new()),
+        });
+        // Publish: slot and done-reset strictly before the seq bump the
+        // workers gate on.
+        *pool.shared.level.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::clone(&shared));
+        pool.shared.done.store(0, Ordering::Release);
+        pool.shared.seq.fetch_add(1, Ordering::Release);
+        // This thread works the queue too (threads = workers + 1), with
+        // its results batched like the workers'.
+        let mut local: Vec<(usize, ItemOut)> = Vec::new();
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= shared.items.len() {
+                break;
+            }
+            let out = self.solve_item(&shared.items[i], &shared.nodes, &shared.memo, cache);
+            local.push((i, out));
+        }
+        if !local.is_empty() {
+            shared.results.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+        }
+        // Wait until every worker still alive has finished this level. A
+        // worker that died bumped `dead` during its unwind, after its
+        // per-level state (including the Arc clone) was already dropped.
+        let mut spins = 0u32;
+        loop {
+            let dead = pool.shared.dead.load(Ordering::Acquire);
+            if pool.shared.done.load(Ordering::Acquire) >= pool.workers.saturating_sub(dead) {
+                break;
+            }
+            wait_spin(&mut spins);
+        }
+        *pool.shared.level.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        // Workers drop their Arc clone before reporting done, so this
+        // unwrap spins at most briefly on the last decrement's visibility.
+        let mut shared = shared;
+        let level = loop {
+            match Arc::try_unwrap(shared) {
+                Ok(s) => break s,
+                Err(again) => {
+                    shared = again;
+                    std::hint::spin_loop();
+                }
+            }
+        };
+        let mut results = level.results.into_inner().unwrap_or_else(PoisonError::into_inner);
+        results.sort_by_key(|r| r.0);
+        (results.into_iter().map(|(_, r)| r).collect(), level.items, level.nodes, level.memo)
+    }
+
+    /// The DP proper: build every level's solutions, sequentially or on
+    /// the worker pool. Returns the arena, memo, and per-subset generated
+    /// counts; `stats` accumulates the run's counters.
+    fn search_levels(
+        &self,
+        stats: &mut EnumerationStats,
+        pool: Option<&WorkerPool>,
+    ) -> (PlanArena, HashMap<TableSet, SlotStore>, HashMap<TableSet, u64>) {
+        let n = self.ctx.query.tables.len();
+        let mut arena = PlanArena::default();
+        let mut memo: HashMap<TableSet, SlotStore> = HashMap::new();
+        let mut generated: HashMap<TableSet, u64> = HashMap::new();
+        // One access-path cache for the whole search (pure memoization, so
+        // reuse across levels cannot change any candidate stream).
+        let mut cache = AccessCache::new(self.ctx.query.factors.len());
+
+        // ---- level by level (Figs. 2-6): singles, then larger subsets ----
+        for k in 1..=n {
+            let mut subsets: Vec<TableSet> = Vec::new();
+            let mut items: Vec<WorkItem> = Vec::new();
+            if k == 1 {
+                for t in 0..n {
+                    subsets.push(TableSet::single(t));
+                    items.push(WorkItem { set: TableSet::single(t), t });
+                }
+            } else {
+                for set in TableSet::subsets_of_size(n, k) {
+                    subsets.push(set);
+                    // Which relations may join last? The paper's heuristic:
+                    // only orderings "which have join predicates relating
+                    // the inner relation to the other relations already
+                    // participating in the join" — a Cartesian extension is
+                    // allowed only when nothing connected could extend the
+                    // outer instead, so products are "performed as late in
+                    // the join sequence as possible".
+                    let members: Vec<usize> = set.iter().collect();
+                    let chosen: Vec<usize> = if self.ctx.config.defer_cartesian {
+                        let ok: Vec<usize> = members
+                            .iter()
+                            .copied()
+                            .filter(|&t| self.extension_allowed(t, set.minus(TableSet::single(t))))
+                            .collect();
+                        // audit:allow(no-as-cast) — ok is a filtered subset of members, difference fits u64
+                        stats.heuristic_skips += (members.len() - ok.len()) as u64;
+                        ok
+                    } else {
+                        members
+                    };
+                    for t in chosen {
+                        items.push(WorkItem { set, t });
+                    }
+                }
+            }
+            // audit:allow(no-as-cast) — subset counts into u64 reporting counters
+            stats.subsets_examined += subsets.len() as u64;
+
+            // Scratch ids minted by the items start at the frozen arena
+            // length; capture it before commits grow the arena.
+            // audit:allow(no-as-cast) — arena size bounded by plans considered
+            let base = arena.len() as NodeId;
+            let (results, items) = match pool {
+                Some(pool) if items.len() > 1 => {
+                    let nodes = std::mem::take(&mut arena.nodes);
+                    let taken = std::mem::take(&mut memo);
+                    let (results, items, nodes, memo_back) =
+                        self.run_level_pooled(pool, items, nodes, taken, &mut cache);
+                    arena.nodes = nodes;
+                    memo = memo_back;
+                    (results, items)
+                }
+                _ => {
+                    let results = items
+                        .iter()
+                        .map(|it| self.solve_item(it, &arena.nodes, &memo, &mut cache))
+                        .collect::<Vec<_>>();
+                    (results, items)
+                }
+            };
+
+            // ---- deterministic merge + commit, subset by subset ----------
+            let mut item_idx = 0usize;
+            for &set in &subsets {
+                let mut merged: Vec<Option<(usize, NodeId, f64)>> = vec![None; self.keys.len()];
+                let mut gen = 0u64;
+                while item_idx < items.len() && items[item_idx].set == set {
+                    let r = &results[item_idx];
+                    gen += r.generated;
+                    for (kid, slot) in r.slots.iter().enumerate() {
+                        if let Some((node, total)) = slot {
+                            // Replace only when strictly cheaper: each
+                            // item's slot already holds the first minimum
+                            // of its own stream, so folding in item order
+                            // reproduces the sequential first-minimum.
+                            match merged[kid] {
+                                Some((_, _, best)) if best <= *total => {}
+                                _ => merged[kid] = Some((item_idx, *node, *total)),
+                            }
+                        }
+                    }
+                    item_idx += 1;
+                }
+                let mut remap: HashMap<(usize, NodeId), NodeId> = HashMap::new();
+                let committed: SlotStore = merged
+                    .iter()
+                    .map(|slot| {
+                        slot.map(|(item, node, _)| {
+                            arena.commit(&results[item].scratch, base, item, node, &mut remap)
+                        })
+                    })
+                    .collect();
+                stats.plans_considered += gen;
+                generated.insert(set, gen);
+                memo.insert(set, committed);
+            }
+        }
+        (arena, memo, generated)
+    }
+
     fn run_search(&self) -> SearchOutcome {
         let started = std::time::Instant::now();
         let mut stats = EnumerationStats::default();
         let n = self.ctx.query.tables.len();
         assert!(n > 0, "query block has no tables");
-        let mut table: HashMap<TableSet, SubsetSolutions> = HashMap::new();
-        let mut generated: HashMap<TableSet, u64> = HashMap::new();
-
-        // ---- single relations (Fig. 2 / Fig. 3) --------------------------
-        for t in 0..n {
-            let set = TableSet::single(t);
-            let mut sols = SubsetSolutions::new();
-            let before = stats.plans_considered;
-            for cand in access_paths(&self.ctx, t, TableSet::EMPTY) {
-                self.consider(&mut sols, cand.into_plan(), &mut stats);
-            }
-            generated.insert(set, stats.plans_considered - before);
-            stats.subsets_examined += 1;
-            table.insert(set, sols);
-        }
-
-        // ---- successively larger subsets (Figs. 4-6) ----------------------
-        for k in 2..=n {
-            for set in TableSet::subsets_of_size(n, k) {
-                let mut sols = SubsetSolutions::new();
-                let before = stats.plans_considered;
-                stats.subsets_examined += 1;
-                // Which relations may join last? The paper's heuristic:
-                // only orderings "which have join predicates relating the
-                // inner relation to the other relations already
-                // participating in the join" — a Cartesian extension is
-                // allowed only when nothing connected could extend the
-                // outer instead, so products are "performed as late in the
-                // join sequence as possible".
-                let members: Vec<usize> = set.iter().collect();
-                let chosen: Vec<usize> = if self.ctx.config.defer_cartesian {
-                    let ok: Vec<usize> = members
-                        .iter()
-                        .copied()
-                        .filter(|&t| self.extension_allowed(t, set.minus(TableSet::single(t))))
-                        .collect();
-                    // audit:allow(no-as-cast) — ok is a filtered subset of members, difference fits u64
-                    stats.heuristic_skips += (members.len() - ok.len()) as u64;
-                    ok
-                } else {
-                    members
-                };
-                for &t in &chosen {
-                    let s_prime = set.minus(TableSet::single(t));
-                    let Some(outer_sols) = table.get(&s_prime) else { continue };
-                    let outer_plans: Vec<PlanExpr> = outer_sols.best.values().cloned().collect();
-                    let rows_out = self.ctx.subset_rows(set);
-                    let inner_probe = access_paths(&self.ctx, t, s_prime);
-                    let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
-                    for outer in &outer_plans {
-                        for cand in self.join_candidates(
-                            outer,
-                            t,
-                            s_prime,
-                            rows_out,
-                            &inner_probe,
-                            &inner_local,
-                        ) {
-                            self.consider(&mut sols, cand, &mut stats);
-                        }
-                    }
-                }
-                generated.insert(set, stats.plans_considered - before);
-                table.insert(set, sols);
-            }
-        }
+        let threads = self.ctx.config.threads.max(1);
+        let (arena, memo, generated) = if threads > 1 {
+            // One pool per search: `threads - 1` scoped workers plus this
+            // thread, fed a frozen snapshot per level. Dropping the pool
+            // closes the work channels and the scope joins the workers.
+            std::thread::scope(|scope| {
+                let pool = WorkerPool::start(self, scope, threads - 1);
+                let out = self.search_levels(&mut stats, Some(&pool));
+                drop(pool);
+                out
+            })
+        } else {
+            self.search_levels(&mut stats, None)
+        };
 
         // ---- final choice: required order vs. cheapest + sort -------------
         let full = TableSet::full(n);
-        if table.get(&full).map(|s| s.best.is_empty()).unwrap_or(true) {
+        if memo.get(&full).map(|s| s.iter().all(Option::is_none)).unwrap_or(true) {
             // Degenerate join graphs can strand the heuristic; fall back to
             // the exhaustive pairing (correctness over pruning).
             debug_assert!(self.ctx.config.defer_cartesian, "full set must be solvable");
-            let relaxed = Enumerator {
-                ctx: PlanCtx::new(
-                    self.ctx.catalog,
-                    self.ctx.query,
-                    OptimizerConfig { defer_cartesian: false, ..self.ctx.config },
-                ),
-            };
+            let relaxed = Enumerator::new(
+                self.ctx.catalog,
+                self.ctx.query,
+                OptimizerConfig { defer_cartesian: false, ..self.ctx.config },
+            );
             let mut outcome = relaxed.run_search();
             outcome.relaxed = true;
             return outcome;
         }
         // audit:allow(no-unwrap) — run_search falls back to the relaxed pass above precisely so
         // the full set always has at least one solution
-        let sols = table.get(&full).expect("full set always has solutions");
+        let sols = memo.get(&full).expect("full set always has solutions");
         // audit:allow(no-as-cast) — slot counts into u64 reporting counters
-        stats.plans_kept = table.values().map(|s| s.best.len() as u64).sum();
-        stats.solution_bytes = table
+        stats.plans_kept = memo.values().map(|s| s.iter().flatten().count() as u64).sum();
+        stats.solution_bytes = memo
             .values()
-            .flat_map(|s| s.best.values())
+            .flat_map(|s| s.iter().flatten())
             // audit:allow(no-as-cast) — byte-size estimate for reporting only
-            .map(|p| (p.node_count() * std::mem::size_of::<PlanExpr>()) as u64)
+            .map(|&id| (arena.node(id).count as usize * std::mem::size_of::<PlanExpr>()) as u64)
             .sum();
 
         let required = &self.ctx.orders.required;
         let best = if required.is_empty() {
-            sols.best[&OrderKey::new()].clone()
+            // audit:allow(no-unwrap) — consider() always fills the empty slot when any slot fills
+            let id =
+                sols[Self::slot_index(EMPTY_KEY)].expect("cheapest-overall slot always filled");
+            arena.materialize(id)
         } else {
             let ordered = sols
-                .best
                 .iter()
-                .filter(|(key, _)| self.ctx.orders.satisfies_required(key))
-                .map(|(_, p)| p)
-                .min_by(|a, b| {
-                    self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
-                })
-                .cloned();
-            let unordered = &sols.best[&OrderKey::new()];
+                .enumerate()
+                // audit:allow(no-as-cast) — slot index is an interned key id
+                .filter(|(kid, _)| self.keys.satisfies_required(*kid as KeyId))
+                .filter_map(|(_, slot)| *slot)
+                .min_by(|&a, &b| {
+                    self.ctx
+                        .model
+                        .total(arena.node(a).cost)
+                        .total_cmp(&self.ctx.model.total(arena.node(b).cost))
+                });
+            // audit:allow(no-unwrap) — consider() always fills the empty slot when any slot fills
+            let unordered =
+                sols[Self::slot_index(EMPTY_KEY)].expect("cheapest-overall slot always filled");
             let sorted = sort_plan(
-                unordered.clone(),
+                arena.materialize(unordered),
                 self.ctx.query.required_order(),
                 self.ctx.composite_width(full),
             );
-            match ordered {
+            match ordered.map(|id| arena.materialize(id)) {
                 Some(o) if self.ctx.model.better(o.cost, sorted.cost) => o,
                 _ => sorted,
             }
         };
         // audit:allow(no-as-cast) — elapsed micros saturate u64 after ~580k years
         stats.elapsed_micros = started.elapsed().as_micros() as u64;
-        SearchOutcome { best, stats, table, generated, relaxed: false }
+        SearchOutcome {
+            best,
+            stats,
+            arena,
+            memo,
+            keys: self.keys.clone(),
+            generated,
+            relaxed: false,
+        }
     }
 
     /// Exhaustively enumerate complete plans (no pruning, no heuristic),
@@ -445,62 +1141,75 @@ impl<'a> Enumerator<'a> {
     /// picked the measured-best one.
     pub fn all_plans(&self, cap: usize) -> Vec<PlanExpr> {
         let n = self.ctx.query.tables.len();
-        let mut memo: HashMap<TableSet, Vec<PlanExpr>> = HashMap::new();
+        let mut arena = PlanArena::default();
+        let mut memo: HashMap<TableSet, Vec<NodeId>> = HashMap::new();
+        let mut cache = AccessCache::new(self.ctx.query.factors.len());
         for t in 0..n {
-            let plans = access_paths(&self.ctx, t, TableSet::EMPTY)
-                .into_iter()
-                .map(AccessCandidate::into_plan)
-                .collect();
-            memo.insert(TableSet::single(t), plans);
+            let mut wa = WorkArena::new(&arena.nodes);
+            let local = cache.paths(&self.ctx, t, TableSet::EMPTY);
+            let ids: Vec<NodeId> = local.iter().map(|c| self.push_scan(&mut wa, c)).collect();
+            let WorkArena { local: scratch, .. } = wa;
+            arena.nodes.extend(scratch);
+            memo.insert(TableSet::single(t), ids);
         }
         for k in 2..=n {
             for set in TableSet::subsets_of_size(n, k) {
-                let mut plans = Vec::new();
                 let rows_out = self.ctx.subset_rows(set);
-                for t in set.iter() {
+                let mut refs: Vec<NodeId> = Vec::new();
+                let mut wa = WorkArena::new(&arena.nodes);
+                'extend: for t in set.iter() {
                     let s_prime = set.minus(TableSet::single(t));
-                    let inner_probe = access_paths(&self.ctx, t, s_prime);
-                    let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
-                    let outers = memo[&s_prime].clone();
-                    for outer in &outers {
-                        plans.extend(self.join_candidates(
-                            outer,
-                            t,
-                            s_prime,
-                            rows_out,
-                            &inner_probe,
-                            &inner_local,
-                        ));
-                        if plans.len() > cap {
-                            break;
+                    let Some(outers) = memo.get(&s_prime) else { continue };
+                    let probe = cache.paths(&self.ctx, t, s_prime);
+                    let local = cache.paths(&self.ctx, t, TableSet::EMPTY);
+                    let sc =
+                        self.build_scaffold(&mut wa, t, set, s_prime, rows_out, &probe, &local);
+                    for &outer in outers {
+                        self.extend_outer(&mut wa, &sc, s_prime, outer, &mut |_, id| {
+                            refs.push(id);
+                        });
+                        if refs.len() > cap {
+                            break 'extend;
                         }
                     }
-                    if plans.len() > cap {
-                        break;
-                    }
                 }
-                plans.truncate(cap);
-                memo.insert(set, plans);
+                refs.truncate(cap);
+                let WorkArena { local: scratch, .. } = wa;
+                // Scratch ids were minted from the arena's frozen length,
+                // so a wholesale append keeps every ref valid.
+                arena.nodes.extend(scratch);
+                memo.insert(set, refs);
             }
         }
-        let mut complete = memo.remove(&TableSet::full(n)).unwrap_or_default();
+        let complete: Vec<PlanExpr> = memo
+            .remove(&TableSet::full(n))
+            .unwrap_or_default()
+            .into_iter()
+            .map(|id| arena.materialize(id))
+            .collect();
         // Apply the same required-order discipline as `best_plan`, so every
         // returned plan answers the query (including its ORDER BY /
         // GROUP BY) and measured costs are comparable.
-        if !self.ctx.orders.required.is_empty() {
-            let width = self.ctx.composite_width(TableSet::full(n));
-            complete = complete
-                .into_iter()
-                .map(|p| {
-                    if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
-                        p
-                    } else {
-                        sort_plan(p, self.ctx.query.required_order(), width)
-                    }
-                })
-                .collect();
+        self.apply_required_order(complete)
+    }
+
+    /// Append the required-order sort to every plan that does not already
+    /// satisfy it (shared by the oracle paths).
+    fn apply_required_order(&self, plans: Vec<PlanExpr>) -> Vec<PlanExpr> {
+        if self.ctx.orders.required.is_empty() {
+            return plans;
         }
-        complete
+        let width = self.ctx.composite_width(TableSet::full(self.ctx.query.tables.len()));
+        plans
+            .into_iter()
+            .map(|p| {
+                if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
+                    p
+                } else {
+                    sort_plan(p, self.ctx.query.required_order(), width)
+                }
+            })
+            .collect()
     }
 
     /// Cheapest complete plan whose left-deep join sequence is exactly
@@ -518,137 +1227,48 @@ impl<'a> Enumerator<'a> {
         if order.len() != n || order.iter().copied().collect::<TableSet>() != TableSet::full(n) {
             return None;
         }
-        let mut frontier: Vec<PlanExpr> = access_paths(&self.ctx, order[0], TableSet::EMPTY)
-            .into_iter()
-            .map(AccessCandidate::into_plan)
-            .collect();
+        let mut arena = PlanArena::default();
+        let mut cache = AccessCache::new(self.ctx.query.factors.len());
+        let mut frontier: Vec<NodeId> = {
+            let mut wa = WorkArena::new(&arena.nodes);
+            let local = cache.paths(&self.ctx, order[0], TableSet::EMPTY);
+            let ids: Vec<NodeId> = local.iter().map(|c| self.push_scan(&mut wa, c)).collect();
+            let WorkArena { local: scratch, .. } = wa;
+            arena.nodes.extend(scratch);
+            ids
+        };
         let mut joined = TableSet::single(order[0]);
         for &t in &order[1..] {
             let set = joined.union(TableSet::single(t));
             let rows_out = self.ctx.subset_rows(set);
-            let inner_probe = access_paths(&self.ctx, t, joined);
-            let inner_local = access_paths(&self.ctx, t, TableSet::EMPTY);
-            let mut next = Vec::new();
-            for outer in &frontier {
-                next.extend(self.join_candidates(
-                    outer,
-                    t,
-                    joined,
-                    rows_out,
-                    &inner_probe,
-                    &inner_local,
-                ));
+            let probe = cache.paths(&self.ctx, t, joined);
+            let local = cache.paths(&self.ctx, t, TableSet::EMPTY);
+            let mut wa = WorkArena::new(&arena.nodes);
+            let sc = self.build_scaffold(&mut wa, t, set, joined, rows_out, &probe, &local);
+            let mut next: Vec<NodeId> = Vec::new();
+            for &outer in &frontier {
+                self.extend_outer(&mut wa, &sc, joined, outer, &mut |_, id| next.push(id));
             }
             if next.len() > cap {
-                next.sort_by(|a, b| {
-                    self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
+                next.sort_by(|&a, &b| {
+                    self.ctx
+                        .model
+                        .total(wa.node(a).cost)
+                        .total_cmp(&self.ctx.model.total(wa.node(b).cost))
                 });
                 next.truncate(cap);
             }
+            let WorkArena { local: scratch, .. } = wa;
+            arena.nodes.extend(scratch);
             frontier = next;
             joined = set;
         }
         // Same required-order discipline as `best_plan` / `all_plans`.
-        if !self.ctx.orders.required.is_empty() {
-            let width = self.ctx.composite_width(TableSet::full(n));
-            frontier = frontier
-                .into_iter()
-                .map(|p| {
-                    if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
-                        p
-                    } else {
-                        sort_plan(p, self.ctx.query.required_order(), width)
-                    }
-                })
-                .collect();
-        }
-        frontier
+        let complete: Vec<PlanExpr> =
+            frontier.into_iter().map(|id| arena.materialize(id)).collect();
+        self.apply_required_order(complete)
             .into_iter()
             .min_by(|a, b| self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost)))
-    }
-
-    /// All ways to join relation `t` (the inner) to an existing plan for
-    /// `s_prime` (the outer): nested loops over every inner access path,
-    /// and merging scans over every equi-join predicate connecting them.
-    fn join_candidates(
-        &self,
-        outer: &PlanExpr,
-        t: usize,
-        s_prime: TableSet,
-        rows_out: f64,
-        inner_probe: &[AccessCandidate],
-        inner_local: &[AccessCandidate],
-    ) -> Vec<PlanExpr> {
-        let mut out = Vec::new();
-
-        // ---- nested loops --------------------------------------------------
-        for cand in inner_probe {
-            let cap = self.inner_footprint(t, cand);
-            out.push(nested_loop(outer.clone(), cand.clone().into_plan(), rows_out, cap));
-        }
-
-        // ---- merging scans -------------------------------------------------
-        for (fidx, outer_col, inner_col) in self.merge_keys(t, s_prime) {
-            // Outer side: use as-is when already ordered on the join
-            // column's class, otherwise sort the composite.
-            let outer_ready =
-                self.ctx.orders.leads_with(&self.ctx.orders.order_key(&outer.order), outer_col);
-            let outer_variants: Vec<PlanExpr> = if outer_ready {
-                vec![outer.clone()]
-            } else {
-                vec![sort_plan(outer.clone(), vec![outer_col], self.ctx.composite_width(s_prime))]
-            };
-            // Inner side: an ordered access path on the join column (local
-            // predicates only), or sort the cheapest local path.
-            let mut inner_variants: Vec<(PlanExpr, Vec<usize>)> = Vec::new();
-            for cand in inner_local {
-                if cand.order.first() == Some(&inner_col) {
-                    let mut applied = cand.applied.clone();
-                    applied.push(fidx);
-                    inner_variants.push((cand.clone().into_plan(), applied));
-                }
-            }
-            if let Some(cheapest) = inner_local.iter().min_by(|a, b| {
-                self.ctx.model.total(a.cost).total_cmp(&self.ctx.model.total(b.cost))
-            }) {
-                let mut applied = cheapest.applied.clone();
-                applied.push(fidx);
-                inner_variants.push((
-                    sort_plan(cheapest.clone().into_plan(), vec![inner_col], self.ctx.width(t)),
-                    applied,
-                ));
-            }
-            // Residual: every factor newly in scope that the inner scan and
-            // merge key do not already enforce.
-            let set = s_prime.union(TableSet::single(t));
-            for outer_variant in &outer_variants {
-                for (inner_variant, applied) in &inner_variants {
-                    let residual: Vec<usize> = self
-                        .ctx
-                        .query
-                        .factors
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, f)| {
-                            !f.tables.is_empty()
-                                && f.tables.contains(t)
-                                && f.tables.is_subset_of(set)
-                                && !applied.contains(i)
-                        })
-                        .map(|(i, _)| i)
-                        .collect();
-                    out.push(merge_join(
-                        outer_variant.clone(),
-                        inner_variant.clone(),
-                        outer_col,
-                        inner_col,
-                        residual,
-                        rows_out,
-                    ));
-                }
-            }
-        }
-        out
     }
 
     /// Buffer-resident footprint of an inner access path: the pages the
@@ -708,34 +1328,6 @@ impl<'a> Enumerator<'a> {
     /// relations already participating in the join", §5.)
     fn connected(&self, t: usize, s_prime: TableSet) -> bool {
         self.ctx.query.factors.iter().any(|f| f.tables.contains(t) && f.tables.intersects(s_prime))
-    }
-
-    /// Offer a candidate to a subset's solution store: it may become the
-    /// cheapest plan overall (empty key) and/or the cheapest for its
-    /// interesting-order class.
-    fn consider(&self, sols: &mut SubsetSolutions, plan: PlanExpr, stats: &mut EnumerationStats) {
-        stats.plans_considered += 1;
-        let key = if self.ctx.config.interesting_orders {
-            self.ctx.orders.order_key(&plan.order)
-        } else {
-            OrderKey::new()
-        };
-        let total = self.ctx.model.total(plan.cost);
-        if !key.is_empty() {
-            match sols.best.get(&key) {
-                Some(existing) if self.ctx.model.total(existing.cost) <= total => {}
-                _ => {
-                    sols.best.insert(key, plan.clone());
-                }
-            }
-        }
-        let unordered = OrderKey::new();
-        match sols.best.get(&unordered) {
-            Some(existing) if self.ctx.model.total(existing.cost) <= total => {}
-            _ => {
-                sols.best.insert(unordered, plan);
-            }
-        }
     }
 }
 
@@ -1091,5 +1683,92 @@ mod tests {
         assert_eq!(plan.tables().len(), 8);
         assert!(stats.heuristic_skips > 0, "chain query must skip many extensions");
         assert!(started.elapsed().as_secs() < 10, "8-way enumeration took {:?}", started.elapsed());
+    }
+
+    #[test]
+    fn trace_subsets_sorted_by_level_then_bit_pattern() {
+        // The satellite bugfix: subsets must sort by the subset's bit
+        // pattern (FROM-list position order), not by cloned table-name
+        // lists (alphabetical). In Fig. 1, DEPT sorts before EMP by name
+        // but EMP is FROM position 0, so bit order puts {EMP} first.
+        let cat = fig1_catalog();
+        let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { panic!() };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let e = Enumerator::new(&cat, &q, OptimizerConfig::default());
+        let (_, _, trace) = e.best_plan_traced();
+        let keys: Vec<(usize, u64)> = trace.subsets.iter().map(|s| (s.level, s.set.0)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "subsets must be ordered by (level, bits)");
+        assert_eq!(trace.subsets[0].set, TableSet::single(0), "{{EMP}} (bit 0) comes first");
+        assert_eq!(trace.subsets[0].tables, vec!["EMP".to_string()]);
+        // The accounting identity still holds.
+        assert_eq!(trace.generated(), trace.stats.plans_considered);
+        assert_eq!(trace.pruned() + trace.surviving(), trace.stats.plans_considered);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_sequential() {
+        // The tentpole's determinism guarantee: plans, costs, stats, and
+        // the full trace must match across thread counts.
+        let cat = fig1_catalog();
+        let sqls = [
+            FIG1_SQL,
+            "SELECT NAME FROM EMP WHERE DNO = 5",
+            "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO ORDER BY DNAME",
+            "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO",
+        ];
+        for sql in sqls {
+            let Statement::Select(stmt) = parse_statement(sql).unwrap() else { panic!() };
+            let q = bind_select(&cat, &stmt).unwrap();
+            let mut outcomes = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let config = OptimizerConfig { threads, ..OptimizerConfig::default() };
+                let e = Enumerator::new(&cat, &q, config);
+                let (plan, stats, trace) = e.best_plan_traced();
+                outcomes.push((plan, stats, trace.render()));
+            }
+            let (p1, s1, t1) = &outcomes[0];
+            for (p, s, t) in &outcomes[1..] {
+                assert_eq!(p, p1, "plan differs across threads for {sql}");
+                assert_eq!(p.cost, p1.cost, "cost differs across threads for {sql}");
+                assert_eq!(
+                    (
+                        s.subsets_examined,
+                        s.plans_considered,
+                        s.plans_kept,
+                        s.heuristic_skips,
+                        s.solution_bytes
+                    ),
+                    (
+                        s1.subsets_examined,
+                        s1.plans_considered,
+                        s1.plans_kept,
+                        s1.heuristic_skips,
+                        s1.solution_bytes
+                    ),
+                    "stats differ across threads for {sql}"
+                );
+                assert_eq!(t, t1, "trace differs across threads for {sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_search_is_parallel_deterministic() {
+        // The heuristic-off search (the path the relaxed fallback re-runs)
+        // must also be thread-count invariant — it enumerates far more
+        // items per level, so it exercises the merge harder.
+        let cat = fig1_catalog();
+        let Statement::Select(stmt) = parse_statement(FIG1_SQL).unwrap() else { panic!() };
+        let q = bind_select(&cat, &stmt).unwrap();
+        let relaxed = OptimizerConfig { defer_cartesian: false, ..OptimizerConfig::default() };
+        let seq = Enumerator::new(&cat, &q, relaxed);
+        let par = Enumerator::new(&cat, &q, OptimizerConfig { threads: 4, ..relaxed });
+        let (p1, s1, t1) = seq.best_plan_traced();
+        let (p4, s4, t4) = par.best_plan_traced();
+        assert_eq!(p1, p4);
+        assert_eq!(s1.plans_considered, s4.plans_considered);
+        assert_eq!(t1.render(), t4.render());
     }
 }

@@ -1,0 +1,159 @@
+//! Order-key interning for the join-order search.
+//!
+//! The DP's solution slots are keyed by [`OrderKey`] — a small `Vec` of
+//! equivalence-class ids. Hashing and cloning those vectors in the hot
+//! loop is pure churn: the universe of keys a search can ever produce is
+//! finite and known up front (the empty key, each index's key-column
+//! order, each join-column class as a one-element key, and the block's
+//! required order — joins inherit the outer's order verbatim and sorts
+//! produce single-class or required orders, so the set is closed under
+//! plan composition). [`KeyInterner`] assigns each key a dense integer id
+//! at enumerator construction, and the search then works exclusively with
+//! ids: solution stores become flat arrays indexed by [`KeyId`], and the
+//! per-candidate "which slot does this plan compete for" question is an
+//! integer copy instead of a `Vec` clone.
+//!
+//! The interner is frozen before the search starts, so worker threads can
+//! share it by `&` with no locking.
+
+use crate::order::{OrderInfo, OrderKey};
+use std::collections::HashMap;
+
+/// Dense id of an interned [`OrderKey`].
+pub type KeyId = u32;
+
+/// The id of the empty key ("unordered / cheapest overall") — always 0.
+pub const EMPTY_KEY: KeyId = 0;
+
+/// Frozen bidirectional map `OrderKey ↔ KeyId`, plus per-key lookup
+/// tables the search consults per candidate. Cloneable so a search
+/// outcome can carry the interner that decodes its slot ids.
+#[derive(Debug, Clone)]
+pub struct KeyInterner {
+    keys: Vec<OrderKey>,
+    ids: HashMap<OrderKey, KeyId>,
+    /// Per key id: does the key satisfy the block's required order?
+    satisfies_required: Vec<bool>,
+    /// Per key id: the leading equivalence class, if any.
+    head: Vec<Option<usize>>,
+}
+
+impl KeyInterner {
+    /// Start an interner with the empty key pre-interned at id 0.
+    pub fn new() -> Self {
+        let empty = OrderKey::new();
+        let mut ids = HashMap::new();
+        ids.insert(empty.clone(), EMPTY_KEY);
+        KeyInterner { keys: vec![empty], ids, satisfies_required: Vec::new(), head: Vec::new() }
+    }
+
+    /// Intern a key, returning its dense id.
+    pub fn intern(&mut self, key: OrderKey) -> KeyId {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        // audit:allow(no-as-cast) — key universe is tiny (indexes + classes)
+        let id = self.keys.len() as KeyId;
+        self.ids.insert(key.clone(), id);
+        self.keys.push(key);
+        id
+    }
+
+    /// Precompute the per-key lookup tables against the block's order
+    /// info. Must be called once, after the last `intern`.
+    pub fn freeze(&mut self, orders: &OrderInfo) {
+        self.satisfies_required = self.keys.iter().map(|k| orders.satisfies_required(k)).collect();
+        self.head = self.keys.iter().map(|k| k.first().copied()).collect();
+    }
+
+    /// The key for an id.
+    pub fn get(&self, id: KeyId) -> &OrderKey {
+        &self.keys[id as usize]
+    }
+
+    /// Number of interned keys (= solution slots per subset).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// An interner always holds at least the empty key.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the key satisfies the block's required order (frozen).
+    pub fn satisfies_required(&self, id: KeyId) -> bool {
+        self.satisfies_required[id as usize]
+    }
+
+    /// Whether the key's leading class is the class of `col` — the merge
+    /// join "already ordered on the join column" test (frozen).
+    pub fn leads_with(&self, id: KeyId, class_of_col: Option<usize>) -> bool {
+        match (self.head[id as usize], class_of_col) {
+            (Some(k), Some(c)) => k == c,
+            _ => false,
+        }
+    }
+}
+
+impl Default for KeyInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{BExpr, BoundQuery, ColId, Factor, SExpr};
+    use sysr_rss::CompareOp;
+
+    fn query_with(factors: Vec<Factor>, order_by: Vec<ColId>) -> BoundQuery {
+        BoundQuery {
+            tables: vec![],
+            factors,
+            select: vec![],
+            distinct: false,
+            group_by: vec![],
+            order_by: order_by.into_iter().map(|c| (c, false)).collect(),
+            subqueries: vec![],
+            aggregated: false,
+        }
+    }
+
+    fn equijoin_factor(a: ColId, b: ColId) -> Factor {
+        let expr = BExpr::Cmp { op: CompareOp::Eq, left: SExpr::Col(a), right: SExpr::Col(b) };
+        let tables = expr.local_tables();
+        Factor { expr, tables, equijoin: Some((a, b)) }
+    }
+
+    #[test]
+    fn empty_key_is_id_zero_and_dedup_works() {
+        let mut i = KeyInterner::new();
+        assert_eq!(i.intern(OrderKey::new()), EMPTY_KEY);
+        let a = i.intern(vec![1]);
+        let b = i.intern(vec![1, 2]);
+        assert_eq!(i.intern(vec![1]), a);
+        assert_ne!(a, b);
+        assert_eq!(i.get(b), &vec![1, 2]);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn frozen_tables_match_order_info() {
+        let a = ColId::new(0, 1);
+        let b = ColId::new(1, 0);
+        let q = query_with(vec![equijoin_factor(a, b)], vec![a]);
+        let orders = OrderInfo::build(&q);
+        let cls = orders.class_of(a).expect("join column has a class");
+        let mut i = KeyInterner::new();
+        let one = i.intern(vec![cls]);
+        i.freeze(&orders);
+        assert!(i.satisfies_required(one));
+        assert!(!i.satisfies_required(EMPTY_KEY));
+        assert!(i.leads_with(one, Some(cls)));
+        assert!(!i.leads_with(one, Some(cls + 1)));
+        assert!(!i.leads_with(EMPTY_KEY, Some(cls)));
+        assert!(!i.leads_with(one, None));
+    }
+}

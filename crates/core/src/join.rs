@@ -30,6 +30,38 @@ use crate::cost::{temp_pages, Cost};
 use crate::plan::{PlanExpr, PlanNode};
 use crate::query::ColId;
 
+/// Pure nested-loop cost: `C-outer + N * C-inner`, with the inner's page
+/// charge capped at `inner_resident_pages` when the inner fits in the
+/// buffer pool. This is the single source of truth for the formula — both
+/// the [`PlanExpr`] composer below and the enumerator's plan arena call
+/// it, so their costs are bit-identical.
+pub fn nested_loop_cost(
+    outer_cost: Cost,
+    outer_rows: f64,
+    inner_cost: Cost,
+    inner_resident_pages: Option<f64>,
+) -> Cost {
+    let n = outer_rows.max(0.0);
+    let mut inner_total = inner_cost.times(n);
+    if let Some(cap) = inner_resident_pages {
+        inner_total.pages = inner_total.pages.min(cap);
+    }
+    outer_cost + inner_total
+}
+
+/// Pure sort cost: input + TEMPPAGES written + TEMPPAGES read back + one
+/// RSI call per tuple read back.
+pub fn sort_cost(input_cost: Cost, rows: f64, width: f64) -> Cost {
+    let tp = temp_pages(rows, width);
+    input_cost + Cost::new(2.0 * tp, rows)
+}
+
+/// Pure merging-scans cost: `C-outer + C-inner` (group re-reads served
+/// from the in-memory group buffer).
+pub fn merge_cost(outer_cost: Cost, inner_cost: Cost) -> Cost {
+    outer_cost + inner_cost
+}
+
 /// Compose a nested-loop join: `C-outer + N * C-inner`.
 ///
 /// `inner` is a per-probe scan plan (its `cost` is the cost of one probe,
@@ -49,12 +81,7 @@ pub fn nested_loop(
     rows_out: f64,
     inner_resident_pages: Option<f64>,
 ) -> PlanExpr {
-    let n = outer.rows.max(0.0);
-    let mut inner_total = inner.cost.times(n);
-    if let Some(cap) = inner_resident_pages {
-        inner_total.pages = inner_total.pages.min(cap);
-    }
-    let cost = outer.cost + inner_total;
+    let cost = nested_loop_cost(outer.cost, outer.rows, inner.cost, inner_resident_pages);
     let order = outer.order.clone();
     PlanExpr {
         node: PlanNode::NestedLoop { outer: Box::new(outer), inner: Box::new(inner) },
@@ -71,8 +98,7 @@ pub fn nested_loop(
 /// `width` is the mean tuple width of the materialized rows.
 pub fn sort_plan(input: PlanExpr, keys: Vec<ColId>, width: f64) -> PlanExpr {
     let rows = input.rows;
-    let tp = temp_pages(rows, width);
-    let cost = input.cost + Cost::new(2.0 * tp, rows);
+    let cost = sort_cost(input.cost, rows, width);
     PlanExpr {
         node: PlanNode::Sort { input: Box::new(input), keys: keys.clone() },
         cost,
@@ -92,7 +118,7 @@ pub fn merge_join(
     residual: Vec<usize>,
     rows_out: f64,
 ) -> PlanExpr {
-    let cost = outer.cost + inner.cost;
+    let cost = merge_cost(outer.cost, inner.cost);
     let order = outer.order.clone();
     PlanExpr {
         node: PlanNode::Merge {

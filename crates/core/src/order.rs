@@ -128,9 +128,13 @@ impl UnionFind {
         }
     }
 
-    /// Collapse to a map `ColId → dense class id`.
+    /// Collapse to a map `ColId → dense class id`. Columns are visited in
+    /// sorted order so the dense numbering is a pure function of the query
+    /// — two builds over the same block always agree, which the search's
+    /// parallel-vs-sequential determinism guarantee relies on.
     fn into_classes(mut self) -> (HashMap<ColId, usize>, usize) {
-        let cols: Vec<ColId> = self.ids.keys().copied().collect();
+        let mut cols: Vec<ColId> = self.ids.keys().copied().collect();
+        cols.sort_unstable();
         let mut dense = HashMap::new();
         let mut out = HashMap::new();
         for col in cols {
@@ -230,6 +234,29 @@ mod tests {
         let info = OrderInfo::build(&q);
         assert!(info.satisfies_required(&vec![]));
         assert_eq!(info.class_count(), 0);
+    }
+
+    #[test]
+    fn class_numbering_is_deterministic_across_builds() {
+        // Dense class ids must be a pure function of the query, not of
+        // HashMap iteration order: trace keys and the parallel search's
+        // determinism argument depend on it.
+        let q = query_with(
+            vec![
+                equijoin_factor(col(0, 1), col(1, 0)),
+                equijoin_factor(col(0, 2), col(2, 0)),
+                equijoin_factor(col(2, 1), col(3, 0)),
+            ],
+            vec![col(1, 0)],
+        );
+        let a = OrderInfo::build(&q);
+        let b = OrderInfo::build(&q);
+        assert_eq!(a.required, b.required);
+        for t in 0..4 {
+            for c in 0..3 {
+                assert_eq!(a.class_of(col(t, c)), b.class_of(col(t, c)), "col ({t},{c})");
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,13 @@ cargo test --workspace
 # Save/reopen round-trip against real page files in a temp dir; pins the
 # fetches == device-reads identity and clean errors on torn/corrupt files.
 cargo test --release --test persistence
-# --all = plan invariants + DP oracle & sampled orders + recovery rules
-# (page-checksum, reopen-equivalence) + source lint.
+# --all = plan invariants + DP oracle & sampled orders + parallel-DP
+# determinism + recovery rules (page-checksum, reopen-equivalence) +
+# source lint.
 cargo run --release -p sysr-audit -- --all
+# Optimizer hot-path bench: the smoke run exercises the measurement
+# pipeline end to end (writes BENCH_optimizer.smoke.json, not the
+# committed file); --check fails CI when the committed
+# BENCH_optimizer.json is missing or malformed.
+cargo run --release -p sysr-bench --bin bench_optimizer -- --smoke
+cargo run --release -p sysr-bench --bin bench_optimizer -- --check

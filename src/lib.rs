@@ -25,6 +25,7 @@
 //! buffer pool size, and the two search heuristics (interesting orders,
 //! Cartesian deferral) — the experiment harness sweeps all of them.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -101,6 +102,31 @@ impl From<ExecError> for DbError {
 
 pub type DbResult<T> = Result<T, DbError>;
 
+/// A cached statement plan plus the catalog stamp it was optimized under.
+struct CachedPlan {
+    plan: QueryPlan,
+    catalog_version: u64,
+}
+
+/// Statement plan cache: optimizing a repeated statement is pure waste
+/// when nothing the optimizer reads has changed. Keyed by the statement's
+/// canonical (parsed) form, so formatting differences still hit; entries
+/// carry the catalog version they were planned under and are discarded
+/// lazily when DDL or `UPDATE STATISTICS` bumps it. Config changes clear
+/// the cache eagerly (see [`Database::set_config`]), and `\open` builds a
+/// fresh `Database`, so reopened databases always re-optimize.
+#[derive(Default)]
+struct PlanCache {
+    entries: HashMap<String, CachedPlan>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Entry cap: repeated-statement workloads fit easily; when an adhoc
+/// workload overflows it, the whole cache is dropped (planning again is
+/// cheap — this just bounds memory).
+const PLAN_CACHE_CAP: usize = 128;
+
 /// An embedded System R-style database: storage, catalogs, optimizer,
 /// executor.
 pub struct Database {
@@ -110,6 +136,9 @@ pub struct Database {
     /// When set, new tables share this segment (the paper's interleaved
     /// layout, giving `P(T) < 1`); otherwise each table gets its own.
     shared_segment: Option<u32>,
+    /// Plans for previously optimized statements (`RefCell`: planning is
+    /// logically read-only, so `plan`/`query` stay `&self`).
+    plan_cache: RefCell<PlanCache>,
 }
 
 impl Default for Database {
@@ -128,6 +157,7 @@ impl Database {
             catalog: Catalog::new(),
             config,
             shared_segment: None,
+            plan_cache: RefCell::new(PlanCache::default()),
         }
     }
 
@@ -140,6 +170,7 @@ impl Database {
             catalog: Catalog::new(),
             config,
             shared_segment: None,
+            plan_cache: RefCell::new(PlanCache::default()),
         }
     }
 
@@ -165,6 +196,9 @@ impl Database {
     /// can fail on a storage error.
     pub fn set_config(&mut self, config: OptimizerConfig) -> DbResult<()> {
         self.config = config;
+        // Every cached plan was chosen under the old knobs; drop them all
+        // (counters survive — they describe the session, not the cache).
+        self.plan_cache.borrow_mut().entries.clear();
         self.storage.set_buffer_capacity(config.buffer_pages)?;
         Ok(())
     }
@@ -229,7 +263,13 @@ impl Database {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| DbError::Storage(RssError::Io(format!("read {}: {e}", path.display()))))?;
         let catalog = sysr_catalog::persist::parse(&text)?;
-        Ok(Database { storage, catalog, config, shared_segment: None })
+        Ok(Database {
+            storage,
+            catalog,
+            config,
+            shared_segment: None,
+            plan_cache: RefCell::new(PlanCache::default()),
+        })
     }
 
     /// Flush dirty buffer frames and fsync the page files (no-op for an
@@ -340,7 +380,9 @@ impl Database {
                 };
                 let plan = self.plan_select(&sel)?;
                 let (_, measurements, _) = self.execute_plan_traced(&plan)?;
-                let text = plan.explain_analyze(&self.catalog, &measurements, self.config.w);
+                let mut text = plan.explain_analyze(&self.catalog, &measurements, self.config.w);
+                let (hits, misses) = self.plan_cache_stats();
+                text.push_str(&format!("plan cache: {hits} hits, {misses} misses\n"));
                 Ok(ResultSet::new(vec!["PLAN".into()], vec![Tuple::new(vec![Value::Str(text)])]))
             }
         }
@@ -408,7 +450,10 @@ impl Database {
     pub fn explain_analyze(&self, sql_text: &str) -> DbResult<String> {
         let plan = self.plan(sql_text)?;
         let (_, measurements, _) = self.execute_plan_traced(&plan)?;
-        Ok(plan.explain_analyze(&self.catalog, &measurements, self.config.w))
+        let mut text = plan.explain_analyze(&self.catalog, &measurements, self.config.w);
+        let (hits, misses) = self.plan_cache_stats();
+        text.push_str(&format!("plan cache: {hits} hits, {misses} misses\n"));
+        Ok(text)
     }
 
     /// Audit a SELECT end to end against the paper-derived invariants
@@ -464,8 +509,48 @@ impl Database {
     }
 
     fn plan_select(&self, sel: &SelectStmt) -> DbResult<QueryPlan> {
+        // The parsed statement's debug form is the normalized cache key:
+        // whitespace, case, and formatting differences in the SQL text all
+        // collapse to the same AST.
+        let key = format!("{sel:?}");
+        let version = self.catalog.version();
+        {
+            let mut borrow = self.plan_cache.borrow_mut();
+            let cache = &mut *borrow;
+            let stale = match cache.entries.get(&key) {
+                Some(entry) if entry.catalog_version == version => {
+                    cache.hits += 1;
+                    return Ok(entry.plan.clone());
+                }
+                Some(_) => true,
+                None => false,
+            };
+            if stale {
+                cache.entries.remove(&key);
+            }
+        }
         let optimizer = Optimizer::with_config(&self.catalog, self.config);
-        Ok(optimizer.optimize(sel)?)
+        let plan = optimizer.optimize(sel)?;
+        let mut cache = self.plan_cache.borrow_mut();
+        cache.misses += 1;
+        if cache.entries.len() >= PLAN_CACHE_CAP {
+            cache.entries.clear();
+        }
+        cache.entries.insert(key, CachedPlan { plan: plan.clone(), catalog_version: version });
+        Ok(plan)
+    }
+
+    /// Cumulative statement-plan-cache counters `(hits, misses)` for this
+    /// database handle. A hit means the statement was answered with a
+    /// cached plan; a miss means the optimizer ran.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        let cache = self.plan_cache.borrow();
+        (cache.hits, cache.misses)
+    }
+
+    /// Number of plans currently cached (tests and the shell's `\cache`).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.borrow().entries.len()
     }
 
     fn run_select(&self, sel: &SelectStmt) -> DbResult<ResultSet> {

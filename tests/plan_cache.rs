@@ -1,0 +1,119 @@
+//! Statement plan cache behavior: repeated statements are answered from
+//! the cache, any catalog change (DDL, UPDATE STATISTICS) forces
+//! re-optimization, reopening a saved database starts cold, and a cached
+//! plan executes exactly like a freshly optimized one.
+
+mod common;
+
+use common::fig1_db;
+use std::path::PathBuf;
+use system_r::Database;
+
+const JOIN: &str = "SELECT NAME, DNAME FROM EMP, DEPT \
+     WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER' ORDER BY NAME";
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sysr-plancache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn repeated_statement_hits_cache() {
+    let db = fig1_db(400, 10, 5);
+    assert_eq!(db.plan_cache_stats(), (0, 0), "fresh database starts cold");
+
+    let first = db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (0, 1), "first optimization is a miss");
+
+    let second = db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 1), "same statement is a hit");
+    assert_eq!(
+        format!("{:?}", first.root),
+        format!("{:?}", second.root),
+        "cached plan is the optimizer's plan"
+    );
+    assert_eq!(db.plan_cache_len(), 1);
+}
+
+#[test]
+fn query_path_uses_the_cache_and_results_match() {
+    let db = fig1_db(400, 10, 5);
+    let fresh = db.query(JOIN).unwrap();
+    let (h0, _) = db.plan_cache_stats();
+    let cached = db.query(JOIN).unwrap();
+    let (h1, _) = db.plan_cache_stats();
+    assert!(h1 > h0, "second execution should hit the plan cache");
+    assert_eq!(fresh, cached, "cached plan must produce identical rows");
+}
+
+#[test]
+fn ddl_forces_reoptimization() {
+    let mut db = fig1_db(400, 10, 5);
+    db.plan(JOIN).unwrap();
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 1));
+
+    // CREATE TABLE changes the catalog: the cached entry is stale.
+    db.execute("CREATE TABLE SCRATCH (X INTEGER)").unwrap();
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 2), "DDL must force a re-optimize");
+
+    // CREATE INDEX can change the chosen access path: stale again.
+    db.execute("CREATE INDEX SCRATCH_X ON SCRATCH (X)").unwrap();
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 3), "new index must force a re-optimize");
+}
+
+#[test]
+fn update_statistics_forces_reoptimization() {
+    let mut db = fig1_db(400, 10, 5);
+    db.plan(JOIN).unwrap();
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 1));
+
+    db.execute("UPDATE STATISTICS").unwrap();
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_stats(), (1, 2), "fresh statistics must force a re-optimize");
+}
+
+#[test]
+fn reopened_database_starts_cold() {
+    let dir = scratch_dir("reopen");
+    let db = fig1_db(300, 10, 5);
+    db.plan(JOIN).unwrap();
+    db.plan(JOIN).unwrap();
+    db.save(&dir).unwrap();
+
+    let reopened = Database::open(&dir).unwrap();
+    assert_eq!(reopened.plan_cache_stats(), (0, 0), "reopen must not inherit the cache");
+    assert_eq!(reopened.plan_cache_len(), 0);
+    reopened.plan(JOIN).unwrap();
+    assert_eq!(reopened.plan_cache_stats(), (0, 1), "first plan after reopen is a miss");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn set_config_clears_cached_entries() {
+    let mut db = fig1_db(300, 10, 5);
+    db.plan(JOIN).unwrap();
+    assert_eq!(db.plan_cache_len(), 1);
+
+    // Any config change can change every plan: entries are dropped
+    // eagerly rather than stamped.
+    db.set_config(system_r::Config { w: 0.5, ..db.config() }).unwrap();
+    assert_eq!(db.plan_cache_len(), 0, "set_config must clear cached plans");
+    db.plan(JOIN).unwrap();
+    let (_, misses) = db.plan_cache_stats();
+    assert_eq!(misses, 2, "statement re-optimizes under the new config");
+}
+
+#[test]
+fn distinct_statements_get_distinct_entries() {
+    let db = fig1_db(300, 10, 5);
+    db.plan(JOIN).unwrap();
+    db.plan("SELECT NAME FROM EMP WHERE SAL > 9000 ORDER BY NAME").unwrap();
+    assert_eq!(db.plan_cache_stats(), (0, 2));
+    assert_eq!(db.plan_cache_len(), 2);
+}
