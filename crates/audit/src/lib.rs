@@ -24,10 +24,16 @@
 //!   checksums and LSN stamps, corruption is detected on open, and a
 //!   reopened database returns identical scan results and catalog
 //!   statistics.
-//! * [`lint`] — the source lint runner: a line-level pass over
-//!   `crates/*/src` enforcing the project's panic/cast/division rules
-//!   without external lint dependencies; suppressions via
-//!   `// audit:allow(<rule>)` comments.
+//! * [`lexer`] — a zero-dependency Rust lexer + block/item scanner: the
+//!   token stream (idents, literals incl. raw strings, comments,
+//!   nesting depth) and per-`fn` scope model the lint rules run on, so
+//!   a pattern inside a string or comment can never fire a rule.
+//! * [`lint`] — the source lint runner: a token-level pass over
+//!   `crates/*/src` enforcing the project's panic-freedom
+//!   (`no-unwrap`/`no-index`), `unsafe-audit`, `latch-discipline`,
+//!   `cast-soundness` and `div-guard` rules without external lint
+//!   dependencies; suppressions via `// audit:allow(<rule>)` comments,
+//!   validated by the `stale-allow` self-check.
 //!
 //! The `sysr-audit` binary runs both engines (`--all`) and exits nonzero
 //! on any violation; `scripts/ci.sh` gates every PR on it.
@@ -35,6 +41,7 @@
 pub mod corpus;
 pub mod differential;
 pub mod invariants;
+pub mod lexer;
 pub mod lint;
 pub mod parallel;
 pub mod recovery;

@@ -156,12 +156,76 @@ fn lint_flags_unwrap_and_respects_allow() {
 }
 
 #[test]
-fn lint_flags_bare_casts_only_in_scoped_files() {
+fn lint_flags_lossy_casts_only_in_scoped_files() {
+    // u64 → f64 can drop low bits (64 > 53 mantissa bits): flagged.
     let src = "fn f(x: u64) -> f64 {\n    x as f64\n}\n";
     let scoped = lint::lint_source("crates/core/src/cost.rs", src);
-    assert_eq!(rules(&scoped), vec!["no-as-cast"], "got:\n{}", scoped.render());
+    assert_eq!(rules(&scoped), vec!["cast-soundness"], "got:\n{}", scoped.render());
     let unscoped = lint::lint_source("crates/x/src/lib.rs", src);
     assert!(unscoped.ok(), "got:\n{}", unscoped.render());
+}
+
+#[test]
+fn cast_soundness_accepts_widening_and_respects_allow() {
+    // Same-signedness widening is value-preserving: no finding.
+    let widen = "fn f(x: u32) -> u64 {\n    x as u64\n}\n";
+    assert!(lint::lint_source("crates/core/src/cost.rs", widen).ok());
+
+    let narrow = "fn f(x: u64) -> u32 {\n    x as u32\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", narrow);
+    assert_eq!(rules(&report), vec!["cast-soundness"], "got:\n{}", report.render());
+
+    let allowed = "fn f(x: u64) -> u32 {\n    // audit:allow(cast-soundness) — masked below 2^32 upstream\n    x as u32\n}\n";
+    assert!(lint::lint_source("crates/core/src/cost.rs", allowed).ok());
+}
+
+#[test]
+fn lint_flags_bare_indexing_and_respects_allow() {
+    let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    xs[i]\n}\n";
+    let report = lint::lint_source("crates/core/src/foo.rs", src);
+    assert_eq!(rules(&report), vec!["no-index"], "got:\n{}", report.render());
+
+    // The bench crate is outside the no-index scope.
+    assert!(lint::lint_source("crates/bench/src/bin/foo.rs", src).ok());
+
+    let allowed = "fn f(xs: &[u32], i: usize) -> u32 {\n    // audit:allow(no-index) — caller contract\n    xs[i]\n}\n";
+    assert!(lint::lint_source("crates/core/src/foo.rs", allowed).ok());
+
+    // Loop-bound subscripts are recognized as bounded, no marker needed.
+    let bounded = "fn f(xs: &[u32]) -> u32 {\n    let mut s = 0;\n    for i in 0..xs.len() {\n        s += xs[i];\n    }\n    s\n}\n";
+    assert!(lint::lint_source("crates/core/src/foo.rs", bounded).ok());
+}
+
+#[test]
+fn lint_flags_unsafe_without_safety_comment() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    let report = lint::lint_source("crates/rss/src/foo.rs", src);
+    assert_eq!(rules(&report), vec!["unsafe-audit"], "got:\n{}", report.render());
+
+    let ok = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid for reads\n    unsafe { *p }\n}\n";
+    assert!(lint::lint_source("crates/rss/src/foo.rs", ok).ok());
+}
+
+#[test]
+fn lint_flags_latch_held_across_io_and_respects_drop() {
+    let held = "fn f(b: &RefCell<Mem>, disk: &mut Disk, key: PageKey, buf: &mut Page) {\n    let g = b.borrow_mut();\n    disk.read_page(key, buf);\n}\n";
+    let report = lint::lint_source("crates/rss/src/buffer.rs", held);
+    assert_eq!(rules(&report), vec!["latch-discipline"], "got:\n{}", report.render());
+
+    // Dropping the guard before the I/O call satisfies the rule.
+    let dropped = "fn f(b: &RefCell<Mem>, disk: &mut Disk, key: PageKey, buf: &mut Page) {\n    let g = b.borrow_mut();\n    drop(g);\n    disk.read_page(key, buf);\n}\n";
+    assert!(lint::lint_source("crates/rss/src/buffer.rs", dropped).ok());
+
+    // And a scoped allow silences a justified exception.
+    let allowed = "fn f(b: &RefCell<Mem>, disk: &mut Disk, key: PageKey, buf: &mut Page) {\n    let g = b.borrow_mut();\n    // audit:allow(latch-discipline) — single-threaded recovery path\n    disk.read_page(key, buf);\n}\n";
+    assert!(lint::lint_source("crates/rss/src/buffer.rs", allowed).ok());
+}
+
+#[test]
+fn stale_allow_markers_are_flagged() {
+    let src = "fn f() {\n    // audit:allow(no-such-rule) — obsolete marker\n    let _x = 1;\n}\n";
+    let report = lint::lint_source("crates/core/src/foo.rs", src);
+    assert_eq!(rules(&report), vec!["stale-allow"], "got:\n{}", report.render());
 }
 
 #[test]

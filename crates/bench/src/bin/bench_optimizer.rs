@@ -24,14 +24,19 @@ use system_r::Config;
 struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates to the System allocator unchanged; the
+// only extra work is a Relaxed atomic increment, which cannot alloc.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to System.alloc verbatim.
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(l)
     }
+    // SAFETY: forwards the caller's pointer/layout to System.dealloc.
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
         System.dealloc(p, l)
     }
+    // SAFETY: forwards pointer, layout and size to System.realloc.
     unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(p, l, new_size)
@@ -68,7 +73,7 @@ fn measure(
     BenchRow {
         name: name.to_string(),
         threads: config.threads,
-        // audit:allow(no-as-cast) — nanosecond totals fit u64 for any sane rep count
+        // audit:allow(cast-soundness) — nanosecond totals fit u64 for any sane rep count
         ns_per_op: (dt.as_nanos() / u128::from(reps)) as u64,
         allocs_per_op: da / reps,
         plans_considered: stats.plans_considered,

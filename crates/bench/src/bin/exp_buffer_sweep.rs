@@ -9,6 +9,7 @@
 //! cargo run --release -p sysr-bench --bin exp_buffer_sweep
 //! ```
 
+use sysr_bench::workloads::audit_plan;
 use system_r::core::{Access, Cost, PlanNode};
 use system_r::{tuple, Config, Database};
 
@@ -37,6 +38,7 @@ fn main() {
             },
             _ => "?",
         };
+        audit_plan(&db, sql).unwrap();
         db.evict_buffers().unwrap();
         db.reset_io_stats();
         db.query(sql).unwrap();

@@ -7,6 +7,7 @@
 //! cargo run --release -p sysr-bench --bin exp_interesting_orders
 //! ```
 
+use sysr_bench::workloads::audit_plan;
 use system_r::core::{PlanExpr, PlanNode};
 use system_r::{tuple, Config, Database};
 
@@ -62,6 +63,7 @@ fn main() {
             let db = build(16, interesting);
             let plan = db.plan(sql).unwrap();
             let sorts = count_sorts(&plan.root);
+            audit_plan(&db, sql).unwrap();
             db.evict_buffers().unwrap();
             db.reset_io_stats();
             db.query(sql).unwrap();

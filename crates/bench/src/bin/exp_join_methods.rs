@@ -9,9 +9,9 @@
 //! ```
 
 use sysr_bench::harness::run_all_plans;
-use sysr_bench::workloads::two_table_db;
+use sysr_bench::workloads::{audit_plan, two_table_db};
 
-fn main() -> Result<(), system_r::DbError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("JOIN METHODS: nested loops vs merging scans (inner: 8000 rows, K indexed)\n");
     println!(
         "{:<28} {:>10} {:>12} {:>12} {:>9}   optimizer chose",
@@ -35,6 +35,7 @@ fn main() -> Result<(), system_r::DbError> {
         } else {
             "SELECT OUTR.PAD FROM OUTR, INNR WHERE OUTR.K = INNR.K AND OUTR.TAG = 1".to_string()
         };
+        audit_plan(&db, &sql)?;
         let (plans, chosen_idx) = run_all_plans(&db, &sql, 300)?;
         let best_of = |tag: &str| -> f64 {
             plans

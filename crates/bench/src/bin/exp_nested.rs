@@ -9,12 +9,19 @@
 //! cargo run --release -p sysr-bench --bin exp_nested
 //! ```
 
-use sysr_bench::workloads::employee_db;
+use sysr_bench::workloads::{audit_plan, employee_db};
 
 const CORRELATED: &str = "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
     (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER)";
 
-fn main() {
+const UNCORRELATED: &str =
+    "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)";
+
+const THREE_LEVEL: &str = "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
+    (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER =
+      (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("CORRELATION SUBQUERIES (§6): memoized re-evaluation\n");
     let n = 2000i64;
     println!("EMPLOYEE has {n} rows; manager span sweeps the number of distinct managers.\n");
@@ -24,10 +31,11 @@ fn main() {
     );
     println!("{:-<78}", "");
     for span in [1i64, 2, 10, 50, 200, 2000] {
-        let db = employee_db(n, span).unwrap();
-        db.evict_buffers().unwrap();
+        let db = employee_db(n, span)?;
+        audit_plan(&db, CORRELATED)?;
+        db.evict_buffers()?;
         db.reset_io_stats();
-        let r = db.query(CORRELATED).unwrap();
+        let r = db.query(CORRELATED)?;
         let io = db.io_stats();
         let distinct = n / span + i64::from(n % span != 0);
         println!(
@@ -48,11 +56,11 @@ fn main() {
     );
 
     // Uncorrelated subqueries evaluate exactly once, regardless of outer size.
-    let db = employee_db(n, 10).unwrap();
-    db.evict_buffers().unwrap();
+    let db = employee_db(n, 10)?;
+    audit_plan(&db, UNCORRELATED)?;
+    db.evict_buffers()?;
     db.reset_io_stats();
-    db.query("SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)")
-        .unwrap();
+    db.query(UNCORRELATED)?;
     let io = db.io_stats();
     println!(
         "\nuncorrelated scalar subquery over the same {n} rows: {} RSI calls\n\
@@ -62,16 +70,12 @@ fn main() {
     );
 
     // Three-level nesting from the paper.
-    let db = employee_db(500, 5).unwrap();
-    let r = db
-        .query(
-            "SELECT NAME FROM EMPLOYEE X WHERE SALARY >
-               (SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER =
-                 (SELECT MANAGER FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER))",
-        )
-        .unwrap();
+    let db = employee_db(500, 5)?;
+    audit_plan(&db, THREE_LEVEL)?;
+    let r = db.query(THREE_LEVEL)?;
     println!(
         "\nthree-level nesting (§6's manager's-manager query) over 500 rows: {} qualifying rows.",
         r.len()
     );
+    Ok(())
 }

@@ -14,33 +14,31 @@
 //! ```
 
 use std::time::Instant;
-use sysr_bench::workloads::{fig1_db, synth_chain_db, Fig1Params, FIG1_SQL};
+use sysr_bench::workloads::{audit_plan, fig1_db, synth_chain_db, Fig1Params, FIG1_SQL};
 
-fn main() {
-    let db = fig1_db(Fig1Params { n_emp: 5000, n_dept: 50, ..Default::default() }).unwrap();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = fig1_db(Fig1Params { n_emp: 5000, n_dept: 50, ..Default::default() })?;
 
     // Calibrate: the cost of one database retrieval = average time per RSI
     // call over a warm segment scan.
-    let calibrate = || -> f64 {
-        db.query("SELECT NAME FROM EMP").unwrap(); // warm
-        let start = Instant::now();
-        let mut calls = 0u64;
-        for _ in 0..5 {
-            db.reset_io_stats();
-            db.query("SELECT NAME FROM EMP").unwrap();
-            calls += db.io_stats().rsi_calls;
-        }
-        start.elapsed().as_secs_f64() / calls as f64
-    };
-    let per_retrieval = calibrate();
+    db.query("SELECT NAME FROM EMP")?; // warm
+    let start = Instant::now();
+    let mut calls = 0u64;
+    for _ in 0..5 {
+        db.reset_io_stats();
+        db.query("SELECT NAME FROM EMP")?;
+        calls += db.io_stats().rsi_calls;
+    }
+    let per_retrieval = start.elapsed().as_secs_f64() / calls as f64;
     println!("calibration: one tuple retrieval ≈ {:.2} µs on this machine\n", per_retrieval * 1e6);
 
     // ---- two-way join (the paper's reference point) -----------------------
     let two_way = "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC='DENVER'";
+    audit_plan(&db, two_way)?;
     let mut opt_time = f64::INFINITY;
     for _ in 0..20 {
         let start = Instant::now();
-        let _ = db.plan(two_way).unwrap();
+        let _ = db.plan(two_way)?;
         opt_time = opt_time.min(start.elapsed().as_secs_f64());
     }
     let retrieval_equiv = opt_time / per_retrieval;
@@ -53,15 +51,19 @@ fn main() {
     // ---- three-way (Fig. 1) and larger ------------------------------------
     println!("\noptimization cost by query size:");
     println!("{:<26} {:>12} {:>16} {:>14}", "query", "µs", "retrieval equiv", "plans costed");
-    let run = |name: &str, db: &system_r::Database, sql: &str| {
+    let run = |name: &str,
+               db: &system_r::Database,
+               sql: &str|
+     -> Result<(), Box<dyn std::error::Error>> {
+        audit_plan(db, sql)?;
         let mut t = f64::INFINITY;
         let mut plan = None;
         for _ in 0..10 {
             let start = Instant::now();
-            plan = Some(db.plan(sql).unwrap());
+            plan = Some(db.plan(sql)?);
             t = t.min(start.elapsed().as_secs_f64());
         }
-        let plan = plan.unwrap();
+        let plan = plan.ok_or("timing loop produced no plan")?;
         println!(
             "{:<26} {:>12.1} {:>16.1} {:>14}",
             name,
@@ -69,19 +71,20 @@ fn main() {
             t / per_retrieval,
             plan.stats.plans_considered
         );
+        Ok(())
     };
-    run("two-way join", &db, two_way);
-    run("three-way join (Fig. 1)", &db, FIG1_SQL);
+    run("two-way join", &db, two_way)?;
+    run("three-way join (Fig. 1)", &db, FIG1_SQL)?;
     for n in [4usize, 6, 8] {
-        let (chain_db, sql) = synth_chain_db(n, 500).unwrap();
-        run(&format!("{n}-way chain join"), &chain_db, &sql);
+        let (chain_db, sql) = synth_chain_db(n, 500)?;
+        run(&format!("{n}-way chain join"), &chain_db, &sql)?;
     }
 
     // ---- amortization -------------------------------------------------------
-    db.evict_buffers().unwrap();
+    db.evict_buffers()?;
     db.reset_io_stats();
     let start = Instant::now();
-    db.query(two_way).unwrap();
+    db.query(two_way)?;
     let exec_time = start.elapsed().as_secs_f64();
     println!(
         "\namortization: executing the two-way join once costs {:.1} µs ({} page fetches);\n\
@@ -90,4 +93,5 @@ fn main() {
         db.io_stats().page_fetches(),
         100.0 * opt_time / exec_time
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@
 //! ```
 
 use sysr_bench::harness::{run_all_plans, spearman};
-use sysr_bench::workloads::{fig1_db, two_table_db, Fig1Params, FIG1_SQL};
+use sysr_bench::workloads::{audit_plan, fig1_db, two_table_db, Fig1Params, FIG1_SQL};
 use system_r::Database;
 
 struct Scenario {
@@ -66,6 +66,7 @@ fn main() {
     let mut total = 0usize;
     let mut rhos = Vec::new();
     for s in scenarios() {
+        audit_plan(&s.db, &s.sql).unwrap();
         let (plans, idx) = run_all_plans(&s.db, &s.sql, 400).unwrap();
         let chosen = &plans[idx];
         let best = plans.iter().map(|m| m.measured).fold(f64::INFINITY, f64::min);

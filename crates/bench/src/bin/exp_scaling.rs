@@ -11,7 +11,7 @@
 //! cargo run --release -p sysr-bench --bin exp_scaling [--no-heuristic]
 //! ```
 
-use sysr_bench::workloads::{star_db, synth_chain_db};
+use sysr_bench::workloads::{audit_plan, star_db, synth_chain_db};
 use system_r::{Config, Database};
 
 fn clique_db(n: usize, rows: i64) -> (Database, String) {
@@ -63,6 +63,13 @@ fn main() {
             };
             if no_heuristic {
                 db.set_config(Config { defer_cartesian: false, ..db.config() }).unwrap();
+            }
+            // Audit the smaller instances only: the audit executes the
+            // query once, and large cliques join to hundreds of thousands
+            // of rows. (`Database::audit` bypasses the plan cache, so the
+            // timed `plan` below still measures a fresh optimization.)
+            if n <= 6 {
+                audit_plan(&db, &sql).unwrap();
             }
             let plan = db.plan(&sql).unwrap();
             let s = plan.stats;

@@ -9,6 +9,7 @@
 //! cargo run --release -p sysr-bench --bin exp_skew
 //! ```
 
+use sysr_bench::workloads::audit_plan;
 use system_r::rss::SplitMix64;
 use system_r::{tuple, Config, Database};
 
@@ -72,6 +73,7 @@ fn main() {
         let cold = (0..=domain).filter(|&k| freq[k] > 0).min_by_key(|&k| freq[k]).unwrap();
         for (label, key) in [("hot", hot), ("cold", cold)] {
             let sql = format!("SELECT PAD FROM T WHERE K = {key}");
+            audit_plan(&db, &sql).unwrap();
             let plan = db.plan(&sql).unwrap();
             let estimated = plan.qcard;
             let actual = freq[key] as f64;

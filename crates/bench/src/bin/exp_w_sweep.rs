@@ -10,6 +10,7 @@
 //! ```
 
 use sysr_bench::harness::summarize_plan;
+use sysr_bench::workloads::audit_plan;
 use system_r::{tuple, Config, Database};
 
 fn build(w: f64) -> Database {
@@ -31,6 +32,7 @@ fn main() {
     let mut flip_at = None;
     for &w in &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0] {
         let db = build(w);
+        audit_plan(&db, sql).unwrap();
         let plan = db.plan(sql).unwrap();
         let summary = summarize_plan(&plan.root);
         if !last.is_empty() && summary != last && flip_at.is_none() {

@@ -14,13 +14,14 @@
 //! ```
 
 use sysr_bench::harness::summarize_plan;
-use sysr_bench::workloads::{fig1_db, Fig1Params, FIG1_SQL};
+use sysr_bench::workloads::{audit_plan, fig1_db, Fig1Params, FIG1_SQL};
 use system_r::core::{bind_select, Enumerator, TableSet};
 use system_r::sql::{parse_statement, Statement};
 
 fn main() {
     let p = Fig1Params { n_emp: 10_000, n_dept: 50, n_job: 10, ..Default::default() };
     let db = fig1_db(p).unwrap();
+    audit_plan(&db, FIG1_SQL).unwrap();
 
     println!("=== Fig. 1: the example join query ===\n{FIG1_SQL}\n");
     for t in ["EMP", "DEPT", "JOB"] {

@@ -6,6 +6,7 @@
 //! cargo run -p sysr-bench --bin table1
 //! ```
 
+use sysr_bench::workloads::audit_plan;
 use system_r::core::{bind_select, Selectivity};
 use system_r::sql::{parse_statement, Statement};
 use system_r::{tuple, Database};
@@ -92,6 +93,13 @@ fn main() {
     println!("{:<44} {:<38} {:>10}", "predicate shape", "paper rule", "computed F");
     println!("{:-<100}", "");
     for (shape, rule, sql) in rows {
+        // Audit each shape's plan before reporting its factor. The
+        // unrestricted self-join is exempt: its ~6M-row result is fine
+        // for selectivity arithmetic but too large for the audit pass,
+        // which executes the query.
+        if !sql.contains("EMP A, EMP B") {
+            audit_plan(&db, sql).unwrap();
+        }
         let Statement::Select(stmt) = parse_statement(sql).unwrap() else { unreachable!() };
         let bound = bind_select(db.catalog(), &stmt).unwrap();
         let sel = Selectivity::new(db.catalog(), &bound);

@@ -8,6 +8,7 @@
 //! cargo run -p sysr-bench --bin table2
 //! ```
 
+use sysr_bench::workloads::audit_plan;
 use system_r::core::CostModel;
 use system_r::{tuple, Config, Database};
 
@@ -86,6 +87,7 @@ fn main() {
             }
         };
         db.execute("UPDATE STATISTICS").unwrap();
+        audit_plan(&db, "SELECT PAD FROM T WHERE GRP = 7").unwrap();
         db.evict_buffers().unwrap();
         db.reset_io_stats();
         let r = db.query("SELECT PAD FROM T WHERE GRP = 7").unwrap();

@@ -218,6 +218,24 @@ pub fn employee_db(n: i64, manager_span: i64) -> DbResult<Database> {
     Ok(db)
 }
 
+/// Gate an experiment's query on the `sysr-audit` plan invariants before
+/// its numbers land in EXPERIMENTS.md: optimize with tracing, statically
+/// verify the plan and search-trace accounting, execute with per-node
+/// measurement and verify the executor's I/O accounting. Returns the
+/// rendered violation report as the error, so experiment binaries can
+/// `?` it (or unwrap in the exempt ones) ahead of the measured run.
+///
+/// Call this *before* `evict_buffers`/`reset_io_stats`: the audit
+/// executes the query once and would otherwise pollute the measurement.
+pub fn audit_plan(db: &Database, sql: &str) -> Result<(), String> {
+    let report = db.audit(sql).map_err(|e| format!("audit of `{sql}` failed to run: {e}"))?;
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!("plan audit failed for `{sql}`:\n{}", report.render()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,9 +23,14 @@ fn hex_decode(s: &str) -> Result<Vec<u8>, CatalogError> {
     if !s.len().is_multiple_of(2) {
         return Err(bad("odd-length hex string"));
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| bad("bad hex digit")))
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            std::str::from_utf8(pair)
+                .ok()
+                .and_then(|d| u8::from_str_radix(d, 16).ok())
+                .ok_or_else(|| bad("bad hex digit"))
+        })
         .collect()
 }
 

@@ -154,7 +154,7 @@ impl PlanArena {
                 *input = self.commit(scratch, base, item, *input, remap);
             }
         }
-        // audit:allow(no-as-cast) — arena size bounded by plans considered
+        // audit:allow(cast-soundness) — arena size bounded by plans considered
         let committed = self.nodes.len() as NodeId;
         self.nodes.push(node);
         remap.insert((item, id), committed);
@@ -173,7 +173,7 @@ pub struct WorkArena<'a> {
 
 impl<'a> WorkArena<'a> {
     pub fn new(main: &'a [ArenaNode]) -> Self {
-        // audit:allow(no-as-cast) — arena size bounded by plans considered
+        // audit:allow(cast-soundness) — arena size bounded by plans considered
         let base = main.len() as NodeId;
         WorkArena { main, base, local: Vec::new() }
     }
@@ -191,7 +191,7 @@ impl<'a> WorkArena<'a> {
     }
 
     pub fn push(&mut self, node: ArenaNode) -> NodeId {
-        // audit:allow(no-as-cast) — scratch size bounded by plans considered
+        // audit:allow(cast-soundness) — scratch size bounded by plans considered
         let id = self.base + self.local.len() as NodeId;
         self.local.push(node);
         id

@@ -110,6 +110,7 @@ fn bind_block_inner<'a>(
             // back to — it can only be evaluated once those tables'
             // candidate tuples are present.
             expr.visit_subqueries(&mut |i| {
+                // audit:allow(no-index) — visitor yields ids of this block's own subqueries
                 for t in tables_referenced_at_level(&ctx.subqueries[i].query, 1) {
                     tables.insert(t);
                 }
@@ -254,6 +255,7 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
                     if found.is_some() {
                         return Err(BindError::AmbiguousColumn(format!("{cref}")));
                     }
+                    // audit:allow(no-index) — column_position returned cno for this rel
                     found = Some((ColId::new(tno, cno), rel.columns[cno].ty));
                 }
             }

@@ -60,7 +60,7 @@ impl Cost {
     /// The cost actually measured by the executor, for
     /// predicted-vs-measured comparisons.
     pub fn from_io(io: &IoStats) -> Cost {
-        // audit:allow(no-as-cast) — u64 counters widened to f64; loses only sub-ulp precision
+        // audit:allow(cast-soundness) — u64 counters widened to f64; loses only sub-ulp precision
         Cost { pages: io.page_fetches() as f64, rsi: io.rsi_calls as f64 }
     }
 }
@@ -87,7 +87,7 @@ impl fmt::Display for Cost {
 }
 
 /// Usable bytes per temp-list page, mirroring [`sysr_rss::TempList`].
-// audit:allow(no-as-cast) — compile-time constant, exact in f64
+// audit:allow(cast-soundness) — compile-time constant, exact in f64
 const TEMP_PAGE_BYTES: f64 = (PAGE_SIZE - PAGE_HEADER_SIZE) as f64;
 
 /// Cardenas' approximation of the number of **distinct pages** touched
@@ -125,7 +125,7 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new(w: f64, buffer_pages: usize) -> Self {
-        // audit:allow(no-as-cast) — pool sizes are far below f64's exact-integer range
+        // audit:allow(cast-soundness) — pool sizes are far below f64's exact-integer range
         CostModel { w, buffer_pages: buffer_pages as f64 }
     }
 

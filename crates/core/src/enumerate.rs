@@ -471,10 +471,7 @@ impl<'a> Enumerator<'a> {
                     .iter()
                     .enumerate()
                     .filter_map(|(kid, slot)| {
-                        slot.map(|id| {
-                            // audit:allow(no-as-cast) — slot index is an interned key id
-                            (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id))
-                        })
+                        slot.map(|id| (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id)))
                     })
                     .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -506,10 +503,7 @@ impl<'a> Enumerator<'a> {
                     .iter()
                     .enumerate()
                     .filter_map(|(kid, slot)| {
-                        slot.map(|id| {
-                            // audit:allow(no-as-cast) — slot index is an interned key id
-                            (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id))
-                        })
+                        slot.map(|id| (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id)))
                     })
                     .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -521,7 +515,6 @@ impl<'a> Enumerator<'a> {
                         distinct.push(p);
                     }
                 }
-                // audit:allow(no-as-cast) — collection length into a u64 counter
                 let surviving = distinct.len() as u64;
                 let generated = o.generated.get(&set).copied().unwrap_or(0);
                 SubsetTrace {
@@ -601,7 +594,7 @@ impl<'a> Enumerator<'a> {
 
     /// Interned [`KeyId`]s are dense indexes into per-subset slot arrays.
     fn slot_index(key: KeyId) -> usize {
-        key as usize // audit:allow(no-as-cast) — dense interner id, starts at 0
+        key as usize // audit:allow(cast-soundness) — dense interner id, starts at 0
     }
 
     /// Interned order key of a scan candidate.
@@ -967,7 +960,7 @@ impl<'a> Enumerator<'a> {
                             .copied()
                             .filter(|&t| self.extension_allowed(t, set.minus(TableSet::single(t))))
                             .collect();
-                        // audit:allow(no-as-cast) — ok is a filtered subset of members, difference fits u64
+                        // audit:allow(cast-soundness) — ok is a filtered subset of members, difference fits u64
                         stats.heuristic_skips += (members.len() - ok.len()) as u64;
                         ok
                     } else {
@@ -978,12 +971,10 @@ impl<'a> Enumerator<'a> {
                     }
                 }
             }
-            // audit:allow(no-as-cast) — subset counts into u64 reporting counters
             stats.subsets_examined += subsets.len() as u64;
 
             // Scratch ids minted by the items start at the frozen arena
             // length; capture it before commits grow the arena.
-            // audit:allow(no-as-cast) — arena size bounded by plans considered
             let base = arena.len() as NodeId;
             let (results, items) = match pool {
                 Some(pool) if items.len() > 1 => {
@@ -1081,12 +1072,12 @@ impl<'a> Enumerator<'a> {
         // audit:allow(no-unwrap) — run_search falls back to the relaxed pass above precisely so
         // the full set always has at least one solution
         let sols = memo.get(&full).expect("full set always has solutions");
-        // audit:allow(no-as-cast) — slot counts into u64 reporting counters
+        // audit:allow(cast-soundness) — subset counts into u64 reporting counters
         stats.plans_kept = memo.values().map(|s| s.iter().flatten().count() as u64).sum();
         stats.solution_bytes = memo
             .values()
             .flat_map(|s| s.iter().flatten())
-            // audit:allow(no-as-cast) — byte-size estimate for reporting only
+            // audit:allow(cast-soundness) — byte-size estimate for reporting only
             .map(|&id| (arena.node(id).count as usize * std::mem::size_of::<PlanExpr>()) as u64)
             .sum();
 
@@ -1100,7 +1091,6 @@ impl<'a> Enumerator<'a> {
             let ordered = sols
                 .iter()
                 .enumerate()
-                // audit:allow(no-as-cast) — slot index is an interned key id
                 .filter(|(kid, _)| self.keys.satisfies_required(*kid as KeyId))
                 .filter_map(|(_, slot)| *slot)
                 .min_by(|&a, &b| {
@@ -1122,7 +1112,7 @@ impl<'a> Enumerator<'a> {
                 _ => sorted,
             }
         };
-        // audit:allow(no-as-cast) — elapsed micros saturate u64 after ~580k years
+        // audit:allow(cast-soundness) — elapsed micros saturate u64 after ~580k years
         stats.elapsed_micros = started.elapsed().as_micros() as u64;
         SearchOutcome {
             best,
@@ -1280,10 +1270,10 @@ impl<'a> Enumerator<'a> {
         let pages = match &cand.scan.access {
             crate::plan::Access::Segment => rel.stats.segment_scan_pages(),
             crate::plan::Access::Index { index, .. } => {
-                // audit:allow(no-as-cast) — catalog page/tuple counts widened to f64
                 let nindx =
+                    // audit:allow(cast-soundness) — catalog page/tuple counts widened to f64
                     self.ctx.catalog.index(*index).map(|i| i.stats.nindx as f64).unwrap_or(0.0);
-                // audit:allow(no-as-cast)
+                // audit:allow(cast-soundness)
                 rel.stats.tcard as f64 + nindx
             }
         };

@@ -52,7 +52,7 @@ impl KeyInterner {
         if let Some(&id) = self.ids.get(&key) {
             return id;
         }
-        // audit:allow(no-as-cast) — key universe is tiny (indexes + classes)
+        // audit:allow(cast-soundness) — key universe is tiny (indexes + classes)
         let id = self.keys.len() as KeyId;
         self.ids.insert(key.clone(), id);
         self.keys.push(key);
@@ -68,6 +68,7 @@ impl KeyInterner {
 
     /// The key for an id.
     pub fn get(&self, id: KeyId) -> &OrderKey {
+        // audit:allow(no-index) — KeyIds are indices issued by this interner
         &self.keys[id as usize]
     }
 
@@ -83,12 +84,14 @@ impl KeyInterner {
 
     /// Whether the key satisfies the block's required order (frozen).
     pub fn satisfies_required(&self, id: KeyId) -> bool {
+        // audit:allow(no-index) — KeyIds are indices issued by this interner
         self.satisfies_required[id as usize]
     }
 
     /// Whether the key's leading class is the class of `col` — the merge
     /// join "already ordered on the join column" test (frozen).
     pub fn leads_with(&self, id: KeyId, class_of_col: Option<usize>) -> bool {
+        // audit:allow(no-index) — KeyIds are indices issued by this interner
         match (self.head[id as usize], class_of_col) {
             (Some(k), Some(c)) => k == c,
             _ => false,

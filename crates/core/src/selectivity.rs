@@ -97,7 +97,7 @@ impl<'a> Selectivity<'a> {
         if idx.stats.icard == 0 {
             return None;
         }
-        // audit:allow(no-as-cast) — u64 key count widened to f64
+        // audit:allow(cast-soundness) — u64 key count widened to f64
         Some(idx.stats.icard as f64)
     }
 
@@ -191,7 +191,7 @@ impl<'a> Selectivity<'a> {
     /// at 1/2.
     fn in_list(&self, expr: &SExpr, list: &[SExpr]) -> f64 {
         let per_item = self.eq_sel(expr.as_col());
-        // audit:allow(no-as-cast) — IN-list lengths are tiny
+        // audit:allow(cast-soundness) — IN-list lengths are tiny
         clamp((list.len() as f64 * per_item).min(IN_LIST_CAP))
     }
 
@@ -215,7 +215,7 @@ impl<'a> Selectivity<'a> {
 }
 
 fn rel_ncard(catalog: &Catalog, t: &BoundTable) -> f64 {
-    // audit:allow(no-as-cast) — u64 cardinality widened to f64
+    // audit:allow(cast-soundness) — u64 cardinality widened to f64
     catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0)
 }
 

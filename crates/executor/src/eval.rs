@@ -105,7 +105,9 @@ fn eval_aggregate(rt: &mut BlockRt<'_>, group: &[Row], call: &AggCall) -> ExecRe
             match sum_values(&values)? {
                 Value::Int(s) => Ok(Value::Float(s as f64 / n)),
                 Value::Float(s) => Ok(Value::Float(s / n)),
-                _ => unreachable!("sum of numerics is numeric"),
+                other => {
+                    Err(ExecError::Internal(format!("SUM returned non-numeric {other} for AVG")))
+                }
             }
         }
     }

@@ -309,7 +309,7 @@ impl BTreeIndex {
                 let pos = keys.partition_point(|k| k.as_slice() <= key.as_slice());
                 let leaf_cap = self.config.leaf_capacity;
                 let Node::Leaf { keys, rids, next } = self.node_mut(node_id)? else {
-                    unreachable!()
+                    return Err(RssError::Corrupt("leaf changed kind between reads".into()));
                 };
                 keys.insert(pos, key);
                 rids.insert(pos, rid);
@@ -329,7 +329,9 @@ impl BTreeIndex {
                 let sep = right_keys[0].clone();
                 let right =
                     self.alloc(Node::Leaf { keys: right_keys, rids: right_rids, next: old_next });
-                let Node::Leaf { next, .. } = self.node_mut(node_id)? else { unreachable!() };
+                let Node::Leaf { next, .. } = self.node_mut(node_id)? else {
+                    return Err(RssError::Corrupt("leaf changed kind between reads".into()));
+                };
                 *next = Some(right);
                 self.dirty.insert(node_id);
                 Ok(Some((sep, right)))
@@ -343,7 +345,9 @@ impl BTreeIndex {
                 };
                 let internal_cap = self.config.internal_capacity;
                 let Node::Internal { keys, children } = self.node_mut(node_id)? else {
-                    unreachable!()
+                    return Err(RssError::Corrupt(
+                        "internal node changed kind between reads".into(),
+                    ));
                 };
                 keys.insert(idx, sep);
                 children.insert(idx + 1, right);
@@ -379,7 +383,7 @@ impl BTreeIndex {
             }
             if r == rid {
                 let Node::Leaf { keys, rids, .. } = self.node_mut(pos.leaf)? else {
-                    unreachable!()
+                    return Err(RssError::Corrupt("leaf changed kind between reads".into()));
                 };
                 keys.remove(pos.pos);
                 rids.remove(pos.pos);

@@ -134,6 +134,7 @@ impl<'a> Cursor<'a> {
         if self.pos + n > self.bytes.len() {
             return Err(RssError::Corrupt("truncated tuple bytes".into()));
         }
+        // audit:allow(no-index) — the truncation check above bounds pos + n
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)

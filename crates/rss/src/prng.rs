@@ -64,6 +64,7 @@ impl SplitMix64 {
 
     /// Pick one element of a non-empty slice.
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        // audit:allow(no-index) — range_usize(0, len) returns a value below len
         &items[self.range_usize(0, items.len())]
     }
 

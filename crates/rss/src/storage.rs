@@ -387,10 +387,12 @@ impl Storage {
             self.buffer.borrow_mut().flush(backend.as_mut())?;
         }
         let mut dst = DirBackend::open(dir)?;
-        let mut src = self.backend.borrow_mut();
         let mut copy = |key: PageKey| -> RssResult<()> {
             let mut buf = Box::new([0u8; PAGE_SIZE]);
-            src.read_page(key, &mut buf)?;
+            // Borrow the source backend per page: holding the RefCell
+            // guard across `dst` writes would pin the backend for the
+            // whole copy (latch-discipline: latches never span I/O).
+            self.backend.borrow_mut().read_page(key, &mut buf)?;
             verify_page(&buf, key)?;
             dst.write_page(key, &buf)
         };

@@ -86,6 +86,7 @@ impl TempList {
         let Some(t) = self.tuples.get(i) else {
             return Ok(None);
         };
+        // audit:allow(no-index) — the let-else above returns when i is out of range
         storage.touch(PageKey::new(FileId::Temp(self.file), self.page_of[i]))?;
         storage.record_rsi_call();
         Ok(Some(t))

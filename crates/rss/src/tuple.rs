@@ -40,6 +40,7 @@ impl Tuple {
     /// position is out of range — callers resolve positions via the catalog
     /// before execution.
     pub fn project(&self, cols: &[usize]) -> Tuple {
+        // audit:allow(no-index) — projection lists are validated by the binder
         Tuple::new(cols.iter().map(|&c| self.values[c].clone()).collect())
     }
 
@@ -61,6 +62,7 @@ impl Tuple {
 impl Index<usize> for Tuple {
     type Output = Value;
     fn index(&self, i: usize) -> &Value {
+        // audit:allow(no-index) — Index impl: panicking on out-of-range is the contract
         &self.values[i]
     }
 }

@@ -212,6 +212,7 @@ impl<'a> Lexer<'a> {
                 while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                     self.pos += 1;
                 }
+                // audit:allow(no-index) — start/pos are byte cursors clamped to src.len()
                 TokenKind::Ident(self.src[start..self.pos].to_ascii_uppercase())
             }
             other => {
@@ -239,6 +240,7 @@ impl<'a> Lexer<'a> {
                 }
                 Some(_) => {
                     // Advance over one UTF-8 character.
+                    // audit:allow(no-index) — pos never passes src.len()
                     let rest = &self.src[self.pos..];
                     // audit:allow(no-unwrap) — the peek above guarantees at least one byte remains
                     let ch = rest.chars().next().expect("peek saw a byte");
@@ -278,6 +280,7 @@ impl<'a> Lexer<'a> {
                 self.pos = save; // `123E` → the E starts an identifier
             }
         }
+        // audit:allow(no-index) — start/pos are byte cursors clamped to src.len()
         let text = &self.src[start..self.pos];
         let kind = if is_float {
             TokenKind::Float(

@@ -14,9 +14,12 @@ cargo test --workspace
 # Save/reopen round-trip against real page files in a temp dir; pins the
 # fetches == device-reads identity and clean errors on torn/corrupt files.
 cargo test --release --test persistence
-# --all = plan invariants + DP oracle & sampled orders + parallel-DP
-# determinism + recovery rules (page-checksum, reopen-equivalence) +
-# source lint.
+# --all = plan invariants + DP oracle (per query block, nested subquery
+# blocks included) & sampled orders + parallel-DP determinism + recovery
+# rules (page-checksum, reopen-equivalence) + the token-level source
+# lint (no-unwrap, no-index, unsafe-audit, latch-discipline,
+# cast-soundness, div-guard, and the stale-suppression detector
+# stale-allow). Any unsuppressed finding exits nonzero and fails CI.
 cargo run --release -p sysr-audit -- --all
 # Optimizer hot-path bench: the smoke run exercises the measurement
 # pipeline end to end (writes BENCH_optimizer.smoke.json, not the
