@@ -1,0 +1,32 @@
+use sysr_audit::lexer::{lex, TokKind};
+use sysr_audit::lint;
+
+#[test]
+fn probe_hex_with_e_and_sign() {
+    // 0xAE+3 should lex as Int(0xAE), Punct(+), Int(3)
+    let toks = lex("let x = 0xAE+3;");
+    for t in &toks { println!("{:?} {:?}", t.kind, t.text); }
+    assert!(toks.iter().any(|t| t.kind == TokKind::Int && t.text == "0xAE"), "mislexed");
+}
+
+#[test]
+fn probe_loop_bound_unrelated_range() {
+    // i is for-bound but over an unrelated huge range; no-index passes it
+    let src = "fn f(v: &[u8]) -> u32 {\n    let mut s = 0;\n    for i in 0..1000000 {\n        s += v[i] as u32;\n    }\n    s\n}\n";
+    let r = lint::lint_source("crates/core/src/a.rs", src);
+    println!("violations: {:?}", r.violations.iter().map(|v| v.rule.clone()).collect::<Vec<_>>());
+}
+
+#[test]
+fn probe_path_join_latch() {
+    let src = "fn f(&self, dir: &Path) {\n    let g = self.state.lock().unwrap();\n    let p = dir.join(\"x.pages\");\n    g.use_path(p);\n}\n";
+    let r = lint::lint_source("crates/rss/src/pagefile.rs", src);
+    println!("violations: {:?}", r.violations.iter().map(|v| format!("{}@{}", v.rule, v.at)).collect::<Vec<_>>());
+}
+
+#[test]
+fn probe_typed_guard_not_tracked() {
+    let src = "fn f(&self, dst: &mut dyn PageBackend) {\n    let g: std::sync::MutexGuard<Mem> = self.m.lock().unwrap();\n    dst.write_page(key, &buf);\n}\n";
+    let r = lint::lint_source("crates/rss/src/storage.rs", src);
+    println!("violations: {:?}", r.violations.iter().map(|v| v.rule.clone()).collect::<Vec<_>>());
+}
