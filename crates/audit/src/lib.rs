@@ -20,6 +20,10 @@
 //!   exhaustive reach) [`differential::audit_order_samples`] draws a
 //!   seeded subset of join orders and asserts the DP never loses to any
 //!   of them.
+//! * [`concurrent`] — the serving rules: every builtin corpus query,
+//!   replanned and re-executed from 8 concurrent threads against live
+//!   shared storage, must reproduce the single-thread plan and result
+//!   rows bit-identically (`concurrent-differential`).
 //! * [`recovery`] — the persistence rules: saved page files carry valid
 //!   checksums and LSN stamps, corruption is detected on open, and a
 //!   reopened database returns identical scan results and catalog
@@ -38,6 +42,7 @@
 //! The `sysr-audit` binary runs both engines (`--all`) and exits nonzero
 //! on any violation; `scripts/ci.sh` gates every PR on it.
 
+pub mod concurrent;
 pub mod corpus;
 pub mod differential;
 pub mod invariants;

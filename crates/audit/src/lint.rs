@@ -35,6 +35,14 @@
 //!   `unwrap_or_else`/`?` (e.g. `.lock()….clone()`) is a temporary, not
 //!   a guard. This is the static face of the System R RSS latch rule:
 //!   page latches are short-duration and never held across I/O waits.
+//! * **`latch-ordering`** — in the same files, latch acquisitions must
+//!   follow the documented total order *shard (rank 0) → backend
+//!   (rank 1)* (DESIGN.md §11). Receivers are classified by identifier
+//!   (`shard`/`slot`/`stripe` → 0, `backend` → 1); taking a latch whose
+//!   rank is not strictly greater than every live ranked guard — the
+//!   backend-then-shard inversion, a second shard while one is held, a
+//!   double backend lock — is a deadlock ingredient and is flagged.
+//!   Unranked receivers are outside the order and ignored.
 //! * **`cast-soundness`** — `as` casts in the cost-critical files
 //!   (`cost.rs`, `selectivity.rs`, `enumerate.rs`) are classified by
 //!   inferred source type and target width. Provably value-preserving
@@ -71,6 +79,7 @@ pub const RULES: &[&str] = &[
     "no-index",
     "unsafe-audit",
     "latch-discipline",
+    "latch-ordering",
     "cast-soundness",
     "div-guard",
     "stale-allow",
@@ -210,9 +219,17 @@ const DIV_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs"];
 /// Crates whose sources are subject to the `no-index` rule.
 const INDEX_SCOPED_CRATES: &[&str] = &["core", "rss", "executor", "catalog", "sql"];
 
-/// Files (by name) subject to the `latch-discipline` rule: the RSS
-/// storage stack and the parallel enumerator's worker pool.
-const LATCH_SCOPED_FILES: &[&str] = &["buffer.rs", "pagefile.rs", "storage.rs", "enumerate.rs"];
+/// Files (by name) subject to the `latch-discipline` and
+/// `latch-ordering` rules: the RSS storage stack (including the sharded
+/// buffer pool) and the parallel enumerator's worker pool.
+const LATCH_SCOPED_FILES: &[&str] =
+    &["buffer.rs", "pagefile.rs", "sharded.rs", "storage.rs", "enumerate.rs"];
+
+/// The latch rank order (DESIGN.md §11): receivers classified by these
+/// identifier fragments must be acquired in strictly ascending rank.
+/// Shard latches are rank 0 (at most one at a time — hence *strictly*);
+/// the page-backend latch is rank 1, the maximum.
+const LATCH_RANKS: &[(&str, u8)] = &[("shard", 0), ("slot", 0), ("stripe", 0), ("backend", 1)];
 
 /// Guard producers: a `let g = x.<producer>()…;` binding makes `g` a
 /// tracked latch guard.
@@ -328,6 +345,9 @@ pub fn lint_source(label: &str, text: &str) -> AuditReport {
     let file_name = label.rsplit('/').next().unwrap_or(label);
     if LATCH_SCOPED_FILES.contains(&file_name) && !exempt(label, "latch-discipline") {
         latch_discipline_rule(&ctx, &mut report);
+    }
+    if LATCH_SCOPED_FILES.contains(&file_name) && !exempt(label, "latch-ordering") {
+        latch_ordering_rule(&ctx, &mut report);
     }
     if CAST_SCOPED_FILES.contains(&file_name) && !exempt(label, "cast-soundness") {
         cast_soundness_rule(&ctx, &mut report);
@@ -574,6 +594,9 @@ struct Guard {
     /// Dead at the enclosing block's `}` or an explicit `drop(name)`.
     to: usize,
     line: u32,
+    /// Position in the latch order ([`LATCH_RANKS`]) classified from the
+    /// producer call's receiver; `None` when the receiver is unranked.
+    rank: Option<u8>,
 }
 
 fn latch_discipline_rule(ctx: &Ctx, report: &mut AuditReport) {
@@ -640,6 +663,76 @@ fn latch_discipline_rule(ctx: &Ctx, report: &mut AuditReport) {
     }
 }
 
+/// The [`LATCH_RANKS`] rank of the receiver of the producer call at
+/// `producer`: `recv.lock(` classifies `recv`; `recv(args).lock(`
+/// classifies the callee `recv` (the `shard_slot(key)?.lock()` shape).
+fn receiver_rank(toks: &[Token], producer: usize) -> Option<u8> {
+    let dot = lexer::prev_code(toks, producer)?;
+    if toks[dot].text != "." {
+        return None;
+    }
+    let mut r = lexer::prev_code(toks, dot)?;
+    if toks[r].kind == TokKind::Punct && toks[r].text == "?" {
+        r = lexer::prev_code(toks, r)?;
+    }
+    let name = match toks[r].kind {
+        TokKind::Ident => &toks[r].text,
+        TokKind::Close if toks[r].text == ")" => {
+            let open = matching_open(toks, r)?;
+            let callee = lexer::prev_code(toks, open)?;
+            if toks[callee].kind != TokKind::Ident {
+                return None;
+            }
+            &toks[callee].text
+        }
+        _ => return None,
+    };
+    let lowered = name.to_ascii_lowercase();
+    LATCH_RANKS.iter().find(|(frag, _)| lowered.contains(frag)).map(|&(_, rank)| rank)
+}
+
+/// `latch-ordering`: every latch acquisition must carry a rank strictly
+/// greater than every ranked guard still live — shard (0) before
+/// backend (1), never two of the same rank. Catches the backend-then-
+/// shard inversion and double acquisitions within one rank; unranked
+/// receivers are outside the order and ignored.
+fn latch_ordering_rule(ctx: &Ctx, report: &mut AuditReport) {
+    let toks = &ctx.model.tokens;
+    for f in &ctx.model.fns {
+        if ctx.model.in_test(f.body.0) {
+            continue;
+        }
+        let guards = collect_guards(toks, f.body);
+        for i in f.body.0..=f.body.1.min(toks.len() - 1) {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !GUARD_PRODUCERS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let prev_dot = lexer::prev_code(toks, i).is_some_and(|p| toks[p].text == ".");
+            let next_paren = lexer::next_code(toks, i + 1).is_some_and(|n| toks[n].text == "(");
+            if !prev_dot || !next_paren {
+                continue;
+            }
+            let Some(rank) = receiver_rank(toks, i) else { continue };
+            for g in guards.iter().filter(|g| g.from < i && i < g.to) {
+                let Some(grank) = g.rank else { continue };
+                if rank <= grank && !ctx.allowed("latch-ordering", t.line) {
+                    report.push(Violation::new(
+                        "latch-ordering",
+                        ctx.at(t.line),
+                        format!(
+                            "`{}` acquires a rank-{rank} latch while rank-{grank} guard `{}` \
+                             (bound line {}) is live; the latch order is shard(0) → backend(1), \
+                             strictly ascending — release `{}` first",
+                            f.name, g.name, g.line, g.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Find `let [mut] NAME = …<producer>()…;` guard bindings in a fn body.
 fn collect_guards(toks: &[Token], body: (usize, usize)) -> Vec<Guard> {
     let mut out = Vec::new();
@@ -678,7 +771,7 @@ fn collect_guards(toks: &[Token], body: (usize, usize)) -> Vec<Guard> {
             }
             end += 1;
         }
-        if is_guard_init(toks, j, end) {
+        if let Some(producer) = guard_producer(toks, j, end) {
             // Liveness: to the enclosing block's `}` (the first close brace
             // shallower than the binding) or an explicit `drop(name)`.
             let mut to = hi;
@@ -697,7 +790,8 @@ fn collect_guards(toks: &[Token], body: (usize, usize)) -> Vec<Guard> {
                     break;
                 }
             }
-            out.push(Guard { name, from: end, to, line: toks[let_idx].line });
+            let rank = receiver_rank(toks, producer);
+            out.push(Guard { name, from: end, to, line: toks[let_idx].line, rank });
         }
         i = end + 1;
     }
@@ -707,21 +801,22 @@ fn collect_guards(toks: &[Token], body: (usize, usize)) -> Vec<Guard> {
 /// Does the initializer in tokens `(name_idx, stmt_end)` produce a guard?
 /// The chain must *end* in a producer call, optionally followed only by
 /// `unwrap`/`expect`/`unwrap_or_else` or `?` — `.lock()….clone()` copies
-/// data out and drops the guard at the statement end.
-fn is_guard_init(toks: &[Token], name_idx: usize, stmt_end: usize) -> bool {
+/// data out and drops the guard at the statement end. Returns the index
+/// of that final producer call's identifier.
+fn guard_producer(toks: &[Token], name_idx: usize, stmt_end: usize) -> Option<usize> {
     let mut i = name_idx;
-    let mut producer_close: Option<usize> = None;
+    let mut producer: Option<usize> = None;
     while i < stmt_end {
         if toks[i].kind == TokKind::Ident
             && GUARD_PRODUCERS.contains(&toks[i].text.as_str())
             && lexer::prev_code(toks, i).is_some_and(|p| toks[p].text == ".")
             && toks.get(i + 1).is_some_and(|n| n.text == "(")
         {
-            producer_close = Some(lexer::matching_close(toks, i + 1));
+            producer = Some(i);
         }
         i += 1;
     }
-    let Some(close) = producer_close else { return false };
+    let close = lexer::matching_close(toks, producer? + 1);
     // Inspect the chain after the last producer call.
     let mut k = close + 1;
     while k < stmt_end {
@@ -737,9 +832,9 @@ fn is_guard_init(toks: &[Token], name_idx: usize, stmt_end: usize) -> bool {
             k = lexer::matching_close(toks, k + 1) + 1;
             continue;
         }
-        return false; // any other trailing method/expr demotes to temporary
+        return None; // any other trailing method/expr demotes to temporary
     }
-    true
+    producer
 }
 
 // ---------------------------------------------------------------------------
@@ -1104,6 +1199,61 @@ mod tests {
     fn latch_guard_across_join_flagged() {
         let bad = "fn run(&self) {\n    let level = self.shared.lock().unwrap();\n    handle.join();\n}\n";
         assert_eq!(latch("crates/core/src/enumerate.rs", bad), vec!["latch-discipline"]);
+    }
+
+    /// The ordering fixtures also use `.lock().unwrap()` — filter to the
+    /// rule under test.
+    fn ordering(label: &str, src: &str) -> Vec<String> {
+        lint_source(label, src)
+            .violations
+            .iter()
+            .filter(|v| v.rule == "latch-ordering")
+            .map(|v| v.rule.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn backend_then_shard_inversion_flagged() {
+        let bad = "fn f(&self) {\n    let mut backend = self.backend.lock().unwrap();\n    let mut shard = self.shard.lock().unwrap();\n    shard.touch(&mut backend);\n}\n";
+        assert_eq!(ordering("crates/rss/src/sharded.rs", bad), vec!["latch-ordering"]);
+        // the documented order passes: shard first, backend second
+        let good = "fn f(&self) {\n    let mut shard = self.shard.lock().unwrap();\n    let mut backend = self.backend.lock().unwrap();\n    shard.touch(&mut backend);\n}\n";
+        assert!(ordering("crates/rss/src/sharded.rs", good).is_empty());
+        // unscoped files are not checked
+        assert!(ordering("crates/rss/src/other.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn same_rank_double_acquisition_flagged() {
+        let two_shards = "fn f(&self) {\n    let a = self.shard_a.lock().unwrap();\n    let b = self.shard_b.lock().unwrap();\n    merge(a, b);\n}\n";
+        assert_eq!(ordering("crates/rss/src/sharded.rs", two_shards), vec!["latch-ordering"]);
+        let two_backends = "fn f(&self) {\n    let a = self.backend.lock().unwrap();\n    let b = other.backend.lock().unwrap();\n    copy(a, b);\n}\n";
+        assert_eq!(ordering("crates/rss/src/storage.rs", two_backends), vec!["latch-ordering"]);
+    }
+
+    #[test]
+    fn releasing_before_reacquire_passes() {
+        let dropped = "fn f(&self) {\n    let shard = self.backend.lock().unwrap();\n    drop(shard);\n    let b = self.backend.lock().unwrap();\n    b.touch();\n}\n";
+        assert!(ordering("crates/rss/src/sharded.rs", dropped).is_empty());
+        // a scoped block releases the first guard the same way
+        let scoped = "fn f(&self) {\n    {\n        let shard = self.shard.lock().unwrap();\n        shard.touch();\n    }\n    let b = self.shard.lock().unwrap();\n    b.touch();\n}\n";
+        assert!(ordering("crates/rss/src/sharded.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn callee_receiver_is_classified() {
+        // `shard_slot(key)?.lock()` ranks by the callee ident
+        let bad = "fn f(&self, key: PageKey) {\n    let g = self.backend.lock().unwrap();\n    let s = self.shard_slot(key)?.lock().unwrap();\n    s.touch(g);\n}\n";
+        assert_eq!(ordering("crates/rss/src/sharded.rs", bad), vec!["latch-ordering"]);
+        // unranked receivers are outside the order
+        let unranked = "fn f(&self) {\n    let g = self.counters.lock().unwrap();\n    let h = self.totals.lock().unwrap();\n    g.merge(h);\n}\n";
+        assert!(ordering("crates/rss/src/sharded.rs", unranked).is_empty());
+    }
+
+    #[test]
+    fn latch_ordering_suppressible_with_marker() {
+        let allowed = "fn f(&self) {\n    let mut backend = self.backend.lock().unwrap();\n    // audit:allow(latch-ordering) — startup path, single-threaded by construction\n    let mut shard = self.shard.lock().unwrap();\n    shard.touch(&mut backend);\n}\n";
+        assert!(ordering("crates/rss/src/sharded.rs", allowed).is_empty());
     }
 
     #[test]

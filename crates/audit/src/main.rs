@@ -1,10 +1,11 @@
 //! `sysr-audit` — run the plan auditor and the source lint pass.
 //!
 //! ```text
-//! sysr-audit --all               # plans + differential + parallel + recovery + lint (CI mode)
+//! sysr-audit --all               # plans + differential + parallel + concurrent + recovery + lint (CI mode)
 //! sysr-audit --plans             # plan invariants over the built-in corpus
 //! sysr-audit --diff              # DP-vs-exhaustive oracle + sampled 5-6-way orders
 //! sysr-audit --parallel          # threads>1 search must be bit-identical to threads=1
+//! sysr-audit --concurrent        # 8-thread serving must match single-thread plans + rows
 //! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
 //! sysr-audit --root <dir>        # repo root for --lint (default: .)
@@ -27,6 +28,7 @@ struct Options {
     plans: bool,
     diff: bool,
     parallel: bool,
+    concurrent: bool,
     recovery: bool,
     lint: bool,
     root: PathBuf,
@@ -39,6 +41,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         plans: false,
         diff: false,
         parallel: false,
+        concurrent: false,
         recovery: false,
         lint: false,
         root: PathBuf::from("."),
@@ -52,12 +55,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.plans = true;
                 opts.diff = true;
                 opts.parallel = true;
+                opts.concurrent = true;
                 opts.recovery = true;
                 opts.lint = true;
             }
             "--plans" => opts.plans = true,
             "--diff" => opts.diff = true,
             "--parallel" => opts.parallel = true,
+            "--concurrent" => opts.concurrent = true,
             "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
             "--root" => {
@@ -75,11 +80,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(opts.plans || opts.diff || opts.parallel || opts.recovery || opts.lint) {
-        return Err(
-            "pick at least one of --all / --plans / --diff / --parallel / --recovery / --lint"
-                .into(),
-        );
+    if !(opts.plans || opts.diff || opts.parallel || opts.concurrent || opts.recovery || opts.lint)
+    {
+        return Err("pick at least one of --all / --plans / --diff / --parallel / --concurrent / \
+             --recovery / --lint"
+            .into());
     }
     Ok(opts)
 }
@@ -121,7 +126,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
@@ -148,6 +153,11 @@ fn main() -> ExitCode {
     if opts.parallel {
         let r = sysr_audit::parallel::audit_parallel(&cases, config);
         println!("parallel: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.concurrent {
+        let r = sysr_audit::concurrent::audit_concurrent(config);
+        println!("concurrent: {} checks, {} violations", r.checks, r.violations.len());
         report.merge(r);
     }
     if opts.recovery {

@@ -222,6 +222,70 @@ fn lint_flags_latch_held_across_io_and_respects_drop() {
 }
 
 #[test]
+fn lint_flags_latch_order_inversion_and_respects_allow() {
+    // A backend (rank 1) guard live while a shard (rank 0) latch is
+    // acquired: the shard → backend total order is inverted.
+    let inverted = "fn f(&self, key: PageKey) {\n    let backend = self.backend.lock().unwrap_or_else(PoisonError::into_inner);\n    let shard = self.shard_slot(key).lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
+    let report = lint::lint_source("crates/rss/src/sharded.rs", inverted);
+    assert_eq!(rules(&report), vec!["latch-ordering"], "got:\n{}", report.render());
+
+    // The documented order — shard first, then backend — passes.
+    let ordered = "fn f(&self, key: PageKey) {\n    let shard = self.shard_slot(key).lock().unwrap_or_else(PoisonError::into_inner);\n    drop(shard);\n    let backend = self.backend.lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
+    assert!(lint::lint_source("crates/rss/src/sharded.rs", ordered).ok());
+
+    // Two same-rank shard latches: deadlock-prone, flagged.
+    let double = "fn f(&self, a: PageKey, b: PageKey) {\n    let first = self.shard_slot(a).lock().unwrap_or_else(PoisonError::into_inner);\n    let second = self.shard_slot(b).lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
+    let report = lint::lint_source("crates/rss/src/sharded.rs", double);
+    assert_eq!(rules(&report), vec!["latch-ordering"], "got:\n{}", report.render());
+
+    // A scoped allow marker silences a justified exception.
+    let allowed = "fn f(&self, a: PageKey, b: PageKey) {\n    let first = self.shard_slot(a).lock().unwrap_or_else(PoisonError::into_inner);\n    // audit:allow(latch-ordering) — shards ordered by index upstream\n    let second = self.shard_slot(b).lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
+    assert!(lint::lint_source("crates/rss/src/sharded.rs", allowed).ok());
+
+    // Files outside the latch scope are ignored entirely.
+    assert!(lint::lint_source("crates/core/src/foo.rs", inverted).ok());
+}
+
+// ---- the concurrent-differential rule's comparator --------------------
+
+#[test]
+fn concurrent_divergence_fires_and_allow_table_suppresses() {
+    use sysr_audit::concurrent::{check_outcome, Executed, RunOutcome, RULE};
+
+    let ok = |plan: &str, rows: &str| -> RunOutcome {
+        Ok(Executed { plan: plan.into(), rows: rows.into() })
+    };
+
+    // A thread that chose a different plan than the single-thread run.
+    let v = check_outcome("fig1/join3", 5, &ok("p", "r"), &ok("P", "r"), &[])
+        .expect("plan divergence must fire");
+    assert_eq!(v.rule, RULE);
+    assert!(v.detail.contains("thread 5"), "{v}");
+
+    // A thread that returned different rows.
+    let v = check_outcome("fig1/join3", 2, &ok("p", "r"), &ok("p", "R"), &[])
+        .expect("row divergence must fire");
+    assert!(v.detail.contains("different rows"), "{v}");
+
+    // An error where the baseline succeeded.
+    let v = check_outcome("fig1/join3", 0, &ok("p", "r"), &Err("latch poisoned".into()), &[])
+        .expect("error divergence must fire");
+    assert!(v.detail.contains("latch poisoned"), "{v}");
+
+    // The allowed table is the dynamic analog of `audit:allow`: the same
+    // divergence under a listed label is suppressed…
+    let allowed = [("fig1/join3", "row order differs on this workload — tracked upstream")];
+    assert!(check_outcome("fig1/join3", 5, &ok("p", "r"), &ok("P", "r"), &allowed).is_none());
+    // …but only for that label.
+    assert!(check_outcome("fig1/other", 5, &ok("p", "r"), &ok("P", "r"), &allowed).is_some());
+
+    // Identical outcomes — including identical deterministic failures —
+    // are never violations.
+    assert!(check_outcome("q", 1, &ok("p", "r"), &ok("p", "r"), &[]).is_none());
+    assert!(check_outcome("q", 1, &Err("x".into()), &Err("x".into()), &[]).is_none());
+}
+
+#[test]
 fn stale_allow_markers_are_flagged() {
     let src = "fn f() {\n    // audit:allow(no-such-rule) — obsolete marker\n    let _x = 1;\n}\n";
     let report = lint::lint_source("crates/core/src/foo.rs", src);

@@ -10,17 +10,21 @@ use crate::row::{cmp_rows, empty_row, row_value, rows_sorted, Row};
 use crate::tracer::ExecTracer;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
 use sysr_catalog::Catalog;
 use sysr_core::{ColId, NodeMeasurement, QueryPlan};
 use sysr_rss::{Storage, Tuple, Value};
 
 /// Execution environment: the storage engine and catalogs, plus an
 /// optional per-node measurement tracer (`EXPLAIN ANALYZE`).
+///
+/// One `ExecEnv` belongs to one session's statement execution: the
+/// tracer is single-owner state (a plain `RefCell`, no sharing), while
+/// `storage` and `catalog` are the shared, `Sync` serving structures
+/// many environments may borrow concurrently.
 pub struct ExecEnv<'a> {
     pub storage: &'a Storage,
     pub catalog: &'a Catalog,
-    pub tracer: Option<Rc<RefCell<ExecTracer>>>,
+    pub tracer: Option<RefCell<ExecTracer>>,
 }
 
 impl<'a> ExecEnv<'a> {
@@ -30,16 +34,13 @@ impl<'a> ExecEnv<'a> {
 
     /// Attach a fresh tracer; harvest it with [`ExecEnv::take_measurements`].
     pub fn with_tracer(storage: &'a Storage, catalog: &'a Catalog) -> Self {
-        ExecEnv { storage, catalog, tracer: Some(Rc::new(RefCell::new(ExecTracer::new()))) }
+        ExecEnv { storage, catalog, tracer: Some(RefCell::new(ExecTracer::new())) }
     }
 
     /// Detach the tracer and return what it measured (empty if untraced).
     pub fn take_measurements(&mut self) -> HashMap<usize, NodeMeasurement> {
         match self.tracer.take() {
-            Some(t) => Rc::try_unwrap(t)
-                .ok()
-                .map(|cell| cell.into_inner().into_measurements())
-                .unwrap_or_default(),
+            Some(cell) => cell.into_inner().into_measurements(),
             None => HashMap::new(),
         }
     }
@@ -105,11 +106,13 @@ impl<'a> BlockRt<'a> {
         }
     }
 
-    /// Close the window for node `id`, crediting `rows` produced.
-    pub fn trace_exit(&self, id: usize, rows: usize) {
+    /// Close the window for node `id`, crediting `rows` produced. An
+    /// unpaired exit surfaces as an execution error.
+    pub fn trace_exit(&self, id: usize, rows: usize) -> ExecResult<()> {
         if let Some(t) = &self.env.tracer {
-            t.borrow_mut().exit(id, rows as u64, self.env.storage.io_stats());
+            t.borrow_mut().exit(id, rows as u64, self.env.storage.io_stats())?;
         }
+        Ok(())
     }
 
     /// Resolve an outer reference from the correlation context. `level` is

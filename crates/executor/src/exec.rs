@@ -13,12 +13,12 @@ use sysr_rss::{IndexScan, RsiScan, SargExpr, SargPred, SegmentScan, TempList, Tu
 pub fn exec_node(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResult<Vec<Row>> {
     rt.trace_enter(id);
     let result = exec_node_inner(rt, plan, id);
-    match &result {
-        Ok(rows) => rt.trace_exit(id, rows.len()),
-        // Errors abandon the measurement; the caller discards the tracer.
-        Err(_) => rt.trace_exit(id, 0),
-    }
-    result
+    // Errors abandon the measurement (the caller discards the tracer) and
+    // take precedence over any unpaired-exit report.
+    let traced = rt.trace_exit(id, result.as_ref().map_or(0, Vec::len));
+    let rows = result?;
+    traced?;
+    Ok(rows)
 }
 
 fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResult<Vec<Row>> {
@@ -36,8 +36,9 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
                 // bound from the outer row.
                 rt.trace_enter(inner_id);
                 let matched = exec_scan(rt, inner_scan, Some(orow));
-                rt.trace_exit(inner_id, matched.as_ref().map_or(0, Vec::len));
+                let traced = rt.trace_exit(inner_id, matched.as_ref().map_or(0, Vec::len));
                 out.extend(matched?);
+                traced?;
             }
             Ok(out)
         }

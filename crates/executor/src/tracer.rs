@@ -9,6 +9,7 @@
 //! `window - charged` as its own. Summing the per-node measurements
 //! therefore reproduces the whole-query [`IoStats`] delta exactly.
 
+use crate::error::{ExecError, ExecResult};
 use std::collections::HashMap;
 use sysr_core::NodeMeasurement;
 use sysr_rss::IoStats;
@@ -42,9 +43,15 @@ impl ExecTracer {
     /// Close node `id`, crediting it with `rows` produced and with the
     /// window's I/O net of nested frames. The window total is passed up to
     /// the parent as already-charged.
-    pub fn exit(&mut self, id: usize, rows: u64, now: IoStats) {
-        // audit:allow(no-unwrap) — enter/exit calls are strictly paired by the interpreter
-        let frame = self.frames.pop().expect("tracer exit without enter");
+    ///
+    /// Enter/exit calls are strictly paired by the interpreter; an exit
+    /// with no open frame means the pairing was broken somewhere and the
+    /// measurement cannot be attributed, so it is reported rather than
+    /// panicking mid-query.
+    pub fn exit(&mut self, id: usize, rows: u64, now: IoStats) -> ExecResult<()> {
+        let frame = self.frames.pop().ok_or_else(|| {
+            ExecError::Internal(format!("tracer exit of node {id} without enter"))
+        })?;
         debug_assert_eq!(frame.id, id, "tracer frames must nest");
         let window = now.since(&frame.start);
         let own = window.since(&frame.charged);
@@ -55,6 +62,7 @@ impl ExecTracer {
         if let Some(parent) = self.frames.last_mut() {
             parent.charged += window;
         }
+        Ok(())
     }
 
     /// The collected measurements. Every frame must be closed.
@@ -91,8 +99,8 @@ mod tests {
         let mut t = ExecTracer::new();
         t.enter(0, io(0, 0));
         t.enter(1, io(2, 1)); // parent did 2 pages before the child opened
-        t.exit(1, 10, io(5, 4)); // child: 3 pages, 3 rsi
-        t.exit(0, 4, io(6, 6)); // parent total 6/6, child took 3/3 → own 3/3
+        t.exit(1, 10, io(5, 4)).unwrap(); // child: 3 pages, 3 rsi
+        t.exit(0, 4, io(6, 6)).unwrap(); // parent total 6/6, child took 3/3 → own 3/3
         let m = t.into_measurements();
         assert_eq!(m[&1].io.data_page_fetches, 3);
         assert_eq!(m[&1].io.rsi_calls, 3);
@@ -108,9 +116,9 @@ mod tests {
     fn repeated_invocations_accumulate() {
         let mut t = ExecTracer::new();
         t.enter(2, io(0, 0));
-        t.exit(2, 1, io(1, 1));
+        t.exit(2, 1, io(1, 1)).unwrap();
         t.enter(2, io(1, 1));
-        t.exit(2, 2, io(3, 2));
+        t.exit(2, 2, io(3, 2)).unwrap();
         let m = t.into_measurements();
         assert_eq!(m[&2].invocations, 2);
         assert_eq!(m[&2].rows, 3);
@@ -123,8 +131,19 @@ mod tests {
         // node frame; their I/O is still captured on their own ids.
         let mut t = ExecTracer::new();
         t.enter(7, io(0, 0));
-        t.exit(7, 5, io(4, 2));
+        t.exit(7, 5, io(4, 2)).unwrap();
         let m = t.into_measurements();
         assert_eq!(m[&7].io.data_page_fetches, 4);
+    }
+
+    #[test]
+    fn unpaired_exit_is_an_error_not_a_panic() {
+        let mut t = ExecTracer::new();
+        let err = t.exit(3, 0, io(0, 0)).unwrap_err();
+        assert!(format!("{err}").contains("without enter"), "got {err}");
+        // The tracer stays usable: a properly paired window still records.
+        t.enter(3, io(0, 0));
+        t.exit(3, 1, io(2, 0)).unwrap();
+        assert_eq!(t.into_measurements()[&3].io.data_page_fetches, 2);
     }
 }

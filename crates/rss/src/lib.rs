@@ -40,6 +40,7 @@ pub mod rid;
 pub mod sarg;
 pub mod scan;
 pub mod segment;
+pub mod sharded;
 pub mod storage;
 pub mod temp;
 pub mod tuple;
@@ -55,6 +56,7 @@ pub use rid::Rid;
 pub use sarg::{CompareOp, SargExpr, SargList, SargPred};
 pub use scan::{IndexScan, RsiScan, SegmentScan};
 pub use segment::{Segment, SegmentId};
+pub use sharded::{ShardedBufferPool, SharedBackend};
 pub use storage::Storage;
 pub use temp::TempList;
 pub use tuple::Tuple;

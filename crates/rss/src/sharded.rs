@@ -1,0 +1,594 @@
+//! A sharded, latch-guarded buffer pool for concurrent query serving.
+//!
+//! [`BufferPool`](crate::BufferPool) models System R's frame cache as a
+//! single-owner structure; this module wraps the same LRU semantics in N
+//! independently latched partitions so many sessions can read pages
+//! concurrently. A page's shard is a pure function of its [`PageKey`]:
+//! sequential pages of one file stripe round-robin across shards, so a
+//! scan that fits in the pool stays resident just as it would under one
+//! global LRU.
+//!
+//! # Latch order
+//!
+//! Two latch ranks exist, and acquisition must follow the total order
+//! *shard (rank 0) → backend (rank 1)*:
+//!
+//! - **Shard latches (rank 0).** At most one shard latch is held at a
+//!   time. Cross-shard walks (flush, clear, stats) visit shards in
+//!   strictly ascending shard id, releasing each before locking the
+//!   next, so any future multi-latch extension stays deadlock-free.
+//! - **Backend latch (rank 1).** The page-file backend is the maximum of
+//!   the order. Per the RSS discipline *latches never span I/O*, no
+//!   shard latch is held while the backend latch is taken: a miss
+//!   releases the shard, performs the read under the backend latch
+//!   alone, then relocks the shard to install the frame. Dirty eviction
+//!   victims are removed under the shard latch and written back after it
+//!   is released.
+//!
+//! `sysr-audit`'s `latch-discipline` rule enforces the I/O-span half of
+//! this contract and `latch-ordering` enforces the rank order.
+//!
+//! # Benign staleness
+//!
+//! Dirty frames only arise from `&mut Storage` writers, which the borrow
+//! checker already serializes against shared readers. During a
+//! write-back that races nothing (the only kind possible), a concurrent
+//! reader of the *same* page may re-read the backend's prior image; that
+//! image is always a complete, checksum-valid stamped page, and tuple
+//! data is served from the in-memory segments and B-trees — frame bytes
+//! feed only checksum verification and persistence. Counters are relaxed
+//! atomics: exact in any single-threaded window (the accounting identity
+//! `page_fetches == backend_reads` that the tests pin), monotonically
+//! consistent across threads.
+
+use crate::buffer::{FileId, IoStats, PageKey};
+use crate::error::{RssError, RssResult};
+use crate::page::PAGE_SIZE;
+use crate::pagefile::{verify_page, PageBackend};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// The page-file backend behind its rank-1 latch. `Send` because frames
+/// migrate across session threads.
+pub type SharedBackend = Mutex<Box<dyn PageBackend + Send>>;
+
+/// Pages per shard below which we stop splitting: tiny pools keep a
+/// single shard and behave exactly like the global-LRU [`BufferPool`]
+/// (crate::BufferPool), which the buffer-sweep experiments rely on.
+const MIN_SHARD_PAGES: usize = 8;
+
+/// Latch-partition count ceiling; 8 matches the widest thread fan-out
+/// the stress suite and throughput benchmark drive.
+const MAX_SHARDS: usize = 8;
+
+fn shard_count_for(capacity: usize) -> usize {
+    (capacity / MIN_SHARD_PAGES).clamp(1, MAX_SHARDS)
+}
+
+/// Shared I/O counters. Relaxed is sufficient: each field is an
+/// independent monotonic tally, and windows are only compared within one
+/// thread (explain-analyze) or after joining all threads (tests, bench).
+#[derive(Debug, Default)]
+struct Counters {
+    data_page_fetches: AtomicU64,
+    index_page_fetches: AtomicU64,
+    temp_page_fetches: AtomicU64,
+    temp_pages_written: AtomicU64,
+    buffer_hits: AtomicU64,
+    rsi_calls: AtomicU64,
+    backend_reads: AtomicU64,
+    backend_writes: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            data_page_fetches: self.data_page_fetches.load(Relaxed),
+            index_page_fetches: self.index_page_fetches.load(Relaxed),
+            temp_page_fetches: self.temp_page_fetches.load(Relaxed),
+            temp_pages_written: self.temp_pages_written.load(Relaxed),
+            buffer_hits: self.buffer_hits.load(Relaxed),
+            rsi_calls: self.rsi_calls.load(Relaxed),
+            backend_reads: self.backend_reads.load(Relaxed),
+            backend_writes: self.backend_writes.load(Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.data_page_fetches.store(0, Relaxed);
+        self.index_page_fetches.store(0, Relaxed);
+        self.temp_page_fetches.store(0, Relaxed);
+        self.temp_pages_written.store(0, Relaxed);
+        self.buffer_hits.store(0, Relaxed);
+        self.rsi_calls.store(0, Relaxed);
+        self.backend_reads.store(0, Relaxed);
+        self.backend_writes.store(0, Relaxed);
+    }
+}
+
+/// One resident page. Unlike `BufferPool`'s counting-only frames, every
+/// sharded frame owns its image: the concurrent pool has no backend-less
+/// modeling path.
+#[derive(Debug)]
+struct ShardFrame {
+    stamp: u64,
+    dirty: bool,
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+/// One latch partition: an LRU frame map identical in shape to the
+/// single-owner pool's. Stamps come from the pool-wide clock, so recency
+/// is comparable across shards (resize rehashes preserve true LRU
+/// order).
+#[derive(Debug)]
+struct Shard {
+    capacity: usize,
+    frames: HashMap<PageKey, ShardFrame>,
+    lru: BTreeMap<u64, PageKey>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard { capacity, frames: HashMap::new(), lru: BTreeMap::new() }
+    }
+
+    /// Move `key` to most-recently-used; `None` if not resident.
+    fn bump(&mut self, key: PageKey, stamp: u64) -> Option<&mut ShardFrame> {
+        let frame = self.frames.get_mut(&key)?;
+        self.lru.remove(&frame.stamp);
+        frame.stamp = stamp;
+        self.lru.insert(stamp, key);
+        Some(frame)
+    }
+
+    /// Install a frame, returning the LRU victim if the shard is now over
+    /// capacity. The caller writes dirty victims back *after* releasing
+    /// this shard's latch.
+    fn install(&mut self, key: PageKey, frame: ShardFrame) -> Option<(PageKey, ShardFrame)> {
+        if let Some(old) = self.frames.remove(&key) {
+            self.lru.remove(&old.stamp);
+        }
+        self.lru.insert(frame.stamp, key);
+        self.frames.insert(key, frame);
+        if self.frames.len() > self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return the least-recently-used frame. The two maps are
+    /// mutated together under one latch, so they cannot disagree.
+    fn pop_lru(&mut self) -> Option<(PageKey, ShardFrame)> {
+        let (&stamp, &victim) = self.lru.iter().next()?;
+        self.lru.remove(&stamp);
+        let frame = self.frames.remove(&victim);
+        debug_assert!(frame.is_some(), "LRU map names non-resident page {victim:?}");
+        frame.map(|f| (victim, f))
+    }
+}
+
+/// The concurrent frame cache: N latch-guarded LRU partitions over one
+/// latched page backend, with lock-free counter accounting.
+#[derive(Debug)]
+pub struct ShardedBufferPool {
+    shards: Vec<Mutex<Shard>>,
+    clock: AtomicU64,
+    counters: Counters,
+    capacity: usize,
+}
+
+impl ShardedBufferPool {
+    /// A pool holding `capacity` pages split across
+    /// `min(max(capacity / 8, 1), 8)` shards. Each shard holds
+    /// `ceil(capacity / shards)` pages so a single-file scan that fits
+    /// the pool stays fully resident despite striping.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one page");
+        let n = shard_count_for(capacity);
+        let per_shard = capacity.div_ceil(n);
+        ShardedBufferPool {
+            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            clock: AtomicU64::new(0),
+            counters: Counters::default(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed) + 1
+    }
+
+    /// The latch slot for `key`'s shard. Striping adds the page number
+    /// *after* mixing the file id, so consecutive pages of one file land
+    /// on consecutive shards.
+    fn shard_slot(&self, key: PageKey) -> RssResult<&Mutex<Shard>> {
+        let (variant, id) = match key.file {
+            FileId::Segment(i) => (0u64, i),
+            FileId::Index(i) => (1, i),
+            FileId::Temp(i) => (2, i),
+        };
+        let base = variant.wrapping_mul(0x9E37_79B9) ^ u64::from(id).wrapping_mul(0x85EB_CA6B);
+        let s = (base.wrapping_add(u64::from(key.page)) % self.shards.len() as u64) as usize;
+        self.shards.get(s).ok_or_else(|| RssError::Corrupt(format!("shard {s} out of range")))
+    }
+
+    fn count_fetch(&self, key: PageKey) {
+        match key.file {
+            FileId::Segment(_) => self.counters.data_page_fetches.fetch_add(1, Relaxed),
+            FileId::Index(_) => self.counters.index_page_fetches.fetch_add(1, Relaxed),
+            FileId::Temp(_) => self.counters.temp_page_fetches.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Access a page; a miss reads and verifies its image from the page
+    /// backend (one physical read) and counts a page fetch. Returns
+    /// `true` on a miss.
+    pub fn read(&self, key: PageKey, backend: &SharedBackend) -> RssResult<bool> {
+        let slot = self.shard_slot(key)?;
+        {
+            let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if shard.bump(key, self.tick()).is_some() {
+                self.counters.buffer_hits.fetch_add(1, Relaxed);
+                return Ok(false);
+            }
+        }
+        // Miss: the read happens under the backend latch alone.
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        {
+            let mut backend = backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            backend.read_page(key, &mut buf)?;
+        }
+        verify_page(&buf, key)?;
+        self.counters.backend_reads.fetch_add(1, Relaxed);
+        self.count_fetch(key);
+        // Relock to install. A racing reader may have installed the same
+        // page meanwhile; both performed a real read and the counters say
+        // so — the overwrite is an identical clean image.
+        let victim = {
+            let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let frame = ShardFrame { stamp: self.tick(), dirty: false, buf };
+            shard.install(key, frame)
+        };
+        if let Some((vkey, vframe)) = victim {
+            if vframe.dirty {
+                {
+                    let mut backend =
+                        backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    backend.write_page(vkey, &vframe.buf)?;
+                }
+                self.counters.backend_writes.fetch_add(1, Relaxed);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Write one page image through the pool: in place if resident
+    /// (dirty, deferred write-back), write-around to the backend
+    /// otherwise. Writes never establish residency.
+    pub fn write_through(
+        &self,
+        key: PageKey,
+        bytes: &[u8; PAGE_SIZE],
+        backend: &SharedBackend,
+    ) -> RssResult<()> {
+        let slot = self.shard_slot(key)?;
+        {
+            let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(frame) = shard.bump(key, self.tick()) {
+                *frame.buf = *bytes;
+                frame.dirty = true;
+                return Ok(());
+            }
+        }
+        {
+            let mut backend = backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            backend.write_page(key, bytes)?;
+        }
+        self.counters.backend_writes.fetch_add(1, Relaxed);
+        Ok(())
+    }
+
+    /// Write every dirty frame back, in key order within each shard,
+    /// visiting shards in ascending id. Frames stay resident. The dirty
+    /// bit is cleared only after its image reaches the backend, so an
+    /// I/O error leaves the remaining pages still marked.
+    pub fn flush(&self, backend: &SharedBackend) -> RssResult<()> {
+        for slot in &self.shards {
+            let dirty: Vec<(PageKey, Box<[u8; PAGE_SIZE]>)> = {
+                let shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let mut v: Vec<_> = shard
+                    .frames
+                    .iter()
+                    .filter(|(_, f)| f.dirty)
+                    .map(|(k, f)| (*k, f.buf.clone()))
+                    .collect();
+                v.sort_by_key(|(k, _)| *k);
+                v
+            };
+            for (key, buf) in dirty {
+                {
+                    let mut backend =
+                        backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    backend.write_page(key, &buf)?;
+                }
+                self.counters.backend_writes.fetch_add(1, Relaxed);
+                let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(f) = shard.frames.get_mut(&key) {
+                    f.dirty = false;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evict everything without write-back (stats are kept). Callers
+    /// that may hold dirty frames must [`ShardedBufferPool::flush`]
+    /// first.
+    pub fn clear(&self) {
+        for slot in &self.shards {
+            let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            shard.frames.clear();
+            shard.lru.clear();
+        }
+    }
+
+    /// Drop every resident page of `file` (temp-list teardown, index
+    /// rebuilds).
+    pub fn invalidate_file(&self, file: FileId) {
+        for slot in &self.shards {
+            let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let stale: Vec<PageKey> =
+                shard.frames.keys().filter(|k| k.file == file).copied().collect();
+            for key in stale {
+                if let Some(f) = shard.frames.remove(&key) {
+                    shard.lru.remove(&f.stamp);
+                }
+            }
+        }
+    }
+
+    /// Number of pages currently resident across all shards.
+    pub fn resident_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|slot| slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).frames.len())
+            .sum()
+    }
+
+    /// Change capacity, re-partitioning if the shard count changes.
+    /// Growing keeps every resident page; shrinking evicts in global LRU
+    /// order, writing dirty victims back through `backend`. Requires
+    /// exclusive access — capacity is a `&mut Database` configuration
+    /// action, never a serving-path one.
+    pub fn resize(&mut self, capacity: usize, backend: &SharedBackend) -> RssResult<()> {
+        assert!(capacity > 0, "buffer pool needs at least one page");
+        let n = shard_count_for(capacity);
+        let per_shard = capacity.div_ceil(n);
+        // Collect every frame; ascending stamp order preserves true LRU
+        // recency across the re-partition (the clock is pool-wide).
+        let mut all: Vec<(PageKey, ShardFrame)> = Vec::new();
+        for slot in &mut self.shards {
+            let shard = slot.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+            all.extend(shard.frames.drain());
+            shard.lru.clear();
+        }
+        all.sort_by_key(|(_, f)| f.stamp);
+        self.shards = (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect();
+        self.capacity = capacity;
+        for (key, frame) in all {
+            let victim = {
+                let slot = self.shard_slot(key)?;
+                let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                shard.install(key, frame)
+            };
+            if let Some((vkey, vframe)) = victim {
+                if vframe.dirty {
+                    {
+                        let mut backend =
+                            backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                        backend.write_page(vkey, &vframe.buf)?;
+                    }
+                    self.counters.backend_writes.fetch_add(1, Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Record one tuple crossing the RSI (lock-free: the executor's hot
+    /// path).
+    pub fn record_rsi_call(&self) {
+        self.counters.rsi_calls.fetch_add(1, Relaxed);
+    }
+
+    /// Record `pages` temporary pages written.
+    pub fn record_temp_write(&self, pages: u64) {
+        self.counters.temp_pages_written.fetch_add(pages, Relaxed);
+    }
+
+    pub fn stats(&self) -> IoStats {
+        self.counters.snapshot()
+    }
+
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagefile::{stamp_page, MemBackend};
+
+    fn file(i: u32) -> FileId {
+        FileId::Segment(i)
+    }
+
+    /// A backend pre-loaded with `pages` stamped pages of `file(0)`.
+    fn backend_with(pages: u32) -> SharedBackend {
+        let mut b = MemBackend::new();
+        for p in 0..pages {
+            let mut img = [0u8; PAGE_SIZE];
+            img[PAGE_SIZE - 1] = p as u8;
+            stamp_page(&mut img, p + 1);
+            b.write_page(PageKey::new(file(0), p), &img).unwrap();
+        }
+        Mutex::new(Box::new(b) as Box<dyn PageBackend + Send>)
+    }
+
+    #[test]
+    fn shard_count_scales_and_clamps() {
+        assert_eq!(ShardedBufferPool::new(4).shard_count(), 1);
+        assert_eq!(ShardedBufferPool::new(8).shard_count(), 1);
+        assert_eq!(ShardedBufferPool::new(16).shard_count(), 2);
+        assert_eq!(ShardedBufferPool::new(64).shard_count(), 8);
+        assert_eq!(ShardedBufferPool::new(1024).shard_count(), 8);
+    }
+
+    #[test]
+    fn miss_then_hit_accounting() {
+        let backend = backend_with(4);
+        let pool = ShardedBufferPool::new(8);
+        let key = PageKey::new(file(0), 0);
+        assert!(pool.read(key, &backend).unwrap(), "first access misses");
+        assert!(!pool.read(key, &backend).unwrap(), "second access hits");
+        let s = pool.stats();
+        assert_eq!(s.data_page_fetches, 1);
+        assert_eq!(s.backend_reads, 1);
+        assert_eq!(s.buffer_hits, 1);
+        assert_eq!(s.page_fetches(), s.backend_reads, "accounting identity");
+    }
+
+    #[test]
+    fn sequential_scan_fitting_the_pool_stays_resident() {
+        let backend = backend_with(16);
+        let pool = ShardedBufferPool::new(16);
+        assert_eq!(pool.shard_count(), 2);
+        for p in 0..16 {
+            pool.read(PageKey::new(file(0), p), &backend).unwrap();
+        }
+        // Second pass: all hits — striping must not evict a fitting scan.
+        for p in 0..16 {
+            assert!(!pool.read(PageKey::new(file(0), p), &backend).unwrap());
+        }
+        assert_eq!(pool.stats().buffer_hits, 16);
+        assert_eq!(pool.resident_pages(), 16);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_rereads() {
+        let backend = backend_with(3);
+        let pool = ShardedBufferPool::new(2);
+        let k0 = PageKey::new(file(0), 0);
+        pool.read(k0, &backend).unwrap();
+        let mut img = [0u8; PAGE_SIZE];
+        img[PAGE_SIZE - 1] = 0xAB;
+        stamp_page(&mut img, 99);
+        pool.write_through(k0, &img, &backend).unwrap();
+        assert_eq!(pool.stats().backend_writes, 0, "resident write defers");
+        // Force k0 out (capacity 2, single shard at this size).
+        pool.read(PageKey::new(file(0), 1), &backend).unwrap();
+        pool.read(PageKey::new(file(0), 2), &backend).unwrap();
+        assert_eq!(pool.stats().backend_writes, 1, "dirty victim written back");
+        // The written-back image is what a re-read now returns.
+        pool.read(k0, &backend).unwrap();
+        let slot = pool.shard_slot(k0).unwrap();
+        let shard = slot.lock().unwrap();
+        assert_eq!(shard.frames.get(&k0).unwrap().buf[PAGE_SIZE - 1], 0xAB);
+    }
+
+    #[test]
+    fn write_around_when_not_resident() {
+        let backend = backend_with(1);
+        let pool = ShardedBufferPool::new(4);
+        let mut img = [0u8; PAGE_SIZE];
+        stamp_page(&mut img, 7);
+        pool.write_through(PageKey::new(file(0), 0), &img, &backend).unwrap();
+        assert_eq!(pool.stats().backend_writes, 1, "write-around goes straight down");
+        assert_eq!(pool.resident_pages(), 0, "writes never establish residency");
+    }
+
+    #[test]
+    fn flush_clears_dirty_and_keeps_frames() {
+        let backend = backend_with(4);
+        let pool = ShardedBufferPool::new(8);
+        for p in 0..4 {
+            pool.read(PageKey::new(file(0), p), &backend).unwrap();
+            let mut img = [0u8; PAGE_SIZE];
+            stamp_page(&mut img, 50 + p);
+            pool.write_through(PageKey::new(file(0), p), &img, &backend).unwrap();
+        }
+        pool.flush(&backend).unwrap();
+        assert_eq!(pool.stats().backend_writes, 4);
+        assert_eq!(pool.resident_pages(), 4, "flush keeps frames resident");
+        pool.flush(&backend).unwrap();
+        assert_eq!(pool.stats().backend_writes, 4, "second flush finds nothing dirty");
+    }
+
+    #[test]
+    fn resize_preserves_recency_across_repartition() {
+        let backend = backend_with(16);
+        let mut pool = ShardedBufferPool::new(16);
+        for p in 0..16 {
+            pool.read(PageKey::new(file(0), p), &backend).unwrap();
+        }
+        // Touch page 0 so it is most recent, then shrink to 8 pages
+        // (1 shard): the 8 survivors must be the 8 most recent.
+        pool.read(PageKey::new(file(0), 0), &backend).unwrap();
+        pool.resize(8, &backend).unwrap();
+        assert_eq!(pool.shard_count(), 1);
+        assert_eq!(pool.resident_pages(), 8);
+        assert!(!pool.read(PageKey::new(file(0), 0), &backend).unwrap(), "MRU page survived");
+        assert!(pool.read(PageKey::new(file(0), 1), &backend).unwrap(), "LRU page was evicted");
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let backend = backend_with(4);
+        let pool = ShardedBufferPool::new(8);
+        pool.read(PageKey::new(file(0), 0), &backend).unwrap();
+        pool.record_temp_write(1);
+        pool.invalidate_file(FileId::Temp(0));
+        assert_eq!(pool.resident_pages(), 1);
+        pool.invalidate_file(file(0));
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_account_exactly() {
+        const THREADS: u64 = 8;
+        const PAGES: u32 = 32;
+        const ROUNDS: u32 = 20;
+        let backend = backend_with(PAGES);
+        let pool = ShardedBufferPool::new(16); // smaller than the working set
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let pool = &pool;
+                let backend = &backend;
+                scope.spawn(move || {
+                    for r in 0..ROUNDS {
+                        for p in 0..PAGES {
+                            let page = (p + r + t as u32) % PAGES;
+                            pool.read(PageKey::new(file(0), page), backend).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        let accesses = THREADS * u64::from(PAGES) * u64::from(ROUNDS);
+        assert_eq!(s.buffer_hits + s.data_page_fetches, accesses, "every access counted once");
+        assert_eq!(s.backend_reads, s.data_page_fetches, "every miss is one physical read");
+        assert!(pool.resident_pages() <= 16, "capacity respected under concurrency");
+    }
+}

@@ -1,11 +1,22 @@
 //! The storage engine root: segments + indexes + buffer pool + page files.
 //!
 //! [`Storage`] is the RSS proper. It owns the segments (data pages) and the
-//! B-tree indexes, routes every page access through the [`BufferPool`]
-//! frame cache backed by a [`PageBackend`], and keeps indexes consistent
-//! with tuple inserts and deletes. Everything above it (catalog, optimizer,
-//! executor) talks to storage in terms of segment ids, relation ids, index
-//! ids, and RIDs.
+//! B-tree indexes, routes every page access through the
+//! [`ShardedBufferPool`] frame cache backed by a [`PageBackend`], and keeps
+//! indexes consistent with tuple inserts and deletes. Everything above it
+//! (catalog, optimizer, executor) talks to storage in terms of segment
+//! ids, relation ids, index ids, and RIDs.
+//!
+//! # Concurrency
+//!
+//! `Storage` is `Sync`: every `&self` method (the read/plan/execute
+//! serving path) may be called from many session threads at once. Shared
+//! state sits behind the pool's shard latches, the backend latch, and
+//! relaxed atomics (LSN and temp-file allocators, I/O counters), under
+//! the total latch order documented in [`crate::sharded`]: *shard →
+//! backend*, at most one shard latch held, no latch spanning I/O on
+//! another object. Mutation (`insert`, `delete`, DDL) still requires
+//! `&mut self`, which the borrow checker serializes against readers.
 //!
 //! # Persistence model
 //!
@@ -25,16 +36,18 @@
 //! [`Storage::open`] rebuilds segments and trees from those pages.
 
 use crate::btree::{BTreeConfig, BTreeIndex, IndexId};
-use crate::buffer::{BufferPool, FileId, IoStats, PageKey};
+use crate::buffer::{FileId, IoStats, PageKey};
 use crate::error::{RssError, RssResult};
 use crate::page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
 use crate::pagefile::{stamp_page, verify_page, DirBackend, MemBackend, PageBackend};
 use crate::rid::Rid;
 use crate::segment::{Segment, SegmentId};
+use crate::sharded::{ShardedBufferPool, SharedBackend};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::cell::{Cell, RefCell};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::Mutex;
 
 /// Name of the storage descriptor file inside a database directory.
 pub const STORAGE_META: &str = "storage.meta";
@@ -62,10 +75,10 @@ impl IndexEntry {
 pub struct Storage {
     segments: Vec<Segment>,
     indexes: Vec<IndexEntry>,
-    buffer: RefCell<BufferPool>,
-    backend: RefCell<Box<dyn PageBackend>>,
-    next_temp: Cell<u32>,
-    next_lsn: Cell<u32>,
+    buffer: ShardedBufferPool,
+    backend: SharedBackend,
+    next_temp: AtomicU32,
+    next_lsn: AtomicU32,
     btree_config: BTreeConfig,
 }
 
@@ -76,10 +89,10 @@ impl Storage {
         Storage {
             segments: Vec::new(),
             indexes: Vec::new(),
-            buffer: RefCell::new(BufferPool::new(buffer_pages)),
-            backend: RefCell::new(Box::new(MemBackend::new())),
-            next_temp: Cell::new(0),
-            next_lsn: Cell::new(1),
+            buffer: ShardedBufferPool::new(buffer_pages),
+            backend: Mutex::new(Box::new(MemBackend::new())),
+            next_temp: AtomicU32::new(0),
+            next_lsn: AtomicU32::new(1),
             btree_config: BTreeConfig::default(),
         }
     }
@@ -93,7 +106,8 @@ impl Storage {
     /// The database directory, if this storage is backed by page files on
     /// disk rather than memory.
     pub fn dir(&self) -> Option<PathBuf> {
-        self.backend.borrow().dir().map(Path::to_path_buf)
+        let backend = self.backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        backend.dir().map(Path::to_path_buf)
     }
 
     // ---- segments -------------------------------------------------------
@@ -122,8 +136,7 @@ impl Storage {
     /// backend (one physical read) and counts a page fetch. Returns `true`
     /// on a miss.
     pub fn touch(&self, key: PageKey) -> RssResult<bool> {
-        let mut backend = self.backend.borrow_mut();
-        self.buffer.borrow_mut().read(key, backend.as_mut())
+        self.buffer.read(key, &self.backend)
     }
 
     /// Stamp (LSN + checksum) and write one page image through the pool:
@@ -131,11 +144,9 @@ impl Storage {
     /// the backend otherwise. Writes never establish residency.
     fn write_image(&self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()> {
         let mut img = *bytes;
-        let lsn = self.next_lsn.get();
-        self.next_lsn.set(lsn.wrapping_add(1));
+        let lsn = self.next_lsn.fetch_add(1, Relaxed);
         stamp_page(&mut img, lsn);
-        let mut backend = self.backend.borrow_mut();
-        self.buffer.borrow_mut().write_through(key, &img, backend.as_mut())
+        self.buffer.write_through(key, &img, &self.backend)
     }
 
     /// Flush every page mutated since the last call — segment pages and
@@ -162,12 +173,12 @@ impl Storage {
 
     /// Record one tuple crossing the RSI.
     pub fn record_rsi_call(&self) {
-        self.buffer.borrow_mut().record_rsi_call();
+        self.buffer.record_rsi_call();
     }
 
     /// Record `pages` temporary pages written.
     pub fn record_temp_write(&self, pages: u64) {
-        self.buffer.borrow_mut().record_temp_write(pages);
+        self.buffer.record_temp_write(pages);
     }
 
     /// Write one temporary-list page image (concatenated tuple encodings,
@@ -180,53 +191,50 @@ impl Storage {
     }
 
     pub fn io_stats(&self) -> IoStats {
-        self.buffer.borrow().stats()
+        self.buffer.stats()
     }
 
     pub fn reset_io_stats(&self) {
-        self.buffer.borrow_mut().reset_stats();
+        self.buffer.reset_stats();
     }
 
     pub fn buffer_capacity(&self) -> usize {
-        self.buffer.borrow().capacity()
+        self.buffer.capacity()
     }
 
     /// Resize the buffer pool. Growing keeps resident pages; shrinking
     /// evicts (with dirty write-back) only down to the new capacity.
-    pub fn set_buffer_capacity(&self, pages: usize) -> RssResult<()> {
-        let mut backend = self.backend.borrow_mut();
-        self.buffer.borrow_mut().set_capacity(pages, Some(backend.as_mut()))
+    /// Exclusive: pool geometry is a configuration action, never taken on
+    /// the concurrent serving path.
+    pub fn set_buffer_capacity(&mut self, pages: usize) -> RssResult<()> {
+        self.buffer.resize(pages, &self.backend)
     }
 
     /// Evict all resident pages without touching the fetch counters (used
     /// between measured runs so each starts cold). Dirty frames are
     /// written back first.
     pub fn evict_all(&self) -> RssResult<()> {
-        let mut backend = self.backend.borrow_mut();
-        let mut pool = self.buffer.borrow_mut();
-        pool.flush(backend.as_mut())?;
-        pool.clear();
+        self.buffer.flush(&self.backend)?;
+        self.buffer.clear();
         Ok(())
     }
 
     /// Flush dirty frames and fsync the page files (no-op backend sync for
     /// in-memory storage).
     pub fn sync(&self) -> RssResult<()> {
-        let mut backend = self.backend.borrow_mut();
-        self.buffer.borrow_mut().flush(backend.as_mut())?;
+        self.buffer.flush(&self.backend)?;
+        let mut backend = self.backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         backend.sync()
     }
 
     /// Allocate a fresh file id for a temporary list.
     pub fn alloc_temp_file(&self) -> u32 {
-        let id = self.next_temp.get();
-        self.next_temp.set(id + 1);
-        id
+        self.next_temp.fetch_add(1, Relaxed)
     }
 
     /// Drop a temporary list's pages from the buffer pool.
     pub fn invalidate_temp(&self, temp_file: u32) {
-        self.buffer.borrow_mut().invalidate_file(FileId::Temp(temp_file));
+        self.buffer.invalidate_file(FileId::Temp(temp_file));
     }
 
     // ---- tuples ----------------------------------------------------------
@@ -365,7 +373,7 @@ impl Storage {
                         entry.key_cols.iter().map(|&c| tuple[c].clone()).collect();
                     tree.insert(key, *rid)?;
                 }
-                self.buffer.borrow_mut().invalidate_file(FileId::Index(entry.tree.id()));
+                self.buffer.invalidate_file(FileId::Index(entry.tree.id()));
                 entry.tree = tree;
             }
         }
@@ -381,18 +389,19 @@ impl Storage {
     /// Temporary lists are not saved. The storage keeps its current
     /// backend; the snapshot can be reopened with [`Storage::open`].
     pub fn save_to(&self, dir: &Path) -> RssResult<()> {
-        {
-            // Make the backend the single source of truth.
-            let mut backend = self.backend.borrow_mut();
-            self.buffer.borrow_mut().flush(backend.as_mut())?;
-        }
+        // Make the backend the single source of truth.
+        self.buffer.flush(&self.backend)?;
         let mut dst = DirBackend::open(dir)?;
         let mut copy = |key: PageKey| -> RssResult<()> {
             let mut buf = Box::new([0u8; PAGE_SIZE]);
-            // Borrow the source backend per page: holding the RefCell
-            // guard across `dst` writes would pin the backend for the
-            // whole copy (latch-discipline: latches never span I/O).
-            self.backend.borrow_mut().read_page(key, &mut buf)?;
+            {
+                // Latch the source backend per page: holding its guard
+                // across `dst` writes would pin the backend for the
+                // whole copy (latch-discipline: latches never span I/O).
+                let mut src =
+                    self.backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                src.read_page(key, &mut buf)?;
+            }
             verify_page(&buf, key)?;
             dst.write_page(key, &buf)
         };
@@ -414,8 +423,8 @@ impl Storage {
 
     fn render_meta(&self) -> String {
         let mut out = String::from("sysr-storage v1\n");
-        out.push_str(&format!("lsn {}\n", self.next_lsn.get()));
-        out.push_str(&format!("temp {}\n", self.next_temp.get()));
+        out.push_str(&format!("lsn {}\n", self.next_lsn.load(Relaxed)));
+        out.push_str(&format!("temp {}\n", self.next_temp.load(Relaxed)));
         out.push_str(&format!(
             "btree {} {}\n",
             self.btree_config.leaf_capacity, self.btree_config.internal_capacity
@@ -452,7 +461,7 @@ impl Storage {
         let text = std::fs::read_to_string(&meta_path)
             .map_err(|e| RssError::Io(format!("read {}: {e}", meta_path.display())))?;
         let meta = StorageMeta::parse(&text)?;
-        let mut backend: Box<dyn PageBackend> = Box::new(DirBackend::open(dir)?);
+        let mut backend: Box<dyn PageBackend + Send> = Box::new(DirBackend::open(dir)?);
 
         let mut read = |key: PageKey| -> RssResult<Box<[u8; PAGE_SIZE]>> {
             let mut buf = Box::new([0u8; PAGE_SIZE]);
@@ -511,13 +520,21 @@ impl Storage {
         Ok(Storage {
             segments,
             indexes,
-            buffer: RefCell::new(BufferPool::new(buffer_pages)),
-            backend: RefCell::new(backend),
-            next_temp: Cell::new(meta.next_temp),
-            next_lsn: Cell::new(meta.next_lsn),
+            buffer: ShardedBufferPool::new(buffer_pages),
+            backend: Mutex::new(backend),
+            next_temp: AtomicU32::new(meta.next_temp),
+            next_lsn: AtomicU32::new(meta.next_lsn),
             btree_config: meta.btree_config,
         })
     }
+}
+
+/// The whole serving path is shareable: M session threads may plan and
+/// execute over one `&Storage` concurrently.
+#[allow(dead_code)]
+fn assert_storage_is_shareable() {
+    fn check<T: Send + Sync>() {}
+    check::<Storage>();
 }
 
 struct SegMeta {

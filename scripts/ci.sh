@@ -14,12 +14,19 @@ cargo test --workspace
 # Save/reopen round-trip against real page files in a temp dir; pins the
 # fetches == device-reads identity and clean errors on torn/corrupt files.
 cargo test --release --test persistence
+# 8-thread stress: plans and rows must be bit-identical to a serial
+# baseline, session/cache accounting exact, and save-under-load must
+# round-trip. RUST_TEST_THREADS is force-unset so the harness does not
+# serialize the scoped worker threads.
+env -u RUST_TEST_THREADS cargo test --release --test concurrent_serving
 # --all = plan invariants + DP oracle (per query block, nested subquery
 # blocks included) & sampled orders + parallel-DP determinism + recovery
-# rules (page-checksum, reopen-equivalence) + the token-level source
-# lint (no-unwrap, no-index, unsafe-audit, latch-discipline,
-# cast-soundness, div-guard, and the stale-suppression detector
-# stale-allow). Any unsuppressed finding exits nonzero and fails CI.
+# rules (page-checksum, reopen-equivalence) + the concurrent-differential
+# rule (corpus replayed from 8 threads, bit-identical plans/rows) + the
+# token-level source lint (no-unwrap, no-index, unsafe-audit,
+# latch-discipline, latch-ordering, cast-soundness, div-guard, and the
+# stale-suppression detector stale-allow). Any unsuppressed finding
+# exits nonzero and fails CI.
 cargo run --release -p sysr-audit -- --all
 # Optimizer hot-path bench: the smoke run exercises the measurement
 # pipeline end to end (writes BENCH_optimizer.smoke.json, not the
@@ -27,3 +34,8 @@ cargo run --release -p sysr-audit -- --all
 # BENCH_optimizer.json is missing or malformed.
 cargo run --release -p sysr-bench --bin bench_optimizer -- --smoke
 cargo run --release -p sysr-bench --bin bench_optimizer -- --check
+# Concurrency bench: same smoke/check split for BENCH_concurrency.json
+# (qps/p99 for 1, 2, 4, 8 sessions; no speedup assertion — see
+# EXPERIMENTS.md on the single-hardware-thread container).
+cargo run --release -p sysr-bench --bin bench_concurrency -- --smoke
+cargo run --release -p sysr-bench --bin bench_concurrency -- --check

@@ -24,8 +24,39 @@
 //! The cost model's knobs are exposed: the CPU weighting factor `W`, the
 //! buffer pool size, and the two search heuristics (interesting orders,
 //! Cartesian deferral) — the experiment harness sweeps all of them.
+//!
+//! ## Concurrent serving
+//!
+//! [`Database`] is `Send + Sync`: the read/plan/execute path takes
+//! `&self` end to end, backed by the sharded buffer pool and latched
+//! page backend in `sysr-rss` and the striped [`VersionedCache`] of
+//! statement plans here (DESIGN.md §11 documents the latch order). Hand
+//! each thread a [`Session`] via [`Database::session`] for per-session
+//! cache accounting:
+//!
+//! ```
+//! use system_r::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE T (A INTEGER)").unwrap();
+//! db.execute("INSERT INTO T VALUES (1), (2), (3)").unwrap();
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let session = db.session();
+//!         s.spawn(move || {
+//!             let r = session.query("SELECT A FROM T WHERE A >= 2").unwrap();
+//!             assert_eq!(r.len(), 2);
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! Writes (`execute`, `insert_rows`, `save`, …) take `&mut self` and are
+//! therefore serialized by the borrow checker — this reproduction has no
+//! lock manager; concurrency control above the latch level is the
+//! paper's companion work (Gray et al.), not Selinger et al.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -38,6 +69,9 @@ use sysr_sql::{
     SelectStmt, Statement, TableRef,
 };
 
+pub mod plancache;
+
+pub use plancache::{VersionedCache, PLAN_CACHE_CAP};
 pub use sysr_audit as audit;
 pub use sysr_catalog as catalog;
 pub use sysr_core as core;
@@ -102,30 +136,13 @@ impl From<ExecError> for DbError {
 
 pub type DbResult<T> = Result<T, DbError>;
 
-/// A cached statement plan plus the catalog stamp it was optimized under.
-struct CachedPlan {
-    plan: QueryPlan,
-    catalog_version: u64,
-}
-
-/// Statement plan cache: optimizing a repeated statement is pure waste
-/// when nothing the optimizer reads has changed. Keyed by the statement's
-/// canonical (parsed) form, so formatting differences still hit; entries
-/// carry the catalog version they were planned under and are discarded
-/// lazily when DDL or `UPDATE STATISTICS` bumps it. Config changes clear
-/// the cache eagerly (see [`Database::set_config`]), and `\open` builds a
-/// fresh `Database`, so reopened databases always re-optimize.
-#[derive(Default)]
-struct PlanCache {
-    entries: HashMap<String, CachedPlan>,
-    hits: u64,
-    misses: u64,
-}
-
-/// Entry cap: repeated-statement workloads fit easily; when an adhoc
-/// workload overflows it, the whole cache is dropped (planning again is
-/// cheap — this just bounds memory).
-const PLAN_CACHE_CAP: usize = 128;
+/// Statement plan cache: keyed by the statement's canonical (parsed)
+/// form, so formatting differences still hit; entries carry the catalog
+/// version they were planned under and are discarded lazily when DDL or
+/// `UPDATE STATISTICS` bumps it. Config changes clear the cache eagerly
+/// (see [`Database::set_config`]), and `\open` builds a fresh
+/// `Database`, so reopened databases always re-optimize.
+type PlanCache = VersionedCache<QueryPlan>;
 
 /// An embedded System R-style database: storage, catalogs, optimizer,
 /// executor.
@@ -136,9 +153,17 @@ pub struct Database {
     /// When set, new tables share this segment (the paper's interleaved
     /// layout, giving `P(T) < 1`); otherwise each table gets its own.
     shared_segment: Option<u32>,
-    /// Plans for previously optimized statements (`RefCell`: planning is
-    /// logically read-only, so `plan`/`query` stay `&self`).
-    plan_cache: RefCell<PlanCache>,
+    /// Plans for previously optimized statements; concurrent, so
+    /// planning stays `&self` and sessions share warmed plans.
+    plan_cache: PlanCache,
+}
+
+/// `Database` is shared across session threads by reference; this
+/// assertion keeps every field honest about it.
+#[allow(dead_code)]
+fn assert_database_is_shareable() {
+    fn check<T: Send + Sync>() {}
+    check::<Database>();
 }
 
 impl Default for Database {
@@ -157,7 +182,7 @@ impl Database {
             catalog: Catalog::new(),
             config,
             shared_segment: None,
-            plan_cache: RefCell::new(PlanCache::default()),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -170,7 +195,7 @@ impl Database {
             catalog: Catalog::new(),
             config,
             shared_segment: None,
-            plan_cache: RefCell::new(PlanCache::default()),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -198,7 +223,7 @@ impl Database {
         self.config = config;
         // Every cached plan was chosen under the old knobs; drop them all
         // (counters survive — they describe the session, not the cache).
-        self.plan_cache.borrow_mut().entries.clear();
+        self.plan_cache.clear_entries();
         self.storage.set_buffer_capacity(config.buffer_pages)?;
         Ok(())
     }
@@ -268,7 +293,7 @@ impl Database {
             catalog,
             config,
             shared_segment: None,
-            plan_cache: RefCell::new(PlanCache::default()),
+            plan_cache: PlanCache::new(),
         })
     }
 
@@ -509,48 +534,44 @@ impl Database {
     }
 
     fn plan_select(&self, sel: &SelectStmt) -> DbResult<QueryPlan> {
+        Ok(self.plan_select_counted(sel)?.0)
+    }
+
+    /// Plan a bound SELECT through the cache; the flag reports whether the
+    /// plan was a cache hit (sessions fold it into their own accounting).
+    fn plan_select_counted(&self, sel: &SelectStmt) -> DbResult<(QueryPlan, bool)> {
         // The parsed statement's debug form is the normalized cache key:
         // whitespace, case, and formatting differences in the SQL text all
         // collapse to the same AST.
         let key = format!("{sel:?}");
         let version = self.catalog.version();
-        {
-            let mut borrow = self.plan_cache.borrow_mut();
-            let cache = &mut *borrow;
-            let stale = match cache.entries.get(&key) {
-                Some(entry) if entry.catalog_version == version => {
-                    cache.hits += 1;
-                    return Ok(entry.plan.clone());
-                }
-                Some(_) => true,
-                None => false,
-            };
-            if stale {
-                cache.entries.remove(&key);
-            }
+        if let Some(plan) = self.plan_cache.lookup(&key, version) {
+            return Ok((plan, true));
         }
         let optimizer = Optimizer::with_config(&self.catalog, self.config);
         let plan = optimizer.optimize(sel)?;
-        let mut cache = self.plan_cache.borrow_mut();
-        cache.misses += 1;
-        if cache.entries.len() >= PLAN_CACHE_CAP {
-            cache.entries.clear();
-        }
-        cache.entries.insert(key, CachedPlan { plan: plan.clone(), catalog_version: version });
-        Ok(plan)
+        self.plan_cache.insert(key, version, plan.clone());
+        Ok((plan, false))
     }
 
     /// Cumulative statement-plan-cache counters `(hits, misses)` for this
     /// database handle. A hit means the statement was answered with a
-    /// cached plan; a miss means the optimizer ran.
+    /// cached plan; a miss means the optimizer ran. Counting is exact
+    /// under concurrency: `hits + misses` equals the number of successful
+    /// plan requests across all sessions.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        let cache = self.plan_cache.borrow();
-        (cache.hits, cache.misses)
+        self.plan_cache.stats()
     }
 
     /// Number of plans currently cached (tests and the shell's `\cache`).
     pub fn plan_cache_len(&self) -> usize {
-        self.plan_cache.borrow().entries.len()
+        self.plan_cache.len()
+    }
+
+    /// Open a [`Session`]: a lightweight per-thread handle for the
+    /// read-only plan/execute path with session-local cache accounting.
+    pub fn session(&self) -> Session<'_> {
+        Session { db: self, hits: Cell::new(0), misses: Cell::new(0) }
     }
 
     fn run_select(&self, sel: &SelectStmt) -> DbResult<ResultSet> {
@@ -768,6 +789,92 @@ impl Database {
     /// Relation id lookup helper for tests and experiment harnesses.
     pub fn relation_id(&self, table: &str) -> DbResult<RelId> {
         Ok(self.catalog.relation_by_name(table)?.id)
+    }
+}
+
+/// A per-thread handle on a shared [`Database`] for the read-only
+/// plan/execute path.
+///
+/// Sessions borrow the database immutably, so any number may run
+/// concurrently (`std::thread::scope` pairs naturally with the borrow).
+/// Mutable session state — the per-session view of plan-cache traffic,
+/// and the `EXPLAIN ANALYZE` tracer allocated per call — lives here, not
+/// in the shared `Database`, which is why `Session` is deliberately
+/// `!Sync`: each thread opens its own.
+pub struct Session<'db> {
+    db: &'db Database,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<'db> Session<'db> {
+    /// The shared database this session serves from.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    fn select_of(sql_text: &str) -> DbResult<SelectStmt> {
+        match parse_statement(sql_text)? {
+            Statement::Select(sel) => Ok(sel),
+            Statement::Explain(inner) | Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(sel) => Ok(sel),
+                _ => Err(DbError::Unsupported("EXPLAIN requires a SELECT".into())),
+            },
+            _ => Err(DbError::Unsupported("sessions serve SELECT statements".into())),
+        }
+    }
+
+    fn plan_counted(&self, sel: &SelectStmt) -> DbResult<QueryPlan> {
+        let (plan, hit) = self.db.plan_select_counted(sel)?;
+        let counter = if hit { &self.hits } else { &self.misses };
+        counter.set(counter.get() + 1);
+        Ok(plan)
+    }
+
+    /// Plan a SELECT without executing it (through the shared cache).
+    pub fn plan(&self, sql_text: &str) -> DbResult<QueryPlan> {
+        self.plan_counted(&Self::select_of(sql_text)?)
+    }
+
+    /// Run a read-only SELECT.
+    pub fn query(&self, sql_text: &str) -> DbResult<ResultSet> {
+        let plan = self.plan_counted(&Self::select_of(sql_text)?)?;
+        self.db.execute_plan(&plan)
+    }
+
+    /// EXPLAIN: render the chosen plan.
+    pub fn explain(&self, sql_text: &str) -> DbResult<String> {
+        let plan = self.plan_counted(&Self::select_of(sql_text)?)?;
+        Ok(format!(
+            "{}predicted: {} (W={}); QCARD≈{:.1}\n",
+            plan.explain(&self.db.catalog),
+            plan.predicted,
+            self.db.config.w,
+            plan.qcard
+        ))
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query and render the per-node
+    /// predicted-vs-measured report, with this session's cache traffic.
+    pub fn explain_analyze(&self, sql_text: &str) -> DbResult<String> {
+        let plan = self.plan_counted(&Self::select_of(sql_text)?)?;
+        let (_, measurements, _) = self.db.execute_plan_traced(&plan)?;
+        let mut text = plan.explain_analyze(&self.db.catalog, &measurements, self.db.config.w);
+        let (hits, misses) = self.cache_stats();
+        text.push_str(&format!("session plan cache: {hits} hits, {misses} misses\n"));
+        Ok(text)
+    }
+
+    /// Execute an already-planned SELECT.
+    pub fn execute_plan(&self, plan: &QueryPlan) -> DbResult<ResultSet> {
+        self.db.execute_plan(plan)
+    }
+
+    /// This session's own view of plan-cache traffic `(hits, misses)` —
+    /// only statements planned through this handle, unlike the
+    /// database-wide [`Database::plan_cache_stats`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
     }
 }
 

@@ -1,0 +1,169 @@
+//! The statement plan cache as a concurrent, catalog-versioned map.
+//!
+//! Optimizing a repeated statement is pure waste when nothing the
+//! optimizer reads has changed, so plans are cached keyed by the parsed
+//! statement's canonical form and stamped with the
+//! [`Catalog::version`](sysr_catalog::Catalog::version) they were
+//! optimized under. The cache is striped: each stripe is an independent
+//! `Mutex`-guarded map (keys hash to stripes), so concurrent sessions
+//! planning different statements rarely contend, while hit/miss counters
+//! are lock-free atomics that never lose an update.
+//!
+//! Version checking happens *inside* the stripe latch: a lookup under
+//! version `v` either returns a value stamped exactly `v` or nothing —
+//! no thread can be served a plan from before a catalog bump it has
+//! already observed. Stale entries are discarded lazily on lookup.
+//!
+//! The cache is generic over the cached value so the concurrency tests
+//! can drive it with self-describing payloads; the database instantiates
+//! it with [`QueryPlan`](sysr_core::QueryPlan).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Stripe count: matches the widest session fan-out the stress suite
+/// drives; keys spread uniformly via FNV-1a.
+const STRIPES: usize = 8;
+
+/// Total entry cap across stripes: repeated-statement workloads fit
+/// easily; when an adhoc workload overflows a stripe, that stripe is
+/// dropped (planning again is cheap — this just bounds memory).
+pub const PLAN_CACHE_CAP: usize = 128;
+
+struct Entry<V> {
+    value: V,
+    version: u64,
+}
+
+/// A concurrent map of `key → (value, version)` with exact hit/miss
+/// accounting. See the module docs for the invariants.
+pub struct VersionedCache<V> {
+    stripes: Vec<Mutex<HashMap<String, Entry<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for VersionedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> VersionedCache<V> {
+    pub fn new() -> Self {
+        VersionedCache {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe(&self, key: &str) -> &Mutex<HashMap<String, Entry<V>>> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        let i = (h % self.stripes.len() as u64) as usize;
+        self.stripes.get(i).unwrap_or_else(|| unreachable!("stripe index is hash % len"))
+    }
+
+    /// Cumulative `(hits, misses)`. Exact: every lookup that returns a
+    /// value counts one hit, every insert counts one miss, and both are
+    /// single atomic increments.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry, keeping the counters (they describe the
+    /// session, not the cache contents).
+    pub fn clear_entries(&self) {
+        for s in &self.stripes {
+            s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        }
+    }
+}
+
+impl<V: Clone> VersionedCache<V> {
+    /// Return the cached value for `key` if it was stamped with exactly
+    /// `version`; a mismatched entry is dropped (the caller will
+    /// re-derive and re-insert). Counts a hit only when a value is
+    /// returned.
+    pub fn lookup(&self, key: &str, version: u64) -> Option<V> {
+        let mut map = self.stripe(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map.get(key) {
+            Some(entry) if entry.version == version => {
+                let value = entry.value.clone();
+                drop(map);
+                self.hits.fetch_add(1, Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Cache `value` under `key`, stamped with `version`, counting one
+    /// miss (the caller just derived the value because lookup returned
+    /// nothing).
+    pub fn insert(&self, key: String, version: u64, value: V) {
+        self.misses.fetch_add(1, Relaxed);
+        let mut map = self.stripe(&key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if map.len() >= PLAN_CACHE_CAP / STRIPES {
+            map.clear();
+        }
+        map.insert(key, Entry { value, version });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_inserts_count_misses() {
+        let cache = VersionedCache::new();
+        assert_eq!(cache.lookup("q", 0), None);
+        assert_eq!(cache.stats(), (0, 0), "a bare miss lookup counts nothing yet");
+        cache.insert("q".into(), 0, 41);
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.lookup("q", 0), Some(41));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_lazily() {
+        let cache = VersionedCache::new();
+        cache.insert("q".into(), 3, 1);
+        assert_eq!(cache.lookup("q", 4), None, "stale stamp never served");
+        assert_eq!(cache.len(), 0, "stale entry dropped on sight");
+        assert_eq!(cache.stats().0, 0, "stale lookup is not a hit");
+    }
+
+    #[test]
+    fn stripe_overflow_clears_only_that_stripe() {
+        let cache = VersionedCache::new();
+        for i in 0..PLAN_CACHE_CAP * 2 {
+            cache.insert(format!("q{i}"), 0, i);
+        }
+        assert!(cache.len() <= PLAN_CACHE_CAP, "cap bounds memory");
+        assert!(!cache.is_empty(), "overflow clears per stripe, not globally");
+    }
+}

@@ -117,3 +117,105 @@ fn distinct_statements_get_distinct_entries() {
     assert_eq!(db.plan_cache_stats(), (0, 2));
     assert_eq!(db.plan_cache_len(), 2);
 }
+
+#[test]
+fn concurrent_sessions_count_hits_and_misses_exactly() {
+    const THREADS: usize = 8;
+    const REPS: u64 = 25;
+    let db = fig1_db(300, 10, 5);
+    assert_eq!(db.plan_cache_stats(), (0, 0), "cold start");
+
+    std::thread::scope(|scope| {
+        let db = &db;
+        for _ in 0..THREADS {
+            scope.spawn(move || {
+                let session = db.session();
+                for _ in 0..REPS {
+                    session.plan(JOIN).unwrap();
+                }
+                let (hits, misses) = session.cache_stats();
+                assert_eq!(hits + misses, REPS, "session accounting is per-request exact");
+            });
+        }
+    });
+
+    // Exactly one statement was ever planned, so hits + misses must equal
+    // the total number of requests — the atomics lose no updates — and
+    // only the first optimization(s) of the single key count as misses.
+    let (hits, misses) = db.plan_cache_stats();
+    assert_eq!(hits + misses, THREADS as u64 * REPS, "no request lost under concurrency");
+    assert!(misses >= 1, "someone optimized the statement");
+    assert!(
+        misses <= THREADS as u64,
+        "at worst each thread misses once on the cold key, never more (got {misses})"
+    );
+    assert_eq!(db.plan_cache_len(), 1, "one statement, one entry");
+}
+
+#[test]
+fn catalog_version_bump_mid_flight_never_serves_stale() {
+    use system_r::VersionedCache;
+
+    // Drive the cache directly with self-describing payloads: each value
+    // embeds the version it was inserted under, so any lookup returning a
+    // mismatched payload is a stale serve — the bug the tentpole's
+    // version stamping exists to prevent.
+    let cache = VersionedCache::<u64>::new();
+    let versions = 50u64;
+    std::thread::scope(|scope| {
+        let cache = &cache;
+        // Writer: bump through versions, inserting the matching payload.
+        scope.spawn(move || {
+            for v in 0..versions {
+                cache.insert("stmt".into(), v, v);
+                std::thread::yield_now();
+            }
+        });
+        // Readers: ask for a fixed version while the writer churns; any
+        // Some must carry exactly that version's payload.
+        for _ in 0..7 {
+            scope.spawn(move || {
+                for v in 0..versions {
+                    for _ in 0..20 {
+                        if let Some(got) = cache.lookup("stmt", v) {
+                            assert_eq!(
+                                got, v,
+                                "lookup under version {v} served a value stamped {got}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ddl_between_concurrent_batches_is_never_stale() {
+    let mut db = fig1_db(300, 10, 5);
+    let batch = |db: &Database| {
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let session = db.session();
+                    for _ in 0..10 {
+                        session.plan(JOIN).unwrap();
+                    }
+                });
+            }
+        });
+    };
+    batch(&db);
+    let (_, misses_before) = db.plan_cache_stats();
+
+    // The catalog bump invalidates the cached entry; the next concurrent
+    // batch must re-optimize (≥ 1 new miss) instead of serving the plan
+    // optimized against the old catalog.
+    db.execute("CREATE TABLE SCRATCH2 (X INTEGER)").unwrap();
+    batch(&db);
+    let (_, misses_after) = db.plan_cache_stats();
+    assert!(
+        misses_after > misses_before,
+        "catalog version bump must force re-optimization ({misses_before} -> {misses_after})"
+    );
+}
