@@ -746,6 +746,12 @@ pub fn audit_traces(traces: &[(String, SearchTrace)], label: &str) -> AuditRepor
 /// Audit executor trace handoff: per-node measurements must use valid
 /// pre-order node ids and their disjoint I/O windows must sum exactly to
 /// the whole-query [`IoStats`] delta (the `EXPLAIN ANALYZE` identity).
+///
+/// The identity assumes single-session execution: the tracer windows
+/// are deltas of database-global counters, so only call this on a trace
+/// captured without concurrent sessions (as `Database::audit` does —
+/// it runs its own traced execution on the caller's thread and is only
+/// exact when nothing else is being served meanwhile).
 pub fn audit_measurements(
     measurements: &HashMap<usize, NodeMeasurement>,
     total_nodes: usize,

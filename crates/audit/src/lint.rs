@@ -36,13 +36,14 @@
 //!   a guard. This is the static face of the System R RSS latch rule:
 //!   page latches are short-duration and never held across I/O waits.
 //! * **`latch-ordering`** — in the same files, latch acquisitions must
-//!   follow the documented total order *shard (rank 0) → backend
-//!   (rank 1)* (DESIGN.md §11). Receivers are classified by identifier
-//!   (`shard`/`slot`/`stripe` → 0, `backend` → 1); taking a latch whose
-//!   rank is not strictly greater than every live ranked guard — the
-//!   backend-then-shard inversion, a second shard while one is held, a
-//!   double backend lock — is a deadlock ingredient and is flagged.
-//!   Unranked receivers are outside the order and ignored.
+//!   follow the documented total order *shard (rank 0) → write-back
+//!   gate (rank 1) → backend (rank 2)* (DESIGN.md §11). Receivers are
+//!   classified by identifier (`shard`/`slot`/`stripe` → 0, `gate` → 1,
+//!   `backend` → 2); taking a latch whose rank is not strictly greater
+//!   than every live ranked guard — the backend-then-shard inversion, a
+//!   second shard while one is held, a double backend lock — is a
+//!   deadlock ingredient and is flagged. Unranked receivers are outside
+//!   the order and ignored.
 //! * **`cast-soundness`** — `as` casts in the cost-critical files
 //!   (`cost.rs`, `selectivity.rs`, `enumerate.rs`) are classified by
 //!   inferred source type and target width. Provably value-preserving
@@ -228,8 +229,10 @@ const LATCH_SCOPED_FILES: &[&str] =
 /// The latch rank order (DESIGN.md §11): receivers classified by these
 /// identifier fragments must be acquired in strictly ascending rank.
 /// Shard latches are rank 0 (at most one at a time — hence *strictly*);
-/// the page-backend latch is rank 1, the maximum.
-const LATCH_RANKS: &[(&str, u8)] = &[("shard", 0), ("slot", 0), ("stripe", 0), ("backend", 1)];
+/// the buffer pool's dirty write-back gate is rank 1; the page-backend
+/// latch is rank 2, the maximum.
+const LATCH_RANKS: &[(&str, u8)] =
+    &[("shard", 0), ("slot", 0), ("stripe", 0), ("gate", 1), ("backend", 2)];
 
 /// Guard producers: a `let g = x.<producer>()…;` binding makes `g` a
 /// tracked latch guard.
@@ -693,9 +696,9 @@ fn receiver_rank(toks: &[Token], producer: usize) -> Option<u8> {
 
 /// `latch-ordering`: every latch acquisition must carry a rank strictly
 /// greater than every ranked guard still live — shard (0) before
-/// backend (1), never two of the same rank. Catches the backend-then-
-/// shard inversion and double acquisitions within one rank; unranked
-/// receivers are outside the order and ignored.
+/// gate (1) before backend (2), never two of the same rank. Catches the
+/// backend-then-shard inversion and double acquisitions within one
+/// rank; unranked receivers are outside the order and ignored.
 fn latch_ordering_rule(ctx: &Ctx, report: &mut AuditReport) {
     let toks = &ctx.model.tokens;
     for f in &ctx.model.fns {
@@ -722,8 +725,8 @@ fn latch_ordering_rule(ctx: &Ctx, report: &mut AuditReport) {
                         ctx.at(t.line),
                         format!(
                             "`{}` acquires a rank-{rank} latch while rank-{grank} guard `{}` \
-                             (bound line {}) is live; the latch order is shard(0) → backend(1), \
-                             strictly ascending — release `{}` first",
+                             (bound line {}) is live; the latch order is shard(0) → gate(1) → \
+                             backend(2), strictly ascending — release `{}` first",
                             f.name, g.name, g.line, g.name
                         ),
                     ));

@@ -21,6 +21,12 @@ use sysr_rss::{Storage, Tuple, Value};
 /// tracer is single-owner state (a plain `RefCell`, no sharing), while
 /// `storage` and `catalog` are the shared, `Sync` serving structures
 /// many environments may borrow concurrently.
+///
+/// The tracer's measurement windows are deltas of the database-global
+/// I/O counters, so per-node attribution (and the per-node-sums-equal-
+/// query-delta identity) is exact only when no other session executes
+/// concurrently — see the `tracer` module docs. Run `EXPLAIN ANALYZE`
+/// without concurrent load when the numbers must be exact.
 pub struct ExecEnv<'a> {
     pub storage: &'a Storage,
     pub catalog: &'a Catalog,

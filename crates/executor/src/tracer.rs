@@ -8,6 +8,19 @@
 //! already **charged** to frames opened inside it; on exit the node keeps
 //! `window - charged` as its own. Summing the per-node measurements
 //! therefore reproduces the whole-query [`IoStats`] delta exactly.
+//!
+//! # Concurrency caveat
+//!
+//! The snapshots come from the *database-global* counters
+//! (`Storage::io_stats`), not per-session ones. Attribution — both
+//! per-node and the sum-equals-delta identity above — is therefore exact
+//! only when the traced statement is the storage engine's only work.
+//! Under concurrent sessions another session's fetches and hits land in
+//! whichever window happens to be open, and a concurrent
+//! `reset_io_stats` (it is `&self`) makes later snapshots read lower
+//! than a window's start; [`IoStats::since`] saturates, so such a window
+//! clamps toward zero instead of underflowing. Traced execution stays
+//! safe and monotone under concurrency — just not exactly attributable.
 
 use crate::error::{ExecError, ExecResult};
 use std::collections::HashMap;
@@ -77,7 +90,8 @@ impl ExecTracer {
 /// The tracer attributes every unit of I/O to exactly one node, so over a
 /// complete set of measurements this reproduces the whole-query delta —
 /// the accounting identity `sysr-audit` verifies on every traced
-/// execution.
+/// execution. Exact only single-session: see the module docs'
+/// concurrency caveat.
 pub fn sum_node_io<'a>(measurements: impl IntoIterator<Item = &'a NodeMeasurement>) -> IoStats {
     let mut total = IoStats::default();
     for m in measurements {

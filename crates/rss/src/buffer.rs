@@ -92,16 +92,22 @@ impl IoStats {
     }
 
     /// Component-wise difference (`self - start`), for measuring a window.
+    ///
+    /// Saturating: the counters are database-global and `reset_io_stats`
+    /// is `&self`, so a reset (or relaxed-ordering skew between threads)
+    /// can make a later snapshot read lower than the window's start. A
+    /// component that would go negative clamps to zero — a short window
+    /// rather than a panic/garbage underflow.
     pub fn since(&self, start: &IoStats) -> IoStats {
         IoStats {
-            data_page_fetches: self.data_page_fetches - start.data_page_fetches,
-            index_page_fetches: self.index_page_fetches - start.index_page_fetches,
-            temp_page_fetches: self.temp_page_fetches - start.temp_page_fetches,
-            temp_pages_written: self.temp_pages_written - start.temp_pages_written,
-            buffer_hits: self.buffer_hits - start.buffer_hits,
-            rsi_calls: self.rsi_calls - start.rsi_calls,
-            backend_reads: self.backend_reads - start.backend_reads,
-            backend_writes: self.backend_writes - start.backend_writes,
+            data_page_fetches: self.data_page_fetches.saturating_sub(start.data_page_fetches),
+            index_page_fetches: self.index_page_fetches.saturating_sub(start.index_page_fetches),
+            temp_page_fetches: self.temp_page_fetches.saturating_sub(start.temp_page_fetches),
+            temp_pages_written: self.temp_pages_written.saturating_sub(start.temp_pages_written),
+            buffer_hits: self.buffer_hits.saturating_sub(start.buffer_hits),
+            rsi_calls: self.rsi_calls.saturating_sub(start.rsi_calls),
+            backend_reads: self.backend_reads.saturating_sub(start.backend_reads),
+            backend_writes: self.backend_writes.saturating_sub(start.backend_writes),
         }
     }
 }

@@ -10,20 +10,31 @@
 //!
 //! # Latch order
 //!
-//! Two latch ranks exist, and acquisition must follow the total order
-//! *shard (rank 0) → backend (rank 1)*:
+//! Three latch ranks exist, and acquisition must follow the total order
+//! *shard (rank 0) → write-back gate (rank 1) → backend (rank 2)*:
 //!
 //! - **Shard latches (rank 0).** At most one shard latch is held at a
 //!   time. Cross-shard walks (flush, clear, stats) visit shards in
 //!   strictly ascending shard id, releasing each before locking the
 //!   next, so any future multi-latch extension stays deadlock-free.
-//! - **Backend latch (rank 1).** The page-file backend is the maximum of
+//! - **Write-back gate (rank 1).** A counter of dirty eviction victims
+//!   whose backend write is still in flight. A dirty victim is
+//!   *registered* with the gate while its shard latch is still held —
+//!   so at every instant a dirty image is either resident in a shard or
+//!   counted in the gate — and deregistered once its backend write
+//!   completes. [`ShardedBufferPool::flush`] drains the gate after its
+//!   shard sweep: when `flush` returns, every page that was dirty when
+//!   it was called has reached the backend, which is what makes `&self`
+//!   `sync`/`save_to` sound against concurrent readers. The gate latch
+//!   is held only for counter arithmetic, never across I/O (the drain
+//!   wait releases it).
+//! - **Backend latch (rank 2).** The page-file backend is the maximum of
 //!   the order. Per the RSS discipline *latches never span I/O*, no
-//!   shard latch is held while the backend latch is taken: a miss
-//!   releases the shard, performs the read under the backend latch
+//!   shard or gate latch is held while the backend latch is taken: a
+//!   miss releases the shard, performs the read under the backend latch
 //!   alone, then relocks the shard to install the frame. Dirty eviction
 //!   victims are removed under the shard latch and written back after it
-//!   is released.
+//!   is released (gated as above).
 //!
 //! `sysr-audit`'s `latch-discipline` rule enforces the I/O-span half of
 //! this contract and `latch-ordering` enforces the rank order.
@@ -31,12 +42,15 @@
 //! # Benign staleness
 //!
 //! Dirty frames only arise from `&mut Storage` writers, which the borrow
-//! checker already serializes against shared readers. During a
-//! write-back that races nothing (the only kind possible), a concurrent
-//! reader of the *same* page may re-read the backend's prior image; that
-//! image is always a complete, checksum-valid stamped page, and tuple
-//! data is served from the in-memory segments and B-trees — frame bytes
-//! feed only checksum verification and persistence. Counters are relaxed
+//! checker already serializes against shared readers. While a dirty
+//! victim's write-back is in flight, a concurrent reader of the *same*
+//! page may re-read the backend's prior image; that image is always a
+//! complete, checksum-valid stamped page, and tuple data is served from
+//! the in-memory segments and B-trees — frame bytes feed only checksum
+//! verification and persistence. Persistence itself is *not* allowed the
+//! staleness: `flush` drains the write-back gate, so `sync`/`save_to`
+//! never observe the prior image of a page that was dirty when they
+//! began. Counters are relaxed
 //! atomics: exact in any single-threaded window (the accounting identity
 //! `page_fetches == backend_reads` that the tests pin), monotonically
 //! consistent across threads.
@@ -47,7 +61,7 @@ use crate::page::PAGE_SIZE;
 use crate::pagefile::{verify_page, PageBackend};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// The page-file backend behind its rank-1 latch. `Send` because frames
 /// migrate across session threads.
@@ -177,13 +191,20 @@ pub struct ShardedBufferPool {
     clock: AtomicU64,
     counters: Counters,
     capacity: usize,
+    /// Rank-1 write-back gate: dirty eviction victims still in flight to
+    /// the backend. See the module docs for the protocol.
+    gate: Mutex<usize>,
+    /// Signalled whenever the gate count returns to zero.
+    gate_drained: Condvar,
 }
 
 impl ShardedBufferPool {
     /// A pool holding `capacity` pages split across
     /// `min(max(capacity / 8, 1), 8)` shards. Each shard holds
     /// `ceil(capacity / shards)` pages so a single-file scan that fits
-    /// the pool stays fully resident despite striping.
+    /// the pool stays fully resident despite striping — see
+    /// [`ShardedBufferPool::capacity`] for the over-admission this
+    /// rounding implies.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one page");
         let n = shard_count_for(capacity);
@@ -193,11 +214,52 @@ impl ShardedBufferPool {
             clock: AtomicU64::new(0),
             counters: Counters::default(),
             capacity,
+            gate: Mutex::new(0),
+            gate_drained: Condvar::new(),
         }
     }
 
+    /// The configured capacity. Because each of the `n` shards holds
+    /// `ceil(capacity / n)` pages (the rounding that keeps a
+    /// pool-fitting scan fully resident), actual residency may exceed
+    /// this by up to `n - 1` pages when `capacity` is not a multiple of
+    /// the shard count — e.g. 17 pages configured admits up to 18.
+    /// Buffer-sweep experiments comparing against the single-owner
+    /// `BufferPool` should use multiples of the shard-count ceiling
+    /// (`MAX_SHARDS`, 8 — all the committed sweeps do) or single-shard
+    /// sizes, where the two pools admit identically.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Register one dirty eviction victim with the write-back gate.
+    /// Called with the victim's shard latch still held, so no window
+    /// exists where the dirty image is neither resident nor gated.
+    fn gate_register(&self) {
+        let mut inflight = self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *inflight += 1;
+    }
+
+    /// Deregister one victim after its backend write finished (or
+    /// failed — the caller surfaces the error; the gate only tracks
+    /// in-flight work).
+    fn gate_release(&self) {
+        let mut inflight = self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *inflight = inflight.saturating_sub(1);
+        if *inflight == 0 {
+            self.gate_drained.notify_all();
+        }
+    }
+
+    /// Block until no dirty-victim write-back is in flight. The condvar
+    /// wait releases the gate latch, so writers are never blocked by a
+    /// drainer.
+    fn gate_drain(&self) {
+        let mut inflight = self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *inflight > 0 {
+            inflight =
+                self.gate_drained.wait(inflight).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 
     pub fn shard_count(&self) -> usize {
@@ -257,15 +319,27 @@ impl ShardedBufferPool {
         let victim = {
             let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let frame = ShardFrame { stamp: self.tick(), dirty: false, buf };
-            shard.install(key, frame)
+            let victim = shard.install(key, frame);
+            // Register a dirty victim with the write-back gate *before*
+            // releasing the shard latch: a concurrent flush that misses
+            // the removed frame is guaranteed to see the gate count and
+            // wait for the image to reach the backend.
+            if victim.as_ref().is_some_and(|(_, f)| f.dirty) {
+                self.gate_register();
+            }
+            victim
         };
         if let Some((vkey, vframe)) = victim {
             if vframe.dirty {
-                {
+                let written = {
                     let mut backend =
                         backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-                    backend.write_page(vkey, &vframe.buf)?;
-                }
+                    backend.write_page(vkey, &vframe.buf)
+                };
+                // Deregister before surfacing an error so a failed write
+                // can never wedge a draining flush.
+                self.gate_release();
+                written?;
                 self.counters.backend_writes.fetch_add(1, Relaxed);
             }
         }
@@ -302,6 +376,12 @@ impl ShardedBufferPool {
     /// visiting shards in ascending id. Frames stay resident. The dirty
     /// bit is cleared only after its image reaches the backend, so an
     /// I/O error leaves the remaining pages still marked.
+    ///
+    /// After the shard sweep the write-back gate is drained, so when
+    /// this returns every page that was dirty at the time of the call —
+    /// resident *or* mid-eviction in a concurrent reader — has reached
+    /// the backend. `Storage::sync` and `Storage::save_to` rely on this
+    /// to be sound from `&self` against concurrent readers.
     pub fn flush(&self, backend: &SharedBackend) -> RssResult<()> {
         for slot in &self.shards {
             let dirty: Vec<(PageKey, Box<[u8; PAGE_SIZE]>)> = {
@@ -328,6 +408,7 @@ impl ShardedBufferPool {
                 }
             }
         }
+        self.gate_drain();
         Ok(())
     }
 
@@ -562,6 +643,58 @@ mod tests {
         assert_eq!(pool.resident_pages(), 1);
         pool.invalidate_file(file(0));
         assert_eq!(pool.resident_pages(), 0);
+    }
+
+    /// The dirty-victim/flush race: a reader evicting a dirty frame
+    /// removes it from its shard and writes it back only after the
+    /// latch drops. `flush` must not return in that window believing
+    /// everything clean — the write-back gate makes it wait. Each round
+    /// dirties the whole pool, races evicting readers against a flush,
+    /// and checks the backend holds every dirtied image the moment
+    /// `flush` returns.
+    #[test]
+    fn flush_waits_for_inflight_dirty_victim_writebacks() {
+        const PAGES: u32 = 32;
+        const DIRTY: u32 = 8; // == pool capacity, single shard
+        let backend = backend_with(PAGES);
+        let pool = ShardedBufferPool::new(DIRTY as usize);
+        for round in 0u32..20 {
+            let marker = 0x40 + (round % 64) as u8;
+            for p in 0..DIRTY {
+                let key = PageKey::new(file(0), p);
+                pool.read(key, &backend).unwrap();
+                let mut img = [0u8; PAGE_SIZE];
+                img[PAGE_SIZE - 1] = marker;
+                stamp_page(&mut img, 1000 + u32::from(marker));
+                pool.write_through(key, &img, &backend).unwrap();
+            }
+            std::thread::scope(|scope| {
+                for t in 0..3u32 {
+                    let pool = &pool;
+                    let backend = &backend;
+                    scope.spawn(move || {
+                        // Misses on pages ≥ DIRTY evict the dirty frames.
+                        for p in DIRTY..PAGES {
+                            let page = DIRTY + (p - DIRTY + t) % (PAGES - DIRTY);
+                            pool.read(PageKey::new(file(0), page), backend).unwrap();
+                        }
+                    });
+                }
+                pool.flush(&backend).unwrap();
+                // flush returned: every image dirtied before it was
+                // called must already be in the backend, evicted or not.
+                let mut buf = Box::new([0u8; PAGE_SIZE]);
+                let mut b = backend.lock().unwrap();
+                for p in 0..DIRTY {
+                    b.read_page(PageKey::new(file(0), p), &mut buf).unwrap();
+                    assert_eq!(
+                        buf[PAGE_SIZE - 1],
+                        marker,
+                        "round {round}: page {p} image missing from backend after flush"
+                    );
+                }
+            });
+        }
     }
 
     #[test]

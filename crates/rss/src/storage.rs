@@ -11,12 +11,15 @@
 //!
 //! `Storage` is `Sync`: every `&self` method (the read/plan/execute
 //! serving path) may be called from many session threads at once. Shared
-//! state sits behind the pool's shard latches, the backend latch, and
-//! relaxed atomics (LSN and temp-file allocators, I/O counters), under
-//! the total latch order documented in [`crate::sharded`]: *shard →
-//! backend*, at most one shard latch held, no latch spanning I/O on
-//! another object. Mutation (`insert`, `delete`, DDL) still requires
-//! `&mut self`, which the borrow checker serializes against readers.
+//! state sits behind the pool's shard latches, its write-back gate, the
+//! backend latch, and relaxed atomics (LSN and temp-file allocators,
+//! I/O counters), under the total latch order documented in
+//! [`crate::sharded`]: *shard → gate → backend*, at most one shard
+//! latch held, no latch spanning I/O on another object. Mutation
+//! (`insert`, `delete`, DDL) still requires `&mut self`, which the
+//! borrow checker serializes against readers; [`Storage::sync`] and
+//! [`Storage::save_to`] stay `&self` because the pool's flush drains
+//! the write-back gate before they touch the backend's images.
 //!
 //! # Persistence model
 //!
@@ -220,7 +223,9 @@ impl Storage {
     }
 
     /// Flush dirty frames and fsync the page files (no-op backend sync for
-    /// in-memory storage).
+    /// in-memory storage). Sound against concurrent readers: the flush
+    /// drains dirty-victim write-backs still in flight from evicting
+    /// readers, so the fsync cannot miss a committed page image.
     pub fn sync(&self) -> RssResult<()> {
         self.buffer.flush(&self.backend)?;
         let mut backend = self.backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -388,8 +393,12 @@ impl Storage {
     /// `storage.meta` descriptor records the shapes needed to rebuild.
     /// Temporary lists are not saved. The storage keeps its current
     /// backend; the snapshot can be reopened with [`Storage::open`].
+    /// Sound against concurrent readers: the pre-copy flush drains
+    /// in-flight dirty write-backs, so the snapshot cannot capture a
+    /// pre-mutation image of an evicted dirty page.
     pub fn save_to(&self, dir: &Path) -> RssResult<()> {
-        // Make the backend the single source of truth.
+        // Make the backend the single source of truth (flush drains the
+        // write-back gate, so no dirty image is still in flight).
         self.buffer.flush(&self.backend)?;
         let mut dst = DirBackend::open(dir)?;
         let mut copy = |key: PageKey| -> RssResult<()> {

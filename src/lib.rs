@@ -51,10 +51,15 @@
 //! });
 //! ```
 //!
-//! Writes (`execute`, `insert_rows`, `save`, …) take `&mut self` and are
+//! Mutations (`execute`, `insert_rows`, DDL, …) take `&mut self` and are
 //! therefore serialized by the borrow checker — this reproduction has no
 //! lock manager; concurrency control above the latch level is the
 //! paper's companion work (Gray et al.), not Selinger et al.
+//! [`Database::save`] and [`Database::sync`] are `&self` and safe to run
+//! against concurrent readers: the buffer pool's write-back gate
+//! guarantees every page that was dirty when the flush began has reached
+//! the page backend before the snapshot is copied or the files are
+//! fsynced (see the `sysr-rss` sharded-pool docs).
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -259,7 +264,9 @@ impl Database {
     /// index (written through the buffer pool's checksum/LSN stamping) plus
     /// `storage.meta` and `catalog.meta` descriptors. The saved snapshot
     /// reopens with [`Database::open`] with identical query results and
-    /// catalog statistics.
+    /// catalog statistics. Safe to call while other threads read: the
+    /// pre-copy flush drains in-flight dirty write-backs, so the
+    /// snapshot always contains every committed mutation.
     pub fn save(&self, dir: impl AsRef<Path>) -> DbResult<()> {
         let dir = dir.as_ref();
         self.storage.save_to(dir)?;
@@ -298,7 +305,9 @@ impl Database {
     }
 
     /// Flush dirty buffer frames and fsync the page files (no-op for an
-    /// in-memory database).
+    /// in-memory database). Safe to call while other threads read: the
+    /// flush drains in-flight dirty write-backs before the fsync, so no
+    /// committed page image can be skipped.
     pub fn sync(&self) -> DbResult<()> {
         self.storage.sync()?;
         Ok(())

@@ -27,8 +27,10 @@ use std::sync::Mutex;
 const STRIPES: usize = 8;
 
 /// Total entry cap across stripes: repeated-statement workloads fit
-/// easily; when an adhoc workload overflows a stripe, that stripe is
-/// dropped (planning again is cheap — this just bounds memory).
+/// easily; when an adhoc workload overflows a stripe, one resident
+/// entry of that stripe is evicted to make room (planning again is
+/// cheap — this just bounds memory, so a burst of one-off statements
+/// cannot wipe a hot statement's plan 16 entries at a time).
 pub const PLAN_CACHE_CAP: usize = 128;
 
 struct Entry<V> {
@@ -125,8 +127,14 @@ impl<V: Clone> VersionedCache<V> {
     pub fn insert(&self, key: String, version: u64, value: V) {
         self.misses.fetch_add(1, Relaxed);
         let mut map = self.stripe(&key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if map.len() >= PLAN_CACHE_CAP / STRIPES {
-            map.clear();
+        if map.len() >= PLAN_CACHE_CAP / STRIPES && !map.contains_key(&key) {
+            // The cap is a memory bound, not an eviction policy: make
+            // room by dropping one arbitrary resident entry rather than
+            // the whole stripe, so adhoc churn evicts at most one plan
+            // per insert.
+            if let Some(evict) = map.keys().next().cloned() {
+                map.remove(&evict);
+            }
         }
         map.insert(key, Entry { value, version });
     }
@@ -158,12 +166,59 @@ mod tests {
     }
 
     #[test]
-    fn stripe_overflow_clears_only_that_stripe() {
+    fn overflow_stays_bounded_without_emptying() {
         let cache = VersionedCache::new();
         for i in 0..PLAN_CACHE_CAP * 2 {
             cache.insert(format!("q{i}"), 0, i);
         }
         assert!(cache.len() <= PLAN_CACHE_CAP, "cap bounds memory");
-        assert!(!cache.is_empty(), "overflow clears per stripe, not globally");
+        assert!(!cache.is_empty(), "overflow evicts per entry, never wholesale");
+    }
+
+    #[test]
+    fn stripe_overflow_evicts_exactly_one_entry() {
+        let cache = VersionedCache::new();
+        let per_stripe = PLAN_CACHE_CAP / STRIPES;
+        // Collect keys that all hash to one stripe (compare slot identity).
+        let target = cache.stripe("q0");
+        let keys: Vec<String> = (0..)
+            .map(|i: u32| format!("q{i}"))
+            .filter(|k| std::ptr::eq(cache.stripe(k), target))
+            .take(per_stripe + 1)
+            .collect();
+        for k in &keys[..per_stripe] {
+            cache.insert(k.clone(), 0, 1);
+        }
+        assert_eq!(cache.len(), per_stripe, "stripe filled to its share of the cap");
+        cache.insert(keys[per_stripe].clone(), 0, 2);
+        assert_eq!(cache.len(), per_stripe, "one in, one out — the stripe is not wiped");
+        assert_eq!(cache.lookup(&keys[per_stripe], 0), Some(2), "new entry resident");
+        let survivors = keys[..per_stripe].iter().filter(|k| cache.lookup(k, 0).is_some()).count();
+        assert_eq!(survivors, per_stripe - 1, "exactly one prior entry was evicted");
+    }
+
+    #[test]
+    fn reinserting_resident_key_at_cap_evicts_nothing() {
+        let cache = VersionedCache::new();
+        let per_stripe = PLAN_CACHE_CAP / STRIPES;
+        let target = cache.stripe("q0");
+        let keys: Vec<String> = (0..)
+            .map(|i: u32| format!("q{i}"))
+            .filter(|k| std::ptr::eq(cache.stripe(k), target))
+            .take(per_stripe)
+            .collect();
+        for k in &keys {
+            cache.insert(k.clone(), 0, 1);
+        }
+        // Re-stamping a resident key (e.g. after a version bump) must
+        // not evict a neighbour: the map does not grow.
+        cache.insert(keys[0].clone(), 1, 7);
+        assert_eq!(cache.len(), per_stripe);
+        let survivors = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| cache.lookup(k, if *i == 0 { 1 } else { 0 }).is_some())
+            .count();
+        assert_eq!(survivors, per_stripe, "every entry still resident");
     }
 }
