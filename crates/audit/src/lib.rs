@@ -38,6 +38,12 @@
 //!   `cast-soundness` and `div-guard` rules without external lint
 //!   dependencies; suppressions via `// audit:allow(<rule>)` comments,
 //!   validated by the `stale-allow` self-check.
+//! * [`model`] — deterministic schedule exploration: scripted scenarios
+//!   of virtual threads run through the `sysr_rss::sync` facade's
+//!   cooperative scheduler, their interleavings enumerated under
+//!   iterative preemption bounding with deadlock, lock-order-cycle and
+//!   scenario-invariant oracles; `--mutant` re-arms previously fixed
+//!   races and demands the explorer find them.
 //!
 //! The `sysr-audit` binary runs both engines (`--all`) and exits nonzero
 //! on any violation; `scripts/ci.sh` gates every PR on it.
@@ -48,6 +54,7 @@ pub mod differential;
 pub mod invariants;
 pub mod lexer;
 pub mod lint;
+pub mod model;
 pub mod parallel;
 pub mod recovery;
 

@@ -43,7 +43,13 @@
 //!   than every live ranked guard — the backend-then-shard inversion, a
 //!   second shard while one is held, a double backend lock — is a
 //!   deadlock ingredient and is flagged. Unranked receivers are outside
-//!   the order and ignored.
+//!   the order and ignored. Both latch rules scope to the files listed
+//!   in [`sysr_rss::sync::LATCHED_FILES`] — one table shared with the
+//!   `sync` facade and the `--model` schedule explorer.
+//! * **`latch-scope`** — a product-crate file that acquires a latch
+//!   (`.lock(`) without being listed in that shared table is flagged:
+//!   an unlisted latch-bearing file would silently escape the two rules
+//!   above and the model checker's coverage.
 //! * **`cast-soundness`** — `as` casts in the cost-critical files
 //!   (`cost.rs`, `selectivity.rs`, `enumerate.rs`) are classified by
 //!   inferred source type and target width. Provably value-preserving
@@ -81,6 +87,7 @@ pub const RULES: &[&str] = &[
     "unsafe-audit",
     "latch-discipline",
     "latch-ordering",
+    "latch-scope",
     "cast-soundness",
     "div-guard",
     "stale-allow",
@@ -96,6 +103,13 @@ pub const RULES: &[&str] = &[
 /// drown the `no-index` signal in annotations. New files are linted in
 /// full by default until someone consciously adds a row here with a
 /// justification.
+///
+/// Inline `audit:allow(no-unwrap)` markers are swept periodically: the
+/// binder's scope-stack accessor and the SQL lexer's char-boundary
+/// advance were converted to error returns (their markers deleted); the
+/// corpus `must()` helper keeps its marker with a written argument for
+/// why aborting is correct there. The sweep left no marker without a
+/// current justification.
 const EXEMPT: &[(&str, &[&str], &str)] = &[
     (
         "crates/bench/src/bin/exp_buffer_sweep.rs",
@@ -220,11 +234,15 @@ const DIV_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs"];
 /// Crates whose sources are subject to the `no-index` rule.
 const INDEX_SCOPED_CRATES: &[&str] = &["core", "rss", "executor", "catalog", "sql"];
 
-/// Files (by name) subject to the `latch-discipline` and
-/// `latch-ordering` rules: the RSS storage stack (including the sharded
-/// buffer pool) and the parallel enumerator's worker pool.
-const LATCH_SCOPED_FILES: &[&str] =
-    &["buffer.rs", "pagefile.rs", "sharded.rs", "storage.rs", "enumerate.rs"];
+/// Files subject to the `latch-discipline` and `latch-ordering` rules.
+/// The table is *owned by the code under audit*
+/// ([`sysr_rss::sync::LATCHED_FILES`]) so the facade, the lint, and the
+/// model checker share one source of truth; a latch-acquiring file in a
+/// product crate that is missing from it fails `latch-scope` below
+/// rather than silently escaping the latch rules.
+fn latch_scoped(label: &str) -> bool {
+    sysr_rss::sync::LATCHED_FILES.contains(&label)
+}
 
 /// The latch rank order (DESIGN.md §11): receivers classified by these
 /// identifier fragments must be acquired in strictly ascending rank.
@@ -346,11 +364,14 @@ pub fn lint_source(label: &str, text: &str) -> AuditReport {
         unsafe_audit_rule(&ctx, &mut report);
     }
     let file_name = label.rsplit('/').next().unwrap_or(label);
-    if LATCH_SCOPED_FILES.contains(&file_name) && !exempt(label, "latch-discipline") {
+    if latch_scoped(label) && !exempt(label, "latch-discipline") {
         latch_discipline_rule(&ctx, &mut report);
     }
-    if LATCH_SCOPED_FILES.contains(&file_name) && !exempt(label, "latch-ordering") {
+    if latch_scoped(label) && !exempt(label, "latch-ordering") {
         latch_ordering_rule(&ctx, &mut report);
+    }
+    if index_scoped(label) && !latch_scoped(label) && !exempt(label, "latch-scope") {
+        latch_scope_rule(&ctx, &mut report);
     }
     if CAST_SCOPED_FILES.contains(&file_name) && !exempt(label, "cast-soundness") {
         cast_soundness_rule(&ctx, &mut report);
@@ -732,6 +753,33 @@ fn latch_ordering_rule(ctx: &Ctx, report: &mut AuditReport) {
                     ));
                 }
             }
+        }
+    }
+}
+
+/// `latch-scope`: a product-crate file that acquires a latch
+/// (token-level `.lock(` outside tests) but is not listed in
+/// [`sysr_rss::sync::LATCHED_FILES`] would silently escape
+/// `latch-discipline` and `latch-ordering` — flag it so the author adds
+/// the file to the shared table (pulling it into the latch rules and the
+/// model checker's scope) or justifies an exemption.
+fn latch_scope_rule(ctx: &Ctx, report: &mut AuditReport) {
+    let toks = &ctx.model.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "lock" || ctx.model.in_test(i) {
+            continue;
+        }
+        let prev_dot = lexer::prev_code(toks, i).is_some_and(|p| toks[p].text == ".");
+        let next_paren = lexer::next_code(toks, i + 1).is_some_and(|n| toks[n].text == "(");
+        if prev_dot && next_paren && !ctx.allowed("latch-scope", t.line) {
+            report.push(Violation::new(
+                "latch-scope",
+                ctx.at(t.line),
+                "latch acquisition in a file missing from sync::LATCHED_FILES; add the file to \
+                 the table so latch-discipline/latch-ordering and the model checker cover it"
+                    .to_string(),
+            ));
+            return;
         }
     }
 }
@@ -1257,6 +1305,45 @@ mod tests {
     fn latch_ordering_suppressible_with_marker() {
         let allowed = "fn f(&self) {\n    let mut backend = self.backend.lock().unwrap();\n    // audit:allow(latch-ordering) — startup path, single-threaded by construction\n    let mut shard = self.shard.lock().unwrap();\n    shard.touch(&mut backend);\n}\n";
         assert!(ordering("crates/rss/src/sharded.rs", allowed).is_empty());
+    }
+
+    fn scope(label: &str, src: &str) -> Vec<String> {
+        lint_source(label, src)
+            .violations
+            .iter()
+            .filter(|v| v.rule == "latch-scope")
+            .map(|v| v.rule.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn latch_in_unlisted_product_file_fails_latch_scope() {
+        let src = "fn f(&self) {\n    let g = self.counters.lock().unwrap_or_else(PoisonError::into_inner);\n    g.bump();\n}\n";
+        assert_eq!(scope("crates/rss/src/other.rs", src), vec!["latch-scope"]);
+        assert_eq!(scope("crates/executor/src/pipeline.rs", src), vec!["latch-scope"]);
+        // Listed files are covered by the real latch rules instead.
+        assert!(scope("crates/rss/src/storage.rs", src).is_empty());
+        // Non-product crates (the audit harness itself) are out of scope.
+        assert!(scope("crates/audit/src/model.rs", src).is_empty());
+        // A lock-free file needs no listing.
+        assert!(scope("crates/rss/src/other.rs", "fn f() -> u32 {\n    7\n}\n").is_empty());
+    }
+
+    #[test]
+    fn latch_scope_ignores_tests_and_respects_allow() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let g = m.lock().unwrap();\n        drop(g);\n    }\n}\n";
+        assert!(scope("crates/rss/src/other.rs", in_test).is_empty());
+        let allowed = "fn f(&self) {\n    // audit:allow(latch-scope) — private latch, provably local\n    let g = self.counters.lock().unwrap_or_else(PoisonError::into_inner);\n    g.bump();\n}\n";
+        assert!(scope("crates/rss/src/other.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn latch_rules_scope_by_full_path_not_file_name() {
+        // A stray `storage.rs` elsewhere in a product crate is not in
+        // LATCHED_FILES: the latch rules skip it and latch-scope flags it.
+        let bad = "fn f(&self) {\n    let mut backend = self.backend.lock().unwrap();\n    let mut shard = self.shard.lock().unwrap();\n    shard.touch(&mut backend);\n}\n";
+        assert!(ordering("crates/executor/src/storage.rs", bad).is_empty());
+        assert_eq!(scope("crates/executor/src/storage.rs", bad), vec!["latch-scope"]);
     }
 
     #[test]

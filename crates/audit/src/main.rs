@@ -1,13 +1,15 @@
 //! `sysr-audit` — run the plan auditor and the source lint pass.
 //!
 //! ```text
-//! sysr-audit --all               # plans + differential + parallel + concurrent + recovery + lint (CI mode)
+//! sysr-audit --all               # every engine below (CI mode)
 //! sysr-audit --plans             # plan invariants over the built-in corpus
 //! sysr-audit --diff              # DP-vs-exhaustive oracle + sampled 5-6-way orders
 //! sysr-audit --parallel          # threads>1 search must be bit-identical to threads=1
 //! sysr-audit --concurrent        # 8-thread serving must match single-thread plans + rows
 //! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
+//! sysr-audit --model             # bounded schedule exploration of the RSS latches
+//! sysr-audit --mutant <name>     # with --model: the seeded bug must be *found*
 //! sysr-audit --root <dir>        # repo root for --lint (default: .)
 //! sysr-audit --seed <n>          # seed for the random corpus (default 0xA0D17)
 //! sysr-audit --random <n>        # number of random cases (default 12)
@@ -31,6 +33,8 @@ struct Options {
     concurrent: bool,
     recovery: bool,
     lint: bool,
+    model: bool,
+    mutant: Option<String>,
     root: PathBuf,
     seed: u64,
     random: usize,
@@ -44,6 +48,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         concurrent: false,
         recovery: false,
         lint: false,
+        model: false,
+        mutant: None,
         root: PathBuf::from("."),
         seed: 0xA0D17,
         random: 12,
@@ -58,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.concurrent = true;
                 opts.recovery = true;
                 opts.lint = true;
+                opts.model = true;
             }
             "--plans" => opts.plans = true,
             "--diff" => opts.diff = true,
@@ -65,6 +72,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--concurrent" => opts.concurrent = true,
             "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
+            "--model" => opts.model = true,
+            "--mutant" => {
+                opts.mutant = Some(it.next().ok_or("--mutant needs a name")?.clone());
+            }
             "--root" => {
                 opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
@@ -80,10 +91,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if !(opts.plans || opts.diff || opts.parallel || opts.concurrent || opts.recovery || opts.lint)
+    if opts.mutant.is_some() && !opts.model {
+        return Err("--mutant only makes sense with --model".into());
+    }
+    if !(opts.plans
+        || opts.diff
+        || opts.parallel
+        || opts.concurrent
+        || opts.recovery
+        || opts.lint
+        || opts.model)
     {
         return Err("pick at least one of --all / --plans / --diff / --parallel / --concurrent / \
-             --recovery / --lint"
+             --recovery / --lint / --model"
             .into());
     }
     Ok(opts)
@@ -126,7 +146,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--recovery|--lint] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--recovery|--lint|--model] [--mutant NAME] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
@@ -169,6 +189,18 @@ fn main() -> ExitCode {
         let r = lint::lint_workspace(&opts.root);
         println!("lint: {} lines checked, {} violations", r.checks, r.violations.len());
         report.merge(r);
+    }
+    if opts.model {
+        let out = sysr_audit::model::audit_model(opts.mutant.as_deref());
+        println!(
+            "model: {} schedules explored, {} violations",
+            out.report.checks,
+            out.report.violations.len()
+        );
+        for note in &out.notes {
+            println!("  {}", note.replace('\n', "\n  "));
+        }
+        report.merge(out.report);
     }
 
     print!("{}", report.render());

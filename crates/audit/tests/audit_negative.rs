@@ -242,8 +242,13 @@ fn lint_flags_latch_order_inversion_and_respects_allow() {
     let allowed = "fn f(&self, a: PageKey, b: PageKey) {\n    let first = self.shard_slot(a).lock().unwrap_or_else(PoisonError::into_inner);\n    // audit:allow(latch-ordering) — shards ordered by index upstream\n    let second = self.shard_slot(b).lock().unwrap_or_else(PoisonError::into_inner);\n}\n";
     assert!(lint::lint_source("crates/rss/src/sharded.rs", allowed).ok());
 
-    // Files outside the latch scope are ignored entirely.
-    assert!(lint::lint_source("crates/core/src/foo.rs", inverted).ok());
+    // Files outside the latch scope skip the ordering rules — but a
+    // latch-acquiring product file missing from sync::LATCHED_FILES is
+    // exactly what the `latch-scope` rule exists to flag.
+    let report = lint::lint_source("crates/core/src/foo.rs", inverted);
+    assert_eq!(rules(&report), vec!["latch-scope"], "got:\n{}", report.render());
+    // Non-product crates (the bench harness) stay unscoped entirely.
+    assert!(lint::lint_source("crates/bench/src/bin/foo.rs", inverted).ok());
 }
 
 // ---- the concurrent-differential rule's comparator --------------------
@@ -305,6 +310,85 @@ fn lint_flags_unguarded_division() {
         "fn f(a: f64, b: f64) -> f64 {\n    if b == 0.0 {\n        return 0.0;\n    }\n    a / b\n}\n",
     );
     assert!(guarded.ok(), "got:\n{}", guarded.render());
+}
+
+// ---- model engine: injected races must fire, the allow table must
+// ---- suppress -----------------------------------------------------------
+
+mod model_negative {
+    use std::sync::Arc;
+    use sysr_audit::model::{self, apply_allowed, run_violations, ModelConfig};
+    use sysr_rss::sync::model::{execute, Policy};
+    use sysr_rss::sync::Mutex;
+
+    fn vrules(vs: &[sysr_audit::Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    /// AB/BA acquisition from two virtual threads: the per-execution
+    /// lock-order graph must report `model-lock-cycle` on any execution
+    /// where both orders are observed.
+    fn ab_ba_violations() -> (Vec<sysr_audit::Violation>, String) {
+        static LATCH_A: Mutex<u32> = Mutex::new(0);
+        static LATCH_B: Mutex<u32> = Mutex::new(0);
+        let mut bodies: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::new();
+        bodies.push(Box::new(|| {
+            let a = LATCH_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let b = LATCH_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            drop((a, b));
+        }));
+        bodies.push(Box::new(|| {
+            let b = LATCH_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let a = LATCH_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            drop((b, a));
+        }));
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        // Serial schedule: both orders still land in the order graph, so
+        // the cycle is caught without needing the deadlocking interleaving.
+        let run = execute(bodies, &[], Policy::NonPreemptive, None);
+        (run_violations("ab-ba-fixture", &run, &log), run.render_schedule())
+    }
+
+    #[test]
+    fn lock_order_cycle_fires_and_allow_table_suppresses() {
+        let (found, schedule) = ab_ba_violations();
+        assert!(
+            vrules(&found).contains(&"model-lock-cycle"),
+            "AB/BA must report a cycle; got {found:?}\n{schedule}"
+        );
+
+        let table = [("ab-ba-fixture", "model-lock-cycle", "negative-test fixture")];
+        let (kept, suppressed) = apply_allowed("ab-ba-fixture", found, &table);
+        assert!(!vrules(&kept).contains(&"model-lock-cycle"), "suppressed: {kept:?}");
+        assert!(suppressed >= 1);
+    }
+
+    #[test]
+    fn lost_dirty_image_fires_under_the_mutant_and_allow_table_suppresses() {
+        let cfg = ModelConfig { bound: 2, dfs_cap: 300, samples: 8, seed: 3 };
+        let scenario = model::scenario_named("dirty-victim-flush").expect("registered");
+        let explored = model::explore(&scenario, Some("dirty-victim-gate"), &cfg);
+        let (violation, schedule) = explored.finding.expect("gated race must be found");
+        assert_eq!(violation.rule, "model-lost-dirty-image", "{schedule}");
+
+        let table = [("dirty-victim-flush", "model-lost-dirty-image", "negative-test fixture")];
+        let (kept, suppressed) = apply_allowed("dirty-victim-flush", vec![violation], &table);
+        assert!(kept.is_empty(), "suppressed: {kept:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    /// Full engine contract: a mutant the explorer cannot catch is
+    /// itself a violation (`model-mutant-uncaught`), so CI can assert
+    /// the checker has teeth by demanding exit 0 from `--mutant`.
+    #[test]
+    fn unknown_mutant_reports_mutant_uncaught() {
+        let out = model::audit_model_with(
+            Some("not-a-mutant"),
+            &[],
+            &ModelConfig { bound: 1, dfs_cap: 10, samples: 0, seed: 1 },
+        );
+        assert_eq!(vrules(&out.report.violations), vec!["model-mutant-uncaught"]);
+    }
 }
 
 // ---- the binary's exit status is the CI contract ----------------------

@@ -124,7 +124,7 @@ fn bind_block_inner<'a>(
     let mut select = Vec::new();
     match &stmt.select {
         SelectList::Star => {
-            for (tno, t) in ctx.current_tables().iter().enumerate() {
+            for (tno, t) in ctx.current_tables()?.iter().enumerate() {
                 for (cno, col) in t.1.columns.iter().enumerate() {
                     select.push((col.name.clone(), SExpr::Col(ColId::new(tno, cno))));
                 }
@@ -233,9 +233,17 @@ struct BlockCtx<'a, 'b> {
 }
 
 impl<'a, 'b> BlockCtx<'a, 'b> {
-    fn current_tables(&self) -> &[(String, &'a RelationMeta)] {
-        // audit:allow(no-unwrap) — a scope is pushed before any lookup and popped after
-        &self.scopes.last().expect("current scope").tables
+    /// Tables of the innermost open block. A scope is pushed before any
+    /// lookup and popped after, so an empty stack is a binder bug —
+    /// reported as a `BindError` rather than a panic so a malformed
+    /// traversal degrades to a failed statement, not a downed session.
+    fn current_tables(&self) -> Result<&[(String, &'a RelationMeta)], BindError> {
+        match self.scopes.last() {
+            Some(scope) => Ok(&scope.tables),
+            None => Err(BindError::Unsupported(
+                "binder scope stack is empty mid-block (binder bug)".into(),
+            )),
+        }
     }
 
     /// Resolve a column reference. Searches the current block first, then
@@ -418,7 +426,7 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
     }
 
     fn column_type(&self, col: ColId) -> Option<ColType> {
-        let (_, rel) = self.current_tables().get(col.table)?;
+        let (_, rel) = self.current_tables().ok()?.get(col.table)?;
         Some(rel.columns.get(col.col)?.ty)
     }
 }

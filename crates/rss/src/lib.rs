@@ -35,6 +35,7 @@ pub mod codec;
 pub mod error;
 pub mod page;
 pub mod pagefile;
+pub mod plancache;
 pub mod prng;
 pub mod rid;
 pub mod sarg;
@@ -42,6 +43,7 @@ pub mod scan;
 pub mod segment;
 pub mod sharded;
 pub mod storage;
+pub mod sync;
 pub mod temp;
 pub mod tuple;
 pub mod value;
@@ -51,6 +53,7 @@ pub use buffer::{BufferPool, FileId, IoStats, PageKey};
 pub use error::{RssError, RssResult};
 pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
 pub use pagefile::{DirBackend, MemBackend, PageBackend};
+pub use plancache::{VersionedCache, PLAN_CACHE_CAP};
 pub use prng::SplitMix64;
 pub use rid::Rid;
 pub use sarg::{CompareOp, SargExpr, SargList, SargPred};

@@ -59,9 +59,9 @@ use crate::buffer::{FileId, IoStats, PageKey};
 use crate::error::{RssError, RssResult};
 use crate::page::PAGE_SIZE;
 use crate::pagefile::{verify_page, PageBackend};
+use crate::sync::{model, AtomicU64, Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::Ordering::Relaxed;
 
 /// The page-file backend behind its rank-1 latch. `Send` because frames
 /// migrate across session threads.
@@ -316,6 +316,14 @@ impl ShardedBufferPool {
         // Relock to install. A racing reader may have installed the same
         // page meanwhile; both performed a real read and the counters say
         // so — the overwrite is an identical clean image.
+        //
+        // `dirty-victim-gate` is the model checker's mutant switch: it
+        // re-introduces the pre-cd3b895 ordering (register only after the
+        // shard latch drops, deregister before the write) so
+        // `sysr-audit --model --mutant dirty-victim-gate` can prove the
+        // explorer finds the lost-dirty-image schedule. It reads as
+        // `false` on every thread outside the model harness.
+        let mutant = model::fault("dirty-victim-gate");
         let victim = {
             let mut shard = slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let frame = ShardFrame { stamp: self.tick(), dirty: false, buf };
@@ -324,13 +332,20 @@ impl ShardedBufferPool {
             // releasing the shard latch: a concurrent flush that misses
             // the removed frame is guaranteed to see the gate count and
             // wait for the image to reach the backend.
-            if victim.as_ref().is_some_and(|(_, f)| f.dirty) {
+            if victim.as_ref().is_some_and(|(_, f)| f.dirty) && !mutant {
                 self.gate_register();
             }
             victim
         };
         if let Some((vkey, vframe)) = victim {
             if vframe.dirty {
+                if mutant {
+                    // The PR-6 bug, verbatim in gate terms: the dirty
+                    // image is neither resident nor gated while its
+                    // write is in flight.
+                    self.gate_register();
+                    self.gate_release();
+                }
                 let written = {
                     let mut backend =
                         backend.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -338,7 +353,9 @@ impl ShardedBufferPool {
                 };
                 // Deregister before surfacing an error so a failed write
                 // can never wedge a draining flush.
-                self.gate_release();
+                if !mutant {
+                    self.gate_release();
+                }
                 written?;
                 self.counters.backend_writes.fetch_add(1, Relaxed);
             }

@@ -46,11 +46,11 @@ use crate::pagefile::{stamp_page, verify_page, DirBackend, MemBackend, PageBacke
 use crate::rid::Rid;
 use crate::segment::{Segment, SegmentId};
 use crate::sharded::{ShardedBufferPool, SharedBackend};
+use crate::sync::{AtomicU32, Mutex};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Name of the storage descriptor file inside a database directory.
 pub const STORAGE_META: &str = "storage.meta";

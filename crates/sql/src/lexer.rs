@@ -239,11 +239,14 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {
-                    // Advance over one UTF-8 character.
-                    // audit:allow(no-index) — pos never passes src.len()
-                    let rest = &self.src[self.pos..];
-                    // audit:allow(no-unwrap) — the peek above guarantees at least one byte remains
-                    let ch = rest.chars().next().expect("peek saw a byte");
+                    // Advance over one UTF-8 character. `peek` saw a
+                    // byte, so a char starts here unless `pos` fell off
+                    // a boundary — that would be a lexer bug, surfaced
+                    // as a lex error rather than a panic.
+                    let ch =
+                        self.src.get(self.pos..).and_then(|rest| rest.chars().next()).ok_or_else(
+                            || ("string literal split a UTF-8 boundary".to_string(), start),
+                        )?;
                     s.push(ch);
                     self.pos += ch.len_utf8();
                 }

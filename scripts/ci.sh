@@ -24,10 +24,19 @@ env -u RUST_TEST_THREADS cargo test --release --test concurrent_serving
 # rules (page-checksum, reopen-equivalence) + the concurrent-differential
 # rule (corpus replayed from 8 threads, bit-identical plans/rows) + the
 # token-level source lint (no-unwrap, no-index, unsafe-audit,
-# latch-discipline, latch-ordering, cast-soundness, div-guard, and the
-# stale-suppression detector stale-allow). Any unsuppressed finding
-# exits nonzero and fails CI.
+# latch-discipline, latch-ordering, latch-scope, cast-soundness,
+# div-guard, and the stale-suppression detector stale-allow) + the
+# model engine (bounded schedule exploration of the RSS latches; the
+# default budget — preemption bound 2, capped DFS plus 64 seeded deep
+# samples per scenario — finishes in seconds and its explored-schedule
+# counts are bit-identical across runs). Any unsuppressed finding exits
+# nonzero and fails CI.
 cargo run --release -p sysr-audit -- --all
+# The model checker must have teeth: re-arm the PR-6 dirty-victim/flush
+# reordering (a runtime-gated mutant, dead outside the harness) and
+# require the explorer to FIND a violating schedule within the bound —
+# exit 0 here means the bug was caught and its replay trace printed.
+cargo run --release -p sysr-audit -- --model --mutant dirty-victim-gate
 # Optimizer hot-path bench: the smoke run exercises the measurement
 # pipeline end to end (writes BENCH_optimizer.smoke.json, not the
 # committed file); --check fails CI when the committed
