@@ -235,6 +235,69 @@ pub fn check_outcome(
     Some(Violation::new(RULE, label, detail))
 }
 
+/// Replay the executable corpus single-threaded with per-node tracing
+/// and audit the batched executor's accounting identities (rule
+/// `exec-accounting`): per-node I/O windows sum to the whole-query
+/// delta, RSI-call and page-fetch sums match component-wise, root row
+/// counts equal delivered rows, and no scan leaf emits more rows than
+/// the RSI calls charged to it. Lives here because it reuses the live
+/// fig1/chain databases the concurrent rule builds. The identities are
+/// global-counter deltas, so this must run without concurrent sessions.
+pub fn audit_exec_accounting(config: OptimizerConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    let (fig1, chain) = match (build_fig1(), build_chain()) {
+        (Ok(f), Ok(c)) => (f, c),
+        (Err(e), _) | (_, Err(e)) => {
+            report.push(Violation::new("exec-accounting", "build", e));
+            return report;
+        }
+    };
+    let mut executed = 0usize;
+    for case in builtin_cases() {
+        let (st, cat) = if case.label.starts_with("chain/") {
+            (&chain.0, &chain.1)
+        } else {
+            (&fig1.0, &fig1.1)
+        };
+        let Ok(stmt) = parse_select(&case.sql) else { continue };
+        let Ok(plan) =
+            Optimizer::with_config(cat, OptimizerConfig { threads: 1, ..config }).optimize(&stmt)
+        else {
+            continue;
+        };
+        let mut env = ExecEnv::with_tracer(st, cat);
+        let start = st.io_stats();
+        let Ok(result) = execute(&env, &plan) else { continue };
+        let delta = st.io_stats().since(&start);
+        let measurements = env.take_measurements();
+        executed += 1;
+        report.merge(crate::invariants::audit_measurements(
+            &measurements,
+            plan.total_nodes(),
+            &delta,
+            &case.label,
+        ));
+        report.merge(crate::invariants::audit_exec_identities(
+            &measurements,
+            &plan,
+            result.rows.len() as u64,
+            &delta,
+            &case.label,
+        ));
+    }
+    report.checks += 1;
+    if executed < MIN_EXECUTED {
+        report.push(Violation::new(
+            "exec-accounting",
+            "corpus coverage",
+            format!(
+                "only {executed} corpus queries traced; need ≥ {MIN_EXECUTED} to be non-vacuous"
+            ),
+        ));
+    }
+    report
+}
+
 /// Run the rule: baseline every builtin corpus query single-threaded,
 /// then require `THREADS` concurrent sessions to reproduce every
 /// outcome bit-identically against the *same shared* storage.

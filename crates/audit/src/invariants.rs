@@ -787,3 +787,92 @@ pub fn audit_measurements(
     }
     report
 }
+
+/// Pre-order node ids of the scan leaves in `expr`, using the same
+/// numbering as the tracer (node, then outer subtree, then inner).
+fn scan_node_ids(expr: &PlanExpr, next: &mut usize, out: &mut Vec<usize>) {
+    let id = *next;
+    *next += 1;
+    match &expr.node {
+        PlanNode::Scan(_) => out.push(id),
+        PlanNode::NestedLoop { outer, inner } | PlanNode::Merge { outer, inner, .. } => {
+            scan_node_ids(outer, next, out);
+            scan_node_ids(inner, next, out);
+        }
+        PlanNode::Sort { input, .. } => scan_node_ids(input, next, out),
+    }
+}
+
+/// Audit the batched executor's row/fetch identities on a traced run —
+/// the properties `next_batch` must preserve versus tuple-at-a-time
+/// execution (`exec-accounting` rule, see DESIGN.md §13):
+///
+/// * **row count** — the root node's measured rows equal the delivered
+///   result rows (checked only when no aggregation/DISTINCT collapses
+///   rows above the plan tree);
+/// * **fetch sum** — per-node RSI calls and page fetches each sum to the
+///   whole-query delta (the component form of the `EXPLAIN ANALYZE`
+///   identity: a batch must charge per *returned tuple*, never per
+///   batch);
+/// * **scan discipline** — no scan leaf of the main block emits more
+///   rows than RSI calls charged to its own window (residual predicates
+///   can only narrow a batch).
+pub fn audit_exec_identities(
+    measurements: &HashMap<usize, NodeMeasurement>,
+    plan: &QueryPlan,
+    result_rows: u64,
+    delta: &IoStats,
+    label: &str,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    let q = &plan.query;
+    if !q.aggregated && !q.distinct {
+        report.checks += 1;
+        let root_rows = measurements.get(&0).map_or(0, |m| m.rows);
+        if root_rows != result_rows {
+            report.push(Violation::new(
+                "exec-accounting",
+                label.to_string(),
+                format!("root node produced {root_rows} rows but {result_rows} were delivered"),
+            ));
+        }
+    }
+    report.checks += 2;
+    let rsi_sum: u64 = measurements.values().map(|m| m.io.rsi_calls).sum();
+    if rsi_sum != delta.rsi_calls {
+        report.push(Violation::new(
+            "exec-accounting",
+            label.to_string(),
+            format!("per-node RSI calls sum to {rsi_sum}, whole-query delta {}", delta.rsi_calls),
+        ));
+    }
+    let fetch_sum: u64 = measurements.values().map(|m| m.io.page_fetches()).sum();
+    if fetch_sum != delta.page_fetches() {
+        report.push(Violation::new(
+            "exec-accounting",
+            label.to_string(),
+            format!(
+                "per-node page fetches sum to {fetch_sum}, whole-query delta {}",
+                delta.page_fetches()
+            ),
+        ));
+    }
+    let mut scans = Vec::new();
+    scan_node_ids(&plan.root, &mut 0, &mut scans);
+    for id in scans {
+        report.checks += 1;
+        if let Some(m) = measurements.get(&id) {
+            if m.rows > m.io.rsi_calls {
+                report.push(Violation::new(
+                    "exec-accounting",
+                    format!("{label}/node#{id}"),
+                    format!(
+                        "scan emitted {} rows but charged only {} RSI calls",
+                        m.rows, m.io.rsi_calls
+                    ),
+                ));
+            }
+        }
+    }
+    report
+}

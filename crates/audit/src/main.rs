@@ -6,6 +6,7 @@
 //! sysr-audit --diff              # DP-vs-exhaustive oracle + sampled 5-6-way orders
 //! sysr-audit --parallel          # threads>1 search must be bit-identical to threads=1
 //! sysr-audit --concurrent        # 8-thread serving must match single-thread plans + rows
+//! sysr-audit --exec              # traced corpus replay: batched-executor accounting identities
 //! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
 //! sysr-audit --model             # bounded schedule exploration of the RSS latches
@@ -31,6 +32,7 @@ struct Options {
     diff: bool,
     parallel: bool,
     concurrent: bool,
+    exec: bool,
     recovery: bool,
     lint: bool,
     model: bool,
@@ -46,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         diff: false,
         parallel: false,
         concurrent: false,
+        exec: false,
         recovery: false,
         lint: false,
         model: false,
@@ -62,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.diff = true;
                 opts.parallel = true;
                 opts.concurrent = true;
+                opts.exec = true;
                 opts.recovery = true;
                 opts.lint = true;
                 opts.model = true;
@@ -70,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--diff" => opts.diff = true,
             "--parallel" => opts.parallel = true,
             "--concurrent" => opts.concurrent = true,
+            "--exec" => opts.exec = true,
             "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
             "--model" => opts.model = true,
@@ -98,12 +103,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         || opts.diff
         || opts.parallel
         || opts.concurrent
+        || opts.exec
         || opts.recovery
         || opts.lint
         || opts.model)
     {
         return Err("pick at least one of --all / --plans / --diff / --parallel / --concurrent / \
-             --recovery / --lint / --model"
+             --exec / --recovery / --lint / --model"
             .into());
     }
     Ok(opts)
@@ -146,7 +152,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--recovery|--lint|--model] [--mutant NAME] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--exec|--recovery|--lint|--model] [--mutant NAME] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
@@ -178,6 +184,11 @@ fn main() -> ExitCode {
     if opts.concurrent {
         let r = sysr_audit::concurrent::audit_concurrent(config);
         println!("concurrent: {} checks, {} violations", r.checks, r.violations.len());
+        report.merge(r);
+    }
+    if opts.exec {
+        let r = sysr_audit::concurrent::audit_exec_accounting(config);
+        println!("exec-accounting: {} checks, {} violations", r.checks, r.violations.len());
         report.merge(r);
     }
     if opts.recovery {

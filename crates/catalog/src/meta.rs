@@ -165,8 +165,7 @@ impl Catalog {
         let upper = name.to_ascii_uppercase();
         self.rel_by_name
             .get(&upper)
-            // audit:allow(no-index) — rel_by_name stores indices into `relations`
-            .map(|&id| &self.relations[id as usize])
+            .and_then(|&id| self.relations.get(id as usize))
             .ok_or(CatalogError::UnknownRelation(upper))
     }
 

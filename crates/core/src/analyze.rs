@@ -74,8 +74,7 @@ impl QueryPlan {
     pub fn subplan_base(&self, own_base: usize, i: usize) -> usize {
         own_base
             + self.root.node_count()
-            // audit:allow(no-index) — i is a subplan id issued by this plan
-            + self.subplans[..i].iter().map(|s| s.total_nodes()).sum::<usize>()
+            + self.subplans.iter().take(i).map(|s| s.total_nodes()).sum::<usize>()
     }
 
     /// Render the predicted-vs-measured report: the `EXPLAIN` tree with

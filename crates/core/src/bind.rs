@@ -110,8 +110,8 @@ fn bind_block_inner<'a>(
             // back to — it can only be evaluated once those tables'
             // candidate tuples are present.
             expr.visit_subqueries(&mut |i| {
-                // audit:allow(no-index) — visitor yields ids of this block's own subqueries
-                for t in tables_referenced_at_level(&ctx.subqueries[i].query, 1) {
+                let Some(sub) = ctx.subqueries.get(i) else { return };
+                for t in tables_referenced_at_level(&sub.query, 1) {
                     tables.insert(t);
                 }
             });
@@ -259,12 +259,12 @@ impl<'a, 'b> BlockCtx<'a, 'b> {
                         continue;
                     }
                 }
-                if let Some(cno) = rel.column_position(&column) {
+                let at = rel.column_position(&column);
+                if let Some((cno, meta)) = at.and_then(|c| Some((c, rel.columns.get(c)?))) {
                     if found.is_some() {
                         return Err(BindError::AmbiguousColumn(format!("{cref}")));
                     }
-                    // audit:allow(no-index) — column_position returned cno for this rel
-                    found = Some((ColId::new(tno, cno), rel.columns[cno].ty));
+                    found = Some((ColId::new(tno, cno), meta.ty));
                 }
             }
             if let Some((col, ty)) = found {

@@ -66,10 +66,12 @@ impl KeyInterner {
         self.head = self.keys.iter().map(|k| k.first().copied()).collect();
     }
 
-    /// The key for an id.
+    /// The key for an id. Ids are dense integers this interner issued, so
+    /// a lookup can only miss on a foreign id; that decodes to the empty
+    /// key (= "no usable order") rather than panicking.
     pub fn get(&self, id: KeyId) -> &OrderKey {
-        // audit:allow(no-index) — KeyIds are indices issued by this interner
-        &self.keys[id as usize]
+        static EMPTY: OrderKey = OrderKey::new();
+        self.keys.get(id as usize).unwrap_or(&EMPTY)
     }
 
     /// Number of interned keys (= solution slots per subset).
@@ -83,16 +85,18 @@ impl KeyInterner {
     }
 
     /// Whether the key satisfies the block's required order (frozen).
+    /// A foreign id — or a query before [`KeyInterner::freeze`] — answers
+    /// `false`: the conservative direction, which at worst makes the
+    /// search add a redundant sort, never claim an order it cannot prove.
     pub fn satisfies_required(&self, id: KeyId) -> bool {
-        // audit:allow(no-index) — KeyIds are indices issued by this interner
-        self.satisfies_required[id as usize]
+        self.satisfies_required.get(id as usize).copied().unwrap_or(false)
     }
 
     /// Whether the key's leading class is the class of `col` — the merge
-    /// join "already ordered on the join column" test (frozen).
+    /// join "already ordered on the join column" test (frozen). As with
+    /// [`KeyInterner::satisfies_required`], an unknown id answers `false`.
     pub fn leads_with(&self, id: KeyId, class_of_col: Option<usize>) -> bool {
-        // audit:allow(no-index) — KeyIds are indices issued by this interner
-        match (self.head[id as usize], class_of_col) {
+        match (self.head.get(id as usize).copied().flatten(), class_of_col) {
             (Some(k), Some(c)) => k == c,
             _ => false,
         }

@@ -254,7 +254,10 @@ pub fn execute_block_at(
 
 /// Grouped / aggregated output path.
 fn aggregate_output(rt: &mut BlockRt<'_>, mut rows: Vec<Row>) -> ExecResult<Vec<Tuple>> {
-    let q = &rt.plan.query;
+    // Copy the plan reference out of `rt` so select expressions can be
+    // borrowed while `rt` is mutably lent to evaluation.
+    let plan = rt.plan;
+    let q = &plan.query;
     let group_keys: Vec<(ColId, bool)> = q.group_by.iter().map(|&c| (c, false)).collect();
     if !group_keys.is_empty() && !rows_sorted(&rows, &group_keys) {
         // The plan normally delivers GROUP BY order (interesting order or
@@ -289,10 +292,9 @@ fn aggregate_output(rt: &mut BlockRt<'_>, mut rows: Vec<Row>) -> ExecResult<Vec<
     }
 
     let mut out = Vec::with_capacity(group_list.len());
-    let selects = q.select.clone();
     for group in group_list {
-        let mut values = Vec::with_capacity(selects.len());
-        for (_, e) in &selects {
+        let mut values = Vec::with_capacity(q.select.len());
+        for (_, e) in &q.select {
             values.push(eval_grouped_sexpr(rt, group, e)?);
         }
         out.push(Tuple::new(values));

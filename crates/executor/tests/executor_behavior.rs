@@ -198,6 +198,26 @@ fn nested_loop_rebinds_probe_each_outer_row() {
 }
 
 #[test]
+fn nested_loop_probe_spans_multiple_batches() {
+    // Each probe of the inner index returns 3000 matching tuples — three
+    // NEXT batches (MAX_BATCH = 1024). A probe must keep draining until
+    // the *empty* batch, not stop at the first short one.
+    let mut db = Db::new();
+    db.table("S", vec![("K", ColType::Int)], vec![tuple![5], tuple![9]]);
+    let big = db.table(
+        "B",
+        vec![("K", ColType::Int), ("V", ColType::Int)],
+        (0..6000).map(|i| tuple![if i % 2 == 0 { 5 } else { 9 }, i]).collect(),
+    );
+    db.index("B_K", big, vec![0], false);
+    db.analyze();
+    let (rows, explain) =
+        db.run_with("SELECT B.V FROM S, B WHERE S.K = B.K", OptimizerConfig::default());
+    assert!(explain.contains("NESTED LOOP"), "{explain}");
+    assert_eq!(rows.len(), 6000, "3000 matches per outer row, two outer rows");
+}
+
+#[test]
 fn distinct_on_projected_expressions() {
     let mut db = Db::new();
     db.table("A", vec![("K", ColType::Int)], (0..50).map(|i| tuple![i]).collect());
@@ -256,6 +276,73 @@ fn index_only_plan_shape_observed() {
     assert!(explain.contains("INDEX-ONLY"), "{explain}");
     assert_eq!(ints(&rows, 0), (0..100).collect::<Vec<_>>());
     assert_eq!(db.storage.io_stats().data_page_fetches, 0);
+}
+
+#[test]
+fn sort_read_back_error_destroys_temp_list() {
+    // A sort whose temp-list read-back hits an I/O error must still
+    // destroy the list (the scope guard runs on the error path too):
+    // at quiescence created == destroyed, i.e. nothing leaked.
+    use sysr_rss::FaultBackend;
+    let mut db = Db {
+        // Fail every temp-page read after the first two succeed. The
+        // 16-page pool is far smaller than the sort's temp list, so the
+        // read-back must go to the backend and trips the fault.
+        storage: Storage::with_backend(16, Box::new(FaultBackend::failing_temp_reads_after(2))),
+        catalog: Catalog::new(),
+    };
+    db.table(
+        "A",
+        vec![("K", ColType::Int), ("PAD", ColType::Str)],
+        (0..2000).map(|i| tuple![(i * 7919) % 2000, format!("p{i:040}")]).collect(),
+    );
+    db.analyze();
+    let Statement::Select(stmt) = parse_statement("SELECT K FROM A ORDER BY K").unwrap() else {
+        panic!()
+    };
+    let bound = bind_select(&db.catalog, &stmt).unwrap();
+    let optimizer = Optimizer::with_config(&db.catalog, OptimizerConfig::default());
+    let plan = optimizer.optimize_bound(&bound);
+    let env = ExecEnv::new(&db.storage, &db.catalog);
+    let err = execute(&env, &plan).unwrap_err();
+    assert!(format!("{err}").contains("injected temp read fault"), "{err}");
+    let io = db.storage.io_stats();
+    assert!(io.temp_lists_created > 0, "the sort must have materialized a list: {io}");
+    assert_eq!(io.temp_lists_leaked(), 0, "error path leaked a temp list: {io}");
+}
+
+#[test]
+fn index_only_scan_over_missing_relation_is_an_error() {
+    // Plan an index-only scan against the real catalog, then execute it
+    // against an empty one (a stale cached plan after a drop). The
+    // executor needs the relation's true arity to widen key tuples; it
+    // must fail loudly rather than guess the key width and build short
+    // tuples whose non-key columns silently vanish.
+    let mut db = Db::new();
+    let a = db.table(
+        "A",
+        vec![("K", ColType::Int), ("PAD", ColType::Str)],
+        (0..3000).map(|i| tuple![i, format!("p{i:050}")]).collect(),
+    );
+    db.index("A_K", a, vec![0], true);
+    db.analyze();
+    let config = OptimizerConfig { index_only_scans: true, ..OptimizerConfig::default() };
+    let Statement::Select(stmt) =
+        parse_statement("SELECT K FROM A WHERE K < 100 ORDER BY K").unwrap()
+    else {
+        panic!()
+    };
+    let bound = bind_select(&db.catalog, &stmt).unwrap();
+    let optimizer = Optimizer::with_config(&db.catalog, config);
+    let plan = optimizer.optimize_bound(&bound);
+    assert!(plan.explain(&db.catalog).contains("INDEX-ONLY"));
+    let empty = Catalog::new();
+    let env = ExecEnv::new(&db.storage, &empty);
+    let err = execute(&env, &plan).unwrap_err();
+    assert!(
+        format!("{err}").contains("index-only scan over unknown relation"),
+        "expected an arity-resolution error, got: {err}"
+    );
 }
 
 #[test]

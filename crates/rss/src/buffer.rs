@@ -73,6 +73,13 @@ pub struct IoStats {
     /// Pages physically written to the backing store: write-around writes
     /// plus dirty-frame write-backs at eviction or flush.
     pub backend_writes: u64,
+    /// Temporary lists materialized. Monotonic, paired with
+    /// `temp_lists_destroyed`: at quiescence the difference is the number
+    /// of *leaked* lists still pinning buffer frames — tests assert it is
+    /// zero even on error exits from operators that spill.
+    pub temp_lists_created: u64,
+    /// Temporary lists destroyed (their pages dropped from the pool).
+    pub temp_lists_destroyed: u64,
 }
 
 impl IoStats {
@@ -108,7 +115,17 @@ impl IoStats {
             rsi_calls: self.rsi_calls.saturating_sub(start.rsi_calls),
             backend_reads: self.backend_reads.saturating_sub(start.backend_reads),
             backend_writes: self.backend_writes.saturating_sub(start.backend_writes),
+            temp_lists_created: self.temp_lists_created.saturating_sub(start.temp_lists_created),
+            temp_lists_destroyed: self
+                .temp_lists_destroyed
+                .saturating_sub(start.temp_lists_destroyed),
         }
+    }
+
+    /// Temporary lists created but never destroyed — buffer frames still
+    /// pinned by scratch data. Zero in a leak-free execution window.
+    pub fn temp_lists_leaked(&self) -> u64 {
+        self.temp_lists_created.saturating_sub(self.temp_lists_destroyed)
     }
 }
 
@@ -125,6 +142,8 @@ impl std::ops::Add for IoStats {
             rsi_calls: self.rsi_calls + rhs.rsi_calls,
             backend_reads: self.backend_reads + rhs.backend_reads,
             backend_writes: self.backend_writes + rhs.backend_writes,
+            temp_lists_created: self.temp_lists_created + rhs.temp_lists_created,
+            temp_lists_destroyed: self.temp_lists_destroyed + rhs.temp_lists_destroyed,
         }
     }
 }

@@ -17,8 +17,10 @@
 //! decoded from page bytes.
 
 use crate::error::{RssError, RssResult};
+use crate::sarg::{SargList, SargPred};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::cmp::Ordering;
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -118,6 +120,219 @@ pub fn decode_tuple(bytes: &[u8]) -> RssResult<Tuple> {
     Ok(Tuple::new(values))
 }
 
+/// A borrowed view of one encoded column value. Lets SARGs compare
+/// against page bytes without allocating a [`Value`] (the `Str` arm is
+/// the expensive one: a `String` per column per visited slot).
+enum ValueRef<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+}
+
+impl ValueRef<'_> {
+    fn kind_rank(&self) -> u8 {
+        match self {
+            ValueRef::Null => 0,
+            ValueRef::Int(_) | ValueRef::Float(_) => 1,
+            ValueRef::Str(_) => 2,
+        }
+    }
+
+    fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Mirror of [`Value::cmp`] with a borrowed left side: NULL first,
+    /// numbers compare across the Int/Float divide, NaN via `total_cmp`.
+    fn cmp_value(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (ValueRef::Null, Value::Null) => Ordering::Equal,
+            (ValueRef::Int(a), Value::Int(b)) => a.cmp(b),
+            (ValueRef::Str(a), Value::Str(b)) => (*a).cmp(b.as_str()),
+            (ValueRef::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (ValueRef::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (ValueRef::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => {
+                let other_rank = match other {
+                    Value::Null => 0u8,
+                    Value::Int(_) | Value::Float(_) => 1,
+                    Value::Str(_) => 2,
+                };
+                self.kind_rank().cmp(&other_rank)
+            }
+        }
+    }
+}
+
+/// Decode one value as a borrowed view from a cursor positioned at its
+/// tag byte. Validates exactly what [`decode_value`] validates.
+fn decode_value_ref<'a>(cursor: &mut Cursor<'a>) -> RssResult<ValueRef<'a>> {
+    let tag = cursor.u8()?;
+    Ok(match tag {
+        TAG_NULL => ValueRef::Null,
+        TAG_INT => ValueRef::Int(i64::from_le_bytes(cursor.array::<8>()?)),
+        TAG_FLOAT => ValueRef::Float(f64::from_bits(u64::from_le_bytes(cursor.array::<8>()?))),
+        TAG_STR => {
+            let len = cursor.u16()? as usize;
+            let raw = cursor.slice(len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| RssError::Corrupt("invalid utf-8 in string column".into()))?;
+            ValueRef::Str(s)
+        }
+        t => return Err(RssError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+/// Skip one encoded value without materializing or validating its
+/// payload (a string's bytes are length-skipped, not UTF-8 checked —
+/// [`decode_tuple`] performs the full check on every tuple that is
+/// actually returned).
+fn skip_value(cursor: &mut Cursor<'_>) -> RssResult<()> {
+    let tag = cursor.u8()?;
+    match tag {
+        TAG_NULL => {}
+        TAG_INT | TAG_FLOAT => {
+            cursor.slice(8)?;
+        }
+        TAG_STR => {
+            let len = cursor.u16()? as usize;
+            cursor.slice(len)?;
+        }
+        t => return Err(RssError::Corrupt(format!("unknown value tag {t}"))),
+    }
+    Ok(())
+}
+
+/// SARG evaluation directly over an encoded tuple image.
+///
+/// A scan owns one of these and reuses it across slots: `matches` walks
+/// the encoding **lazily** — only up to the highest column any predicate
+/// references, skipping (not validating) the payloads of columns the
+/// DNF never reads — records each needed column's offset in a reusable
+/// scratch vector, then evaluates the DNF against borrowed views.
+/// Rejected tuples are never materialized, and their unreferenced
+/// suffix bytes are never even walked; that is the batch executor's
+/// main CPU saving on selective scans. Every *accepted* tuple still
+/// goes through [`decode_tuple`]'s full structural/UTF-8/trailing-bytes
+/// validation before it crosses the RSI, so returned data is exactly as
+/// checked as before; only corruption confined to tuples a SARG rejects
+/// can go unreported.
+#[derive(Default)]
+pub(crate) struct EncodedEval {
+    /// Scratch: offset of column i's tag byte in the current image.
+    offsets: Vec<u32>,
+    /// Columns the walk must cover: 1 + the highest column referenced by
+    /// any predicate (0 for a trivial SARG list).
+    ncols_needed: usize,
+    /// When the whole DNF is one single-predicate factor — the shape of
+    /// every join-probe SARG — `matches` skips straight to that column
+    /// and compares once, with no offset table. This is the hottest
+    /// instruction path of a nested-loop inner scan.
+    single: Option<SargPred>,
+}
+
+impl EncodedEval {
+    /// Build the evaluator for a fixed SARG list (the scan's own).
+    pub(crate) fn for_sargs(sargs: &SargList) -> Self {
+        let ncols_needed = sargs
+            .factors
+            .iter()
+            .flat_map(|f| f.disjuncts.iter())
+            .flatten()
+            .map(|p| p.col + 1)
+            .max()
+            .unwrap_or(0);
+        let single = match sargs.factors.as_slice() {
+            [f] => match f.disjuncts.as_slice() {
+                [conj] => match conj.as_slice() {
+                    [pred] => Some(pred.clone()),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        };
+        EncodedEval { offsets: Vec::new(), ncols_needed, single }
+    }
+
+    /// Whether the encoded tuple satisfies every factor of `sargs`
+    /// (which must be the list this evaluator was built for).
+    pub(crate) fn matches(&mut self, bytes: &[u8], sargs: &SargList) -> RssResult<bool> {
+        let mut cursor = Cursor::new(bytes);
+        let ncols = cursor.u16()? as usize;
+        if let Some(pred) = &self.single {
+            if pred.col >= ncols || pred.value.is_null() {
+                return Ok(false);
+            }
+            for _ in 0..pred.col {
+                skip_value(&mut cursor)?;
+            }
+            let left = decode_value_ref(&mut cursor)?;
+            if left.is_null() {
+                return Ok(false);
+            }
+            return Ok(op_holds(pred.op, left.cmp_value(&pred.value)));
+        }
+        let need = self.ncols_needed.min(ncols);
+        self.offsets.clear();
+        for _ in 0..need {
+            self.offsets.push(cursor.pos as u32);
+            skip_value(&mut cursor)?;
+        }
+        for factor in &sargs.factors {
+            if factor.disjuncts.is_empty() {
+                continue;
+            }
+            let mut any = false;
+            for conj in &factor.disjuncts {
+                let mut all = true;
+                for pred in conj {
+                    if !self.eval_pred(bytes, pred)? {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// One predicate against the walked image; out-of-range columns and
+    /// NULLs never satisfy, mirroring [`SargPred::eval`].
+    fn eval_pred(&self, bytes: &[u8], pred: &SargPred) -> RssResult<bool> {
+        let Some(&off) = self.offsets.get(pred.col) else {
+            return Ok(false);
+        };
+        let mut cursor = Cursor::new(bytes);
+        cursor.pos = off as usize;
+        let left = decode_value_ref(&mut cursor)?;
+        if left.is_null() || pred.value.is_null() {
+            return Ok(false);
+        }
+        Ok(op_holds(pred.op, left.cmp_value(&pred.value)))
+    }
+}
+
+/// Whether a comparison outcome satisfies an operator.
+fn op_holds(op: crate::sarg::CompareOp, ord: Ordering) -> bool {
+    match op {
+        crate::sarg::CompareOp::Eq => ord.is_eq(),
+        crate::sarg::CompareOp::Ne => ord.is_ne(),
+        crate::sarg::CompareOp::Lt => ord.is_lt(),
+        crate::sarg::CompareOp::Le => ord.is_le(),
+        crate::sarg::CompareOp::Gt => ord.is_gt(),
+        crate::sarg::CompareOp::Ge => ord.is_ge(),
+    }
+}
+
 /// Bounds-checked reader over a byte slice; every overrun is a
 /// [`RssError::Corrupt`], never a panic.
 pub(crate) struct Cursor<'a> {
@@ -131,12 +346,12 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn slice(&mut self, n: usize) -> RssResult<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
-            return Err(RssError::Corrupt("truncated tuple bytes".into()));
-        }
-        // audit:allow(no-index) — the truncation check above bounds pos + n
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.saturating_add(n);
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| RssError::Corrupt("truncated tuple bytes".into()))?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -224,6 +439,72 @@ mod tests {
                 )
             }
         }
+    }
+
+    #[test]
+    fn prop_encoded_eval_matches_decoded_eval() {
+        use crate::sarg::{CompareOp, SargExpr, SargList};
+        let mut rng = SplitMix64::new(0xC0DE_0002);
+        let ops = [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ];
+        for case in 0..1024u64 {
+            let n_values = rng.below(6) as usize;
+            let t = Tuple::new((0..n_values).map(|_| arb_value(&mut rng)).collect());
+            let bytes = tuple_bytes(&t);
+            // Random DNF over random columns (sometimes out of range) and
+            // random comparison values, including NULLs.
+            let n_factors = rng.below(3) as usize;
+            let factors: Vec<SargExpr> = (0..n_factors)
+                .map(|_| SargExpr {
+                    disjuncts: (0..rng.below(3) as usize)
+                        .map(|_| {
+                            (0..1 + rng.below(2) as usize)
+                                .map(|_| SargPred {
+                                    col: rng.below(7) as usize,
+                                    op: ops[rng.below(6) as usize],
+                                    value: arb_value(&mut rng),
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect();
+            let sargs = SargList { factors };
+            let mut eval = EncodedEval::for_sargs(&sargs);
+            assert_eq!(
+                eval.matches(&bytes, &sargs).unwrap(),
+                sargs.eval(&t),
+                "case {case}: sargs {sargs:?} on {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_eval_rejects_corrupt_referenced_prefix() {
+        use crate::sarg::{CompareOp, SargExpr, SargList};
+        let t = tuple!["SMITH", 1];
+        let bytes = tuple_bytes(&t);
+        // Predicate on column 1: the walk must cover columns 0..=1, so
+        // truncation inside that prefix errors regardless of the SARG
+        // outcome...
+        let sargs: SargList = SargExpr::single(SargPred::new(1, CompareOp::Eq, 999i64)).into();
+        let mut eval = EncodedEval::for_sargs(&sargs);
+        assert!(!eval.matches(&bytes, &sargs).unwrap());
+        assert!(eval.matches(&bytes[..bytes.len() - 1], &sargs).is_err());
+        // ...while corruption *past* the referenced prefix is left to
+        // `decode_tuple`, which only runs for accepted tuples: the lazy
+        // walk neither validates nor reads the unreferenced suffix.
+        let sargs0: SargList = SargExpr::single(SargPred::new(0, CompareOp::Eq, "NOBODY")).into();
+        let mut eval0 = EncodedEval::for_sargs(&sargs0);
+        let mut garbled = bytes.clone();
+        garbled.push(0xFF);
+        assert!(!eval0.matches(&garbled, &sargs0).unwrap());
     }
 
     #[test]

@@ -52,15 +52,15 @@ pub use btree::{BTreeConfig, BTreeIndex, IndexId};
 pub use buffer::{BufferPool, FileId, IoStats, PageKey};
 pub use error::{RssError, RssResult};
 pub use page::{Page, PAGE_HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
-pub use pagefile::{DirBackend, MemBackend, PageBackend};
+pub use pagefile::{DirBackend, FaultBackend, MemBackend, PageBackend};
 pub use plancache::{VersionedCache, PLAN_CACHE_CAP};
 pub use prng::SplitMix64;
 pub use rid::Rid;
 pub use sarg::{CompareOp, SargExpr, SargList, SargPred};
-pub use scan::{IndexScan, RsiScan, SegmentScan};
+pub use scan::{Batch, IndexScan, RsiScan, SegmentScan, MAX_BATCH};
 pub use segment::{Segment, SegmentId};
 pub use sharded::{ShardedBufferPool, SharedBackend};
 pub use storage::Storage;
-pub use temp::TempList;
+pub use temp::{TempGuard, TempList};
 pub use tuple::Tuple;
 pub use value::{ColType, Value};

@@ -133,8 +133,9 @@ impl PageBackend for MemBackend {
         while pages.len() <= key.page as usize {
             pages.push(Box::new([0u8; PAGE_SIZE]));
         }
-        // audit:allow(no-index) — the loop above grows `pages` past key.page
-        pages[key.page as usize].copy_from_slice(bytes);
+        if let Some(page) = pages.get_mut(key.page as usize) {
+            page.copy_from_slice(bytes);
+        }
         Ok(())
     }
 
@@ -150,6 +151,52 @@ impl PageBackend for MemBackend {
 
     fn sync(&mut self) -> RssResult<()> {
         Ok(())
+    }
+}
+
+/// Fault-injecting wrapper over [`MemBackend`]: after `budget` successful
+/// reads of temp-file pages, every further temp read fails with an I/O
+/// error. Data and index files are never failed. Used by tests that prove
+/// error paths release their resources (e.g. that an aborted sort
+/// read-back still destroys its temp list).
+#[derive(Debug)]
+pub struct FaultBackend {
+    inner: MemBackend,
+    temp_reads_left: u64,
+}
+
+impl FaultBackend {
+    /// Fail temp-page reads after the first `budget` succeed.
+    pub fn failing_temp_reads_after(budget: u64) -> Self {
+        FaultBackend { inner: MemBackend::new(), temp_reads_left: budget }
+    }
+}
+
+impl PageBackend for FaultBackend {
+    fn read_page(&mut self, key: PageKey, buf: &mut [u8; PAGE_SIZE]) -> RssResult<()> {
+        if matches!(key.file, FileId::Temp(_)) {
+            if self.temp_reads_left == 0 {
+                return Err(RssError::Io(format!("injected temp read fault at {key:?}")));
+            }
+            self.temp_reads_left -= 1;
+        }
+        self.inner.read_page(key, buf)
+    }
+
+    fn write_page(&mut self, key: PageKey, bytes: &[u8; PAGE_SIZE]) -> RssResult<()> {
+        self.inner.write_page(key, bytes)
+    }
+
+    fn page_count(&mut self, file: FileId) -> RssResult<u32> {
+        self.inner.page_count(file)
+    }
+
+    fn files(&mut self) -> RssResult<Vec<FileId>> {
+        self.inner.files()
+    }
+
+    fn sync(&mut self) -> RssResult<()> {
+        self.inner.sync()
     }
 }
 

@@ -62,10 +62,9 @@ impl SplitMix64 {
         self.f64() < p
     }
 
-    /// Pick one element of a non-empty slice.
-    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        // audit:allow(no-index) — range_usize(0, len) returns a value below len
-        &items[self.range_usize(0, items.len())]
+    /// Pick one element of a slice; `None` if it is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        items.get(self.range_usize(0, items.len()))
     }
 
     /// Fisher–Yates shuffle.

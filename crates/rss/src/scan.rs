@@ -27,10 +27,39 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::cmp::Ordering;
 
-/// A tuple-at-a-time scan: the RSI `NEXT` operation. Returns `(rid,
-/// tuple)` pairs until exhausted.
+/// Upper bound on tuples returned by one `next_batch` call.
+pub const MAX_BATCH: usize = 1024;
+
+/// A batch of `(rid, tuple)` pairs returned by one batched `NEXT`.
+pub type Batch = Vec<(Rid, Tuple)>;
+
+/// An RSS scan: the RSI `NEXT` operation. Returns `(rid, tuple)` pairs
+/// until exhausted, one at a time via [`RsiScan::next`] or many at a
+/// time via [`RsiScan::next_batch`].
+///
+/// Accounting is identical either way: each *returned* tuple costs one
+/// RSI call (never one per batch), and page touches happen in the same
+/// order — a batched drain and a tuple-at-a-time drain of the same scan
+/// produce the same [`crate::IoStats`].
 pub trait RsiScan {
     fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>>;
+
+    /// NEXT, batch form: up to `max.clamp(1, MAX_BATCH)` pairs. A batch
+    /// may come back short while the scan still has tuples; only an
+    /// **empty** batch means exhausted. The default implementation loops
+    /// [`RsiScan::next`], so external implementations keep working;
+    /// native implementations hoist per-call work out of the tuple loop.
+    fn next_batch(&mut self, max: usize) -> RssResult<Batch> {
+        let cap = max.clamp(1, MAX_BATCH);
+        let mut out: Batch = Vec::new();
+        while out.len() < cap {
+            match self.next()? {
+                Some(pair) => out.push(pair),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
 
     /// Drain the scan into a vector (convenience for tests and loaders).
     fn collect_all(&mut self) -> RssResult<Vec<Tuple>>
@@ -38,10 +67,13 @@ pub trait RsiScan {
         Self: Sized,
     {
         let mut out = Vec::new();
-        while let Some((_, t)) = self.next()? {
-            out.push(t);
+        loop {
+            let batch = self.next_batch(MAX_BATCH)?;
+            if batch.is_empty() {
+                return Ok(out);
+            }
+            out.extend(batch.into_iter().map(|(_, t)| t));
         }
-        Ok(out)
     }
 }
 
@@ -54,6 +86,16 @@ pub struct SegmentScan<'a> {
     page_no: u32,
     slot: u16,
     entered_page: bool,
+    /// Reusable scratch for SARG evaluation on encoded slot bytes:
+    /// rejected slots are never decoded into a [`Tuple`].
+    eval: crate::codec::EncodedEval,
+    /// Trivial SARGs accept everything; skip the encoded pre-pass and let
+    /// `decode_tuple` do the (identical) validation once.
+    sargs_trivial: bool,
+    /// Size of the previous batch: pre-sizing the next batch's vector to
+    /// it avoids the growth-realloc chain on full batches while keeping
+    /// selective probes (tiny batches) allocation-free.
+    batch_hint: usize,
 }
 
 impl<'a> SegmentScan<'a> {
@@ -64,24 +106,34 @@ impl<'a> SegmentScan<'a> {
         rel_id: u16,
         sargs: impl Into<SargList>,
     ) -> Self {
+        let sargs = sargs.into();
+        let sargs_trivial = sargs.is_trivial();
+        let eval = crate::codec::EncodedEval::for_sargs(&sargs);
         SegmentScan {
             storage,
             seg,
             rel_id,
-            sargs: sargs.into(),
+            sargs,
             page_no: 0,
             slot: 0,
             entered_page: false,
+            eval,
+            sargs_trivial,
+            batch_hint: 0,
         }
     }
-}
 
-impl RsiScan for SegmentScan<'_> {
-    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+    /// Walk pages and slots, pushing up to `cap` matching tuples into
+    /// `out`. The RSI-call count is **not** recorded here — callers
+    /// charge one call per pushed tuple. Touch accounting is independent
+    /// of `cap`: a page is touched once when the walk first enters it,
+    /// whether its slots match or not, and a batch boundary mid-page
+    /// does not re-touch on resume.
+    fn fill(&mut self, cap: usize, out: &mut Batch) -> RssResult<()> {
         let segment = self.storage.segment(self.seg)?;
         loop {
             let Some(page) = segment.page(self.page_no) else {
-                return Ok(None);
+                return Ok(());
             };
             if page.is_empty() {
                 // Empty pages are skipped via the segment's space map; only
@@ -95,17 +147,20 @@ impl RsiScan for SegmentScan<'_> {
                 self.storage.touch(PageKey::new(FileId::Segment(self.seg), self.page_no))?;
                 self.entered_page = true;
             }
-            while self.slot < page.slot_count() {
+            let nslots = page.slot_count();
+            while self.slot < nslots {
+                if out.len() >= cap {
+                    return Ok(());
+                }
                 let slot = self.slot;
                 self.slot += 1;
                 if let Some((rel, bytes)) = page.get(slot) {
                     if rel != self.rel_id {
                         continue;
                     }
-                    let tuple = crate::codec::decode_tuple(bytes)?;
-                    if self.sargs.eval(&tuple) {
-                        self.storage.record_rsi_call();
-                        return Ok(Some((Rid::new(self.page_no, slot), tuple)));
+                    if self.sargs_trivial || self.eval.matches(bytes, &self.sargs)? {
+                        let tuple = crate::codec::decode_tuple(bytes)?;
+                        out.push((Rid::new(self.page_no, slot), tuple));
                     }
                 }
             }
@@ -113,6 +168,29 @@ impl RsiScan for SegmentScan<'_> {
             self.slot = 0;
             self.entered_page = false;
         }
+    }
+}
+
+impl RsiScan for SegmentScan<'_> {
+    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+        let mut out: Batch = Vec::with_capacity(1);
+        self.fill(1, &mut out)?;
+        match out.pop() {
+            Some(pair) => {
+                self.storage.record_rsi_call();
+                Ok(Some(pair))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> RssResult<Batch> {
+        let cap = max.clamp(1, MAX_BATCH);
+        let mut out: Batch = Vec::with_capacity(self.batch_hint.min(cap));
+        self.fill(cap, &mut out)?;
+        self.batch_hint = out.len();
+        self.storage.record_rsi_calls(out.len() as u64);
+        Ok(out)
     }
 }
 
@@ -134,6 +212,8 @@ pub struct IndexScan<'a> {
     /// When false, the scan returns index entries without fetching the data
     /// tuple (used when every needed column is in the key — "index-only").
     fetch_data: bool,
+    /// See [`SegmentScan::batch_hint`].
+    batch_hint: usize,
 }
 
 impl<'a> IndexScan<'a> {
@@ -161,6 +241,7 @@ impl<'a> IndexScan<'a> {
             current_leaf: None,
             opened: false,
             fetch_data: true,
+            batch_hint: 0,
         }
     }
 
@@ -208,39 +289,67 @@ impl<'a> IndexScan<'a> {
             },
         }
     }
-}
 
-impl RsiScan for IndexScan<'_> {
-    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+    /// Advance the cursor, pushing up to `cap` matching tuples into
+    /// `out`. RSI calls are **not** recorded here — callers charge one
+    /// per pushed tuple. Leaf and data-page touches are per-entry work
+    /// and happen identically however the drain is chunked.
+    fn fill(&mut self, cap: usize, out: &mut Batch) -> RssResult<()> {
         if !self.opened {
             self.do_open()?;
         }
-        let entry = self.storage.index(self.index)?;
-        while let Some(pos) = self.cursor {
+        let storage = self.storage;
+        let entry = storage.index(self.index)?;
+        while out.len() < cap {
+            let Some(pos) = self.cursor else {
+                return Ok(());
+            };
             // Touch the leaf page when the scan moves onto it. A NEXT along
             // the chain touches each leaf exactly once.
             if self.current_leaf != Some(pos.leaf) {
-                self.storage.touch(PageKey::new(FileId::Index(self.index), pos.leaf))?;
+                storage.touch(PageKey::new(FileId::Index(self.index), pos.leaf))?;
                 self.current_leaf = Some(pos.leaf);
             }
             let (key, rid) = entry.tree.entry(pos)?;
             if self.past_stop(key) {
                 self.cursor = None;
-                return Ok(None);
+                return Ok(());
             }
-            let key_owned: Vec<Value> = key.to_vec();
+            let key_owned: Vec<Value> = if self.fetch_data { Vec::new() } else { key.to_vec() };
             self.cursor = entry.tree.next_pos(pos)?;
             let tuple = if self.fetch_data {
-                self.storage.fetch(entry.segment, entry.rel_id, rid)?
+                storage.fetch(entry.segment, entry.rel_id, rid)?
             } else {
                 Tuple::new(key_owned)
             };
             if self.sargs.eval(&tuple) {
-                self.storage.record_rsi_call();
-                return Ok(Some((rid, tuple)));
+                out.push((rid, tuple));
             }
         }
-        Ok(None)
+        Ok(())
+    }
+}
+
+impl RsiScan for IndexScan<'_> {
+    fn next(&mut self) -> RssResult<Option<(Rid, Tuple)>> {
+        let mut out: Batch = Vec::with_capacity(1);
+        self.fill(1, &mut out)?;
+        match out.pop() {
+            Some(pair) => {
+                self.storage.record_rsi_call();
+                Ok(Some(pair))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> RssResult<Batch> {
+        let cap = max.clamp(1, MAX_BATCH);
+        let mut out: Batch = Vec::with_capacity(self.batch_hint.min(cap));
+        self.fill(cap, &mut out)?;
+        self.batch_hint = out.len();
+        self.storage.record_rsi_calls(out.len() as u64);
+        Ok(out)
     }
 }
 
@@ -425,5 +534,151 @@ mod tests {
         let idx = st.create_index(seg, 1, vec![0], true).unwrap();
         let mut scan = IndexScan::open_eq(&st, idx, vec![Value::Int(999)], SargExpr::always_true());
         assert!(scan.next().unwrap().is_none());
+    }
+
+    /// Batch sizes of a full drain with `next_batch(MAX_BATCH)`.
+    fn drain_batch_sizes(scan: &mut impl RsiScan) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        loop {
+            let b = scan.next_batch(MAX_BATCH).unwrap();
+            if b.is_empty() {
+                return sizes;
+            }
+            sizes.push(b.len());
+        }
+    }
+
+    #[test]
+    fn segment_batches_at_max_batch_boundaries() {
+        // Relation sizes straddling the batch capacity: full batches come
+        // back at exactly MAX_BATCH; the remainder is a short batch; only
+        // the *empty* batch signals exhaustion (a short non-empty batch
+        // must not be treated as the end).
+        for (n, want) in [
+            (0usize, vec![]),
+            (1, vec![1]),
+            (1023, vec![1023]),
+            (1024, vec![1024]),
+            (1025, vec![1024, 1]),
+        ] {
+            let (st, seg) = setup(n as i64, n > 1);
+            st.reset_io_stats();
+            let mut scan = SegmentScan::open(&st, seg, 1, SargExpr::always_true());
+            assert_eq!(drain_batch_sizes(&mut scan), want, "n = {n}");
+            assert_eq!(st.io_stats().rsi_calls, n as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn index_batches_cover_boundary_sizes() {
+        // The index scan may cut batches at leaf boundaries, so only the
+        // totals are pinned: every tuple exactly once, one RSI call each,
+        // and exhaustion only via the empty batch.
+        for n in [1usize, 1023, 1024, 1025] {
+            let (mut st, seg) = setup(n as i64, n > 1);
+            let idx = st.create_index(seg, 1, vec![0], true).unwrap();
+            st.reset_io_stats();
+            let mut scan = IndexScan::open_full(&st, idx, SargExpr::always_true());
+            let sizes = drain_batch_sizes(&mut scan);
+            assert_eq!(sizes.iter().sum::<usize>(), n, "n = {n}");
+            assert!(sizes.iter().all(|&s| s > 0 && s <= MAX_BATCH));
+            assert_eq!(st.io_stats().rsi_calls, n as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sarg_rejecting_candidate_at_full_batch_boundary() {
+        // 1026 rows, SARG `id != 1023`: the 1024th match comes from *past*
+        // the rejected row, so the first batch crosses a rejection right
+        // at its tail. The reject must not end the batch early, eat the
+        // following tuple, or cost an RSI call.
+        let (st, seg) = setup(1026, false);
+        st.reset_io_stats();
+        let sarg = SargExpr::single(SargPred::new(0, CompareOp::Ne, 1023i64));
+        let mut scan = SegmentScan::open(&st, seg, 1, sarg);
+        let b1 = scan.next_batch(MAX_BATCH).unwrap();
+        assert_eq!(b1.len(), MAX_BATCH);
+        assert_eq!(b1.last().unwrap().1[0].as_int().unwrap(), 1024, "1023 skipped");
+        let b2 = scan.next_batch(MAX_BATCH).unwrap();
+        assert_eq!(b2.len(), 1);
+        assert_eq!(b2[0].1[0].as_int().unwrap(), 1025);
+        assert!(scan.next_batch(MAX_BATCH).unwrap().is_empty());
+        assert_eq!(st.io_stats().rsi_calls, 1025, "one call per returned tuple only");
+    }
+
+    #[test]
+    fn next_batch_is_equivalent_to_repeated_next() {
+        // Oracle: over seeded random relations and SARGs, a batched drain
+        // (random batch sizes) returns the same (rid, tuple) sequence with
+        // the same IoStats as a tuple-at-a-time drain.
+        use crate::prng::SplitMix64;
+        let mut rng = SplitMix64::new(0x5eed_cafe);
+        for case in 0..8 {
+            let n = 1 + (case * 397) % 2500;
+            let sarg = match case % 3 {
+                0 => SargExpr::always_true(),
+                1 => SargExpr::single(SargPred::new(2, CompareOp::Eq, (case % 10) as i64)),
+                _ => SargExpr::single(SargPred::new(0, CompareOp::Lt, (n / 2) as i64)),
+            };
+            // Two identical storages so accounting starts from the same
+            // cold buffer pool.
+            let (st_a, seg_a) = setup(n as i64, true);
+            let (st_b, seg_b) = setup(n as i64, true);
+            st_a.reset_io_stats();
+            st_b.reset_io_stats();
+
+            let mut one = SegmentScan::open(&st_a, seg_a, 1, sarg.clone());
+            let mut singles = Vec::new();
+            while let Some(pair) = one.next().unwrap() {
+                singles.push(pair);
+            }
+
+            let mut many = SegmentScan::open(&st_b, seg_b, 1, sarg);
+            let mut batched = Vec::new();
+            loop {
+                let max = 1 + rng.range_usize(0, MAX_BATCH);
+                let b = many.next_batch(max).unwrap();
+                if b.is_empty() {
+                    break;
+                }
+                batched.extend(b);
+            }
+
+            assert_eq!(singles, batched, "case {case}: same tuples in the same order");
+            assert_eq!(st_a.io_stats(), st_b.io_stats(), "case {case}: same accounting");
+        }
+    }
+
+    #[test]
+    fn index_next_batch_is_equivalent_to_repeated_next() {
+        let mut rng = crate::prng::SplitMix64::new(0xfeed_beef);
+        for case in 0..4 {
+            let n = 200 + case * 613;
+            let (mut st_a, seg_a) = setup(n as i64, true);
+            let (mut st_b, seg_b) = setup(n as i64, true);
+            let idx_a = st_a.create_index(seg_a, 1, vec![0], true).unwrap();
+            let idx_b = st_b.create_index(seg_b, 1, vec![0], true).unwrap();
+            st_a.reset_io_stats();
+            st_b.reset_io_stats();
+
+            let mut one = IndexScan::open_full(&st_a, idx_a, SargExpr::always_true());
+            let mut singles = Vec::new();
+            while let Some(pair) = one.next().unwrap() {
+                singles.push(pair);
+            }
+
+            let mut many = IndexScan::open_full(&st_b, idx_b, SargExpr::always_true());
+            let mut batched = Vec::new();
+            loop {
+                let b = many.next_batch(1 + rng.range_usize(0, MAX_BATCH)).unwrap();
+                if b.is_empty() {
+                    break;
+                }
+                batched.extend(b);
+            }
+
+            assert_eq!(singles, batched, "case {case}");
+            assert_eq!(st_a.io_stats(), st_b.io_stats(), "case {case}");
+        }
     }
 }

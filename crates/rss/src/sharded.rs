@@ -93,6 +93,8 @@ struct Counters {
     rsi_calls: AtomicU64,
     backend_reads: AtomicU64,
     backend_writes: AtomicU64,
+    temp_lists_created: AtomicU64,
+    temp_lists_destroyed: AtomicU64,
 }
 
 impl Counters {
@@ -106,6 +108,8 @@ impl Counters {
             rsi_calls: self.rsi_calls.load(Relaxed),
             backend_reads: self.backend_reads.load(Relaxed),
             backend_writes: self.backend_writes.load(Relaxed),
+            temp_lists_created: self.temp_lists_created.load(Relaxed),
+            temp_lists_destroyed: self.temp_lists_destroyed.load(Relaxed),
         }
     }
 
@@ -118,6 +122,8 @@ impl Counters {
         self.rsi_calls.store(0, Relaxed);
         self.backend_reads.store(0, Relaxed);
         self.backend_writes.store(0, Relaxed);
+        self.temp_lists_created.store(0, Relaxed);
+        self.temp_lists_destroyed.store(0, Relaxed);
     }
 }
 
@@ -509,9 +515,25 @@ impl ShardedBufferPool {
         self.counters.rsi_calls.fetch_add(1, Relaxed);
     }
 
+    /// Record `n` tuples crossing the RSI in one batched NEXT: a single
+    /// atomic add with the same total as `n` individual calls.
+    pub fn record_rsi_calls(&self, n: u64) {
+        self.counters.rsi_calls.fetch_add(n, Relaxed);
+    }
+
     /// Record `pages` temporary pages written.
     pub fn record_temp_write(&self, pages: u64) {
         self.counters.temp_pages_written.fetch_add(pages, Relaxed);
+    }
+
+    /// Record a temporary list coming into existence.
+    pub fn record_temp_list_created(&self) {
+        self.counters.temp_lists_created.fetch_add(1, Relaxed);
+    }
+
+    /// Record a temporary list being destroyed.
+    pub fn record_temp_list_destroyed(&self) {
+        self.counters.temp_lists_destroyed.fetch_add(1, Relaxed);
     }
 
     pub fn stats(&self) -> IoStats {

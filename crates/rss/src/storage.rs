@@ -100,6 +100,22 @@ impl Storage {
         }
     }
 
+    /// A storage engine over a caller-supplied page backend (tests inject
+    /// fault-carrying backends such as
+    /// [`FaultBackend`](crate::pagefile::FaultBackend) to drive error
+    /// paths).
+    pub fn with_backend(buffer_pages: usize, backend: Box<dyn PageBackend + Send>) -> Self {
+        Storage {
+            segments: Vec::new(),
+            indexes: Vec::new(),
+            buffer: ShardedBufferPool::new(buffer_pages),
+            backend: Mutex::new(backend),
+            next_temp: AtomicU32::new(0),
+            next_lsn: AtomicU32::new(1),
+            btree_config: BTreeConfig::default(),
+        }
+    }
+
     /// Override the B-tree fanout used for indexes created after this call
     /// (tests use tiny fanouts to exercise deep trees).
     pub fn set_btree_config(&mut self, config: BTreeConfig) {
@@ -179,9 +195,27 @@ impl Storage {
         self.buffer.record_rsi_call();
     }
 
+    /// Record `n` tuples crossing the RSI in one batched NEXT. The count
+    /// is exactly what `n` individual [`Storage::record_rsi_call`]s would
+    /// add — batching changes the bump granularity, never the total.
+    pub fn record_rsi_calls(&self, n: u64) {
+        self.buffer.record_rsi_calls(n);
+    }
+
     /// Record `pages` temporary pages written.
     pub fn record_temp_write(&self, pages: u64) {
         self.buffer.record_temp_write(pages);
+    }
+
+    /// Record a temporary list materialized (see
+    /// [`IoStats::temp_lists_leaked`](crate::IoStats::temp_lists_leaked)).
+    pub fn record_temp_list_created(&self) {
+        self.buffer.record_temp_list_created();
+    }
+
+    /// Record a temporary list destroyed.
+    pub fn record_temp_list_destroyed(&self) {
+        self.buffer.record_temp_list_destroyed();
     }
 
     /// Write one temporary-list page image (concatenated tuple encodings,

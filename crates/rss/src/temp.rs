@@ -61,6 +61,7 @@ impl TempList {
             storage.write_temp_page(file, page, &payload)?;
         }
         storage.record_temp_write(page_count as u64);
+        storage.record_temp_list_created();
         Ok(TempList { file, tuples, page_of, page_count })
     }
 
@@ -83,11 +84,10 @@ impl TempList {
 
     /// Read tuple `i`, touching its page and counting one RSI call.
     pub fn read(&self, storage: &Storage, i: usize) -> RssResult<Option<&Tuple>> {
-        let Some(t) = self.tuples.get(i) else {
+        let (Some(t), Some(&pg)) = (self.tuples.get(i), self.page_of.get(i)) else {
             return Ok(None);
         };
-        // audit:allow(no-index) — the let-else above returns when i is out of range
-        storage.touch(PageKey::new(FileId::Temp(self.file), self.page_of[i]))?;
+        storage.touch(PageKey::new(FileId::Temp(self.file), pg))?;
         storage.record_rsi_call();
         Ok(Some(t))
     }
@@ -105,6 +105,32 @@ impl TempList {
     /// Drop the list's pages from the buffer pool.
     pub fn destroy(&self, storage: &Storage) {
         storage.invalidate_temp(self.file);
+        storage.record_temp_list_destroyed();
+    }
+}
+
+/// Scope guard tying a [`TempList`]'s lifetime to a lexical scope: the
+/// list is destroyed (its buffer frames dropped, the destruction
+/// counted) when the guard drops — on success *and* on early error
+/// returns, so an operator that spills cannot leak temp pages.
+pub struct TempGuard<'a> {
+    list: TempList,
+    storage: &'a Storage,
+}
+
+impl<'a> TempGuard<'a> {
+    pub fn new(list: TempList, storage: &'a Storage) -> Self {
+        TempGuard { list, storage }
+    }
+
+    pub fn list(&self) -> &TempList {
+        &self.list
+    }
+}
+
+impl Drop for TempGuard<'_> {
+    fn drop(&mut self) {
+        self.list.destroy(self.storage);
     }
 }
 
@@ -139,6 +165,28 @@ impl<'a> TempScan<'a> {
             }
             None => Ok(None),
         }
+    }
+
+    /// NEXT, batch form: advance over up to `max` tuples and return them
+    /// as a borrowed run — no per-tuple clone, which is what makes the
+    /// sort read-back batch-friendly. Accounting is identical to repeated
+    /// [`TempScan::next`]: one temp-page touch per tuple (pool hits after
+    /// the first touch of a page) and one RSI call per returned tuple,
+    /// recorded as a single bulk add. An empty slice means exhausted.
+    pub fn next_batch(&mut self, max: usize) -> RssResult<&'a [Tuple]> {
+        let cap = max.clamp(1, crate::scan::MAX_BATCH);
+        let start = self.pos;
+        if start >= self.list.tuples.len() {
+            return Ok(&[]);
+        }
+        let end = start.saturating_add(cap).min(self.list.tuples.len());
+        for i in start..end {
+            let Some(&pg) = self.list.page_of.get(i) else { break };
+            self.storage.touch(PageKey::new(FileId::Temp(self.list.file), pg))?;
+        }
+        self.pos = end;
+        self.storage.record_rsi_calls((end - start) as u64);
+        Ok(self.list.tuples.get(start..end).unwrap_or(&[]))
     }
 }
 

@@ -36,12 +36,11 @@ impl Tuple {
         self.values
     }
 
-    /// Project the tuple onto a list of column positions. Panics if a
-    /// position is out of range — callers resolve positions via the catalog
-    /// before execution.
-    pub fn project(&self, cols: &[usize]) -> Tuple {
-        // audit:allow(no-index) — projection lists are validated by the binder
-        Tuple::new(cols.iter().map(|&c| self.values[c].clone()).collect())
+    /// Project the tuple onto a list of column positions; `None` if any
+    /// position is out of range (callers resolve positions via the
+    /// catalog, so a miss means the projection list and tuple disagree).
+    pub fn project(&self, cols: &[usize]) -> Option<Tuple> {
+        cols.iter().map(|&c| self.get(c).cloned()).collect::<Option<Vec<_>>>().map(Tuple::new)
     }
 
     /// Concatenate two tuples (used to form composite join tuples).
@@ -59,11 +58,13 @@ impl Tuple {
     }
 }
 
+/// `tuple[i]` delegates to the underlying `Vec` and inherits its bounds
+/// contract (panics on out-of-range, as `Index` documents). Library code
+/// prefers [`Tuple::get`]; the sugar exists for tests and display paths.
 impl Index<usize> for Tuple {
     type Output = Value;
     fn index(&self, i: usize) -> &Value {
-        // audit:allow(no-index) — Index impl: panicking on out-of-range is the contract
-        &self.values[i]
+        self.values.index(i)
     }
 }
 
@@ -107,7 +108,8 @@ mod tests {
     #[test]
     fn project_and_concat() {
         let t = tuple![1, "a", 3.5];
-        assert_eq!(t.project(&[2, 0]), tuple![3.5, 1]);
+        assert_eq!(t.project(&[2, 0]), Some(tuple![3.5, 1]));
+        assert_eq!(t.project(&[3]), None, "out-of-range projection is a miss, not a panic");
         let u = tuple![9];
         assert_eq!(t.concat(&u).arity(), 4);
         assert_eq!(t.concat(&u)[3], Value::Int(9));

@@ -212,8 +212,9 @@ impl<'a> Lexer<'a> {
                 while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                     self.pos += 1;
                 }
-                // audit:allow(no-index) — start/pos are byte cursors clamped to src.len()
-                TokenKind::Ident(self.src[start..self.pos].to_ascii_uppercase())
+                TokenKind::Ident(
+                    self.src.get(start..self.pos).unwrap_or_default().to_ascii_uppercase(),
+                )
             }
             other => {
                 return Err((format!("unexpected character {:?}", other as char), start));
@@ -283,8 +284,7 @@ impl<'a> Lexer<'a> {
                 self.pos = save; // `123E` → the E starts an identifier
             }
         }
-        // audit:allow(no-index) — start/pos are byte cursors clamped to src.len()
-        let text = &self.src[start..self.pos];
+        let text = self.src.get(start..self.pos).unwrap_or_default();
         let kind = if is_float {
             TokenKind::Float(
                 text.parse().map_err(|_| (format!("bad float literal {text}"), start))?,

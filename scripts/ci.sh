@@ -23,6 +23,10 @@ env -u RUST_TEST_THREADS cargo test --release --test concurrent_serving
 # blocks included) & sampled orders + parallel-DP determinism + recovery
 # rules (page-checksum, reopen-equivalence) + the concurrent-differential
 # rule (corpus replayed from 8 threads, bit-identical plans/rows) + the
+# exec-accounting rule (traced corpus replay: per-node I/O sums to the
+# whole-query delta, RSI-call/page-fetch sums match component-wise, and
+# no scan emits more rows than it charged RSI calls — the identities the
+# batched NEXT path must preserve) + the
 # token-level source lint (no-unwrap, no-index, unsafe-audit,
 # latch-discipline, latch-ordering, latch-scope, cast-soundness,
 # div-guard, and the stale-suppression detector stale-allow) + the
@@ -48,3 +52,10 @@ cargo run --release -p sysr-bench --bin bench_optimizer -- --check
 # EXPERIMENTS.md on the single-hardware-thread container).
 cargo run --release -p sysr-bench --bin bench_concurrency -- --smoke
 cargo run --release -p sysr-bench --bin bench_concurrency -- --check
+# Executor bench: smoke exercises the batched-RSI measurement pipeline
+# (interleaved calibration, writes BENCH_executor.smoke.json); --check
+# validates the committed BENCH_executor.json and enforces the
+# normalized-speedup gates (per-query floor and geomean — see
+# EXPERIMENTS.md for the methodology and the honest 5×-target shortfall).
+cargo run --release -p sysr-bench --bin bench_executor -- --smoke
+cargo run --release -p sysr-bench --bin bench_executor -- --check

@@ -82,11 +82,11 @@ const OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
 fn arb_leaf(rng: &mut SplitMix64) -> Pred {
     match rng.below(4) {
         0 => {
-            let op = *rng.pick(&OPS);
+            let op = *rng.pick(&OPS).unwrap();
             Pred::CmpA(op, rng.range_i64(0, 20))
         }
         1 => {
-            let op = *rng.pick(&OPS);
+            let op = *rng.pick(&OPS).unwrap();
             Pred::CmpB(op, rng.range_i64(0, 8))
         }
         2 => {
