@@ -25,7 +25,7 @@
 use crate::corpus::{builtin_cases, chain_catalog, fig1_catalog, parse_select};
 use crate::{AuditReport, Violation};
 use sysr_catalog::{Catalog, RelId};
-use sysr_core::{Optimizer, OptimizerConfig, QueryPlan};
+use sysr_core::{ColId, Optimizer, OptimizerConfig, QueryPlan};
 use sysr_executor::{execute, ExecEnv};
 use sysr_rss::{Storage, Tuple, Value};
 
@@ -284,6 +284,30 @@ pub fn audit_exec_accounting(config: OptimizerConfig) -> AuditReport {
             &delta,
             &case.label,
         ));
+        // Executor-side order check: the plan-root rows must leave the
+        // plan tree sorted on the block's full required order. Checked
+        // below the block layer — its defensive ORDER BY re-sort would
+        // otherwise mask a Sort node (full or partial) emitting
+        // misordered rows.
+        let required = plan.query.required_order();
+        if !required.is_empty() {
+            report.checks += 1;
+            let keys: Vec<(ColId, bool)> = required.iter().map(|&c| (c, false)).collect();
+            let check_env = ExecEnv::new(st, cat);
+            match sysr_executor::root_rows_sorted(&check_env, &plan, &keys) {
+                Ok(true) => {}
+                Ok(false) => report.push(Violation::new(
+                    "order-produced",
+                    format!("{}/exec-order", case.label),
+                    format!("plan-root rows not sorted on the required order {required:?}"),
+                )),
+                Err(e) => report.push(Violation::new(
+                    "order-produced",
+                    format!("{}/exec-order", case.label),
+                    format!("order re-execution failed: {e}"),
+                )),
+            }
+        }
     }
     report.checks += 1;
     if executed < MIN_EXECUTED {

@@ -222,6 +222,15 @@ pub fn builtin_cases() -> Vec<CorpusCase> {
               WHERE R0.B = R1.A AND R1.B = R2.A AND R2.B = R3.A AND R0.V = 7"
             .into(),
     });
+    // ORDER BY led by R0's clustered index key: the index delivers the
+    // (A) prefix cheaply, so the optimizer should plan a partial sort
+    // (`sorted_prefix = 1`) over the index scan — the case every engine
+    // uses to exercise prefix-aware order enforcement.
+    cases.push(CorpusCase {
+        label: "chain/order-prefix".into(),
+        catalog: chain_catalog(4),
+        sql: "SELECT A, V FROM R0 ORDER BY R0.A, R0.V".into(),
+    });
     cases
 }
 
@@ -303,6 +312,31 @@ mod tests {
             assert_eq!(x.sql, y.sql);
             parse_select(&x.sql).unwrap_or_else(|e| panic!("{}: {e}", x.label));
         }
+    }
+
+    #[test]
+    fn order_prefix_case_plans_a_partial_sort() {
+        // The case exists to exercise prefix-aware enforcement end to
+        // end; if a stats or cost change ever stops the partial sort
+        // from being chosen, the corpus coverage silently evaporates —
+        // fail loudly instead.
+        let case = builtin_cases()
+            .into_iter()
+            .find(|c| c.label == "chain/order-prefix")
+            .expect("chain/order-prefix case present");
+        let stmt = parse_select(&case.sql).expect("case parses");
+        let plan =
+            sysr_core::Optimizer::with_config(&case.catalog, sysr_core::OptimizerConfig::default())
+                .optimize(&stmt)
+                .expect("case plans");
+        let sysr_core::PlanNode::Sort { input, sorted_prefix, .. } = &plan.root.node else {
+            panic!("expected a root sort, got {:?}", plan.root.node);
+        };
+        assert_eq!(*sorted_prefix, 1, "index-delivered (A) prefix should be claimed");
+        assert!(
+            matches!(input.node, sysr_core::PlanNode::Scan(_)) && !input.order.is_empty(),
+            "partial sort should sit on an order-producing index scan"
+        );
     }
 
     #[test]

@@ -328,8 +328,28 @@ fn walk(
             walk(cx, outer, available, &format!("{path}.outer"), enforced, report);
             walk(cx, inner, available, &format!("{path}.inner"), enforced, report);
         }
-        PlanNode::Sort { input, keys } => {
-            report.checks += 3;
+        PlanNode::Sort { input, keys, sorted_prefix } => {
+            report.checks += 4;
+            // §4/§5 partial sort: a claimed sorted prefix must actually be
+            // *produced* by the input — the first `sorted_prefix` sort keys
+            // must match the input's produced order class-by-class, or the
+            // executor's run detection would segment an ungrouped stream
+            // and emit misordered rows.
+            let sp = *sorted_prefix;
+            if sp > 0 {
+                let ik = cx.orders.order_key(&input.order);
+                let kk = cx.orders.order_key(keys);
+                if sp > keys.len() || kk.len() < sp || ik.len() < sp || ik[..sp] != kk[..sp] {
+                    report.push(Violation::new(
+                        "order-produced",
+                        path.to_string(),
+                        format!(
+                            "sort claims sorted prefix {sp} of {keys:?} but its input produces {:?}",
+                            input.order
+                        ),
+                    ));
+                }
+            }
             if cx.total(p) + EPS < cx.total(input) {
                 report.push(Violation::new(
                     "cost-admissible",

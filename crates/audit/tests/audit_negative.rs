@@ -62,6 +62,25 @@ fn fabricated_order_triggers_order_and_wellformed_rules() {
 }
 
 #[test]
+fn uncovered_sorted_prefix_claim_triggers_order_produced() {
+    let catalog = corpus::fig1_catalog();
+    // No index on SAL: the optimizer plans a whole-input sort over a
+    // segment scan (sorted_prefix = 0, input produces no order).
+    let (mut plan, _) = fig1_plan("SELECT NAME FROM EMP ORDER BY SAL, DNO");
+    let sysr_core::PlanNode::Sort { input, sorted_prefix, .. } = &mut plan.root.node else {
+        panic!("expected a root sort");
+    };
+    assert!(input.order.is_empty(), "segment-scan input should produce no order");
+    assert_eq!(*sorted_prefix, 0);
+    // Claim the input already delivers the SAL prefix — it does not; the
+    // executor's run detection would segment an ungrouped stream.
+    *sorted_prefix = 1;
+    let report =
+        invariants::audit_query_plan(&catalog, &plan, &OptimizerConfig::default(), "mutated");
+    assert!(rules(&report).contains(&"order-produced"), "got:\n{}", report.render());
+}
+
+#[test]
 fn local_factor_in_block_filters_triggers_sarg_pushdown() {
     let catalog = corpus::fig1_catalog();
     let (mut plan, _) = fig1_plan(corpus::FIG1_SQL);

@@ -104,7 +104,12 @@ pub fn summarize_plan(plan: &PlanExpr) -> String {
         PlanNode::Merge { outer, inner, .. } => {
             format!("MG({}, {})", summarize_plan(outer), summarize_plan(inner))
         }
-        PlanNode::Sort { input, .. } => format!("SORT({})", summarize_plan(input)),
+        PlanNode::Sort { input, sorted_prefix: 0, .. } => {
+            format!("SORT({})", summarize_plan(input))
+        }
+        PlanNode::Sort { input, sorted_prefix, .. } => {
+            format!("SORT[prefix={sorted_prefix}]({})", summarize_plan(input))
+        }
     }
 }
 

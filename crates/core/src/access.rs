@@ -122,6 +122,27 @@ impl<'a> PlanCtx<'a> {
         tables.iter().map(|t| self.width(t)).sum()
     }
 
+    /// Estimated number of runs when `rows` tuples arrive grouped on
+    /// `cols` (the satisfied prefix of a partial sort): the product of
+    /// per-column distinct-value estimates — a leading index's ICARD when
+    /// one exists ("this assumes an even distribution of tuples among the
+    /// index key values", Table 1), else the Table 1 equal-predicate
+    /// default of 10 distinct values — capped at `rows`.
+    pub fn run_count(&self, cols: &[ColId], rows: f64) -> f64 {
+        let runs: f64 = cols
+            .iter()
+            .map(|c| {
+                self.catalog
+                    .leading_index_on(self.query.tables[c.table].rel, c.col)
+                    // audit:allow(cast-soundness) — u64 key count widened to f64
+                    .map(|i| i.stats.icard as f64)
+                    .filter(|&v| v >= 1.0)
+                    .unwrap_or(1.0 / crate::selectivity::DEFAULT_EQ)
+            })
+            .product();
+        runs.clamp(1.0, rows.max(1.0))
+    }
+
     /// Estimated rows of the join of `tables`: product of cardinalities
     /// times the selectivities of every factor local to the set
     /// ("N = (product of the cardinalities of all relations T of the join

@@ -216,6 +216,7 @@ mod tests {
             node: PlanNode::Sort {
                 input: Box::new(scan(2)),
                 keys: vec![crate::query::ColId::new(2, 0)],
+                sorted_prefix: 0,
             },
             cost: Cost::ZERO,
             rows: 1.0,

@@ -48,7 +48,7 @@ pub enum NodeKind {
     Scan { scan: ScanPlan, order: Vec<ColId> },
     NestedLoop { outer: NodeId, inner: NodeId },
     Merge { outer: NodeId, inner: NodeId, outer_key: ColId, inner_key: ColId, residual: Vec<usize> },
-    Sort { input: NodeId, keys: Vec<ColId> },
+    Sort { input: NodeId, keys: Vec<ColId>, sorted_prefix: usize },
 }
 
 /// The committed arena: nodes the DP memo references between levels.
@@ -111,10 +111,11 @@ impl PlanArena {
                     order,
                 }
             }
-            NodeKind::Sort { input, keys } => PlanExpr {
+            NodeKind::Sort { input, keys, sorted_prefix } => PlanExpr {
                 node: PlanNode::Sort {
                     input: Box::new(self.materialize(*input)),
                     keys: keys.clone(),
+                    sorted_prefix: *sorted_prefix,
                 },
                 cost: n.cost,
                 rows: n.rows,

@@ -113,6 +113,39 @@ pub fn temp_pages(rows: f64, width: f64) -> f64 {
     (rows * width.max(1.0) / TEMP_PAGE_BYTES).ceil().max(1.0)
 }
 
+/// Rows the executor's segmented sort orders in memory without spilling
+/// — mirrors the executor's batch size (`MAX_BATCH` in `sysr-executor`):
+/// a run at or below this size is sorted and emitted with zero temp I/O,
+/// while an oversized run is materialized into a run-sized temp list.
+pub const SORT_RUN_MEMORY_ROWS: f64 = 1024.0;
+
+/// Extra cost of a partial (run-segmented) sort over its input, plus the
+/// predicted temp pages per spilled run × run count.
+///
+/// The input arrives grouped into `run_count` runs by an already-ordered
+/// prefix of the sort key, so only tuples *within* a run need ordering:
+///
+/// * **CPU** — the whole-input sort's comparison work is `N·log₂N`; per
+///   run it is `Σ nᵢ·log₂nᵢ ≈ N·log₂(N/runs)`. The full sort charges one
+///   RSI-equivalent per tuple ([`CostModel::sort`] read-back); the
+///   partial sort scales that per-tuple charge by the comparison ratio
+///   `log₂(N/runs) / log₂(N)`, which also stands in for the read-back
+///   that spilled runs still pay.
+/// * **I/O** — runs that fit the executor's in-memory batch
+///   ([`SORT_RUN_MEMORY_ROWS`]) spill nothing; oversized runs write and
+///   read back run-sized temp lists instead of whole-input `TEMPPAGES`.
+pub fn partial_sort_delta(rows: f64, width: f64, run_count: f64) -> (Cost, f64) {
+    if rows <= 0.0 {
+        return (Cost::ZERO, 0.0);
+    }
+    let runs = run_count.clamp(1.0, rows);
+    let run_rows = rows / runs;
+    let cpu = rows * (run_rows.max(2.0).log2() / rows.max(2.0).log2()).min(1.0);
+    let tp =
+        if run_rows <= SORT_RUN_MEMORY_ROWS { 0.0 } else { runs * temp_pages(run_rows, width) };
+    (Cost::new(2.0 * tp, cpu), tp)
+}
+
 /// Table 2 cost formulas.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel {
@@ -235,6 +268,15 @@ impl CostModel {
     pub fn sort(&self, input: Cost, rows: f64, width: f64) -> (Cost, f64) {
         let pages = temp_pages(rows, width);
         (input + Cost { pages, rsi: 0.0 }, pages)
+    }
+
+    /// C-partialsort(path): enforce an order whose leading prefix the
+    /// input already delivers, grouped into `run_count` runs — see
+    /// [`partial_sort_delta`] for the formula. Returns the total cost and
+    /// the per-run spill pages × run count.
+    pub fn partial_sort(&self, input: Cost, rows: f64, width: f64, run_count: f64) -> (Cost, f64) {
+        let (delta, tp) = partial_sort_delta(rows, width, run_count);
+        (input + delta, tp)
     }
 
     /// C-inner(sorted list) = `TEMPPAGES/N + W*RSICARD` — the per-probe
@@ -366,6 +408,48 @@ mod tests {
         assert_eq!(pages, 13.0);
         assert_eq!(c.pages, 23.0);
         assert_eq!(c.rsi, 100.0);
+    }
+
+    #[test]
+    fn partial_sort_in_memory_runs_cost_no_temp_pages() {
+        // 1000 rows in 10 runs of 100: every run fits in memory, so the
+        // delta is pure CPU, discounted by log(run)/log(rows).
+        let (delta, tp) = partial_sort_delta(1000.0, 50.0, 10.0);
+        assert_eq!(tp, 0.0);
+        assert_eq!(delta.pages, 0.0);
+        let expected = 1000.0 * (100.0_f64.log2() / 1000.0_f64.log2());
+        assert!((delta.rsi - expected).abs() < 1e-9, "rsi={}", delta.rsi);
+        assert!(delta.rsi < 1000.0, "partial CPU must undercut the full sort's");
+    }
+
+    #[test]
+    fn partial_sort_oversized_runs_spill_per_run() {
+        // 4000 rows in 2 runs of 2000 (> SORT_RUN_MEMORY_ROWS): each run
+        // writes and reads back its own temp pages.
+        let (delta, tp) = partial_sort_delta(4000.0, 50.0, 2.0);
+        assert_eq!(tp, 2.0 * temp_pages(2000.0, 50.0));
+        assert_eq!(delta.pages, 2.0 * tp);
+    }
+
+    #[test]
+    fn partial_sort_with_one_run_degenerates_to_full_sort() {
+        // A single run spans the whole input, so the delta matches the
+        // order-enforcement full sort exactly: TEMPPAGES written + read
+        // back, one RSI call per tuple (`join::sort_cost`).
+        let (delta, tp) = partial_sort_delta(5000.0, 50.0, 1.0);
+        assert_eq!(tp, temp_pages(5000.0, 50.0));
+        assert_eq!(delta, Cost::new(2.0 * tp, 5000.0));
+    }
+
+    #[test]
+    fn partial_sort_run_count_clamps_to_rows() {
+        // More runs than rows degenerates to singleton runs: nothing to
+        // sort, nothing to spill.
+        let (delta, tp) = partial_sort_delta(8.0, 50.0, 1000.0);
+        assert_eq!(tp, 0.0);
+        assert_eq!(delta.pages, 0.0);
+        let (zero, _) = partial_sort_delta(0.0, 50.0, 4.0);
+        assert_eq!(zero, Cost::ZERO);
     }
 
     #[test]

@@ -31,7 +31,9 @@ use crate::access::{access_paths, AccessCandidate, PlanCtx};
 use crate::arena::{ArenaNode, NodeId, NodeKind, PlanArena, WorkArena};
 use crate::bitset::TableSet;
 use crate::intern::{KeyId, KeyInterner, EMPTY_KEY};
-use crate::join::{merge_cost, nested_loop_cost, sort_cost, sort_plan};
+use crate::join::{
+    merge_cost, nested_loop_cost, partial_sort_cost, partial_sort_plan, sort_cost, sort_plan,
+};
 use crate::order::OrderKey;
 use crate::plan::PlanExpr;
 use crate::query::{BoundQuery, ColId};
@@ -634,7 +636,17 @@ impl<'a> Enumerator<'a> {
             let n = wa.node(input);
             (sort_cost(n.cost, n.rows, width), n.rows, n.count + 1)
         };
-        wa.push(ArenaNode { kind: NodeKind::Sort { input, keys }, cost, rows, key, count })
+        // DP-interior sorts (merge-join inputs, single-column keys) are
+        // always whole-input sorts: a covered single-column prefix means
+        // the caller uses the input as-is instead of sorting. Partial
+        // sorts enter at required-order enforcement only.
+        wa.push(ArenaNode {
+            kind: NodeKind::Sort { input, keys, sorted_prefix: 0 },
+            cost,
+            rows,
+            key,
+            count,
+        })
     }
 
     /// Build the per-item scaffolding: nested-loop inners pushed once and
@@ -1102,11 +1114,44 @@ impl<'a> Enumerator<'a> {
             // audit:allow(no-unwrap) — consider() always fills the empty slot when any slot fills
             let unordered =
                 sols[Self::slot_index(EMPTY_KEY)].expect("cheapest-overall slot always filled");
-            let sorted = sort_plan(
-                arena.materialize(unordered),
-                self.ctx.query.required_order(),
-                self.ctx.composite_width(full),
-            );
+            let width = self.ctx.composite_width(full);
+            let keys_cols = self.ctx.query.required_order();
+            // Enforcement candidate: a full sort over the cheapest plan
+            // overall…
+            let mut sorted = sort_plan(arena.materialize(unordered), keys_cols.clone(), width);
+            // …or a partial sort over any slot whose order already covers
+            // a non-empty prefix of the requirement — the plan may cost
+            // more to produce but only within-run sorting remains. Only
+            // the cheapest plan per key class needs considering (the
+            // enforcement delta is a per-key constant), and slots are
+            // visited in dense-id order with a strict comparison, so the
+            // choice is deterministic. A full sort over a non-empty slot
+            // never helps: the empty slot is the cheapest overall and the
+            // full-sort delta is key-independent.
+            for (kid, slot) in sols.iter().enumerate() {
+                // audit:allow(cast-soundness) — slot index is an interned KeyId
+                let kid = kid as KeyId;
+                let Some(id) = *slot else { continue };
+                if self.keys.satisfies_required(kid) {
+                    continue;
+                }
+                let prefix = self.keys.required_prefix(kid);
+                if prefix == 0 {
+                    continue;
+                }
+                let n = arena.node(id);
+                let runs = self.ctx.run_count(&keys_cols[..prefix], n.rows);
+                let cost = partial_sort_cost(n.cost, n.rows, width, runs);
+                if self.ctx.model.better(cost, sorted.cost) {
+                    sorted = partial_sort_plan(
+                        arena.materialize(id),
+                        keys_cols.clone(),
+                        prefix,
+                        width,
+                        runs,
+                    );
+                }
+            }
             match ordered.map(|id| arena.materialize(id)) {
                 Some(o) if self.ctx.model.better(o.cost, sorted.cost) => o,
                 _ => sorted,
@@ -1183,23 +1228,38 @@ impl<'a> Enumerator<'a> {
         self.apply_required_order(complete)
     }
 
-    /// Append the required-order sort to every plan that does not already
-    /// satisfy it (shared by the oracle paths).
+    /// Append the required-order enforcement to every plan that does not
+    /// already satisfy it (shared by the oracle paths).
     fn apply_required_order(&self, plans: Vec<PlanExpr>) -> Vec<PlanExpr> {
         if self.ctx.orders.required.is_empty() {
             return plans;
         }
         let width = self.ctx.composite_width(TableSet::full(self.ctx.query.tables.len()));
-        plans
-            .into_iter()
-            .map(|p| {
-                if self.ctx.orders.satisfies_required(&self.ctx.orders.order_key(&p.order)) {
-                    p
-                } else {
-                    sort_plan(p, self.ctx.query.required_order(), width)
-                }
-            })
-            .collect()
+        plans.into_iter().map(|p| self.enforce_required_order(p, width)).collect()
+    }
+
+    /// Cheapest enforcement of the required order on one plan: pass
+    /// through when satisfied, otherwise the cheaper of a full sort and —
+    /// when the plan's produced order covers a non-empty prefix of the
+    /// requirement — a partial sort over the covered prefix. Applies the
+    /// same pricing as `run_search`'s final choice, so the differential
+    /// oracle compares like against like over the widened search space.
+    fn enforce_required_order(&self, p: PlanExpr, width: f64) -> PlanExpr {
+        let key = self.ctx.orders.order_key(&p.order);
+        if self.ctx.orders.satisfies_required(&key) {
+            return p;
+        }
+        let keys = self.ctx.query.required_order();
+        let prefix = self.ctx.orders.common_prefix_with_required(&key);
+        if prefix > 0 {
+            let runs = self.ctx.run_count(&keys[..prefix], p.rows);
+            let partial = partial_sort_cost(p.cost, p.rows, width, runs);
+            let full = sort_cost(p.cost, p.rows, width);
+            if self.ctx.model.better(partial, full) {
+                return partial_sort_plan(p, keys, prefix, width, runs);
+            }
+        }
+        sort_plan(p, keys, width)
     }
 
     /// Cheapest complete plan whose left-deep join sequence is exactly

@@ -34,6 +34,9 @@ pub struct KeyInterner {
     ids: HashMap<OrderKey, KeyId>,
     /// Per key id: does the key satisfy the block's required order?
     satisfies_required: Vec<bool>,
+    /// Per key id: how many leading required-order classes the key
+    /// already delivers (the partial-sort prefix).
+    required_prefix: Vec<usize>,
     /// Per key id: the leading equivalence class, if any.
     head: Vec<Option<usize>>,
 }
@@ -44,7 +47,13 @@ impl KeyInterner {
         let empty = OrderKey::new();
         let mut ids = HashMap::new();
         ids.insert(empty.clone(), EMPTY_KEY);
-        KeyInterner { keys: vec![empty], ids, satisfies_required: Vec::new(), head: Vec::new() }
+        KeyInterner {
+            keys: vec![empty],
+            ids,
+            satisfies_required: Vec::new(),
+            required_prefix: Vec::new(),
+            head: Vec::new(),
+        }
     }
 
     /// Intern a key, returning its dense id.
@@ -63,6 +72,8 @@ impl KeyInterner {
     /// info. Must be called once, after the last `intern`.
     pub fn freeze(&mut self, orders: &OrderInfo) {
         self.satisfies_required = self.keys.iter().map(|k| orders.satisfies_required(k)).collect();
+        self.required_prefix =
+            self.keys.iter().map(|k| orders.common_prefix_with_required(k)).collect();
         self.head = self.keys.iter().map(|k| k.first().copied()).collect();
     }
 
@@ -90,6 +101,14 @@ impl KeyInterner {
     /// search add a redundant sort, never claim an order it cannot prove.
     pub fn satisfies_required(&self, id: KeyId) -> bool {
         self.satisfies_required.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// How many leading classes of the block's required order the key
+    /// delivers (frozen) — the partial-sort prefix. A foreign id, or a
+    /// query before [`KeyInterner::freeze`], answers `0`: the
+    /// conservative direction (a full sort is always correct).
+    pub fn required_prefix(&self, id: KeyId) -> usize {
+        self.required_prefix.get(id as usize).copied().unwrap_or(0)
     }
 
     /// Whether the key's leading class is the class of `col` — the merge

@@ -56,6 +56,14 @@ pub fn sort_cost(input_cost: Cost, rows: f64, width: f64) -> Cost {
     input_cost + Cost::new(2.0 * tp, rows)
 }
 
+/// Pure partial-sort cost: the input already arrives grouped into
+/// `run_count` runs by a satisfied key prefix, so only within-run work
+/// remains — see [`crate::cost::partial_sort_delta`].
+pub fn partial_sort_cost(input_cost: Cost, rows: f64, width: f64, run_count: f64) -> Cost {
+    let (delta, _) = crate::cost::partial_sort_delta(rows, width, run_count);
+    input_cost + delta
+}
+
 /// Pure merging-scans cost: `C-outer + C-inner` (group re-reads served
 /// from the in-memory group buffer).
 pub fn merge_cost(outer_cost: Cost, inner_cost: Cost) -> Cost {
@@ -100,7 +108,30 @@ pub fn sort_plan(input: PlanExpr, keys: Vec<ColId>, width: f64) -> PlanExpr {
     let rows = input.rows;
     let cost = sort_cost(input.cost, rows, width);
     PlanExpr {
-        node: PlanNode::Sort { input: Box::new(input), keys: keys.clone() },
+        node: PlanNode::Sort { input: Box::new(input), keys: keys.clone(), sorted_prefix: 0 },
+        cost,
+        rows,
+        order: keys,
+    }
+}
+
+/// Wrap a plan whose order already covers the first `sorted_prefix`
+/// columns of `keys` in a partial (run-segmented) sort. `run_count` is
+/// the estimated number of distinct prefix groups; the caller must have
+/// proved the coverage (the `order-produced` audit invariant re-checks
+/// it against the input's produced order).
+pub fn partial_sort_plan(
+    input: PlanExpr,
+    keys: Vec<ColId>,
+    sorted_prefix: usize,
+    width: f64,
+    run_count: f64,
+) -> PlanExpr {
+    debug_assert!(sorted_prefix > 0 && sorted_prefix <= keys.len());
+    let rows = input.rows;
+    let cost = partial_sort_cost(input.cost, rows, width, run_count);
+    PlanExpr {
+        node: PlanNode::Sort { input: Box::new(input), keys: keys.clone(), sorted_prefix },
         cost,
         rows,
         order: keys,

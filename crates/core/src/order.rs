@@ -80,6 +80,16 @@ impl OrderInfo {
         key.len() >= self.required.len() && key[..self.required.len()] == self.required[..]
     }
 
+    /// Length of the longest prefix of the block's required order that
+    /// rows ordered by `key` already deliver — the prefix-coverage rule
+    /// for partial sorts. Rows with `key` arrive grouped into runs of the
+    /// first `common_prefix_with_required(key)` required classes, so a
+    /// sort only has to order tuples *within* each run. `0` means no
+    /// usable prefix (a sort must process the whole input).
+    pub fn common_prefix_with_required(&self, key: &OrderKey) -> usize {
+        key.iter().zip(self.required.iter()).take_while(|(a, b)| a == b).count()
+    }
+
     /// Whether an order with this key begins with the class of `col` —
     /// the condition for using it as the sorted side of a merge join on
     /// `col`.
@@ -210,6 +220,19 @@ mod tests {
         let key = info.order_key(&[col(0, 1), col(0, 5), col(1, 0)]);
         assert_eq!(key.len(), 1);
         assert!(info.order_key(&[col(0, 9)]).is_empty());
+    }
+
+    #[test]
+    fn common_prefix_counts_leading_required_classes() {
+        let q = query_with(vec![equijoin_factor(col(0, 1), col(1, 0))], vec![col(0, 1), col(0, 3)]);
+        let info = OrderInfo::build(&q);
+        // The equivalent column from the other class counts as the prefix.
+        assert_eq!(info.common_prefix_with_required(&info.order_key(&[col(1, 0)])), 1);
+        // Full coverage reports the whole requirement.
+        assert_eq!(info.common_prefix_with_required(&info.order_key(&[col(0, 1), col(0, 3)])), 2);
+        // A non-leading required column covers nothing.
+        assert_eq!(info.common_prefix_with_required(&info.order_key(&[col(0, 3)])), 0);
+        assert_eq!(info.common_prefix_with_required(&OrderKey::new()), 0);
     }
 
     #[test]

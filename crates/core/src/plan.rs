@@ -99,10 +99,15 @@ pub enum PlanNode {
         inner_key: ColId,
         residual: Vec<usize>,
     },
-    /// Sort the input into a temporary list ordered by `keys` (ascending).
+    /// Sort the input into `keys` order (ascending). `sorted_prefix` is
+    /// the number of leading `keys` columns the input already delivers
+    /// (proved against the input's produced order): `0` sorts the whole
+    /// input through a temporary list; a positive prefix lets the
+    /// executor sort run-at-a-time, spilling only oversized runs.
     Sort {
         input: Box<PlanExpr>,
         keys: Vec<ColId>,
+        sorted_prefix: usize,
     },
 }
 
@@ -262,9 +267,14 @@ pub(crate) fn node_head(plan: &PlanExpr, query: &BoundQuery, catalog: &Catalog) 
         PlanNode::Merge { outer_key, inner_key, residual, .. } => {
             format!("MERGE JOIN on {outer_key}={inner_key} residual={residual:?}")
         }
-        PlanNode::Sort { keys, .. } => {
+        PlanNode::Sort { keys, sorted_prefix, .. } => {
             let keys: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
-            format!("SORT by [{}]", keys.join(", "))
+            let prefix = if *sorted_prefix > 0 {
+                format!(" (prefix={sorted_prefix})")
+            } else {
+                String::new()
+            };
+            format!("SORT{prefix} by [{}]", keys.join(", "))
         }
     }
 }
@@ -334,7 +344,11 @@ mod tests {
     #[test]
     fn sort_preserves_tables() {
         let s = PlanExpr {
-            node: PlanNode::Sort { input: Box::new(scan(1)), keys: vec![ColId::new(1, 0)] },
+            node: PlanNode::Sort {
+                input: Box::new(scan(1)),
+                keys: vec![ColId::new(1, 0)],
+                sorted_prefix: 0,
+            },
             cost: Cost::ZERO,
             rows: 1.0,
             order: vec![ColId::new(1, 0)],

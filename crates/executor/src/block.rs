@@ -305,6 +305,21 @@ fn aggregate_output(rt: &mut BlockRt<'_>, mut rows: Vec<Row>) -> ExecResult<Vec<
     Ok(out)
 }
 
+/// Execute only the root block's plan tree and report whether the rows
+/// it produces arrive sorted on `keys`. This is the audit's
+/// executor-side order check: it reads the rows *below* the block
+/// layer, whose defensive ORDER BY re-sort above would mask a
+/// misordering Sort node — exactly the bug being checked for.
+pub fn root_rows_sorted(
+    env: &ExecEnv<'_>,
+    plan: &QueryPlan,
+    keys: &[(ColId, bool)],
+) -> ExecResult<bool> {
+    let mut rt = BlockRt::new(env, plan, Vec::new(), 0);
+    let rows = exec_node(&mut rt, &plan.root, 0)?;
+    Ok(rows_sorted(&rows, keys))
+}
+
 fn dedup_preserving_order(rows: Vec<Tuple>) -> Vec<Tuple> {
     let mut seen = HashSet::new();
     rows.into_iter().filter(|t| seen.insert(t.clone())).collect()

@@ -10,8 +10,8 @@
 use crate::block::BlockRt;
 use crate::error::{ExecError, ExecResult};
 use crate::eval::{eval_bexpr, resolve_operand};
-use crate::row::{cmp_rows, combine, empty_row, flatten, row_value, Row};
-use sysr_core::{Access, BExpr, PlanExpr, PlanNode, ScanPlan};
+use crate::row::{combine, empty_row, flatten, row_value, Row};
+use sysr_core::{Access, BExpr, ColId, PlanExpr, PlanNode, ScanPlan};
 use sysr_rss::{
     Batch, IndexScan, RsiScan, SargExpr, SargPred, SegmentScan, TempGuard, TempList, Tuple, Value,
     MAX_BATCH,
@@ -117,25 +117,89 @@ fn exec_node_inner(rt: &mut BlockRt<'_>, plan: &PlanExpr, id: usize) -> ExecResu
             }
             Ok(out)
         }
-        PlanNode::Sort { input, keys } => {
+        PlanNode::Sort { input, keys, sorted_prefix } => {
             let input_id = plan.outer_child_id(id).ok_or_else(|| {
                 ExecError::Internal(format!("sort node {id} carries no input child id"))
             })?;
-            let mut rows = exec_node(rt, input, input_id)?;
-            let sort_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();
-            rows.sort_by(|a, b| cmp_rows(a, b, &sort_keys));
-            // Materialize into a temporary list and read it back once, so
-            // the I/O matches C-sort + the merge's consumption of the list.
-            // The guard destroys the list on every exit: an error from the
-            // read-back used to return before `destroy` and leak the
-            // list's buffer frames.
-            let flat: Vec<Tuple> = rows.iter().map(flatten).collect();
+            let rows = exec_node(rt, input, input_id)?;
+            exec_sort(rt, rows, keys, *sorted_prefix)
+        }
+    }
+}
+
+/// Order `rows` on `keys`, exploiting the optimizer-proved fact that the
+/// input already arrives ordered on the first `sorted_prefix` key columns
+/// (the `order-produced` audit invariant re-checks the claim against the
+/// input's produced order).
+///
+/// * `sorted_prefix == keys.len()`: the input order covers the whole key —
+///   pass through with zero temp I/O.
+/// * `sorted_prefix == 0`: whole-input sort, materialized into a temp list
+///   and read back once so the I/O matches `C-sort` plus the consumption
+///   of the list. The guard destroys the list on every exit: an error
+///   from the read-back used to return before `destroy` and leak the
+///   list's buffer frames.
+/// * otherwise: **segmented sort** — the input is grouped into runs of
+///   equal prefix values, so each run is sorted on the remaining key
+///   columns and emitted independently. A run that fits one RSI batch
+///   never touches storage; only an oversized run is spilled to its own
+///   (run-sized) temp list and read back, so temp I/O is bounded by the
+///   largest run instead of the whole input.
+fn exec_sort(
+    rt: &mut BlockRt<'_>,
+    mut rows: Vec<Row>,
+    keys: &[ColId],
+    sorted_prefix: usize,
+) -> ExecResult<Vec<Row>> {
+    let prefix = sorted_prefix.min(keys.len());
+    debug_assert!(
+        {
+            let pre: Vec<_> = keys[..prefix].iter().map(|&k| (k, false)).collect();
+            crate::row::rows_sorted(&rows, &pre)
+        },
+        "sort input must arrive ordered on the claimed prefix"
+    );
+    if prefix == keys.len() {
+        return Ok(rows);
+    }
+    if prefix == 0 {
+        crate::row::sort_rows(&mut rows, keys);
+        let flat: Vec<Tuple> = rows.iter().map(flatten).collect();
+        let temp = TempGuard::new(TempList::materialize(rt.env.storage, flat)?, rt.env.storage);
+        let mut scan = temp.list().scan(rt.env.storage);
+        while !scan.next_batch(MAX_BATCH)?.is_empty() {}
+        return Ok(rows);
+    }
+    let prefix_keys = &keys[..prefix];
+    let rest_keys = &keys[prefix..];
+    let mut start = 0usize;
+    while start < rows.len() {
+        let mut end = start + 1;
+        while end < rows.len() && prefix_equal(&rows[start], &rows[end], prefix_keys) {
+            end += 1;
+        }
+        let run = &mut rows[start..end];
+        crate::row::sort_rows(run, rest_keys);
+        if run.len() > MAX_BATCH {
+            // This run alone exceeds sort memory: spill it to a temp
+            // list of its own and read it back, same accounting shape
+            // as the whole-input path but sized to the run.
+            let flat: Vec<Tuple> = run.iter().map(flatten).collect();
             let temp = TempGuard::new(TempList::materialize(rt.env.storage, flat)?, rt.env.storage);
             let mut scan = temp.list().scan(rt.env.storage);
             while !scan.next_batch(MAX_BATCH)?.is_empty() {}
-            Ok(rows)
         }
+        start = end;
     }
+    Ok(rows)
+}
+
+/// Whether two rows agree on every listed column (the run-boundary test
+/// of the segmented sort). NULL equals NULL here: the prefix columns come
+/// from the input's produced order, where equal sort position is what
+/// defines a run.
+fn prefix_equal(a: &Row, b: &Row, cols: &[ColId]) -> bool {
+    cols.iter().all(|&c| row_value(a, c) == row_value(b, c))
 }
 
 /// Pre-order child ids of a join node; their absence means the plan tree

@@ -61,6 +61,31 @@ pub fn rows_sorted(rows: &[Row], keys: &[(ColId, bool)]) -> bool {
     rows.windows(2).all(|w| cmp_rows(&w[0], &w[1], keys) != std::cmp::Ordering::Greater)
 }
 
+/// Sort `rows` ascending on `keys` (NULLs and missing tables first, same
+/// ordering as [`cmp_rows`] with all-ascending keys) by
+/// decorate-sort-undecorate: each row's key values are extracted **once**
+/// up front instead of being re-read through `row_value` inside every
+/// comparison, which was the dominant cost of large sorts. Stable, like
+/// `sort_by` over `cmp_rows`, so equal-key rows keep their input order.
+pub fn sort_rows(rows: &mut [Row], keys: &[ColId]) {
+    if rows.len() <= 1 || keys.is_empty() {
+        return;
+    }
+    // `Option<Value>` compares None-first then by `Value`, exactly the
+    // (None, Some) / (Some, Some) arms of `cmp_rows` for ascending keys.
+    let mut decorated: Vec<(Vec<Option<Value>>, Row)> = rows
+        .iter_mut()
+        .map(|r| {
+            let key: Vec<Option<Value>> = keys.iter().map(|&k| row_value(r, k).cloned()).collect();
+            (key, std::mem::take(r))
+        })
+        .collect();
+    decorated.sort_by(|a, b| a.0.cmp(&b.0));
+    for (slot, (_, row)) in rows.iter_mut().zip(decorated) {
+        *slot = row;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +127,36 @@ mod tests {
             desc.iter().map(|r| row_value(r, key).unwrap().as_int().unwrap()).collect();
         assert_eq!(vals, vec![3, 2, 1]);
         assert!(!rows_sorted(&rows, &[(key, false)]));
+    }
+
+    #[test]
+    fn decorated_sort_matches_naive_cmp_rows_sort() {
+        // The decorated path must agree with `sort_by(cmp_rows)`
+        // bit-for-bit — including stability on duplicate keys and
+        // NULL/missing-table placement — across seeded random inputs.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move |m: i64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % m as u64) as i64
+        };
+        for n in [0usize, 1, 2, 17, 500] {
+            let mut rows: Vec<Row> = (0..n)
+                .map(|i| {
+                    let a = if next(10) == 0 { Value::Null } else { Value::Int(next(5)) };
+                    let t0 = Some(Tuple::new(vec![a, Value::Int(next(7)), Value::Int(i as i64)]));
+                    let t1 = if next(10) == 1 { None } else { Some(tuple![next(3)]) };
+                    row2(t0, t1)
+                })
+                .collect();
+            let keys = [ColId::new(0, 0), ColId::new(1, 0), ColId::new(0, 1)];
+            let cmp_keys: Vec<_> = keys.iter().map(|&k| (k, false)).collect();
+            let mut naive = rows.clone();
+            naive.sort_by(|a, b| cmp_rows(a, b, &cmp_keys));
+            sort_rows(&mut rows, &keys);
+            assert_eq!(rows, naive);
+            assert!(rows_sorted(&rows, &cmp_keys));
+        }
     }
 }

@@ -61,6 +61,29 @@ pub fn fig1_db(n_emp: i64, n_dept: i64, n_job: i64) -> Database {
     db
 }
 
+/// `fig1_db` with EMP clustered on DNO (the bench harness's "fig1c"
+/// shape): an order-producing DNO index scan costs NINDX + TCARD pages,
+/// so prefix-aware order enforcement has a real alternative to price.
+pub fn fig1_clustered_db(n_emp: i64, n_dept: i64, n_job: i64) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE EMP (NAME VARCHAR(20), DNO INTEGER, JOB INTEGER, SAL FLOAT)").unwrap();
+    db.insert_rows(
+        "EMP",
+        (0..n_emp).map(|i| {
+            tuple![
+                format!("EMP-{i:06}"),
+                scatter(i, n_emp) % n_dept,
+                5 + (i % n_job),
+                1000.0 + (scatter(i, n_emp) as f64) % 50_000.0
+            ]
+        }),
+    )
+    .unwrap();
+    db.execute("CREATE CLUSTERED INDEX EMP_DNO ON EMP (DNO)").unwrap();
+    db.execute("UPDATE STATISTICS").unwrap();
+    db
+}
+
 /// The paper's §6 EMPLOYEE relation for nested-query tests: employee `i`
 /// has number `i`, salary varying non-monotonically, manager `i / span`
 /// (so managers repeat — NCARD > ICARD), and department `i % 10`.

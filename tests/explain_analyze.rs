@@ -189,6 +189,34 @@ fn explain_analyze_correlated_subquery_reports_loops() {
     assert!(loops <= 72, "memoization must cap re-evaluation: {sub_line}");
 }
 
+/// Pull `temp={fetched}+{written}w` off a rendered node line.
+fn temp_io(line: &str) -> (u64, u64) {
+    let tail = line.split("temp=").nth(1).expect("temp field");
+    let (fetched, rest) = tail.split_once('+').expect("temp format");
+    let written = rest.split('w').next().expect("temp format");
+    (fetched.parse().unwrap(), written.parse().unwrap())
+}
+
+#[test]
+fn explain_analyze_partial_sort_golden() {
+    // EMP clustered on DNO: the DNO index scan produces the (DNO) prefix
+    // of ORDER BY DNO, SAL, so the optimizer plans a partial sort whose
+    // runs (≈80 rows each) all fit in memory — zero temp I/O. The
+    // reversed key order gets no prefix and pays a full external sort.
+    let db = common::fig1_clustered_db(4000, 50, 5);
+
+    let prefix = db.explain_analyze("SELECT NAME FROM EMP ORDER BY DNO, SAL").unwrap();
+    let sort_line = prefix.lines().find(|l| l.contains("SORT")).expect("sort node");
+    assert!(sort_line.contains("SORT (prefix=1)"), "partial sort not planned:\n{prefix}");
+    assert_eq!(temp_io(sort_line), (0, 0), "in-memory runs must not spill:\n{prefix}");
+
+    let full = db.explain_analyze("SELECT NAME FROM EMP ORDER BY SAL, DNO").unwrap();
+    let sort_line = full.lines().find(|l| l.contains("SORT")).expect("sort node");
+    assert!(!sort_line.contains("prefix="), "no prefix exists for (SAL, DNO):\n{full}");
+    let (fetched, written) = temp_io(sort_line);
+    assert!(written > 0 && fetched == written, "full sort must spill and read back:\n{full}");
+}
+
 #[test]
 fn explain_analyze_statement_flows_through_sql() {
     let mut db = fig1_db(1000, 20, 5);
