@@ -1,0 +1,1256 @@
+//! Interval analysis for the cast-soundness rule (v3).
+//!
+//! The v2 rule proved casts by *source type* alone (literal suffixes,
+//! `.len()`, typed bindings) and fell back to `audit:allow` markers for
+//! everything else. This module adds a small expression evaluator over
+//! the token-level [`FileModel`]: it reconstructs the cast operand's
+//! expression, computes a conservative value interval for it, and passes
+//! the cast when the interval provably fits the target — `f64`'s 2^53
+//! exact-integer span, the destination integer's width, or (for
+//! float→int) a `.clamp(lo, hi)` with in-range literal bounds.
+//!
+//! What the evaluator understands:
+//!
+//! * integer/float literals (with `_` separators, hex, type suffixes);
+//! * flow-sensitive `let` bindings and typed parameters (a binding that
+//!   is ever reassigned or mutably borrowed degrades to its type range);
+//! * file-level `const` items, *seeded with the live values* of the
+//!   cross-crate constants the numeric core uses (`PAGE_SIZE`,
+//!   `PAGE_HEADER_SIZE`, `SLOT_SIZE`, `MAX_BATCH` — read from the linked
+//!   `sysr_rss`, so the analysis can never drift from the real values);
+//! * `T::MAX` / `T::MIN` paths and the in-tree `NodeId`/`KeyId` aliases;
+//! * arithmetic (`+ - * / % << >>` with saturating interval combine),
+//!   parentheses, unary minus, embedded `as T` casts;
+//! * `.len()`/`.count()`/`size_of::<T>()` (type `usize`), `.min()`,
+//!   `.max()`, `.clamp()`, `.abs()`, and float `.ceil()`/`.floor()`/
+//!   `.round()`;
+//! * guard narrowing: `if x > C { … } else { cast }` narrows `x` in each
+//!   branch, and a match-arm guard `pat if x <= C => cast` narrows `x`
+//!   within the arm (the paper-adjacent case is `card_f64`'s saturating
+//!   branch, which this module proves without a marker);
+//! * same-file struct field types (`self.base` in the plan arena).
+//!
+//! Anything else evaluates to "unknown", and the cast is flagged exactly
+//! as before — the analysis only ever *adds* proofs, never suppresses a
+//! genuine unknown.
+
+use crate::lexer::{self, FileModel, TokKind, Token, NUMERIC_TYPES};
+
+use std::collections::HashMap;
+
+/// In-tree numeric type aliases the rule resolves before width checks.
+pub const TYPE_ALIASES: &[(&str, &str)] = &[("NodeId", "u32"), ("KeyId", "u32")];
+
+/// Resolve an alias to its primitive type; primitives pass through.
+pub fn resolve_ty(ty: &str) -> &str {
+    TYPE_ALIASES.iter().find(|(a, _)| *a == ty).map_or(ty, |(_, p)| p)
+}
+
+/// Recursion fuel for nested binding/const evaluation.
+const MAX_DEPTH: u32 = 8;
+
+/// A closed integer interval.
+pub type Ival = (i128, i128);
+
+/// What the evaluator knows about an expression: an inferred primitive
+/// type, an integer value interval, and/or a float value interval. All
+/// three are independent "proof handles" — a typed-but-unbounded value
+/// can still pass by widening, an untyped literal by its interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Val {
+    pub ty: Option<String>,
+    pub iv: Option<Ival>,
+    pub fl: Option<(f64, f64)>,
+}
+
+impl Val {
+    fn unknown() -> Val {
+        Val::default()
+    }
+
+    /// A value of known type but unknown magnitude: its interval is the
+    /// type's full range (which is what makes `.min()` bounding work).
+    fn of_type(ty: &str) -> Val {
+        let ty = resolve_ty(ty);
+        match ty_range(ty) {
+            Some(iv) => Val { ty: Some(ty.to_string()), iv: Some(iv), fl: None },
+            None if ty == "f32" || ty == "f64" => {
+                Val { ty: Some(ty.to_string()), iv: None, fl: None }
+            }
+            None => Val::unknown(),
+        }
+    }
+}
+
+/// Full value range of an integer primitive, `None` for non-integers.
+/// `u128`'s top saturates to `i128::MAX` (conservative: wider, never
+/// narrower, than the true range as far as fit-checks are concerned —
+/// anything proven inside it is certainly inside `u128`).
+fn ty_range(ty: &str) -> Option<Ival> {
+    Some(match ty {
+        "u8" => (0, u8::MAX as i128),
+        "u16" => (0, u16::MAX as i128),
+        "u32" => (0, u32::MAX as i128),
+        "u64" | "usize" => (0, u64::MAX as i128),
+        "u128" => (0, i128::MAX),
+        "i8" => (i8::MIN as i128, i8::MAX as i128),
+        "i16" => (i16::MIN as i128, i16::MAX as i128),
+        "i32" => (i32::MIN as i128, i32::MAX as i128),
+        "i64" | "isize" => (i64::MIN as i128, i64::MAX as i128),
+        "i128" => (i128::MIN, i128::MAX),
+        _ => return None,
+    })
+}
+
+/// Largest integer exactly representable in the float type's mantissa.
+fn mantissa_span(ty: &str) -> i128 {
+    if ty == "f32" {
+        1 << 24
+    } else {
+        1 << 53
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-file environment: consts and struct field types
+// ---------------------------------------------------------------------------
+
+/// Facts derived once per file: `const` values and struct field types.
+pub struct FileEnv {
+    consts: HashMap<String, Val>,
+    fields: HashMap<String, String>,
+}
+
+/// Cross-crate constants the numeric core references, seeded from the
+/// *linked* values so the analysis tracks the code, not a copy of it.
+fn extern_consts() -> Vec<(&'static str, &'static str, i128)> {
+    vec![
+        ("PAGE_SIZE", "usize", sysr_rss::PAGE_SIZE as i128),
+        ("PAGE_HEADER_SIZE", "usize", sysr_rss::PAGE_HEADER_SIZE as i128),
+        ("SLOT_SIZE", "usize", sysr_rss::SLOT_SIZE as i128),
+        ("MAX_BATCH", "usize", sysr_rss::MAX_BATCH as i128),
+    ]
+}
+
+impl FileEnv {
+    pub fn new(model: &FileModel) -> FileEnv {
+        let mut env = FileEnv { consts: HashMap::new(), fields: HashMap::new() };
+        for (name, ty, v) in extern_consts() {
+            env.consts.insert(
+                name.to_string(),
+                Val { ty: Some(ty.to_string()), iv: Some((v, v)), fl: None },
+            );
+        }
+        env.scan_fields(model);
+        env.scan_consts(model);
+        env
+    }
+
+    /// `struct X { field: Type, … }` — record single-ident field types.
+    /// A field name declared with two different types in one file is
+    /// dropped (ambiguous).
+    fn scan_fields(&mut self, model: &FileModel) {
+        let toks = &model.tokens;
+        let mut clash: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].kind == TokKind::Ident && toks[i].text == "struct" {
+                // skip name + generics to the body brace (or `;` for unit)
+                let mut j = i + 1;
+                while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | ";" | "(") {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].text == "{" {
+                    let close = lexer::matching_close(toks, j);
+                    let body_depth = toks[j].depth + 1;
+                    let mut k = j + 1;
+                    while k + 2 < close {
+                        if toks[k].kind == TokKind::Ident
+                            && toks[k].depth == body_depth
+                            && toks[k + 1].text == ":"
+                            && toks[k + 2].kind == TokKind::Ident
+                            && lexer::next_code(toks, k + 3)
+                                .is_some_and(|n| matches!(toks[n].text.as_str(), "," | "}"))
+                        {
+                            let name = toks[k].text.clone();
+                            let ty = toks[k + 2].text.clone();
+                            match self.fields.get(&name) {
+                                Some(prev) if *prev != ty => clash.push(name),
+                                _ => {
+                                    self.fields.insert(name, ty);
+                                }
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = close;
+                }
+            }
+            i += 1;
+        }
+        for name in clash {
+            self.fields.remove(&name);
+        }
+    }
+
+    /// `const NAME: TY = expr;` items, evaluated in file order so later
+    /// consts can reference earlier ones (and the seeded externs).
+    fn scan_consts(&mut self, model: &FileModel) {
+        let toks = &model.tokens;
+        let mut i = 0;
+        while i + 4 < toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text == "const"
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 2].text == ":"
+                && toks[i + 3].kind == TokKind::Ident
+            {
+                let name = toks[i + 1].text.clone();
+                let ty = resolve_ty(&toks[i + 3].text).to_string();
+                if let Some(eq) = lexer::next_code(toks, i + 4) {
+                    if toks[eq].text == "=" {
+                        let end = stmt_end(toks, eq + 1);
+                        let sc = Scope { model, env: self, fn_body: None, at: eq };
+                        let mut v = eval_range(&sc, eq + 1, end, MAX_DEPTH);
+                        // The declared type wins; the initializer supplies
+                        // the value.
+                        if v.iv.is_some() || v.fl.is_some() {
+                            v.ty = Some(ty);
+                            self.consts.insert(name, v);
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator gluing
+// ---------------------------------------------------------------------------
+//
+// The lexer emits one `Punct` token per punctuation byte; `::`, `<<`,
+// `&&`, `=>`, `<=`, `+=` … arrive as adjacent singles. Gluing happens
+// here (not in the lexer) because the right answer is context-dependent:
+// `Vec<Vec<u8>>` ends in two closers, not a shift — and this module is
+// the only consumer that needs operator-level reading.
+
+/// Three-byte operators, checked before the two-byte table.
+const OPS3: &[&str] = &["<<=", ">>=", "..="];
+/// Two-byte operators.
+const OPS2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "..",
+];
+
+/// Are tokens `a` and `a + n` parts of one source operator (both puncts,
+/// byte-adjacent on the same line)?
+fn adjacent(toks: &[Token], a: usize, n: u32) -> bool {
+    toks.get(a + n as usize).is_some_and(|t| {
+        t.kind == TokKind::Punct && t.line == toks[a].line && t.col == toks[a].col + n
+    })
+}
+
+/// The (possibly glued) operator starting at token `i`: its text and the
+/// index one past its last token. Non-punct tokens return themselves.
+fn op_at(toks: &[Token], i: usize) -> (String, usize) {
+    if toks[i].kind != TokKind::Punct {
+        return (toks[i].text.clone(), i + 1);
+    }
+    if adjacent(toks, i, 1) && adjacent(toks, i, 2) {
+        let t3 = format!("{}{}{}", toks[i].text, toks[i + 1].text, toks[i + 2].text);
+        if OPS3.contains(&t3.as_str()) {
+            return (t3, i + 3);
+        }
+    }
+    if adjacent(toks, i, 1) {
+        let t2 = format!("{}{}", toks[i].text, toks[i + 1].text);
+        if OPS2.contains(&t2.as_str()) {
+            return (t2, i + 2);
+        }
+    }
+    (toks[i].text.clone(), i + 1)
+}
+
+/// If the token at `q` is the second colon of a glued `::`, the index of
+/// the first colon.
+fn colon_pair_start(toks: &[Token], q: usize) -> Option<usize> {
+    if toks[q].kind != TokKind::Punct || toks[q].text != ":" {
+        return None;
+    }
+    let p = q.checked_sub(1)?;
+    (toks[p].kind == TokKind::Punct && toks[p].text == ":" && adjacent(toks, p, 1)).then_some(p)
+}
+
+/// Index of the `;` terminating the statement starting at `from` (same
+/// depth), or the token stream's end.
+fn stmt_end(toks: &[Token], from: usize) -> usize {
+    let depth = toks.get(from).map_or(0, |t| t.depth);
+    (from..toks.len())
+        .find(|&j| toks[j].kind == TokKind::Punct && toks[j].text == ";" && toks[j].depth <= depth)
+        .unwrap_or(toks.len())
+}
+
+// ---------------------------------------------------------------------------
+// The public entry: prove the cast at `as_idx`
+// ---------------------------------------------------------------------------
+
+/// Evaluate the operand of the cast whose `as` token is at `as_idx` and
+/// decide whether it provably fits `dst` (already alias-resolved).
+/// `Ok(())` when proven; `Err(detail)` with what is known otherwise.
+pub fn prove_cast(
+    model: &FileModel,
+    env: &FileEnv,
+    as_idx: usize,
+    dst: &str,
+) -> Result<(), String> {
+    let toks = &model.tokens;
+    let fn_body = model.fn_of(as_idx).map(|f| f.body);
+    let sc = Scope { model, env, fn_body, at: as_idx };
+    let Some(start) = operand_start(toks, as_idx) else {
+        return Err("operand expression not analyzable".to_string());
+    };
+    let v = eval_range(&sc, start, as_idx, MAX_DEPTH);
+
+    // Type-based widening first (covers typed-but-unbounded operands).
+    if let Some(src) = v.ty.as_deref() {
+        if crate::lint::widening_ok(src, dst) {
+            return Ok(());
+        }
+    }
+    let Some((_db, ds, df)) = crate::lint::numeric_facts(dst) else {
+        return Err(format!("unknown cast target `{dst}`"));
+    };
+    if df {
+        // int → float: the interval must sit inside the mantissa's exact
+        // span. (float → float narrowing stays flagged.)
+        if v.ty.as_deref().is_none_or(|t| !t.starts_with('f')) {
+            if let Some((lo, hi)) = v.iv {
+                let m = mantissa_span(dst);
+                if -m <= lo && hi <= m {
+                    return Ok(());
+                }
+                return Err(format!(
+                    "operand in [{lo}, {hi}] exceeds `{dst}`'s exact integer span ±2^{}",
+                    if dst == "f32" { 24 } else { 53 }
+                ));
+            }
+        }
+        return Err(format!("operand range unknown, cast to `{dst}` unproven"));
+    }
+    // integer target
+    let Some(range) = ty_range(dst) else {
+        return Err(format!("unknown cast target `{dst}`"));
+    };
+    let _ = ds;
+    if let Some((lo, hi)) = v.iv {
+        if range.0 <= lo && hi <= range.1 {
+            return Ok(());
+        }
+        return Err(format!("operand in [{lo}, {hi}] does not fit `{dst}`"));
+    }
+    // float → int: accept a trailing `.clamp(a, b)` whose bounds sit
+    // inside the target (Rust's saturating cast then maps NaN to 0,
+    // which is also in range).
+    if let Some((flo, fhi)) = v.fl {
+        if flo >= range.0 as f64 && fhi <= range.1 as f64 {
+            return Ok(());
+        }
+        return Err(format!("float operand in [{flo}, {fhi}] not proven inside `{dst}`"));
+    }
+    Err(format!("operand range unknown, cast to `{dst}` unproven"))
+}
+
+// ---------------------------------------------------------------------------
+// Operand extent (backward scan)
+// ---------------------------------------------------------------------------
+
+/// Start token of the cast operand ending just before `as_idx`. `as`
+/// binds tighter than every binary operator, so the operand is a postfix
+/// chain: literal, path, field/method chain, call, or parenthesized
+/// expression — never a bare binary expression.
+fn operand_start(toks: &[Token], as_idx: usize) -> Option<usize> {
+    let mut p = lexer::prev_code(toks, as_idx)?;
+    loop {
+        match toks[p].kind {
+            TokKind::Int | TokKind::Float => return Some(p),
+            TokKind::Close if toks[p].text == ")" => {
+                let open = matching_open(toks, p, "(", ")")?;
+                let Some(q) = lexer::prev_code(toks, open) else { return Some(open) };
+                match toks[q].kind {
+                    TokKind::Ident if !is_expr_boundary(&toks[q].text) => p = q,
+                    _ if toks[q].text == ">" => {
+                        // turbofish: `path::<T>(…)` — hop back over `<…>`
+                        let lt = matching_open(toks, q, "<", ">")?;
+                        let colons = lexer::prev_code(toks, lt)?;
+                        let Some(c0) = colon_pair_start(toks, colons) else {
+                            return Some(open);
+                        };
+                        p = lexer::prev_code(toks, c0)?;
+                    }
+                    _ => return Some(open), // plain parenthesized group
+                }
+            }
+            TokKind::Ident => {
+                match lexer::prev_code(toks, p) {
+                    // `recv.field` / `recv.method` — but not a `..` range.
+                    Some(q)
+                        if toks[q].text == "."
+                            && !q
+                                .checked_sub(1)
+                                .is_some_and(|r| toks[r].text == "." && adjacent(toks, r, 1)) =>
+                    {
+                        p = lexer::prev_code(toks, q)?;
+                    }
+                    // `path::ident` — the lexer splits `::` into two colons.
+                    Some(q) if colon_pair_start(toks, q).is_some() => {
+                        let c0 = colon_pair_start(toks, q)?;
+                        p = lexer::prev_code(toks, c0)?;
+                    }
+                    _ => return Some(p),
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Keywords that terminate a backward operand scan even though they lex
+/// as identifiers (`return (x) as u64`, `match (x) as …`).
+fn is_expr_boundary(text: &str) -> bool {
+    matches!(text, "return" | "match" | "if" | "in" | "else" | "while" | "move")
+}
+
+/// Backwards scan for the `o` matching the `c` at `close`.
+fn matching_open(toks: &[Token], close: usize, o: &str, c: &str) -> Option<usize> {
+    let mut nest = 0i64;
+    for j in (0..=close).rev() {
+        if toks[j].is_comment() {
+            continue;
+        }
+        if toks[j].text == c {
+            nest += 1;
+        } else if toks[j].text == o {
+            nest -= 1;
+            if nest == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluation context: the file, its const/field facts, and where the
+/// value is being asked about (for flow-sensitivity and guard scoping).
+struct Scope<'a> {
+    model: &'a FileModel,
+    env: &'a FileEnv,
+    /// Enclosing fn body token range, when inside one.
+    fn_body: Option<(usize, usize)>,
+    /// The token position the question is asked at (the `as`, or the
+    /// binding's initializer for nested lookups).
+    at: usize,
+}
+
+/// Evaluate tokens `[lo, hi)` as one expression.
+fn eval_range(sc: &Scope, lo: usize, hi: usize, fuel: u32) -> Val {
+    if fuel == 0 || lo >= hi {
+        return Val::unknown();
+    }
+    let mut p = Parser { sc, pos: lo, end: hi, fuel };
+    let v = p.expr();
+    // Trailing unconsumed tokens mean the parse didn't cover the
+    // expression; trust nothing.
+    if p.peek().is_some() {
+        return Val::unknown();
+    }
+    v
+}
+
+struct Parser<'a> {
+    sc: &'a Scope<'a>,
+    pos: usize,
+    end: usize,
+    fuel: u32,
+}
+
+impl Parser<'_> {
+    fn toks(&self) -> &[Token] {
+        &self.sc.model.tokens
+    }
+
+    fn peek(&mut self) -> Option<usize> {
+        while self.pos < self.end {
+            if !self.toks()[self.pos].is_comment() {
+                return Some(self.pos);
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    fn bump(&mut self) -> Option<usize> {
+        let i = self.peek()?;
+        self.pos = i + 1;
+        Some(i)
+    }
+
+    fn peek_text(&mut self) -> Option<&str> {
+        let i = self.peek()?;
+        Some(self.sc.model.tokens[i].text.as_str())
+    }
+
+    /// The glued operator at the cursor when it is one of `set` and lies
+    /// entirely inside the expression bounds: its text and end index.
+    fn peek_op(&mut self, set: &[&str]) -> Option<(String, usize)> {
+        let i = self.peek()?;
+        let (op, next) = op_at(self.toks(), i);
+        (next <= self.end && set.contains(&op.as_str())).then_some((op, next))
+    }
+
+    /// expr := term { (+|-) term }
+    fn expr(&mut self) -> Val {
+        let mut acc = self.term();
+        while let Some((op, next)) = self.peek_op(&["+", "-"]) {
+            self.pos = next;
+            let rhs = self.term();
+            acc = combine(&acc, &op, &rhs);
+        }
+        acc
+    }
+
+    /// term := postfix { (*|/|%|<<|>>) postfix }
+    fn term(&mut self) -> Val {
+        let mut acc = self.postfix();
+        while let Some((op, next)) = self.peek_op(&["*", "/", "%", "<<", ">>"]) {
+            self.pos = next;
+            let rhs = self.postfix();
+            acc = combine(&acc, &op, &rhs);
+        }
+        acc
+    }
+
+    /// postfix := primary { .method(args) | .field | as TYPE }
+    fn postfix(&mut self) -> Val {
+        let mut v = self.primary();
+        loop {
+            let Some(i) = self.peek() else { return v };
+            // Glued reading keeps `..` ranges from parsing as two dots.
+            let (op, next) = op_at(self.toks(), i);
+            match op.as_str() {
+                "." => {
+                    self.pos = next;
+                    let Some(m) = self.bump() else { return Val::unknown() };
+                    let toks = self.toks();
+                    if toks[m].kind != TokKind::Ident {
+                        return Val::unknown();
+                    }
+                    let name = toks[m].text.clone();
+                    if self.peek_text() == Some("(") {
+                        let Some(open) = self.bump() else { return Val::unknown() };
+                        let close = lexer::matching_close(self.toks(), open);
+                        let args = self.arg_ranges(open, close);
+                        self.pos = close + 1;
+                        v = method(self.sc, &v, &name, &args, self.fuel);
+                    } else {
+                        // field access: same-file struct field types
+                        v = match self.sc.env.fields.get(&name) {
+                            Some(ty) => Val::of_type(ty),
+                            None => Val::unknown(),
+                        };
+                    }
+                }
+                "as" => {
+                    self.pos = next;
+                    let Some(t) = self.bump() else { return Val::unknown() };
+                    let ty = resolve_ty(&self.sc.model.tokens[t].text).to_string();
+                    v = embedded_cast(&v, &ty);
+                }
+                _ => return v,
+            }
+        }
+    }
+
+    /// primary := literal | -primary | ( expr ) | path [call]
+    fn primary(&mut self) -> Val {
+        let Some(i) = self.bump() else { return Val::unknown() };
+        let toks = self.sc.model.tokens.clone();
+        match toks[i].kind {
+            TokKind::Int => int_literal(&toks[i].text),
+            TokKind::Float => float_literal(&toks[i].text),
+            TokKind::Punct if toks[i].text == "-" => {
+                let v = self.primary();
+                combine(&Val { ty: v.ty.clone(), iv: Some((0, 0)), fl: Some((0.0, 0.0)) }, "-", &v)
+            }
+            TokKind::Punct if toks[i].text == "&" || toks[i].text == "*" => self.primary(),
+            TokKind::Open if toks[i].text == "(" => {
+                let close = lexer::matching_close(&toks, i);
+                let inner = eval_range(self.sc, i + 1, close, self.fuel - 1);
+                self.pos = close + 1;
+                inner
+            }
+            TokKind::Ident => self.path_or_ident(i),
+            _ => Val::unknown(),
+        }
+    }
+
+    /// A path starting at ident `i`: plain binding/const, `T::MAX`,
+    /// `T::MIN`, or a (possibly turbofished) function call whose last
+    /// segment is a known length-like fn.
+    fn path_or_ident(&mut self, i: usize) -> Val {
+        let toks = self.sc.model.tokens.clone();
+        let mut last = i;
+        let mut prev: Option<usize> = None;
+        while let Some((_, next)) = self.peek_op(&["::"]) {
+            self.pos = next;
+            // turbofish `::<T>` — skip the generic args entirely
+            if self.peek_text() == Some("<") {
+                let Some(lt) = self.bump() else { return Val::unknown() };
+                let gt = matching_close_angle(&toks, lt, self.end);
+                self.pos = gt + 1;
+                continue;
+            }
+            let Some(seg) = self.bump() else { return Val::unknown() };
+            prev = Some(last);
+            last = seg;
+        }
+        let last_text = toks[last].text.as_str();
+        // `T::MAX` / `T::MIN`
+        if let Some(p) = prev {
+            let base = resolve_ty(&toks[p].text);
+            if let Some((lo, hi)) = ty_range(base) {
+                match last_text {
+                    "MAX" => {
+                        return Val { ty: Some(base.to_string()), iv: Some((hi, hi)), fl: None }
+                    }
+                    "MIN" => {
+                        return Val { ty: Some(base.to_string()), iv: Some((lo, lo)), fl: None }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // call?
+        if self.peek_text() == Some("(") {
+            let Some(open) = self.bump() else { return Val::unknown() };
+            let close = lexer::matching_close(&toks, open);
+            self.pos = close + 1;
+            return match last_text {
+                // usize-returning length-like functions
+                "size_of" | "align_of" | "size_of_val" => Val::of_type("usize"),
+                _ => Val::unknown(),
+            };
+        }
+        if prev.is_some() {
+            return Val::unknown(); // some other path expression
+        }
+        resolve_ident(self.sc, last_text, self.fuel)
+    }
+
+    /// Top-level comma-separated argument ranges inside `(open, close)`.
+    fn arg_ranges(&self, open: usize, close: usize) -> Vec<(usize, usize)> {
+        let toks = &self.sc.model.tokens;
+        let mut out = Vec::new();
+        let mut depth = 0i64;
+        let mut start = open + 1;
+        for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+            match t.kind {
+                TokKind::Open => depth += 1,
+                TokKind::Close => depth -= 1,
+                TokKind::Punct if t.text == "," && depth == 0 => {
+                    out.push((start, j));
+                    start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        if start < close {
+            out.push((start, close));
+        }
+        out
+    }
+}
+
+/// Forward scan for the `>` closing the `<` at `lt` (generics only; the
+/// lexer emits comparison `>` too, but inside a turbofish the pairs
+/// balance).
+fn matching_close_angle(toks: &[Token], lt: usize, end: usize) -> usize {
+    let mut nest = 0i64;
+    for (j, t) in toks.iter().enumerate().take(end).skip(lt) {
+        match t.text.as_str() {
+            "<" => nest += 1,
+            ">" => {
+                nest -= 1;
+                if nest == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    end.saturating_sub(1)
+}
+
+fn int_literal(text: &str) -> Val {
+    let cleaned: String = text.replace('_', "");
+    let (digits, ty) = split_suffix(&cleaned);
+    let v = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        i128::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = digits.strip_prefix("0b").or_else(|| digits.strip_prefix("0B")) {
+        i128::from_str_radix(bin, 2).ok()
+    } else if let Some(oct) = digits.strip_prefix("0o").or_else(|| digits.strip_prefix("0O")) {
+        i128::from_str_radix(oct, 8).ok()
+    } else {
+        digits.parse::<i128>().ok()
+    };
+    match v {
+        Some(v) => Val { ty, iv: Some((v, v)), fl: Some((v as f64, v as f64)) },
+        None => Val::unknown(),
+    }
+}
+
+fn float_literal(text: &str) -> Val {
+    let cleaned: String = text.replace('_', "");
+    let (digits, ty) = split_suffix(&cleaned);
+    match digits.parse::<f64>() {
+        Ok(v) => Val { ty: ty.or_else(|| Some("f64".to_string())), iv: None, fl: Some((v, v)) },
+        Err(_) => Val::unknown(),
+    }
+}
+
+/// Strip a trailing primitive-type suffix (`10u64`, `1.5f32`) if present.
+fn split_suffix(text: &str) -> (&str, Option<String>) {
+    for ty in NUMERIC_TYPES {
+        if let Some(rest) = text.strip_suffix(ty) {
+            if !rest.is_empty() {
+                return (rest, Some((*ty).to_string()));
+            }
+        }
+    }
+    (text, None)
+}
+
+// ---------------------------------------------------------------------------
+// Identifier resolution: bindings, consts, guard narrowing
+// ---------------------------------------------------------------------------
+
+fn resolve_ident(sc: &Scope, name: &str, fuel: u32) -> Val {
+    let mut v = binding_value(sc, name, fuel);
+    if v == Val::unknown() {
+        if let Some(c) = sc.env.consts.get(name) {
+            v = c.clone();
+        }
+    }
+    if v.iv.is_some() || v.fl.is_some() {
+        v = narrow_by_guards(sc, name, v, fuel);
+    }
+    v
+}
+
+/// Value of `name` inside the enclosing fn at `sc.at`: the latest
+/// `let name = expr` before the use, else the declared type's range
+/// (parameter or ascription). Any mutation of `name` in the fn degrades
+/// to the declared type range (or unknown) — conservative but simple.
+fn binding_value(sc: &Scope, name: &str, fuel: u32) -> Val {
+    let Some((body_open, body_close)) = sc.fn_body else { return Val::unknown() };
+    let toks = &sc.model.tokens;
+    let declared = sc
+        .model
+        .fn_of(sc.at)
+        .and_then(|f| f.typed.iter().find(|(n, _)| n == name))
+        .map(|(_, ty)| Val::of_type(ty));
+
+    if is_mutated(toks, body_open, body_close, name) {
+        return declared.unwrap_or_default();
+    }
+
+    // Latest `let [mut] name [: T] = expr;` strictly before the use.
+    let mut best: Option<usize> = None;
+    for j in body_open..body_close.min(sc.at) {
+        if toks[j].kind == TokKind::Ident && toks[j].text == "let" {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.text == "mut") {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident && t.text == name) {
+                best = Some(j);
+            }
+        }
+    }
+    if let Some(let_at) = best {
+        // find `=` then evaluate to `;`
+        let mut eq = let_at + 1;
+        while eq < sc.at && toks[eq].text != "=" && toks[eq].text != ";" {
+            eq += 1;
+        }
+        if eq < sc.at && toks[eq].text == "=" {
+            let end = stmt_end(toks, eq + 1).min(sc.at);
+            let inner = Scope { model: sc.model, env: sc.env, fn_body: sc.fn_body, at: let_at };
+            let v = eval_range(&inner, eq + 1, end, fuel.saturating_sub(1));
+            if v.iv.is_some() || v.fl.is_some() || v.ty.is_some() {
+                return v;
+            }
+        }
+    }
+    declared.unwrap_or_default()
+}
+
+/// Does the fn body ever reassign, compound-assign, or mutably borrow
+/// `name`? (`name = …`, `name += …`, `&mut name`.)
+fn is_mutated(toks: &[Token], open: usize, close: usize, name: &str) -> bool {
+    for j in open..close {
+        if toks[j].kind != TokKind::Ident || toks[j].text != name {
+            continue;
+        }
+        // `&mut name`
+        if j >= 2 && toks[j - 1].text == "mut" && toks[j - 2].text == "&" {
+            return true;
+        }
+        // skip `let name =` (that's the binding, not a mutation)
+        let is_let_target = (1..=2).any(|back| {
+            j >= back && toks[j - back].kind == TokKind::Ident && toks[j - back].text == "let"
+        });
+        if is_let_target {
+            continue;
+        }
+        if let Some(n) = lexer::next_code(toks, j + 1) {
+            // Glued reading: `==`/`<=`/`=>` are comparisons or arrows,
+            // not assignments; `+=` and friends are mutations.
+            let (op, _) = op_at(toks, n);
+            if op == "="
+                || matches!(
+                    op.as_str(),
+                    "+=" | "-=" | "*=" | "/=" | "%=" | "<<=" | ">>=" | "&=" | "|=" | "^="
+                )
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Guard narrowing
+// ---------------------------------------------------------------------------
+
+/// Intersect `v` with every `if`/match-arm guard on `name` whose guarded
+/// region contains `sc.at`.
+fn narrow_by_guards(sc: &Scope, name: &str, mut v: Val, fuel: u32) -> Val {
+    let Some((body_open, body_close)) = sc.fn_body else { return v };
+    let toks = &sc.model.tokens;
+    let mut j = body_open;
+    while j < body_close {
+        if toks[j].kind == TokKind::Ident && toks[j].text == "if" {
+            if let Some(g) = parse_guard(sc, j, body_close, fuel) {
+                for (region, constraints) in g {
+                    if region.0 <= sc.at && sc.at <= region.1 {
+                        for c in &constraints {
+                            if c.name == name {
+                                v = apply_constraint(v, c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    v
+}
+
+/// One comparison constraint on a named binding.
+struct Constraint {
+    name: String,
+    /// Normalized op with the binding on the left.
+    op: String,
+    bound: Ival,
+}
+
+/// Parse the guard starting at the `if` token `at`. Returns guarded
+/// regions with the constraints that hold inside each: the then-block
+/// (or match arm) under the condition, the else-block under its
+/// negation (single-comparison conditions only).
+#[allow(clippy::type_complexity)]
+fn parse_guard(
+    sc: &Scope,
+    at: usize,
+    limit: usize,
+    fuel: u32,
+) -> Option<Vec<((usize, usize), Vec<Constraint>)>> {
+    let toks = &sc.model.tokens;
+    // `if let` is a pattern, not a comparison.
+    if lexer::next_code(toks, at + 1).is_some_and(|n| toks[n].text == "let") {
+        return None;
+    }
+    // Collect condition tokens up to the first `{` (if-block) or `=>`
+    // (match-arm guard) at bracket level 0 relative to the scan. The
+    // scan reads glued operators so `=>` (two tokens) is seen whole.
+    let mut depth = 0i64;
+    let mut k = at + 1;
+    let mut arm_after: Option<usize> = None;
+    let cond_end = loop {
+        if k >= limit || k >= toks.len() {
+            return None;
+        }
+        let t = &toks[k];
+        if t.is_comment() {
+            k += 1;
+            continue;
+        }
+        let (op, next) = op_at(toks, k);
+        match t.kind {
+            TokKind::Open if t.text == "{" && depth == 0 => break k,
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Punct if op == "=>" && depth == 0 => {
+                arm_after = Some(next);
+                break k;
+            }
+            _ => {}
+        }
+        k = next;
+    };
+
+    // Split the condition on top-level `&&`; parse each conjunct of the
+    // shape `ident cmp expr`.
+    let mut conjuncts: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0i64;
+    let mut start = at + 1;
+    let mut j = at + 1;
+    while j < cond_end {
+        if toks[j].is_comment() {
+            j += 1;
+            continue;
+        }
+        let (op, next) = op_at(toks, j);
+        match toks[j].kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Punct if op == "&&" && depth == 0 => {
+                conjuncts.push((start, j));
+                start = next;
+            }
+            TokKind::Punct if op == "||" && depth == 0 => return None,
+            _ => {}
+        }
+        j = next;
+    }
+    conjuncts.push((start, cond_end));
+
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for &(lo, hi) in &conjuncts {
+        if let Some(c) = parse_comparison(sc, lo, hi, fuel) {
+            constraints.push(c);
+        }
+    }
+    if constraints.is_empty() {
+        return None;
+    }
+
+    let mut out: Vec<((usize, usize), Vec<Constraint>)> = Vec::new();
+    if let Some(op_end) = arm_after {
+        // Guarded region: from `=>` to the arm's end — a block body, or
+        // the next `,` at the arm's depth (or the match's closing `}`).
+        let after = lexer::next_code(toks, op_end)?;
+        let region = if toks[after].kind == TokKind::Open && toks[after].text == "{" {
+            (after, lexer::matching_close(toks, after))
+        } else {
+            let arm_depth = toks[cond_end].depth;
+            let end = (after..limit)
+                .find(|&j| {
+                    (toks[j].kind == TokKind::Punct
+                        && toks[j].text == ","
+                        && toks[j].depth == arm_depth)
+                        || (toks[j].kind == TokKind::Close && toks[j].depth < arm_depth)
+                })
+                .unwrap_or(limit);
+            (after, end)
+        };
+        out.push((region, constraints));
+        return Some(out);
+    }
+
+    let then_close = lexer::matching_close(toks, cond_end);
+    out.push(((cond_end, then_close), constraints));
+
+    // `else { … }` gets the negation — only sound for a single
+    // comparison (¬(a && b) is a disjunction).
+    if conjuncts.len() == 1 {
+        if let Some(e) = lexer::next_code(toks, then_close + 1) {
+            if toks[e].kind == TokKind::Ident && toks[e].text == "else" {
+                if let Some(b) = lexer::next_code(toks, e + 1) {
+                    if toks[b].kind == TokKind::Open && toks[b].text == "{" {
+                        let else_close = lexer::matching_close(toks, b);
+                        if let Some(c) = parse_comparison(sc, conjuncts[0].0, conjuncts[0].1, fuel)
+                        {
+                            out.push((
+                                (b, else_close),
+                                vec![Constraint {
+                                    name: c.name,
+                                    op: negate(&c.op),
+                                    bound: c.bound,
+                                }],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Parse `ident cmp expr` within `[lo, hi)`; the right-hand side must
+/// evaluate to a known interval.
+fn parse_comparison(sc: &Scope, lo: usize, hi: usize, fuel: u32) -> Option<Constraint> {
+    let toks = &sc.model.tokens;
+    let first = lexer::next_code(toks, lo).filter(|&j| j < hi)?;
+    if toks[first].kind != TokKind::Ident {
+        return None;
+    }
+    let name = toks[first].text.clone();
+    let op_idx = lexer::next_code(toks, first + 1).filter(|&j| j < hi)?;
+    let (op, op_end) = op_at(toks, op_idx);
+    if !matches!(op.as_str(), "<" | "<=" | ">" | ">=" | "==") {
+        return None;
+    }
+    // Reuse eval with reduced fuel; the rhs is evaluated in the same fn
+    // scope (it may reference consts or other bindings).
+    let rhs = eval_range(sc, op_end, hi, fuel.saturating_sub(1));
+    let bound = rhs.iv?;
+    Some(Constraint { name, op, bound })
+}
+
+fn negate(op: &str) -> String {
+    match op {
+        "<" => ">=",
+        "<=" => ">",
+        ">" => "<=",
+        ">=" => "<",
+        _ => "!=",
+    }
+    .to_string()
+}
+
+fn apply_constraint(mut v: Val, c: &Constraint) -> Val {
+    let Some((lo, hi)) = v.iv else { return v };
+    let (blo, bhi) = c.bound;
+    let (nlo, nhi) = match c.op.as_str() {
+        // x < [blo, bhi]  ⇒  x ≤ bhi - 1 in the worst case we can
+        // guarantee … conservatively use the *largest* admissible bound.
+        "<" => (lo, hi.min(bhi.saturating_sub(1))),
+        "<=" => (lo, hi.min(bhi)),
+        ">" => (lo.max(blo.saturating_add(1)), hi),
+        ">=" => (lo.max(blo), hi),
+        "==" => (lo.max(blo), hi.min(bhi)),
+        _ => (lo, hi),
+    };
+    if nlo <= nhi {
+        v.iv = Some((nlo, nhi));
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic
+// ---------------------------------------------------------------------------
+
+/// Combine two values under a binary operator with saturating interval
+/// arithmetic. Types combine when equal (or one side is an untyped
+/// literal); otherwise the result is untyped but may still carry an
+/// interval.
+fn combine(a: &Val, op: &str, b: &Val) -> Val {
+    let ty = match (&a.ty, &b.ty) {
+        (Some(x), Some(y)) if x == y => Some(x.clone()),
+        (Some(x), None) => Some(x.clone()),
+        (None, Some(y)) => Some(y.clone()),
+        _ => None,
+    };
+    let iv = match (a.iv, b.iv) {
+        (Some(x), Some(y)) => int_op(x, op, y),
+        _ => None,
+    };
+    let fl = match (a.fl, b.fl) {
+        (Some(x), Some(y)) => float_op(x, op, y),
+        _ => None,
+    };
+    // Unsigned result types cannot go negative: wrap/panic either way,
+    // so clamping the bound keeps the interval sound for values that
+    // actually occur.
+    let iv = match (&ty, iv) {
+        (Some(t), Some((lo, hi))) if t.starts_with('u') && lo < 0 => {
+            if hi < 0 {
+                None
+            } else {
+                Some((0, hi))
+            }
+        }
+        (_, iv) => iv,
+    };
+    Val { ty, iv, fl }
+}
+
+fn int_op(a: Ival, op: &str, b: Ival) -> Option<Ival> {
+    let (alo, ahi) = a;
+    let (blo, bhi) = b;
+    Some(match op {
+        "+" => (alo.saturating_add(blo), ahi.saturating_add(bhi)),
+        "-" => (alo.saturating_sub(bhi), ahi.saturating_sub(blo)),
+        "*" => {
+            let c = [
+                alo.saturating_mul(blo),
+                alo.saturating_mul(bhi),
+                ahi.saturating_mul(blo),
+                ahi.saturating_mul(bhi),
+            ];
+            (*c.iter().min()?, *c.iter().max()?)
+        }
+        "/" => {
+            if blo <= 0 {
+                return None; // divisor could be 0 or negative: bail
+            }
+            let c = [alo / blo, alo / bhi, ahi / blo, ahi / bhi];
+            (*c.iter().min()?, *c.iter().max()?)
+        }
+        "%" => {
+            if blo <= 0 {
+                return None;
+            }
+            let m = bhi.saturating_sub(1);
+            if alo >= 0 {
+                (0, m)
+            } else {
+                (-m, m)
+            }
+        }
+        "<<" => {
+            if blo != bhi || !(0..=126).contains(&blo) {
+                return None;
+            }
+            let k = blo as u32;
+            (alo.checked_shl(k)?, ahi.checked_shl(k)?)
+        }
+        ">>" => {
+            if blo != bhi || !(0..=126).contains(&blo) {
+                return None;
+            }
+            let k = blo as u32;
+            (alo >> k, ahi >> k)
+        }
+        _ => return None,
+    })
+}
+
+fn float_op(a: (f64, f64), op: &str, b: (f64, f64)) -> Option<(f64, f64)> {
+    let (alo, ahi) = a;
+    let (blo, bhi) = b;
+    Some(match op {
+        "+" => (alo + blo, ahi + bhi),
+        "-" => (alo - bhi, ahi - blo),
+        "*" => {
+            let c = [alo * blo, alo * bhi, ahi * blo, ahi * bhi];
+            (
+                c.iter().cloned().fold(f64::INFINITY, f64::min),
+                c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            )
+        }
+        _ => return None,
+    })
+}
+
+/// An embedded `expr as T` inside the operand chain: if the interval
+/// provably fits `T`, the value is preserved; otherwise the value wraps
+/// or truncates, so all we know is the target's own range.
+fn embedded_cast(v: &Val, ty: &str) -> Val {
+    match ty_range(ty) {
+        Some(range) => {
+            let iv = match v.iv {
+                Some((lo, hi)) if range.0 <= lo && hi <= range.1 => Some((lo, hi)),
+                _ => Some(range),
+            };
+            Val { ty: Some(ty.to_string()), iv, fl: None }
+        }
+        None if ty == "f32" || ty == "f64" => {
+            // int → float: carry the interval over as a float range when
+            // it is exactly representable.
+            let fl = match v.iv {
+                Some((lo, hi)) if -mantissa_span(ty) <= lo && hi <= mantissa_span(ty) => {
+                    Some((lo as f64, hi as f64))
+                }
+                _ => v.fl,
+            };
+            Val { ty: Some(ty.to_string()), iv: None, fl }
+        }
+        None => Val::unknown(),
+    }
+}
+
+/// Postfix method application.
+fn method(sc: &Scope, recv: &Val, name: &str, args: &[(usize, usize)], fuel: u32) -> Val {
+    let arg = |i: usize| -> Val {
+        args.get(i)
+            .map(|&(lo, hi)| eval_range(sc, lo, hi, fuel.saturating_sub(1)))
+            .unwrap_or_default()
+    };
+    match name {
+        "len" | "count" | "capacity" => Val::of_type("usize"),
+        "min" => {
+            let a = arg(0);
+            let iv = match (recv.iv, a.iv) {
+                (Some((rlo, rhi)), Some((alo, ahi))) => Some((rlo.min(alo), rhi.min(ahi))),
+                _ => None,
+            };
+            let fl = match (recv.fl, a.fl) {
+                (Some((rlo, rhi)), Some((alo, ahi))) => Some((rlo.min(alo), rhi.min(ahi))),
+                _ => None,
+            };
+            Val { ty: recv.ty.clone(), iv, fl }
+        }
+        "max" => {
+            let a = arg(0);
+            let iv = match (recv.iv, a.iv) {
+                (Some((rlo, rhi)), Some((alo, ahi))) => Some((rlo.max(alo), rhi.max(ahi))),
+                _ => None,
+            };
+            let fl = match (recv.fl, a.fl) {
+                (Some((rlo, rhi)), Some((alo, ahi))) => Some((rlo.max(alo), rhi.max(ahi))),
+                _ => None,
+            };
+            Val { ty: recv.ty.clone(), iv, fl }
+        }
+        "clamp" => {
+            let a = arg(0);
+            let b = arg(1);
+            let iv = match (a.iv, b.iv) {
+                (Some((alo, _)), Some((_, bhi))) => Some((alo, bhi)),
+                _ => None,
+            };
+            let fl = match (a.fl, b.fl) {
+                (Some((alo, _)), Some((_, bhi))) => Some((alo, bhi)),
+                _ => None,
+            };
+            Val { ty: recv.ty.clone(), iv, fl }
+        }
+        "abs" => {
+            let iv =
+                recv.iv.map(|(lo, hi)| (0.max(lo), lo.saturating_abs().max(hi.saturating_abs())));
+            let fl = recv.fl.map(|(lo, hi)| (lo.max(0.0), lo.abs().max(hi.abs())));
+            Val { ty: recv.ty.clone(), iv, fl }
+        }
+        "ceil" | "round" => {
+            let fl = recv.fl.map(|(lo, hi)| (lo.floor(), hi.ceil()));
+            Val { ty: recv.ty.clone(), iv: None, fl }
+        }
+        "floor" | "trunc" => {
+            let fl = recv.fl.map(|(lo, hi)| (lo.floor(), hi.ceil()));
+            Val { ty: recv.ty.clone(), iv: None, fl }
+        }
+        _ => Val::unknown(),
+    }
+}

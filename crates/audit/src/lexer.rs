@@ -375,8 +375,9 @@ pub struct FnScope {
     /// Identifiers bound by `for` patterns inside this fn, with the token
     /// range of each loop's body: `(ident, body_open, body_close)`.
     pub loop_bindings: Vec<(String, usize, usize)>,
-    /// Primitive-typed bindings visible in this fn: parameters and
-    /// `let x: T` ascriptions where `T` is a primitive numeric type.
+    /// Typed bindings visible in this fn: parameters and `let x: T`
+    /// ascriptions where `T` is a single identifier (primitive numeric
+    /// types plus in-tree aliases such as `NodeId`/`KeyId`).
     pub typed: Vec<(String, String)>,
 }
 
@@ -548,16 +549,17 @@ pub fn scan(tokens: Vec<Token>) -> FileModel {
                 }
             }
         } else if is_ident(i, "let") {
-            // `let [mut] x : T` with primitive T
+            // `let [mut] x : T` with a single-identifier T. Non-primitive
+            // names are recorded too — the cast rule resolves in-tree
+            // aliases (`NodeId`, `KeyId`) through `intervals::resolve_ty`
+            // and simply fails `numeric_facts` for anything else.
             let mut j = i + 1;
             if is_ident(j, "mut") {
                 j += 1;
             }
             if tokens.get(j).is_some_and(|t| t.kind == TokKind::Ident)
                 && tokens.get(j + 1).is_some_and(|t| t.text == ":")
-                && tokens.get(j + 2).is_some_and(|t| {
-                    t.kind == TokKind::Ident && NUMERIC_TYPES.contains(&t.text.as_str())
-                })
+                && tokens.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
             {
                 lets.push((tokens[j].text.clone(), tokens[j + 2].text.clone(), j));
             }
@@ -598,12 +600,11 @@ fn scan_fn(tokens: &[Token], at: usize, is_ident: &dyn Fn(usize, &str) -> bool) 
             let close = matching_close(tokens, j);
             let mut k = j + 1;
             while k < close {
-                // `ident : PrimType` pairs anywhere in the list
+                // `ident : Type` pairs anywhere in the list (single-ident
+                // types only; alias resolution happens in the cast rule)
                 if tokens[k].kind == TokKind::Ident
                     && tokens.get(k + 1).is_some_and(|t| t.text == ":")
-                    && tokens.get(k + 2).is_some_and(|t| {
-                        t.kind == TokKind::Ident && NUMERIC_TYPES.contains(&t.text.as_str())
-                    })
+                    && tokens.get(k + 2).is_some_and(|t| t.kind == TokKind::Ident)
                 {
                     params.push((tokens[k].text.clone(), tokens[k + 2].text.clone()));
                 }

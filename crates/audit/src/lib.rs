@@ -37,7 +37,21 @@
 //!   (`no-unwrap`/`no-index`), `unsafe-audit`, `latch-discipline`,
 //!   `cast-soundness` and `div-guard` rules without external lint
 //!   dependencies; suppressions via `// audit:allow(<rule>)` comments,
-//!   validated by the `stale-allow` self-check.
+//!   validated by the `stale-allow` self-check. Each rule family's
+//!   rationale is printable via `--lint --explain <rule>`.
+//! * [`intervals`] — the cast-soundness rule's interval engine: a small
+//!   flow-sensitive evaluator over the token stream that bounds integer
+//!   expressions (literals, consts, `.len()`/`.min()`/`.clamp()`,
+//!   arithmetic, `if`/`match`-guard narrowing) so casts provably inside
+//!   `f64`'s 2^53 mantissa span or the target width pass without
+//!   markers — the numeric core carries **zero** cast suppressions.
+//! * [`costprops`] — the Table 1/2 cost-property verifier
+//!   (`--cost-props`): exhaustive boundary grids plus SplitMix64-seeded
+//!   samples check every selectivity factor lands in `[0, 1]` and every
+//!   access-path cost formula is non-negative, finite, and monotone on
+//!   the domains the paper implies, printing a replayable counterexample
+//!   point on failure; `--mutant cost-monotone` plants a non-monotone
+//!   formula and demands the verifier catch it.
 //! * [`model`] — deterministic schedule exploration: scripted scenarios
 //!   of virtual threads run through the `sysr_rss::sync` facade's
 //!   cooperative scheduler, their interleavings enumerated under
@@ -50,7 +64,9 @@
 
 pub mod concurrent;
 pub mod corpus;
+pub mod costprops;
 pub mod differential;
+pub mod intervals;
 pub mod invariants;
 pub mod lexer;
 pub mod lint;

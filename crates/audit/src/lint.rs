@@ -94,6 +94,95 @@ pub const RULES: &[&str] = &[
     "lint-io",
 ];
 
+/// One-paragraph rationale per rule family, printed by
+/// `sysr-audit --lint --explain <rule>`. Every id in [`RULES`] has an
+/// entry (enforced by a test), so `--explain` can never 404 on a rule
+/// the linter actually emits.
+pub const RULE_DOCS: &[(&str, &str)] = &[
+    (
+        "no-unwrap",
+        "The serving path must not abort: a panic inside a query tears down the \
+         whole session (and under concurrent serving, poisons shared state). \
+         `unwrap()`/`expect()` outside tests therefore fail the lint; fallible \
+         code returns `Result`/`Option` and the caller decides. Experiment \
+         binaries are exempt per-file because a failed setup invalidates the \
+         measurement run anyway.",
+    ),
+    (
+        "no-index",
+        "`v[i]` panics on a bad index, and most index arithmetic in a database \
+         kernel mixes ids from different spaces (slots, pages, subset ranks). \
+         Product crates use `.get(..)` with an error path; files whose indices \
+         are provably self-issued (B-tree node search, slotted-page layout) \
+         carry a written per-file exemption instead of inline markers.",
+    ),
+    (
+        "unsafe-audit",
+        "Every `unsafe` block must sit in a file that opts in and carry a \
+         `// SAFETY:` comment directly above it stating the invariant that \
+         makes it sound. Unsafe code without a written obligation is \
+         unreviewable; the lint makes the obligation part of the diff.",
+    ),
+    (
+        "latch-discipline",
+        "Latch guards must be dropped before crossing an await/IO boundary or \
+         calling back into another latched component; holding a latch across \
+         such a call is how the historical flush/write-back deadlock entered. \
+         Files that acquire latches are enumerated by the code under audit \
+         (`sysr_rss::sync::LATCHED_FILES`), not by this linter.",
+    ),
+    (
+        "latch-ordering",
+        "All latches are ranked (shard < write-back gate < page backend); \
+         acquisitions in one expression must follow strictly ascending rank, \
+         which makes lock-order cycles — and therefore deadlocks — \
+         unconstructible. The model checker (`--model`) explores schedules \
+         against the same rank table.",
+    ),
+    (
+        "latch-scope",
+        "A file outside `LATCHED_FILES` must not acquire latches at all: the \
+         latch rules only audit files on that list, so an acquisition \
+         elsewhere would silently escape both lint and model checking. This \
+         rule closes that gap by failing the out-of-scope acquisition itself.",
+    ),
+    (
+        "cast-soundness",
+        "Numeric casts silently truncate, wrap, or round: `u64 as f64` loses \
+         integers above 2^53, exactly where cardinality estimates (NCARD of a \
+         big relation, products of them) live. In the numeric planning core \
+         every `as` cast must be *provably* value-preserving: a widening by \
+         type, or an operand whose interval — computed flow-sensitively from \
+         literals, `.len()`, `.min()`/`.clamp()` bounds, const arithmetic, and \
+         `if`/`match` guards — fits the target width (±2^53 for `f64`). \
+         Everything else goes through the checked lifts in `sysr_core::num` \
+         (`card_f64`, `len_f64`, `pages_ceil`, `dense_id`), which saturate at \
+         the representable boundary instead of corrupting the cost model.",
+    ),
+    (
+        "div-guard",
+        "An unguarded `/` is how NaN and ±inf enter Table 2 cost arithmetic, \
+         and NaN comparisons silently break the DP's min(). Every division in \
+         the cost/selectivity files must show its guard nearby: a zero test, a \
+         `.max(..)` clamp, or a literal/ALL_CAPS-const denominator that is \
+         structurally nonzero.",
+    ),
+    (
+        "stale-allow",
+        "`// audit:allow(<rule>)` markers are suppressions with a blast \
+         radius: one naming a rule this linter no longer ships is dead weight \
+         that reads like protection and provides none. Markers are validated \
+         against the live rule list so renames and removals surface here \
+         instead of hiding the next real finding.",
+    ),
+    (
+        "lint-io",
+        "The linter walks `crates/*/src` itself; a file it cannot read is a \
+         finding, not a skip — otherwise a permissions mistake could silently \
+         shrink audit coverage to nothing while still reporting green.",
+    ),
+];
+
 /// Per-(file, rule) exemptions: `(repo-relative path, rules, why)`.
 ///
 /// Deliberately per-file *and* per-rule: the measurement harness's
@@ -234,8 +323,21 @@ const EXEMPT: &[(&str, &[&str], &str)] = &[
     ),
 ];
 
-/// Files (by name) subject to the `cast-soundness` rule.
-const CAST_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs", "enumerate.rs"];
+/// Files (by name) subject to the `cast-soundness` rule: the whole
+/// numeric planning core. All names are unique across `crates/*/src`, so
+/// matching by file name cannot pull in an unrelated file.
+const CAST_SCOPED_FILES: &[&str] = &[
+    "cost.rs",
+    "selectivity.rs",
+    "enumerate.rs",
+    "arena.rs",
+    "intern.rs",
+    "access.rs",
+    "join.rs",
+    "num.rs",
+    "analyze.rs",
+    "nested.rs",
+];
 
 /// Files (by name) subject to the `div-guard` rule.
 const DIV_SCOPED_FILES: &[&str] = &["cost.rs", "selectivity.rs"];
@@ -903,7 +1005,7 @@ fn guard_producer(toks: &[Token], name_idx: usize, stmt_end: usize) -> Option<us
 
 /// Width/class facts for a primitive numeric type. `usize`/`isize` are
 /// treated as 64-bit (every target this project builds on).
-fn numeric_facts(ty: &str) -> Option<(u32, bool, bool)> {
+pub(crate) fn numeric_facts(ty: &str) -> Option<(u32, bool, bool)> {
     // (bits, signed, float)
     Some(match ty {
         "u8" => (8, false, false),
@@ -932,7 +1034,7 @@ fn mantissa_bits(ty: &str) -> u32 {
 }
 
 /// Is `src as dst` provably value-preserving?
-fn widening_ok(src: &str, dst: &str) -> bool {
+pub(crate) fn widening_ok(src: &str, dst: &str) -> bool {
     let (Some((sb, ss, sf)), Some((db, ds, df))) = (numeric_facts(src), numeric_facts(dst)) else {
         return false;
     };
@@ -946,21 +1048,28 @@ fn widening_ok(src: &str, dst: &str) -> bool {
 
 fn cast_soundness_rule(ctx: &Ctx, report: &mut AuditReport) {
     let toks = &ctx.model.tokens;
+    let env = crate::intervals::FileEnv::new(ctx.model);
     for (i, t) in toks.iter().enumerate() {
         if !(t.kind == TokKind::Ident && t.text == "as") || ctx.model.in_test(i) {
             continue;
         }
         let Some(n) = lexer::next_code(toks, i + 1) else { continue };
-        if toks[n].kind != TokKind::Ident || !NUMERIC_TYPES.contains(&toks[n].text.as_str()) {
+        let dst = crate::intervals::resolve_ty(toks[n].text.as_str());
+        if toks[n].kind != TokKind::Ident || !NUMERIC_TYPES.contains(&dst) {
             continue; // `as` in `use … as` or a non-numeric cast
         }
-        let dst = toks[n].text.as_str();
-        let src = cast_source(ctx, i);
+        let src = cast_source(ctx, i).map(|s| crate::intervals::resolve_ty(&s).to_string());
+        // Fast paths by source type alone; otherwise ask the interval
+        // engine to prove the operand's value range fits `dst`.
         let verdict = match src.as_deref() {
             Some("literal") => Ok(()),
             Some(s) if widening_ok(s, dst) => Ok(()),
-            Some(s) => Err(format!("`{s} as {dst}` can lose value")),
-            None => Err(format!("cast to `{dst}` with unproven source type")),
+            _ => crate::intervals::prove_cast(ctx.model, &env, i, dst).map_err(|why| {
+                match src.as_deref() {
+                    Some(s) => format!("`{s} as {dst}` can lose value ({why})"),
+                    None => why,
+                }
+            }),
         };
         if let Err(why) = verdict {
             if !ctx.allowed("cast-soundness", t.line) {
@@ -968,8 +1077,8 @@ fn cast_soundness_rule(ctx: &Ctx, report: &mut AuditReport) {
                     "cast-soundness",
                     ctx.at(t.line),
                     format!(
-                        "{why}; prove the range and annotate \
-                         `// audit:allow(cast-soundness)` or widen instead"
+                        "{why}; bound the value (`.min()`/`.clamp()`/guard), use a \
+                         checked `sysr_core::num` lift, or widen instead"
                     ),
                 ));
             }

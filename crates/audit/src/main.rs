@@ -9,8 +9,10 @@
 //! sysr-audit --exec              # traced corpus replay: batched-executor accounting identities
 //! sysr-audit --recovery          # page-checksum + reopen-equivalence rules
 //! sysr-audit --lint              # source lint over crates/*/src
+//! sysr-audit --lint --explain R  # print rule R's rationale and exit
+//! sysr-audit --cost-props        # Table 1/2 formula property verifier
 //! sysr-audit --model             # bounded schedule exploration of the RSS latches
-//! sysr-audit --mutant <name>     # with --model: the seeded bug must be *found*
+//! sysr-audit --mutant <name>     # with --model/--cost-props: the seeded bug must be *found*
 //! sysr-audit --root <dir>        # repo root for --lint (default: .)
 //! sysr-audit --seed <n>          # seed for the random corpus (default 0xA0D17)
 //! sysr-audit --random <n>        # number of random cases (default 12)
@@ -35,8 +37,10 @@ struct Options {
     exec: bool,
     recovery: bool,
     lint: bool,
+    cost_props: bool,
     model: bool,
     mutant: Option<String>,
+    explain: Option<String>,
     root: PathBuf,
     seed: u64,
     random: usize,
@@ -51,8 +55,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         exec: false,
         recovery: false,
         lint: false,
+        cost_props: false,
         model: false,
         mutant: None,
+        explain: None,
         root: PathBuf::from("."),
         seed: 0xA0D17,
         random: 12,
@@ -68,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.exec = true;
                 opts.recovery = true;
                 opts.lint = true;
+                opts.cost_props = true;
                 opts.model = true;
             }
             "--plans" => opts.plans = true,
@@ -77,9 +84,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--exec" => opts.exec = true,
             "--recovery" => opts.recovery = true,
             "--lint" => opts.lint = true,
+            "--cost-props" => opts.cost_props = true,
             "--model" => opts.model = true,
             "--mutant" => {
                 opts.mutant = Some(it.next().ok_or("--mutant needs a name")?.clone());
+            }
+            "--explain" => {
+                opts.explain = Some(it.next().ok_or("--explain needs a rule name")?.clone());
             }
             "--root" => {
                 opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
@@ -96,8 +107,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if opts.mutant.is_some() && !opts.model {
-        return Err("--mutant only makes sense with --model".into());
+    if let Some(name) = &opts.mutant {
+        // Dispatch the drill by which engine owns the named mutant:
+        // cost-formula mutants run under --cost-props, schedule mutants
+        // (and unknown names, which --model reports) under --model.
+        let is_cost = sysr_audit::costprops::MUTANTS.iter().any(|(n, _)| n == name);
+        if is_cost && !opts.cost_props {
+            return Err(format!("--mutant {name} needs --cost-props"));
+        }
+        if !is_cost && !opts.model && !opts.cost_props {
+            return Err("--mutant only makes sense with --model or --cost-props".into());
+        }
+    }
+    if opts.explain.is_some() && !opts.lint {
+        return Err("--explain only makes sense with --lint".into());
     }
     if !(opts.plans
         || opts.diff
@@ -106,10 +129,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         || opts.exec
         || opts.recovery
         || opts.lint
+        || opts.cost_props
         || opts.model)
     {
         return Err("pick at least one of --all / --plans / --diff / --parallel / --concurrent / \
-             --exec / --recovery / --lint / --model"
+             --exec / --recovery / --lint / --cost-props / --model"
             .into());
     }
     Ok(opts)
@@ -152,13 +176,28 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg == "help" {
-                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--exec|--recovery|--lint|--model] [--mutant NAME] [--root DIR] [--seed N] [--random N]");
+                eprintln!("usage: sysr-audit [--all|--plans|--diff|--parallel|--concurrent|--exec|--recovery|--lint|--cost-props|--model] [--mutant NAME] [--explain RULE] [--root DIR] [--seed N] [--random N]");
                 return ExitCode::SUCCESS;
             }
             eprintln!("sysr-audit: {msg}");
             return ExitCode::from(2);
         }
     };
+
+    // `--lint --explain <rule>`: print the rule family's rationale.
+    if let Some(rule) = &opts.explain {
+        return match lint::RULE_DOCS.iter().find(|(name, _)| name == rule) {
+            Some((name, doc)) => {
+                println!("{name}\n\n{doc}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = lint::RULE_DOCS.iter().map(|(n, _)| *n).collect();
+                eprintln!("sysr-audit: unknown rule `{rule}`; known rules: {}", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let config = OptimizerConfig::default();
     let mut cases = builtin_cases();
@@ -201,8 +240,26 @@ fn main() -> ExitCode {
         println!("lint: {} lines checked, {} violations", r.checks, r.violations.len());
         report.merge(r);
     }
+    // A named mutant drills the engine that owns it; unknown names go to
+    // whichever selected engine can report them as uncaught.
+    let is_cost_mutant =
+        |n: &&str| sysr_audit::costprops::MUTANTS.iter().any(|(m, _)| m == n) || !opts.model;
+    let cost_mutant = opts.mutant.as_deref().filter(is_cost_mutant);
+    let model_mutant = if cost_mutant.is_some() { None } else { opts.mutant.as_deref() };
+    if opts.cost_props {
+        let out = sysr_audit::costprops::audit_cost_props(cost_mutant);
+        println!(
+            "cost-props: {} checks, {} violations",
+            out.report.checks,
+            out.report.violations.len()
+        );
+        for note in &out.notes {
+            println!("  {}", note.replace('\n', "\n  "));
+        }
+        report.merge(out.report);
+    }
     if opts.model {
-        let out = sysr_audit::model::audit_model(opts.mutant.as_deref());
+        let out = sysr_audit::model::audit_model(model_mutant);
         println!(
             "model: {} schedules explored, {} violations",
             out.report.checks,

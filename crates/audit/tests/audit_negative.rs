@@ -198,6 +198,65 @@ fn cast_soundness_accepts_widening_and_respects_allow() {
     assert!(lint::lint_source("crates/core/src/cost.rs", allowed).ok());
 }
 
+// ---- interval analysis: unbounded casts fire, provably-bounded pass ----
+
+#[test]
+fn interval_analysis_flags_unbounded_len_to_f64_but_passes_min_bounded() {
+    // `usize as f64` with nothing known about the value: 64 > 53 mantissa
+    // bits, must fire.
+    let unbounded = "fn f(v: &[u8]) -> f64 {\n    v.len() as f64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", unbounded);
+    assert_eq!(rules(&report), vec!["cast-soundness"], "got:\n{}", report.render());
+
+    // The same cast behind `.min(…)` with a sub-2^53 literal bound is
+    // provably exact — no marker needed.
+    let bounded = "fn f(v: &[u8]) -> f64 {\n    v.len().min(1024) as f64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", bounded);
+    assert!(report.ok(), "min-bounded cast should pass:\n{}", report.render());
+}
+
+#[test]
+fn interval_analysis_narrows_through_if_and_match_guards() {
+    // The saturating-branch idiom from `card_f64`: the else branch proves
+    // n ≤ 2^53 by negating the guard.
+    let guarded = "const LIM: u64 = 1 << 53;\nfn f(n: u64) -> f64 {\n    if n > LIM {\n        9_007_199_254_740_992.0\n    } else {\n        n as f64\n    }\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", guarded);
+    assert!(report.ok(), "guard-narrowed cast should pass:\n{}", report.render());
+
+    // Match-arm guard: `x if x <= 1024 => x as f64` narrows inside the arm.
+    let arm = "fn f(n: u64) -> f64 {\n    match n {\n        x if n <= 1024 => n as f64,\n        _ => 0.0,\n    }\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", arm);
+    assert!(report.ok(), "match-guarded cast should pass:\n{}", report.render());
+
+    // Without the guard the same cast fires.
+    let unguarded = "fn f(n: u64) -> f64 {\n    n as f64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", unguarded);
+    assert_eq!(rules(&report), vec!["cast-soundness"], "got:\n{}", report.render());
+}
+
+#[test]
+fn interval_analysis_accepts_clamped_float_to_int_and_const_arithmetic() {
+    // float → int behind a `.clamp` whose bounds sit inside the target.
+    let clamped = "fn f(x: f64) -> u64 {\n    x.ceil().clamp(0.0, 65536.0) as u64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", clamped);
+    assert!(report.ok(), "clamped float cast should pass:\n{}", report.render());
+
+    // Unclamped float → int keeps firing (NaN/∞/negative all truncate).
+    let raw = "fn f(x: f64) -> u64 {\n    x as u64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", raw);
+    assert_eq!(rules(&report), vec!["cast-soundness"], "got:\n{}", report.render());
+
+    // Const arithmetic: `PAGE / SLOT` is a compile-time-known small value.
+    let consts = "const PAGE: usize = 4096;\nconst SLOT: usize = 8;\nfn f() -> u16 {\n    (PAGE / SLOT) as u16\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", consts);
+    assert!(report.ok(), "const-arithmetic cast should pass:\n{}", report.render());
+
+    // Flow-sensitivity: a reassigned binding degrades to its type range.
+    let mutated = "fn f(v: &[u8]) -> f64 {\n    let mut n = v.len().min(16);\n    n = v.len();\n    n as f64\n}\n";
+    let report = lint::lint_source("crates/core/src/cost.rs", mutated);
+    assert_eq!(rules(&report), vec!["cast-soundness"], "got:\n{}", report.render());
+}
+
 #[test]
 fn lint_flags_bare_indexing_and_respects_allow() {
     let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    xs[i]\n}\n";
@@ -453,4 +512,31 @@ fn binary_exits_nonzero_on_injected_violation() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--lint --explain <rule>` prints the rule family's rationale and exits
+/// 0; an unknown rule name is a usage error (exit 2).
+#[test]
+fn binary_explains_rules_and_rejects_unknown_ones() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_sysr-audit");
+    for (rule, _) in lint::RULE_DOCS {
+        let out =
+            Command::new(bin).args(["--lint", "--explain", rule]).output().expect("run sysr-audit");
+        assert!(out.status.success(), "--explain {rule} should exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "--explain {rule} must name the rule:\n{stdout}");
+        assert!(stdout.len() > 100, "--explain {rule} should print a rationale paragraph");
+    }
+
+    let out = Command::new(bin)
+        .args(["--lint", "--explain", "no-such-rule"])
+        .output()
+        .expect("run sysr-audit");
+    assert_eq!(out.status.code(), Some(2), "unknown rule must exit 2");
+
+    // `--explain` without `--lint` is a usage error too.
+    let out = Command::new(bin).args(["--explain", "no-unwrap"]).output().expect("run sysr-audit");
+    assert_eq!(out.status.code(), Some(2));
 }

@@ -73,8 +73,7 @@ fn measure(
     BenchRow {
         name: name.to_string(),
         threads: config.threads,
-        // audit:allow(cast-soundness) — nanosecond totals fit u64 for any sane rep count
-        ns_per_op: (dt.as_nanos() / u128::from(reps)) as u64,
+        ns_per_op: u64::try_from(dt.as_nanos() / u128::from(reps)).unwrap_or(u64::MAX),
         allocs_per_op: da / reps,
         plans_considered: stats.plans_considered,
     }

@@ -18,6 +18,7 @@
 
 use crate::bitset::TableSet;
 use crate::cost::{Cost, CostModel};
+use crate::num::card_f64;
 use crate::order::OrderInfo;
 use crate::plan::{Access, IndexRange, PlanExpr, PlanNode, SargAtom, SargFactor, ScanPlan};
 use crate::query::{BExpr, BoundQuery, ColId, Factor, Operand, SExpr};
@@ -109,7 +110,7 @@ impl<'a> PlanCtx<'a> {
 
     /// NCARD of a FROM-list table.
     pub fn ncard(&self, table: usize) -> f64 {
-        self.relation(table).stats.ncard as f64
+        card_f64(self.relation(table).stats.ncard)
     }
 
     /// Mean tuple width of a FROM-list table.
@@ -134,8 +135,7 @@ impl<'a> PlanCtx<'a> {
             .map(|c| {
                 self.catalog
                     .leading_index_on(self.query.tables[c.table].rel, c.col)
-                    // audit:allow(cast-soundness) — u64 key count widened to f64
-                    .map(|i| i.stats.icard as f64)
+                    .map(|i| card_f64(i.stats.icard))
                     .filter(|&v| v >= 1.0)
                     .unwrap_or(1.0 / crate::selectivity::DEFAULT_EQ)
             })
@@ -356,7 +356,7 @@ enum FactorUse {
 pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec<AccessCandidate> {
     let rel = ctx.relation(table);
     let stats = &rel.stats;
-    let ncard = stats.ncard as f64;
+    let ncard = card_f64(stats.ncard);
     let me = TableSet::single(table);
 
     // Applicable factors: reference this table, everything else available.
@@ -407,7 +407,7 @@ pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec
             sargs: sargs.clone(),
             residual: residual.clone(),
         },
-        cost: ctx.model.segment_scan(stats.tcard as f64, stats.pfrac, rsicard),
+        cost: ctx.model.segment_scan(card_f64(stats.tcard), stats.pfrac, rsicard),
         order: Vec::new(),
         out_rows,
         rsicard,
@@ -425,7 +425,7 @@ pub fn access_paths(ctx: &PlanCtx<'_>, table: usize, available: TableSet) -> Vec
             &residual,
             &applied,
             ncard,
-            stats.tcard as f64,
+            card_f64(stats.tcard),
             out_rows,
             rsicard,
         ));
@@ -536,7 +536,7 @@ fn index_candidate(
     }
 
     let istats = &idx.stats;
-    let nindx = istats.nindx as f64;
+    let nindx = card_f64(istats.nindx);
     let f_matching: f64 = matching.iter().map(|&i| ctx.fsel[i]).product();
     let unique_full_eq = idx.unique && eq_prefix.len() == idx.key_cols.len();
     let index_only = ctx.config.index_only_scans && ctx.index_covers(table, &idx.key_cols);

@@ -19,6 +19,7 @@
 //! reproduces the same arithmetic while walking the tree, so no id needs
 //! to be stored inside the plan.
 
+use crate::cost::Cost;
 use crate::plan::{node_head, PlanExpr, PlanNode, QueryPlan};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -95,12 +96,13 @@ impl QueryPlan {
         }
         let _ =
             writeln!(out, "predicted: {} = {:.1} (W={w})", self.predicted, self.predicted.total(w));
+        let measured_cost = Cost::from_io(&measured);
         let _ = writeln!(
             out,
             "measured:  {:.1} pages + W\u{b7}{:.1} rsi = {:.1} (W={w})",
-            measured.page_fetches() as f64,
-            measured.rsi_calls as f64,
-            measured.page_fetches() as f64 + w * measured.rsi_calls as f64,
+            measured_cost.pages,
+            measured_cost.rsi,
+            measured_cost.total(w),
         );
         let _ = writeln!(out, "measured io: {measured}");
         out

@@ -19,6 +19,7 @@
 
 use crate::cost::Cost;
 use crate::intern::KeyId;
+use crate::num::dense_id;
 use crate::plan::{PlanExpr, PlanNode, ScanPlan};
 use crate::query::ColId;
 use std::collections::HashMap;
@@ -155,8 +156,7 @@ impl PlanArena {
                 *input = self.commit(scratch, base, item, *input, remap);
             }
         }
-        // audit:allow(cast-soundness) — arena size bounded by plans considered
-        let committed = self.nodes.len() as NodeId;
+        let committed = dense_id(self.nodes.len());
         self.nodes.push(node);
         remap.insert((item, id), committed);
         committed
@@ -174,8 +174,7 @@ pub struct WorkArena<'a> {
 
 impl<'a> WorkArena<'a> {
     pub fn new(main: &'a [ArenaNode]) -> Self {
-        // audit:allow(cast-soundness) — arena size bounded by plans considered
-        let base = main.len() as NodeId;
+        let base = dense_id(main.len());
         WorkArena { main, base, local: Vec::new() }
     }
 
@@ -192,8 +191,7 @@ impl<'a> WorkArena<'a> {
     }
 
     pub fn push(&mut self, node: ArenaNode) -> NodeId {
-        // audit:allow(cast-soundness) — scratch size bounded by plans considered
-        let id = self.base + self.local.len() as NodeId;
+        let id = self.base + dense_id(self.local.len());
         self.local.push(node);
         id
     }

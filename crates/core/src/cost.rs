@@ -13,9 +13,10 @@
 //! alternative formulas "depending on whether the set of tuples retrieved
 //! will fit entirely in the RSS buffer pool".
 
+use crate::num::{card_f64, len_f64, pages_ceil};
 use std::fmt;
 use std::ops::{Add, AddAssign};
-use sysr_rss::{IoStats, PAGE_HEADER_SIZE, PAGE_SIZE};
+use sysr_rss::{IoStats, MAX_BATCH, PAGE_HEADER_SIZE, PAGE_SIZE};
 
 /// A predicted cost: expected page fetches plus expected RSI calls.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -60,8 +61,7 @@ impl Cost {
     /// The cost actually measured by the executor, for
     /// predicted-vs-measured comparisons.
     pub fn from_io(io: &IoStats) -> Cost {
-        // audit:allow(cast-soundness) — u64 counters widened to f64; loses only sub-ulp precision
-        Cost { pages: io.page_fetches() as f64, rsi: io.rsi_calls as f64 }
+        Cost { pages: card_f64(io.page_fetches()), rsi: card_f64(io.rsi_calls) }
     }
 }
 
@@ -87,7 +87,6 @@ impl fmt::Display for Cost {
 }
 
 /// Usable bytes per temp-list page, mirroring [`sysr_rss::TempList`].
-// audit:allow(cast-soundness) — compile-time constant, exact in f64
 const TEMP_PAGE_BYTES: f64 = (PAGE_SIZE - PAGE_HEADER_SIZE) as f64;
 
 /// Cardenas' approximation of the number of **distinct pages** touched
@@ -105,19 +104,24 @@ pub fn distinct_pages(tuples: f64, pages: f64) -> f64 {
 }
 
 /// Predicted `TEMPPAGES`: pages needed to hold `rows` tuples of `width`
-/// bytes each.
+/// bytes each. The fractional byte count rounds up through the checked
+/// [`pages_ceil`] lift, so the estimate is always a whole page count
+/// (one byte past a page boundary costs a full extra page) and survives
+/// junk inputs — NaN widths behave like empty inputs instead of
+/// propagating into the DP's pruning comparisons.
 pub fn temp_pages(rows: f64, width: f64) -> f64 {
     if rows <= 0.0 {
         return 0.0;
     }
-    (rows * width.max(1.0) / TEMP_PAGE_BYTES).ceil().max(1.0)
+    card_f64(pages_ceil(rows * width.max(1.0) / TEMP_PAGE_BYTES)).max(1.0)
 }
 
 /// Rows the executor's segmented sort orders in memory without spilling
-/// — mirrors the executor's batch size (`MAX_BATCH` in `sysr-executor`):
-/// a run at or below this size is sorted and emitted with zero temp I/O,
-/// while an oversized run is materialized into a run-sized temp list.
-pub const SORT_RUN_MEMORY_ROWS: f64 = 1024.0;
+/// — derived from the shared RSI batch size ([`sysr_rss::MAX_BATCH`]),
+/// which is exactly the run size `exec_sort` holds in memory before it
+/// spills a run to a temp list. Deriving (rather than restating) the
+/// constant keeps the cost model and the executor moving together.
+pub const SORT_RUN_MEMORY_ROWS: f64 = card_f64(MAX_BATCH as u64);
 
 /// Extra cost of a partial (run-segmented) sort over its input, plus the
 /// predicted temp pages per spilled run × run count.
@@ -158,8 +162,7 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new(w: f64, buffer_pages: usize) -> Self {
-        // audit:allow(cast-soundness) — pool sizes are far below f64's exact-integer range
-        CostModel { w, buffer_pages: buffer_pages as f64 }
+        CostModel { w, buffer_pages: len_f64(buffer_pages) }
     }
 
     pub fn total(&self, c: Cost) -> f64 {
@@ -180,6 +183,13 @@ impl CostModel {
     /// Table 2, "clustered index I matching one or more boolean factors":
     /// `F(preds) * (NINDX(I) + TCARD) + W * RSICARD`.
     pub fn clustered_matching(&self, f_preds: f64, nindx: f64, tcard: f64, rsicard: f64) -> Cost {
+        if mutant::cost_monotone_armed() {
+            // Seeded fault for the `--mutant cost-monotone` drill: page cost
+            // dips back down past TCARD = 500, violating "cost non-decreasing
+            // in the relation cardinality". Dead code unless the cost-props
+            // harness arms it.
+            return Cost { pages: f_preds * (nindx + (tcard - 500.0).abs()), rsi: rsicard };
+        }
         Cost { pages: f_preds * (nindx + tcard), rsi: rsicard }
     }
 
@@ -285,6 +295,26 @@ impl CostModel {
     pub fn merge_inner_sorted(&self, temppages: f64, n_outer: f64, group_rsi: f64) -> Cost {
         let n = n_outer.max(1.0);
         Cost { pages: temppages / n, rsi: group_rsi }
+    }
+}
+
+/// Mutation hooks for the audit crate's `--mutant cost-monotone` drill
+/// (the PR-7 pattern: the fault ships in-tree but is dead until the
+/// verifying harness arms it, proving the verifier would catch a real
+/// regression of the same shape).
+pub mod mutant {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static COST_MONOTONE: AtomicBool = AtomicBool::new(false);
+
+    /// Arm or disarm the non-monotone `clustered_matching` variant. Only
+    /// the cost-property verifier calls this; it disarms before returning.
+    pub fn arm_cost_monotone(on: bool) {
+        COST_MONOTONE.store(on, Ordering::SeqCst);
+    }
+
+    pub(super) fn cost_monotone_armed() -> bool {
+        COST_MONOTONE.load(Ordering::SeqCst)
     }
 }
 
@@ -399,6 +429,32 @@ mod tests {
         assert_eq!(temp_pages(1.0, 50.0), 1.0);
         // 1000 rows * 50B = 50_000B / 4080 = 12.25 → 13.
         assert_eq!(temp_pages(1000.0, 50.0), 13.0);
+    }
+
+    #[test]
+    fn temp_pages_fractional_page_boundary() {
+        // TEMP_PAGE_BYTES = 4096 - 16 = 4080 usable bytes. Exactly one
+        // page's worth of rows stays one page; a single extra byte tips
+        // over into a second page — the checked pages_ceil path must not
+        // round that boundary down.
+        assert_eq!(temp_pages(4080.0, 1.0), 1.0);
+        assert_eq!(temp_pages(4081.0, 1.0), 2.0);
+        assert_eq!(temp_pages(8160.0, 1.0), 2.0);
+        assert_eq!(temp_pages(8161.0, 1.0), 3.0);
+        // Whatever temp_pages returns is a whole page count.
+        for (rows, width) in [(7.0, 3.0), (999.0, 17.0), (0.5, 0.25), (12345.0, 61.0)] {
+            let tp = temp_pages(rows, width);
+            assert_eq!(tp.fract(), 0.0, "temp_pages({rows},{width}) = {tp} not integral");
+        }
+        // NaN width behaves like the empty input rather than poisoning
+        // the DP with a NaN cost.
+        assert_eq!(temp_pages(10.0, f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn sort_run_threshold_tracks_executor_batch_size() {
+        assert_eq!(SORT_RUN_MEMORY_ROWS, MAX_BATCH as f64);
+        assert_eq!(SORT_RUN_MEMORY_ROWS, 1024.0);
     }
 
     #[test]

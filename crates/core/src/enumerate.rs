@@ -34,6 +34,7 @@ use crate::intern::{KeyId, KeyInterner, EMPTY_KEY};
 use crate::join::{
     merge_cost, nested_loop_cost, partial_sort_cost, partial_sort_plan, sort_cost, sort_plan,
 };
+use crate::num::{card_f64, dense_id};
 use crate::order::OrderKey;
 use crate::plan::PlanExpr;
 use crate::query::{BoundQuery, ColId};
@@ -43,6 +44,10 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::{Arc, Mutex};
 use sysr_catalog::Catalog;
+
+/// Per-arena-node byte estimate for the `solution_bytes` reporting
+/// counter (materialized [`PlanExpr`] size per retained node).
+const PLAN_EXPR_BYTES: u64 = std::mem::size_of::<PlanExpr>() as u64;
 
 /// Counters describing one enumeration run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -473,7 +478,7 @@ impl<'a> Enumerator<'a> {
                     .iter()
                     .enumerate()
                     .filter_map(|(kid, slot)| {
-                        slot.map(|id| (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id)))
+                        slot.map(|id| (o.keys.get(dense_id(kid)).clone(), o.arena.materialize(id)))
                     })
                     .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -505,7 +510,7 @@ impl<'a> Enumerator<'a> {
                     .iter()
                     .enumerate()
                     .filter_map(|(kid, slot)| {
-                        slot.map(|id| (o.keys.get(kid as KeyId).clone(), o.arena.materialize(id)))
+                        slot.map(|id| (o.keys.get(dense_id(kid)).clone(), o.arena.materialize(id)))
                     })
                     .collect();
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -596,7 +601,7 @@ impl<'a> Enumerator<'a> {
 
     /// Interned [`KeyId`]s are dense indexes into per-subset slot arrays.
     fn slot_index(key: KeyId) -> usize {
-        key as usize // audit:allow(cast-soundness) — dense interner id, starts at 0
+        key as usize
     }
 
     /// Interned order key of a scan candidate.
@@ -972,7 +977,6 @@ impl<'a> Enumerator<'a> {
                             .copied()
                             .filter(|&t| self.extension_allowed(t, set.minus(TableSet::single(t))))
                             .collect();
-                        // audit:allow(cast-soundness) — ok is a filtered subset of members, difference fits u64
                         stats.heuristic_skips += (members.len() - ok.len()) as u64;
                         ok
                     } else {
@@ -987,7 +991,7 @@ impl<'a> Enumerator<'a> {
 
             // Scratch ids minted by the items start at the frozen arena
             // length; capture it before commits grow the arena.
-            let base = arena.len() as NodeId;
+            let base = dense_id(arena.len());
             let (results, items) = match pool {
                 Some(pool) if items.len() > 1 => {
                     let nodes = std::mem::take(&mut arena.nodes);
@@ -1084,13 +1088,11 @@ impl<'a> Enumerator<'a> {
         // audit:allow(no-unwrap) — run_search falls back to the relaxed pass above precisely so
         // the full set always has at least one solution
         let sols = memo.get(&full).expect("full set always has solutions");
-        // audit:allow(cast-soundness) — subset counts into u64 reporting counters
         stats.plans_kept = memo.values().map(|s| s.iter().flatten().count() as u64).sum();
         stats.solution_bytes = memo
             .values()
             .flat_map(|s| s.iter().flatten())
-            // audit:allow(cast-soundness) — byte-size estimate for reporting only
-            .map(|&id| (arena.node(id).count as usize * std::mem::size_of::<PlanExpr>()) as u64)
+            .map(|&id| u64::from(arena.node(id).count) * PLAN_EXPR_BYTES)
             .sum();
 
         let required = &self.ctx.orders.required;
@@ -1103,7 +1105,7 @@ impl<'a> Enumerator<'a> {
             let ordered = sols
                 .iter()
                 .enumerate()
-                .filter(|(kid, _)| self.keys.satisfies_required(*kid as KeyId))
+                .filter(|(kid, _)| self.keys.satisfies_required(dense_id(*kid)))
                 .filter_map(|(_, slot)| *slot)
                 .min_by(|&a, &b| {
                     self.ctx
@@ -1129,8 +1131,7 @@ impl<'a> Enumerator<'a> {
             // never helps: the empty slot is the cheapest overall and the
             // full-sort delta is key-independent.
             for (kid, slot) in sols.iter().enumerate() {
-                // audit:allow(cast-soundness) — slot index is an interned KeyId
-                let kid = kid as KeyId;
+                let kid = dense_id(kid);
                 let Some(id) = *slot else { continue };
                 if self.keys.satisfies_required(kid) {
                     continue;
@@ -1157,8 +1158,7 @@ impl<'a> Enumerator<'a> {
                 _ => sorted,
             }
         };
-        // audit:allow(cast-soundness) — elapsed micros saturate u64 after ~580k years
-        stats.elapsed_micros = started.elapsed().as_micros() as u64;
+        stats.elapsed_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         SearchOutcome {
             best,
             stats,
@@ -1331,10 +1331,8 @@ impl<'a> Enumerator<'a> {
             crate::plan::Access::Segment => rel.stats.segment_scan_pages(),
             crate::plan::Access::Index { index, .. } => {
                 let nindx =
-                    // audit:allow(cast-soundness) — catalog page/tuple counts widened to f64
-                    self.ctx.catalog.index(*index).map(|i| i.stats.nindx as f64).unwrap_or(0.0);
-                // audit:allow(cast-soundness)
-                rel.stats.tcard as f64 + nindx
+                    self.ctx.catalog.index(*index).map(|i| card_f64(i.stats.nindx)).unwrap_or(0.0);
+                card_f64(rel.stats.tcard) + nindx
             }
         };
         (pages <= self.ctx.model.buffer_pages).then_some(pages)

@@ -16,6 +16,7 @@
 //! The interner is frozen before the search starts, so worker threads can
 //! share it by `&` with no locking.
 
+use crate::num::dense_id;
 use crate::order::{OrderInfo, OrderKey};
 use std::collections::HashMap;
 
@@ -61,8 +62,7 @@ impl KeyInterner {
         if let Some(&id) = self.ids.get(&key) {
             return id;
         }
-        // audit:allow(cast-soundness) — key universe is tiny (indexes + classes)
-        let id = self.keys.len() as KeyId;
+        let id = dense_id(self.keys.len());
         self.ids.insert(key.clone(), id);
         self.keys.push(key);
         id

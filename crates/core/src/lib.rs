@@ -35,6 +35,7 @@ pub mod enumerate;
 pub mod intern;
 pub mod join;
 pub mod nested;
+pub mod num;
 pub mod order;
 pub mod plan;
 pub mod query;
@@ -49,6 +50,7 @@ pub use cost::{Cost, CostModel};
 pub use enumerate::{
     EnumerationStats, Enumerator, SearchTrace, SubsetReport, SubsetTrace, TraceEntry,
 };
+pub use num::{card_f64, dense_id, len_f64, pages_ceil, F64_EXACT_MAX};
 pub use order::{OrderInfo, OrderKey};
 pub use plan::{Access, IndexRange, PlanExpr, PlanNode, QueryPlan, SargAtom, SargFactor, ScanPlan};
 pub use query::{

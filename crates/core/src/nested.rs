@@ -17,6 +17,7 @@
 //!   test and needs no ordering assumption).
 
 use crate::enumerate::{Enumerator, SearchTrace};
+use crate::num::card_f64;
 use crate::plan::QueryPlan;
 use crate::query::BoundQuery;
 use crate::selectivity::estimate_qcard;
@@ -94,7 +95,7 @@ fn plan_block(
             let candidates: f64 = bound
                 .tables
                 .iter()
-                .map(|t| catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0))
+                .map(|t| catalog.relation(t.rel).map(|r| card_f64(r.stats.ncard)).unwrap_or(1.0))
                 .product::<f64>()
                 .max(1.0);
             candidates.sqrt().max(1.0)

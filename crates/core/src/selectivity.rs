@@ -11,6 +11,7 @@
 //! relation. `column <> value` is not in Table 1; we use `1 − F(=)`, the
 //! complement of the equal rule, and document the extrapolation.
 
+use crate::num::{card_f64, len_f64};
 use crate::query::{BExpr, BoundQuery, BoundTable, ColId, Factor, SExpr};
 use sysr_catalog::Catalog;
 use sysr_rss::{CompareOp, Value};
@@ -97,8 +98,7 @@ impl<'a> Selectivity<'a> {
         if idx.stats.icard == 0 {
             return None;
         }
-        // audit:allow(cast-soundness) — u64 key count widened to f64
-        Some(idx.stats.icard as f64)
+        Some(card_f64(idx.stats.icard))
     }
 
     /// Interpolation `(v - low)/(high - low)` over the key range of the
@@ -191,8 +191,7 @@ impl<'a> Selectivity<'a> {
     /// at 1/2.
     fn in_list(&self, expr: &SExpr, list: &[SExpr]) -> f64 {
         let per_item = self.eq_sel(expr.as_col());
-        // audit:allow(cast-soundness) — IN-list lengths are tiny
-        clamp((list.len() as f64 * per_item).min(IN_LIST_CAP))
+        clamp((len_f64(list.len()) * per_item).min(IN_LIST_CAP))
     }
 
     /// `columnA IN (subquery)`: (expected cardinality of the subquery
@@ -215,8 +214,7 @@ impl<'a> Selectivity<'a> {
 }
 
 fn rel_ncard(catalog: &Catalog, t: &BoundTable) -> f64 {
-    // audit:allow(cast-soundness) — u64 cardinality widened to f64
-    catalog.relation(t.rel).map(|r| r.stats.ncard as f64).unwrap_or(1.0)
+    catalog.relation(t.rel).map(|r| card_f64(r.stats.ncard)).unwrap_or(1.0)
 }
 
 /// Query cardinality QCARD: "the product of the cardinalities of every

@@ -28,8 +28,13 @@ env -u RUST_TEST_THREADS cargo test --release --test concurrent_serving
 # no scan emits more rows than it charged RSI calls — the identities the
 # batched NEXT path must preserve) + the
 # token-level source lint (no-unwrap, no-index, unsafe-audit,
-# latch-discipline, latch-ordering, latch-scope, cast-soundness,
-# div-guard, and the stale-suppression detector stale-allow) + the
+# latch-discipline, latch-ordering, latch-scope, cast-soundness with
+# interval-powered operand analysis, div-guard, and the
+# stale-suppression detector stale-allow; `--lint --explain <rule>`
+# prints any rule's rationale) + the cost-property verifier
+# (exhaustive-boundary + seeded-sample domain checks that every Table 1
+# selectivity and Table 2 cost formula is non-negative, finite, and
+# monotone where the paper requires — see DESIGN.md §15) + the
 # model engine (bounded schedule exploration of the RSS latches; the
 # default budget — preemption bound 2, capped DFS plus 64 seeded deep
 # samples per scenario — finishes in seconds and its explored-schedule
@@ -41,6 +46,12 @@ cargo run --release -p sysr-audit -- --all
 # require the explorer to FIND a violating schedule within the bound —
 # exit 0 here means the bug was caught and its replay trace printed.
 cargo run --release -p sysr-audit -- --model --mutant dirty-victim-gate
+# Same teeth-check for the cost-property verifier: plant a non-monotone
+# clustered-matching page formula (runtime-gated, dead outside the
+# drill) and require the verifier to CATCH it with a replayable
+# counterexample — exit 0 means caught, nonzero means the verifier has
+# been lobotomized.
+cargo run --release -p sysr-audit -- --cost-props --mutant cost-monotone
 # Optimizer hot-path bench: the smoke run exercises the measurement
 # pipeline end to end (writes BENCH_optimizer.smoke.json, not the
 # committed file); --check fails CI when the committed
